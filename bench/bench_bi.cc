@@ -1,0 +1,73 @@
+// Per-query BI benchmarks: optimized engine vs naive baseline on the same
+// graph and parameter bindings — the per-query latency axis of the
+// workload's evaluation (experiment id BI-lat in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "bi/bi.h"
+#include "bi/naive.h"
+
+namespace snb::bench {
+namespace {
+
+constexpr uint64_t kPersons = 800;
+
+#define SNB_BI_BENCH(N)                                              \
+  void BM_Bi##N##_Optimized(benchmark::State& state) {               \
+    BenchData& data = DataFor(kPersons);                             \
+    size_t i = 0;                                                    \
+    for (auto _ : state) {                                           \
+      auto rows = bi::RunBi##N(                                      \
+          data.graph,                                                \
+          data.params.bi##N[i++ % data.params.bi##N.size()]);        \
+      benchmark::DoNotOptimize(rows);                                \
+    }                                                                \
+  }                                                                  \
+  BENCHMARK(BM_Bi##N##_Optimized);                                   \
+  void BM_Bi##N##_Naive(benchmark::State& state) {                   \
+    BenchData& data = DataFor(kPersons);                             \
+    size_t i = 0;                                                    \
+    for (auto _ : state) {                                           \
+      auto rows = bi::naive::RunBi##N(                               \
+          data.graph,                                                \
+          data.params.bi##N[i++ % data.params.bi##N.size()]);        \
+      benchmark::DoNotOptimize(rows);                                \
+    }                                                                \
+  }                                                                  \
+  BENCHMARK(BM_Bi##N##_Naive)->Iterations(3);
+
+SNB_BI_BENCH(1)
+SNB_BI_BENCH(2)
+SNB_BI_BENCH(3)
+SNB_BI_BENCH(4)
+SNB_BI_BENCH(5)
+SNB_BI_BENCH(6)
+SNB_BI_BENCH(7)
+SNB_BI_BENCH(8)
+SNB_BI_BENCH(9)
+SNB_BI_BENCH(10)
+SNB_BI_BENCH(11)
+SNB_BI_BENCH(12)
+SNB_BI_BENCH(13)
+SNB_BI_BENCH(14)
+SNB_BI_BENCH(15)
+SNB_BI_BENCH(16)
+SNB_BI_BENCH(17)
+SNB_BI_BENCH(18)
+SNB_BI_BENCH(19)
+SNB_BI_BENCH(20)
+SNB_BI_BENCH(21)
+SNB_BI_BENCH(22)
+SNB_BI_BENCH(23)
+SNB_BI_BENCH(24)
+SNB_BI_BENCH(25)
+
+#undef SNB_BI_BENCH
+
+}  // namespace
+}  // namespace snb::bench
+
+BENCHMARK_MAIN();

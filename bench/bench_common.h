@@ -1,0 +1,43 @@
+// Shared fixtures for the benchmark binaries: one generated graph per
+// process, built lazily at first use.
+
+#ifndef SNB_BENCH_BENCH_COMMON_H_
+#define SNB_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+
+#include "datagen/datagen.h"
+#include "params/parameter_curation.h"
+#include "storage/graph.h"
+
+namespace snb::bench {
+
+struct BenchData {
+  storage::Graph graph;
+  std::vector<datagen::UpdateEvent> updates;
+  params::WorkloadParameters params;
+};
+
+/// Graph of `persons` persons (activity scale 0.6), memoized per size.
+inline BenchData& DataFor(uint64_t persons) {
+  static std::map<uint64_t, BenchData*>* cache =
+      new std::map<uint64_t, BenchData*>();
+  BenchData*& slot = (*cache)[persons];
+  if (slot == nullptr) {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = persons;
+    cfg.activity_scale = 0.6;
+    datagen::GeneratedData generated = datagen::Generate(cfg);
+    slot = new BenchData{storage::Graph(std::move(generated.network)),
+                         std::move(generated.updates),
+                         {}};
+    params::CurationConfig pc;
+    pc.per_query = 10;
+    slot->params = params::CurateParameters(slot->graph, pc);
+  }
+  return *slot;
+}
+
+}  // namespace snb::bench
+
+#endif  // SNB_BENCH_BENCH_COMMON_H_

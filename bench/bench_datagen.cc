@@ -1,0 +1,66 @@
+// Datagen and graph-build throughput across network sizes (experiment id
+// GEN-tp in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "datagen/datagen.h"
+#include "datagen/serializer.h"
+#include "storage/graph.h"
+
+namespace snb::bench {
+namespace {
+
+void BM_Generate(benchmark::State& state) {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = static_cast<uint64_t>(state.range(0));
+  cfg.activity_scale = 0.6;
+  size_t messages = 0;
+  for (auto _ : state) {
+    datagen::GeneratedData data = datagen::Generate(cfg);
+    messages = data.total_posts + data.total_comments;
+    benchmark::DoNotOptimize(data.network.persons.data());
+  }
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Generate)->Arg(300)->Arg(1000)->Arg(3000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_GraphBuild(benchmark::State& state) {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = static_cast<uint64_t>(state.range(0));
+  cfg.activity_scale = 0.6;
+  datagen::GeneratedData data = datagen::Generate(cfg);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SocialNetwork copy = data.network;
+    state.ResumeTiming();
+    storage::Graph graph(std::move(copy));
+    benchmark::DoNotOptimize(graph.NumMessages());
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(300)->Arg(1000)->Arg(3000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SerializeCsvBasic(benchmark::State& state) {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = 500;
+  cfg.activity_scale = 0.5;
+  datagen::GeneratedData data = datagen::Generate(cfg);
+  const std::string out = "/tmp/snb_bench_serialize";
+  for (auto _ : state) {
+    auto status = datagen::WriteCsvBasic(data.network, out);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  std::filesystem::remove_all(out);
+}
+BENCHMARK(BM_SerializeCsvBasic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace snb::bench
+
+BENCHMARK_MAIN();

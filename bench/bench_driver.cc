@@ -1,0 +1,55 @@
+// Driver throughput benchmarks (experiment id DRV-tp): the full Interactive
+// mix (updates + complex reads + short reads per Table 3.1 frequencies) and
+// the sequential BI stream.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "driver/driver.h"
+
+namespace snb::bench {
+namespace {
+
+void BM_InteractiveWorkload(benchmark::State& state) {
+  BenchData& data = DataFor(600);
+  size_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // A fresh graph per iteration: updates mutate it.
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = 600;
+    cfg.activity_scale = 0.6;
+    datagen::GeneratedData generated = datagen::Generate(cfg);
+    storage::Graph graph(std::move(generated.network));
+    state.ResumeTiming();
+
+    driver::DriverConfig dc;
+    dc.max_updates = static_cast<size_t>(state.range(0));
+    driver::DriverReport report = driver::RunInteractiveWorkload(
+        graph, generated.updates, data.params, dc);
+    ops = report.total_operations;
+    benchmark::DoNotOptimize(report.total_operations);
+  }
+  state.counters["ops"] = benchmark::Counter(static_cast<double>(ops));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_InteractiveWorkload)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BiStream(benchmark::State& state) {
+  BenchData& data = DataFor(600);
+  for (auto _ : state) {
+    driver::DriverReport report =
+        driver::RunBiWorkload(data.graph, data.params, 1);
+    benchmark::DoNotOptimize(report.total_operations);
+  }
+}
+BENCHMARK(BM_BiStream)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace snb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// Ablation benchmarks for the design decisions called out in DESIGN.md
+// (experiment id ABL):
+//   * top-k pushdown (CP-1.3) vs sort-everything,
+//   * CSR adjacency BFS vs edge-list rescanning (CP-3.2/3.3),
+//   * precomputed thread roots vs replyOf* chasing (CP-7.2/7.3).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "engine/bfs.h"
+#include "engine/top_k.h"
+#include "util/rng.h"
+
+namespace snb::bench {
+namespace {
+
+constexpr uint64_t kPersons = 800;
+
+// ---- Top-k pushdown vs full sort -------------------------------------------
+
+std::vector<int64_t> MakeValues(size_t n) {
+  util::Rng rng(7, n);
+  std::vector<int64_t> values(n);
+  for (int64_t& v : values) v = rng.UniformInt(0, 1 << 30);
+  return values;
+}
+
+void BM_TopK_Heap(benchmark::State& state) {
+  std::vector<int64_t> values = MakeValues(static_cast<size_t>(state.range(0)));
+  auto less = [](int64_t a, int64_t b) { return a < b; };
+  for (auto _ : state) {
+    engine::TopK<int64_t, decltype(less)> top(100, less);
+    for (int64_t v : values) top.Add(v);
+    benchmark::DoNotOptimize(top.Take());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopK_Heap)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_TopK_FullSort(benchmark::State& state) {
+  std::vector<int64_t> values = MakeValues(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<int64_t> copy = values;
+    std::sort(copy.begin(), copy.end());
+    copy.resize(std::min<size_t>(copy.size(), 100));
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopK_FullSort)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// ---- CSR BFS vs edge-list BFS ----------------------------------------------
+
+void BM_Bfs_Csr(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  uint32_t src = 0;
+  for (auto _ : state) {
+    auto dist = engine::BfsDistances(data.graph.Knows(), src, 3);
+    benchmark::DoNotOptimize(dist);
+    src = (src + 17) % static_cast<uint32_t>(data.graph.NumPersons());
+  }
+}
+BENCHMARK(BM_Bfs_Csr);
+
+void BM_Bfs_EdgeListRescan(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  // Materialize the undirected edge list once (the "table" a naive engine
+  // scans per BFS level).
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t a = 0; a < data.graph.NumPersons(); ++a) {
+    data.graph.Knows().ForEach(a, [&](uint32_t b) {
+      if (a < b) edges.emplace_back(a, b);
+    });
+  }
+  uint32_t src = 0;
+  for (auto _ : state) {
+    std::vector<int32_t> dist(data.graph.NumPersons(), -1);
+    dist[src] = 0;
+    for (int32_t depth = 1; depth <= 3; ++depth) {
+      bool changed = false;
+      for (const auto& [a, b] : edges) {
+        if (dist[a] == depth - 1 && dist[b] < 0) {
+          dist[b] = depth;
+          changed = true;
+        }
+        if (dist[b] == depth - 1 && dist[a] < 0) {
+          dist[a] = depth;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    benchmark::DoNotOptimize(dist);
+    src = (src + 17) % static_cast<uint32_t>(data.graph.NumPersons());
+  }
+}
+BENCHMARK(BM_Bfs_EdgeListRescan);
+
+// ---- Thread roots: precomputed column vs replyOf* chase ----------------------
+
+void BM_ThreadRoot_Precomputed(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (uint32_t c = 0; c < data.graph.NumComments(); ++c) {
+      acc += data.graph.CommentRootPost(c);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.graph.NumComments()));
+}
+BENCHMARK(BM_ThreadRoot_Precomputed);
+
+void BM_ThreadRoot_Chase(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (uint32_t c = 0; c < data.graph.NumComments(); ++c) {
+      uint32_t msg = data.graph.CommentReplyOf(c);
+      while (!storage::Graph::IsPost(msg)) {
+        msg = data.graph.CommentReplyOf(storage::Graph::AsComment(msg));
+      }
+      acc += storage::Graph::AsPost(msg);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.graph.NumComments()));
+}
+BENCHMARK(BM_ThreadRoot_Chase);
+
+// ---- Reverse index vs scan (tag → messages) ----------------------------------
+
+void BM_TagMessages_ReverseIndex(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  uint32_t tag = 0;
+  for (auto _ : state) {
+    int64_t count = 0;
+    data.graph.TagPosts().ForEach(tag, [&](uint32_t) { ++count; });
+    data.graph.TagComments().ForEach(tag, [&](uint32_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+    tag = (tag + 1) % static_cast<uint32_t>(data.graph.NumTags());
+  }
+}
+BENCHMARK(BM_TagMessages_ReverseIndex);
+
+void BM_TagMessages_FullScan(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  uint32_t tag = 0;
+  for (auto _ : state) {
+    int64_t count = 0;
+    data.graph.ForEachMessage([&](uint32_t msg) {
+      data.graph.ForEachMessageTag(msg, [&](uint32_t t) {
+        if (t == tag) ++count;
+      });
+    });
+    benchmark::DoNotOptimize(count);
+    tag = (tag + 1) % static_cast<uint32_t>(data.graph.NumTags());
+  }
+}
+BENCHMARK(BM_TagMessages_FullScan);
+
+}  // namespace
+}  // namespace snb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Parallel-execution benchmarks: intra-query parallel group-by (CP-1.2,
+// BI 1 / BI 20) and the inter-query parallel BI stream vs the sequential
+// stream (CP-6.1 territory).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "bi/bi.h"
+#include "bi/parallel.h"
+#include "driver/driver.h"
+#include "util/thread_pool.h"
+
+namespace snb::bench {
+namespace {
+
+constexpr uint64_t kPersons = 2000;
+
+void BM_Bi1_Sequential(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bi::RunBi1(data.graph, data.params.bi1[0]));
+  }
+}
+BENCHMARK(BM_Bi1_Sequential);
+
+void BM_Bi1_Parallel(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  util::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bi::parallel::RunBi1(data.graph, data.params.bi1[0], pool));
+  }
+}
+BENCHMARK(BM_Bi1_Parallel)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Bi20_Sequential(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bi::RunBi20(data.graph, data.params.bi20[0]));
+  }
+}
+BENCHMARK(BM_Bi20_Sequential);
+
+void BM_Bi20_Parallel(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  util::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bi::parallel::RunBi20(data.graph, data.params.bi20[0], pool));
+  }
+}
+BENCHMARK(BM_Bi20_Parallel)->Arg(2)->Arg(4);
+
+void BM_BiStream_Sequential(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        driver::RunBiWorkload(data.graph, data.params, 1).total_operations);
+  }
+}
+BENCHMARK(BM_BiStream_Sequential)->Unit(benchmark::kMillisecond);
+
+void BM_BiStream_Parallel(benchmark::State& state) {
+  BenchData& data = DataFor(kPersons);
+  util::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        driver::RunBiWorkloadParallel(data.graph, data.params, 1, pool)
+            .total_operations);
+  }
+}
+BENCHMARK(BM_BiStream_Parallel)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace snb::bench
+
+BENCHMARK_MAIN();

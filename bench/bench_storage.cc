@@ -1,0 +1,106 @@
+// Storage-layer benchmarks: CSV load, graph build, export, consistency
+// check, and raw adjacency scan bandwidth.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "datagen/datagen.h"
+#include "util/check.h"
+#include "datagen/serializer.h"
+#include "storage/consistency.h"
+#include "storage/export.h"
+#include "storage/graph.h"
+#include "storage/loader.h"
+
+namespace snb::bench {
+namespace {
+
+const std::string& DatasetDir() {
+  static std::string* dir = [] {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = 800;
+    cfg.activity_scale = 0.6;
+    datagen::GeneratedData data = datagen::Generate(cfg);
+    auto* d = new std::string("/tmp/snb_bench_storage");
+    std::filesystem::remove_all(*d);
+    SNB_CHECK(datagen::WriteCsvBasic(data.network, *d).ok());
+    return d;
+  }();
+  return *dir;
+}
+
+void BM_LoadCsvBasic(benchmark::State& state) {
+  const std::string& dir = DatasetDir();
+  for (auto _ : state) {
+    auto result = storage::LoadCsvBasic(dir);
+    SNB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().persons.size());
+  }
+}
+BENCHMARK(BM_LoadCsvBasic)->Unit(benchmark::kMillisecond);
+
+storage::Graph& BenchGraph() {
+  static storage::Graph* graph = [] {
+    auto result = storage::LoadCsvBasic(DatasetDir());
+    SNB_CHECK(result.ok());
+    return new storage::Graph(std::move(result.value()));
+  }();
+  return *graph;
+}
+
+void BM_ConsistencyCheck(benchmark::State& state) {
+  storage::Graph& graph = BenchGraph();
+  for (auto _ : state) {
+    auto issues = storage::CheckGraphConsistency(graph);
+    SNB_CHECK(issues.empty());
+    benchmark::DoNotOptimize(issues);
+  }
+}
+BENCHMARK(BM_ConsistencyCheck)->Unit(benchmark::kMillisecond);
+
+void BM_ExportNetwork(benchmark::State& state) {
+  storage::Graph& graph = BenchGraph();
+  for (auto _ : state) {
+    core::SocialNetwork net = storage::ExportNetwork(graph);
+    benchmark::DoNotOptimize(net.persons.size());
+  }
+}
+BENCHMARK(BM_ExportNetwork)->Unit(benchmark::kMillisecond);
+
+void BM_KnowsScanBandwidth(benchmark::State& state) {
+  storage::Graph& graph = BenchGraph();
+  size_t edges = graph.Knows().num_edges();
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
+      graph.Knows().ForEach(p, [&](uint32_t q) { acc += q; });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_KnowsScanBandwidth);
+
+void BM_MessageColumnScan(benchmark::State& state) {
+  storage::Graph& graph = BenchGraph();
+  for (auto _ : state) {
+    int64_t count = 0;
+    graph.ForEachMessage([&](uint32_t msg) {
+      if (graph.MessageCreationDate(msg) >
+          core::DateTimeFromCivil(2011, 6, 1)) {
+        ++count;
+      }
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(graph.NumMessages()));
+}
+BENCHMARK(BM_MessageColumnScan);
+
+}  // namespace
+}  // namespace snb::bench
+
+BENCHMARK_MAIN();

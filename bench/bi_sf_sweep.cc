@@ -1,0 +1,114 @@
+// The headline evaluation table (experiment id BI-lat): per-query BI
+// runtimes across scale factors, optimized engine vs naive baseline —
+// the "who wins, by what factor, how does it scale" shape of the
+// GRADES-NDA 2018 evaluation.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+
+#include "bi/bi.h"
+#include "bi/naive.h"
+#include "datagen/datagen.h"
+#include "params/parameter_curation.h"
+#include "storage/graph.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using snb::params::WorkloadParameters;
+using snb::storage::Graph;
+
+double TimeMs(const std::function<void()>& fn) {
+  auto t0 = Clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+struct Sized {
+  uint64_t persons;
+  Graph graph;
+  WorkloadParameters params;
+};
+
+}  // namespace
+
+int main() {
+  using namespace snb;  // NOLINT
+
+  std::vector<Sized> sizes;
+  for (uint64_t persons : {300, 800, 2000}) {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = persons;
+    cfg.activity_scale = 0.6;
+    datagen::GeneratedData data = datagen::Generate(cfg);
+    Graph graph(std::move(data.network));
+    params::CurationConfig pc;
+    pc.per_query = 3;
+    WorkloadParameters params = params::CurateParameters(graph, pc);
+    sizes.push_back({persons, std::move(graph), std::move(params)});
+  }
+
+  std::printf("BI query runtime (ms, mean of 3 curated bindings), optimized"
+              " vs naive, per network size\n\n");
+  std::printf("%-6s", "Query");
+  for (const Sized& s : sizes) {
+    std::printf(" | %8" PRIu64 "p opt %8" PRIu64 "p nai %7s", s.persons,
+                s.persons, "speedup");
+  }
+  std::printf("\n");
+
+#define SNB_SWEEP(N)                                                       \
+  {                                                                        \
+    std::printf("BI %-3d", N);                                             \
+    for (Sized& s : sizes) {                                               \
+      double opt = 0, nai = 0;                                             \
+      for (const auto& p : s.params.bi##N) {                               \
+        opt += TimeMs([&] { bi::RunBi##N(s.graph, p); });                  \
+        nai += TimeMs([&] { bi::naive::RunBi##N(s.graph, p); });           \
+      }                                                                    \
+      double n = static_cast<double>(s.params.bi##N.size());               \
+      opt /= n;                                                            \
+      nai /= n;                                                            \
+      std::printf(" | %9.2f   %9.2f   %6.1fx", opt, nai,                   \
+                  opt > 0 ? nai / opt : 0.0);                              \
+    }                                                                      \
+    std::printf("\n");                                                     \
+  }
+
+  SNB_SWEEP(1)
+  SNB_SWEEP(2)
+  SNB_SWEEP(3)
+  SNB_SWEEP(4)
+  SNB_SWEEP(5)
+  SNB_SWEEP(6)
+  SNB_SWEEP(7)
+  SNB_SWEEP(8)
+  SNB_SWEEP(9)
+  SNB_SWEEP(10)
+  SNB_SWEEP(11)
+  SNB_SWEEP(12)
+  SNB_SWEEP(13)
+  SNB_SWEEP(14)
+  SNB_SWEEP(15)
+  SNB_SWEEP(16)
+  SNB_SWEEP(17)
+  SNB_SWEEP(18)
+  SNB_SWEEP(19)
+  SNB_SWEEP(20)
+  SNB_SWEEP(21)
+  SNB_SWEEP(22)
+  SNB_SWEEP(23)
+  SNB_SWEEP(24)
+  SNB_SWEEP(25)
+#undef SNB_SWEEP
+
+  std::printf("\nExpected shape: the optimized engine wins on selective\n"
+              "queries (BI 4–8, 16: reverse indexes + top-k pushdown) by\n"
+              "one to two orders of magnitude and roughly ties on full-scan\n"
+              "aggregations (BI 1, 18), with the gap widening as the\n"
+              "network grows.\n");
+  return 0;
+}

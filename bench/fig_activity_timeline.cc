@@ -1,0 +1,57 @@
+// Reproduces the flashmob time-correlation of spec §2.3.3.2 (experiment id
+// F2.2time): posts-per-week timeline with spikes over the uniform
+// background, plus spike statistics.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "datagen/statistics.h"
+
+int main() {
+  using namespace snb;  // NOLINT
+
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = 1500;
+  cfg.update_fraction = 1e-9;
+  datagen::GeneratedData data = datagen::Generate(cfg);
+  datagen::DatasetStatistics s = datagen::ComputeStatistics(data.network);
+
+  // Weekly bucketing for a readable figure.
+  std::map<int32_t, size_t> weekly;
+  for (const auto& [day, count] : s.posts_per_day) {
+    weekly[day / 7] += count;
+  }
+  size_t peak = 1;
+  for (const auto& [week, count] : weekly) peak = std::max(peak, count);
+
+  std::printf("Posts per week, %zu posts over the simulation "
+              "(flashmob events + uniform background)\n\n",
+              s.num_posts);
+  for (const auto& [week, count] : weekly) {
+    int bar = static_cast<int>(70.0 * static_cast<double>(count) /
+                               static_cast<double>(peak));
+    std::printf("%s %6zu |",
+                core::FormatDate(week * 7).c_str(), count);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  // Spike statistics over days.
+  std::vector<size_t> daily;
+  for (const auto& [day, count] : s.posts_per_day) daily.push_back(count);
+  std::sort(daily.begin(), daily.end());
+  size_t median = daily[daily.size() / 2];
+  size_t p99 = daily[daily.size() * 99 / 100];
+  std::printf("\nDaily volume: median %zu, p99 %zu, max %zu "
+              "(peak/median ratio %.1fx)\n",
+              median, p99, daily.back(),
+              static_cast<double>(daily.back()) /
+                  static_cast<double>(std::max<size_t>(median, 1)));
+  std::printf("A ratio well above 1 reproduces the Leskovec-style event "
+              "spikes the spec requires.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces the "Facebook-like degree distribution" of spec §2.3.3.2
+// (experiment id F2.2deg): prints the knows-degree histogram in log2
+// buckets as an ASCII figure, plus the mean-degree densification law
+// across network sizes.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "datagen/person_generator.h"
+#include "datagen/statistics.h"
+
+int main() {
+  using namespace snb;  // NOLINT
+
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = 2000;
+  cfg.update_fraction = 1e-9;
+  datagen::GeneratedData data = datagen::Generate(cfg);
+  datagen::DatasetStatistics s = datagen::ComputeStatistics(data.network);
+
+  std::printf("Knows-degree distribution at %zu persons "
+              "(avg %.1f, max %u)\n\n",
+              s.num_persons, s.avg_degree, s.max_degree);
+  size_t peak = 1;
+  for (size_t c : s.degree_histogram_log2) peak = std::max(peak, c);
+  for (size_t b = 0; b < s.degree_histogram_log2.size(); ++b) {
+    size_t lo = size_t{1} << b;
+    size_t hi = (size_t{1} << (b + 1)) - 1;
+    size_t count = s.degree_histogram_log2[b];
+    int bar = static_cast<int>(60.0 * static_cast<double>(count) /
+                               static_cast<double>(peak));
+    std::printf("deg %5zu–%-5zu %6zu |", lo, hi, count);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf("\nDensification law (mean degree ~ n^(0.512 - 0.028 log10 n),"
+              " Ugander et al.):\n");
+  std::printf("%10s %12s %12s\n", "persons", "law", "measured");
+  for (uint64_t n : {500, 1000, 2000, 4000}) {
+    datagen::DatagenConfig c;
+    c.num_persons = n;
+    c.update_fraction = 1e-9;
+    c.activity_scale = 0.1;  // knows graph only matters here
+    datagen::GeneratedData d = datagen::Generate(c);
+    double measured = 2.0 * static_cast<double>(d.network.knows.size()) /
+                      static_cast<double>(n);
+    std::printf("%10" PRIu64 " %12.1f %12.1f\n", n,
+                datagen::MeanDegreeForNetworkSize(n), measured);
+  }
+  std::printf("\n(The measured mean sits below the law's target because "
+              "window saturation\nand late joiners cap edge budgets; the "
+              "heavy tail and densification trend\nare the reproduced "
+              "properties.)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces the homophily of the knows graph (spec §2.3.3.2, experiment id
+// F2.2corr): the probability that connected persons share a country, a
+// university or an interest, against the random-pairing baseline.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "datagen/statistics.h"
+
+int main() {
+  using namespace snb;  // NOLINT
+
+  std::printf("Knows-edge correlation vs random pairing "
+              "(homophily, spec 2.3.3.2)\n\n");
+  std::printf("%10s | %22s | %22s | %22s\n", "persons",
+              "same country (edge/rand)", "same university",
+              "common interest");
+  for (uint64_t n : {500, 1000, 2000}) {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = n;
+    cfg.update_fraction = 1e-9;
+    cfg.activity_scale = 0.1;
+    datagen::GeneratedData data = datagen::Generate(cfg);
+    datagen::DatasetStatistics s = datagen::ComputeStatistics(data.network);
+    std::printf("%10" PRIu64 " |   %6.3f / %6.3f (%4.1fx) "
+                "|   %6.3f / %6.3f (%4.1fx) |   %6.3f / %6.3f (%4.1fx)\n",
+                n, s.frac_same_country, s.random_same_country,
+                s.frac_same_country / std::max(s.random_same_country, 1e-9),
+                s.frac_same_university, s.random_same_university,
+                s.frac_same_university /
+                    std::max(s.random_same_university, 1e-9),
+                s.frac_common_interest, s.random_common_interest,
+                s.frac_common_interest /
+                    std::max(s.random_common_interest, 1e-9));
+  }
+  std::printf("\nEvery ratio > 1 means the correlation dimensions (study,\n"
+              "interest) dominate the random dimension, reproducing the\n"
+              "triangle-rich structure real social networks show.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces spec Table A.1 (choke-point coverage matrix): which read
+// queries cover which choke points (experiment id TA.1).
+
+#include <cstdio>
+#include <string>
+
+#include "core/choke_points.h"
+
+int main() {
+  using namespace snb::core;  // NOLINT
+
+  std::printf("Table A.1 — coverage of choke points by queries\n\n");
+
+  // Matrix: rows = queries, columns = choke points.
+  std::printf("%-7s", "");
+  for (const ChokePointInfo& cp : AllChokePoints()) {
+    std::printf("%d.%d ", cp.id.group, cp.id.item);
+  }
+  std::printf("\n");
+
+  size_t total_marks = 0;
+  for (const QueryChokePoints& q : AllQueryChokePoints()) {
+    std::printf("%-7s", QueryName(q.workload, q.number).c_str());
+    for (const ChokePointInfo& cp : AllChokePoints()) {
+      bool covered = false;
+      for (const ChokePointId& id : q.choke_points) {
+        if (id == cp.id) covered = true;
+      }
+      total_marks += covered ? 1 : 0;
+      // Column widths track the "g.i " headers (3 + 1 chars).
+      std::printf("%-4s", covered ? " x" : " .");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPer choke point (area, title, #covering queries):\n");
+  for (const ChokePointInfo& cp : AllChokePoints()) {
+    std::printf("CP-%d.%d [%s] %-55s %2zu queries\n", cp.id.group, cp.id.item,
+                cp.area.c_str(), cp.title.c_str(),
+                QueriesCovering(cp.id).size());
+  }
+  std::printf("\nTotal coverage marks: %zu across %zu queries and %zu choke"
+              " points\n",
+              total_marks, AllQueryChokePoints().size(),
+              AllChokePoints().size());
+  return 0;
+}

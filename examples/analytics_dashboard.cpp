@@ -1,0 +1,106 @@
+// Analytics dashboard: the "business-critical questions" scenario the BI
+// workload motivates — a social-network operator's monthly report built
+// from BI queries over the public API.
+//
+//   ./analytics_dashboard [num_persons]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bi/bi.h"
+#include "datagen/datagen.h"
+#include "storage/graph.h"
+
+namespace {
+
+void Header(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snb;  // NOLINT
+
+  datagen::DatagenConfig config;
+  config.num_persons = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1200;
+  datagen::GeneratedData data = datagen::Generate(config);
+  storage::Graph graph(std::move(data.network));
+
+  std::printf("SNB Analytics — operator report over %zu persons, "
+              "%zu messages\n",
+              graph.NumPersons(), graph.NumMessages());
+
+  Header("Content mix (BI 1: posting summary)");
+  bi::Bi1Params bi1{core::DateFromCivil(2013, 1, 1)};
+  for (const bi::Bi1Row& row : bi::RunBi1(graph, bi1)) {
+    if (row.year != 2012) continue;  // focus the report on the last year
+    std::printf("  2012 %-8s length-cat %d: %6lld messages (%.1f%%)\n",
+                row.is_comment ? "comments" : "posts", row.length_category,
+                static_cast<long long>(row.message_count),
+                100 * row.percentage_of_messages);
+  }
+
+  Header("Trending content (BI 12: most-liked recent messages)");
+  bi::Bi12Params bi12{core::DateFromCivil(2012, 1, 1), 2};
+  auto trending = bi::RunBi12(graph, bi12);
+  for (size_t i = 0; i < trending.size() && i < 5; ++i) {
+    std::printf("  #%zu  message %lld by %s %s — %lld likes\n", i + 1,
+                static_cast<long long>(trending[i].message_id),
+                trending[i].creator_first_name.c_str(),
+                trending[i].creator_last_name.c_str(),
+                static_cast<long long>(trending[i].like_count));
+  }
+
+  Header("Hot markets (BI 13: popular tags per month, largest country)");
+  // Pick the country with the most persons.
+  uint32_t best_country = storage::kNoIdx;
+  size_t best_count = 0;
+  for (uint32_t place = 0; place < graph.NumPlaces(); ++place) {
+    if (graph.PlaceAt(place).type != core::PlaceType::kCountry) continue;
+    size_t n = graph.CountryPersons().Degree(place);
+    if (n > best_count) {
+      best_count = n;
+      best_country = place;
+    }
+  }
+  const std::string country = graph.PlaceAt(best_country).name;
+  std::printf("  market: %s (%zu members)\n", country.c_str(), best_count);
+  auto months = bi::RunBi13(graph, {country});
+  for (size_t i = 0; i < months.size() && i < 3; ++i) {
+    std::printf("  %d-%02d:", months[i].year, months[i].month);
+    for (const auto& [tag, count] : months[i].popular_tags) {
+      std::printf("  %s(%lld)", tag.c_str(), static_cast<long long>(count));
+    }
+    std::printf("\n");
+  }
+
+  Header("Community health (BI 21: zombie accounts)");
+  auto zombies = bi::RunBi21(graph, {country, core::DateFromCivil(2012, 6, 1)});
+  std::printf("  %zu dormant accounts in %s; highest zombie scores:\n",
+              zombies.size(), country.c_str());
+  for (size_t i = 0; i < zombies.size() && i < 3; ++i) {
+    std::printf("    person %lld: score %.2f (%lld/%lld zombie likes)\n",
+                static_cast<long long>(zombies[i].zombie_id),
+                zombies[i].zombie_score,
+                static_cast<long long>(zombies[i].zombie_like_count),
+                static_cast<long long>(zombies[i].total_like_count));
+  }
+
+  Header("Engagement graph (BI 17: friend triangles per market)");
+  for (const char* c : {"China", "India", "United States", "Germany"}) {
+    auto rows = bi::RunBi17(graph, {c});
+    std::printf("  %-15s %lld triangles\n", c,
+                static_cast<long long>(rows[0].count));
+  }
+
+  Header("Topic taxonomy rollup (BI 20: high-level topics)");
+  for (const bi::Bi20Row& row :
+       bi::RunBi20(graph, {{"Person", "Work", "Sport", "Technology"}})) {
+    std::printf("  %-12s %lld messages\n", row.tag_class.c_str(),
+                static_cast<long long>(row.message_count));
+  }
+
+  std::printf("\nReport complete.\n");
+  return 0;
+}

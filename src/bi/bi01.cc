@@ -1,0 +1,72 @@
+#include <map>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+
+namespace snb::bi {
+
+namespace {
+
+int32_t LengthCategory(int32_t length) {
+  if (length < 40) return 0;   // short
+  if (length < 80) return 1;   // one-liner
+  if (length < 160) return 2;  // tweet
+  return 3;                    // long
+}
+
+}  // namespace
+
+std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params) {
+  const core::DateTime cutoff = core::DateTimeFromDate(params.date);
+
+  struct Group {
+    int64_t count = 0;
+    int64_t sum_length = 0;
+  };
+  // Few distinct (year, isComment, category) groups — an ordered map both
+  // aggregates and produces the output order (CP-1.4: low-cardinality
+  // group-by).
+  struct Key {
+    int32_t year;
+    bool is_comment;
+    int32_t category;
+    bool operator<(const Key& o) const {
+      if (year != o.year) return year > o.year;  // year descending
+      if (is_comment != o.is_comment) return !is_comment;
+      return category < o.category;
+    }
+  };
+  std::map<Key, Group> groups;
+  int64_t total = 0;
+
+  graph.ForEachMessage([&](uint32_t msg) {
+    core::DateTime created = graph.MessageCreationDate(msg);
+    if (created >= cutoff) return;
+    int32_t length = graph.MessageLength(msg);
+    Key key{core::Year(created), !Graph::IsPost(msg), LengthCategory(length)};
+    Group& g = groups[key];
+    ++g.count;
+    g.sum_length += length;
+    ++total;
+  });
+
+  std::vector<Bi1Row> rows;
+  rows.reserve(groups.size());
+  for (const auto& [key, g] : groups) {
+    Bi1Row row;
+    row.year = key.year;
+    row.is_comment = key.is_comment;
+    row.length_category = key.category;
+    row.message_count = g.count;
+    row.average_message_length =
+        static_cast<double>(g.sum_length) / static_cast<double>(g.count);
+    row.sum_message_length = g.sum_length;
+    row.percentage_of_messages =
+        total == 0 ? 0.0
+                   : static_cast<double>(g.count) / static_cast<double>(total);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,109 @@
+#include <unordered_map>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+namespace {
+
+struct Key {
+  uint32_t country;  // place index
+  int32_t month;
+  bool gender_female;
+  int32_t age_group;
+  uint32_t tag;
+
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    uint64_t h = k.country;
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.month);
+    h = h * 0x9e3779b97f4a7c15ULL + (k.gender_female ? 1 : 2);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.age_group);
+    h = h * 0x9e3779b97f4a7c15ULL + k.tag;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params) {
+  using internal::CountryIdx;
+  const core::DateTime start = core::DateTimeFromDate(params.start_date);
+  const core::DateTime end =
+      core::DateTimeFromDate(params.end_date) + core::kMillisPerDay;
+  const core::DateTime sim_end = core::DateTimeFromDate(params.simulation_end);
+
+  uint32_t countries[2] = {CountryIdx(graph, params.country1),
+                           CountryIdx(graph, params.country2)};
+
+  // Age group: whole 5-year buckets of the person's age at simulation end.
+  auto age_group_of = [&](uint32_t person) {
+    core::DateTime birth =
+        core::DateTimeFromDate(graph.PersonAt(person).birthday);
+    int64_t years = (sim_end - birth) / (365 * core::kMillisPerDay);
+    return static_cast<int32_t>(years / 5);
+  };
+
+  std::unordered_map<Key, int64_t, KeyHash> counts;
+
+  auto scan_person_messages = [&](uint32_t person, uint32_t country) {
+    bool female = graph.PersonAt(person).gender == "female";
+    int32_t age_group = age_group_of(person);
+    auto handle = [&](uint32_t msg) {
+      core::DateTime created = graph.MessageCreationDate(msg);
+      if (created < start || created >= end) return;
+      int32_t month = core::Month(created);
+      graph.ForEachMessageTag(msg, [&](uint32_t tag) {
+        ++counts[{country, month, female, age_group, tag}];
+      });
+    };
+    graph.PersonPosts().ForEach(person, [&](uint32_t post) {
+      handle(Graph::MessageOfPost(post));
+    });
+    graph.PersonComments().ForEach(person, [&](uint32_t comment) {
+      handle(Graph::MessageOfComment(comment));
+    });
+  };
+
+  for (int c = 0; c < 2; ++c) {
+    if (countries[c] == storage::kNoIdx) continue;
+    if (c == 1 && countries[1] == countries[0]) break;  // same country twice
+    graph.CountryPersons().ForEach(countries[c], [&](uint32_t person) {
+      scan_person_messages(person, countries[c]);
+    });
+  }
+
+  std::vector<Bi2Row> rows;
+  for (const auto& [key, count] : counts) {
+    if (count <= params.threshold) continue;
+    Bi2Row row;
+    row.country = graph.PlaceAt(key.country).name;
+    row.month = key.month;
+    row.gender = key.gender_female ? "female" : "male";
+    row.age_group = key.age_group;
+    row.tag = graph.TagAt(key.tag).name;
+    row.message_count = count;
+    rows.push_back(std::move(row));
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi2Row& a, const Bi2Row& b) {
+        if (a.message_count != b.message_count) {
+          return a.message_count > b.message_count;
+        }
+        if (a.tag != b.tag) return a.tag < b.tag;
+        if (a.gender != b.gender) return a.gender < b.gender;
+        if (a.age_group != b.age_group) return a.age_group < b.age_group;
+        if (a.month != b.month) return a.month < b.month;
+        return a.country < b.country;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,53 @@
+#include <cstdlib>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi3Row> RunBi3(const Graph& graph, const Bi3Params& params) {
+  // Month windows [m1, m2) and [m2, m3).
+  int32_t y2 = params.year, m2 = params.month + 1;
+  if (m2 > 12) {
+    m2 = 1;
+    ++y2;
+  }
+  int32_t y3 = y2, m3 = m2 + 1;
+  if (m3 > 12) {
+    m3 = 1;
+    ++y3;
+  }
+  const core::DateTime t1 = core::DateTimeFromCivil(params.year, params.month, 1);
+  const core::DateTime t2 = core::DateTimeFromCivil(y2, m2, 1);
+  const core::DateTime t3 = core::DateTimeFromCivil(y3, m3, 1);
+
+  std::vector<int64_t> count1(graph.NumTags(), 0), count2(graph.NumTags(), 0);
+  graph.ForEachMessage([&](uint32_t msg) {
+    core::DateTime created = graph.MessageCreationDate(msg);
+    if (created < t1 || created >= t3) return;
+    std::vector<int64_t>& counts = created < t2 ? count1 : count2;
+    graph.ForEachMessageTag(msg, [&](uint32_t tag) { ++counts[tag]; });
+  });
+
+  std::vector<Bi3Row> rows;
+  for (uint32_t t = 0; t < graph.NumTags(); ++t) {
+    if (count1[t] == 0 && count2[t] == 0) continue;
+    Bi3Row row;
+    row.tag = graph.TagAt(t).name;
+    row.count_month1 = count1[t];
+    row.count_month2 = count2[t];
+    row.diff = std::llabs(count1[t] - count2[t]);
+    rows.push_back(std::move(row));
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi3Row& a, const Bi3Row& b) {
+        if (a.diff != b.diff) return a.diff > b.diff;
+        return a.tag < b.tag;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,56 @@
+#include <unordered_map>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params) {
+  std::vector<Bi6Row> rows;
+  const uint32_t tag = graph.TagByName(params.tag);
+  if (tag == storage::kNoIdx) return rows;
+
+  struct Agg {
+    int64_t messages = 0;
+    int64_t replies = 0;
+    int64_t likes = 0;
+  };
+  std::unordered_map<uint32_t, Agg> by_person;
+
+  auto handle = [&](uint32_t msg) {
+    Agg& a = by_person[graph.MessageCreator(msg)];
+    ++a.messages;
+    a.likes += internal::MessageLikeCount(graph, msg);
+    a.replies += Graph::IsPost(msg)
+                     ? static_cast<int64_t>(graph.PostReplies().Degree(msg))
+                     : static_cast<int64_t>(graph.CommentReplies().Degree(
+                           Graph::AsComment(msg)));
+  };
+  graph.TagPosts().ForEach(
+      tag, [&](uint32_t post) { handle(Graph::MessageOfPost(post)); });
+  graph.TagComments().ForEach(tag, [&](uint32_t comment) {
+    handle(Graph::MessageOfComment(comment));
+  });
+
+  rows.reserve(by_person.size());
+  for (const auto& [person, a] : by_person) {
+    Bi6Row row;
+    row.person_id = graph.PersonAt(person).id;
+    row.reply_count = a.replies;
+    row.like_count = a.likes;
+    row.message_count = a.messages;
+    row.score = a.messages + 2 * a.replies + 10 * a.likes;
+    rows.push_back(row);
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi6Row& a, const Bi6Row& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.person_id < b.person_id;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

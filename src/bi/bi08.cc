@@ -1,0 +1,36 @@
+#include <vector>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi8Row> RunBi8(const Graph& graph, const Bi8Params& params) {
+  std::vector<Bi8Row> rows;
+  const uint32_t tag = graph.TagByName(params.tag);
+  if (tag == storage::kNoIdx) return rows;
+
+  std::vector<int64_t> counts(graph.NumTags(), 0);
+  graph.TagPosts().ForEach(tag, [&](uint32_t post) {
+    graph.PostReplies().ForEach(post, [&](uint32_t comment) {
+      graph.CommentTags().ForEach(comment, [&](uint32_t related) {
+        if (related != tag) ++counts[related];
+      });
+    });
+  });
+
+  for (uint32_t t = 0; t < graph.NumTags(); ++t) {
+    if (counts[t] > 0) rows.push_back({graph.TagAt(t).name, counts[t]});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi8Row& a, const Bi8Row& b) {
+        if (a.count != b.count) return a.count > b.count;
+        return a.related_tag < b.related_tag;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,45 @@
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi9Row> RunBi9(const Graph& graph, const Bi9Params& params) {
+  using internal::TagsOfClass;
+  const std::vector<bool> class1 =
+      TagsOfClass(graph, params.tag_class1, /*transitive=*/false);
+  const std::vector<bool> class2 =
+      TagsOfClass(graph, params.tag_class2, /*transitive=*/false);
+
+  std::vector<Bi9Row> rows;
+  for (uint32_t forum = 0; forum < graph.NumForums(); ++forum) {
+    if (static_cast<int64_t>(graph.ForumMembers().Degree(forum)) <=
+        params.threshold) {
+      continue;
+    }
+    int64_t count1 = 0, count2 = 0;
+    graph.ForumPosts().ForEach(forum, [&](uint32_t post) {
+      bool in1 = false, in2 = false;
+      graph.PostTags().ForEach(post, [&](uint32_t tag) {
+        if (class1[tag]) in1 = true;
+        if (class2[tag]) in2 = true;
+      });
+      if (in1) ++count1;
+      if (in2) ++count2;
+    });
+    if (count1 > 0 || count2 > 0) {
+      rows.push_back({graph.ForumAt(forum).id, count1, count2});
+    }
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi9Row& a, const Bi9Row& b) {
+        if (a.count1 != b.count1) return a.count1 > b.count1;
+        if (a.count2 != b.count2) return a.count2 > b.count2;
+        return a.forum_id < b.forum_id;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,38 @@
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params) {
+  const core::DateTime after =
+      core::DateTimeFromDate(params.date) + core::kMillisPerDay;  // exclusive
+
+  // Post and Comment ids live in separate id spaces, so two messages can
+  // share an id; creationDate breaks the residual tie deterministically.
+  auto better = [](const Bi12Row& a, const Bi12Row& b) {
+    if (a.like_count != b.like_count) return a.like_count > b.like_count;
+    if (a.message_id != b.message_id) return a.message_id < b.message_id;
+    return a.creation_date < b.creation_date;
+  };
+  engine::TopK<Bi12Row, decltype(better)> top(100, better);
+
+  graph.ForEachMessage([&](uint32_t msg) {
+    core::DateTime created = graph.MessageCreationDate(msg);
+    if (created < after) return;
+    int64_t likes = internal::MessageLikeCount(graph, msg);
+    if (likes <= params.like_threshold) return;
+    Bi12Row row;
+    row.message_id = graph.MessageId(msg);
+    row.like_count = likes;
+    row.creation_date = created;
+    if (!top.WouldAccept(row)) return;  // CP-1.3: skip the projection
+    const core::Person& creator = graph.PersonAt(graph.MessageCreator(msg));
+    row.creator_first_name = creator.first_name;
+    row.creator_last_name = creator.last_name;
+    top.Add(std::move(row));
+  });
+  return top.Take();
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,59 @@
+#include <unordered_map>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params) {
+  const core::DateTime begin = core::DateTimeFromDate(params.begin);
+  const core::DateTime end =
+      core::DateTimeFromDate(params.end) + core::kMillisPerDay;  // inclusive
+
+  struct Agg {
+    int64_t threads = 0;
+    int64_t messages = 0;
+  };
+  std::unordered_map<uint32_t, Agg> by_person;
+
+  // Window posts: thread roots. A post contributes to its creator.
+  std::vector<bool> post_in_window(graph.NumPosts(), false);
+  for (uint32_t post = 0; post < graph.NumPosts(); ++post) {
+    core::DateTime created = graph.PostCreation(post);
+    if (created < begin || created >= end) continue;
+    post_in_window[post] = true;
+    Agg& a = by_person[graph.PostCreator(post)];
+    ++a.threads;
+    ++a.messages;
+  }
+  // Window comments whose thread root is a window post credit the initiator
+  // (precomputed root; CP-7.2/7.3 transitive replyOf* collapsed at load).
+  for (uint32_t comment = 0; comment < graph.NumComments(); ++comment) {
+    core::DateTime created = graph.CommentCreation(comment);
+    if (created < begin || created >= end) continue;
+    uint32_t root = graph.CommentRootPost(comment);
+    if (!post_in_window[root]) continue;
+    ++by_person[graph.PostCreator(root)].messages;
+  }
+
+  std::vector<Bi14Row> rows;
+  rows.reserve(by_person.size());
+  for (const auto& [person, a] : by_person) {
+    const core::Person& rec = graph.PersonAt(person);
+    rows.push_back(
+        {rec.id, rec.first_name, rec.last_name, a.threads, a.messages});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi14Row& a, const Bi14Row& b) {
+        if (a.message_count != b.message_count) {
+          return a.message_count > b.message_count;
+        }
+        return a.person_id < b.person_id;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,38 @@
+#include "bi/bi.h"
+#include "bi/common.h"
+
+namespace snb::bi {
+
+std::vector<Bi17Row> RunBi17(const Graph& graph, const Bi17Params& params) {
+  using internal::CountryIdx;
+  using internal::PersonsOfCountry;
+  const uint32_t country = CountryIdx(graph, params.country);
+  if (country == storage::kNoIdx) return {{0}};
+  const std::vector<bool> local = PersonsOfCountry(graph, country);
+
+  // Triangle counting by edge iteration with a marked-neighbour bitmap:
+  // for each a (ascending), mark a's in-country neighbours > a, then for
+  // each such neighbour b scan b's neighbours c > b for marks. Each
+  // triangle {a<b<c} is found exactly once.
+  std::vector<bool> marked(graph.NumPersons(), false);
+  int64_t triangles = 0;
+  for (uint32_t a = 0; a < graph.NumPersons(); ++a) {
+    if (!local[a]) continue;
+    std::vector<uint32_t> bs;
+    graph.Knows().ForEach(a, [&](uint32_t b) {
+      if (b > a && local[b]) {
+        marked[b] = true;
+        bs.push_back(b);
+      }
+    });
+    for (uint32_t b : bs) {
+      graph.Knows().ForEach(b, [&](uint32_t c) {
+        if (c > b && marked[c]) ++triangles;
+      });
+    }
+    for (uint32_t b : bs) marked[b] = false;
+  }
+  return {{triangles}};
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,63 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi18Row> RunBi18(const Graph& graph, const Bi18Params& params) {
+  const core::DateTime after = core::DateTimeFromDate(params.date);
+
+  auto language_ok = [&](const std::string& lang) {
+    return std::find(params.languages.begin(), params.languages.end(),
+                     lang) != params.languages.end();
+  };
+
+  // messageCount per person over qualifying messages.
+  std::vector<int64_t> message_count(graph.NumPersons(), 0);
+  for (uint32_t post = 0; post < graph.NumPosts(); ++post) {
+    const core::Post& p = graph.PostAt(post);
+    if (p.content.empty()) continue;
+    if (p.length >= params.length_threshold) continue;
+    if (p.creation_date <= after) continue;
+    if (!language_ok(p.language)) continue;
+    ++message_count[graph.PostCreator(post)];
+  }
+  for (uint32_t comment = 0; comment < graph.NumComments(); ++comment) {
+    const core::Comment& c = graph.CommentAt(comment);
+    if (c.content.empty()) continue;
+    if (c.length >= params.length_threshold) continue;
+    if (c.creation_date <= after) continue;
+    // A comment's language is the language of its thread's root post.
+    if (!language_ok(graph.PostAt(graph.CommentRootPost(comment)).language)) {
+      continue;
+    }
+    ++message_count[graph.CommentCreator(comment)];
+  }
+
+  // Histogram: persons per messageCount value — including zero.
+  std::unordered_map<int64_t, int64_t> histogram;
+  for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
+    ++histogram[message_count[p]];
+  }
+
+  std::vector<Bi18Row> rows;
+  rows.reserve(histogram.size());
+  for (const auto& [messages, persons] : histogram) {
+    rows.push_back({messages, persons});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi18Row& a, const Bi18Row& b) {
+        if (a.person_count != b.person_count) {
+          return a.person_count > b.person_count;
+        }
+        return a.message_count > b.message_count;
+      },
+      0);
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,92 @@
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+namespace {
+
+/// Bitmap of persons who are members of any forum carrying a tag of the
+/// given (direct) class.
+std::vector<bool> MembersOfClassForums(const storage::Graph& graph,
+                                       const std::string& class_name) {
+  std::vector<bool> members(graph.NumPersons(), false);
+  std::vector<bool> class_tags =
+      internal::TagsOfClass(graph, class_name, /*transitive=*/false);
+  std::vector<bool> forum_seen(graph.NumForums(), false);
+  for (uint32_t tag = 0; tag < graph.NumTags(); ++tag) {
+    if (!class_tags[tag]) continue;
+    graph.TagForums().ForEach(tag, [&](uint32_t forum) {
+      if (forum_seen[forum]) return;
+      forum_seen[forum] = true;
+      graph.ForumMembers().ForEach(forum,
+                                   [&](uint32_t p) { members[p] = true; });
+    });
+  }
+  return members;
+}
+
+}  // namespace
+
+std::vector<Bi19Row> RunBi19(const Graph& graph, const Bi19Params& params) {
+  // Strangers: members of a class1-tagged forum AND of a class2-tagged forum.
+  std::vector<bool> in1 = MembersOfClassForums(graph, params.tag_class1);
+  std::vector<bool> in2 = MembersOfClassForums(graph, params.tag_class2);
+  std::vector<bool> stranger(graph.NumPersons());
+  for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
+    stranger[p] = in1[p] && in2[p];
+  }
+
+  struct Agg {
+    std::unordered_set<uint32_t> strangers;
+    int64_t interactions = 0;
+  };
+  std::unordered_map<uint32_t, Agg> by_person;
+
+  for (uint32_t person = 0; person < graph.NumPersons(); ++person) {
+    if (graph.PersonAt(person).birthday <= params.date) continue;
+    if (graph.PersonComments().Degree(person) == 0) continue;
+    // Friend set for the NOT (person)-[:KNOWS]-(stranger) condition.
+    std::unordered_set<uint32_t> friends;
+    graph.Knows().ForEach(person, [&](uint32_t f) { friends.insert(f); });
+    Agg* agg = nullptr;
+    graph.PersonComments().ForEach(person, [&](uint32_t comment) {
+      // Walk the transitive replyOf* chain; every ancestor message counts.
+      uint32_t msg = graph.CommentReplyOf(comment);
+      while (true) {
+        uint32_t author = graph.MessageCreator(msg);
+        if (stranger[author] && author != person &&
+            !friends.contains(author)) {
+          if (agg == nullptr) agg = &by_person[person];
+          agg->strangers.insert(author);
+          ++agg->interactions;
+        }
+        if (Graph::IsPost(msg)) break;
+        msg = graph.CommentReplyOf(Graph::AsComment(msg));
+      }
+    });
+  }
+
+  std::vector<Bi19Row> rows;
+  rows.reserve(by_person.size());
+  for (const auto& [person, agg] : by_person) {
+    rows.push_back({graph.PersonAt(person).id,
+                    static_cast<int64_t>(agg.strangers.size()),
+                    agg.interactions});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi19Row& a, const Bi19Row& b) {
+        if (a.interaction_count != b.interaction_count) {
+          return a.interaction_count > b.interaction_count;
+        }
+        return a.person_id < b.person_id;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

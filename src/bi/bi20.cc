@@ -1,0 +1,36 @@
+#include "bi/bi.h"
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi {
+
+std::vector<Bi20Row> RunBi20(const Graph& graph, const Bi20Params& params) {
+  std::vector<Bi20Row> rows;
+  rows.reserve(params.tag_classes.size());
+  for (const std::string& class_name : params.tag_classes) {
+    if (graph.TagClassByName(class_name) == storage::kNoIdx) continue;
+    std::vector<bool> tags =
+        internal::TagsOfClass(graph, class_name, /*transitive=*/true);
+    int64_t count = 0;
+    graph.ForEachMessage([&](uint32_t msg) {
+      bool match = false;
+      graph.ForEachMessageTag(msg, [&](uint32_t tag) {
+        if (tags[tag]) match = true;
+      });
+      if (match) ++count;  // distinct messages, not tag occurrences
+    });
+    rows.push_back({class_name, count});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi20Row& a, const Bi20Row& b) {
+        if (a.message_count != b.message_count) {
+          return a.message_count > b.message_count;
+        }
+        return a.tag_class < b.tag_class;
+      },
+      100);
+  return rows;
+}
+
+}  // namespace snb::bi

@@ -1,0 +1,89 @@
+// Internal helpers shared by the BI query implementations. Not part of the
+// public API.
+
+#ifndef SNB_BI_COMMON_H_
+#define SNB_BI_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/graph.h"
+
+namespace snb::bi::internal {
+
+using storage::Graph;
+using storage::kNoIdx;
+
+/// Tag bitmap (size NumTags) of tags whose class is `class_name`;
+/// `transitive` includes descendant classes. All-false when the class is
+/// unknown.
+inline std::vector<bool> TagsOfClass(const Graph& graph,
+                                     const std::string& class_name,
+                                     bool transitive) {
+  std::vector<bool> mask(graph.NumTags(), false);
+  uint32_t root = graph.TagClassByName(class_name);
+  if (root == kNoIdx) return mask;
+  std::vector<uint32_t> classes{root};
+  if (transitive) {
+    for (size_t i = 0; i < classes.size(); ++i) {
+      graph.TagClassChildren().ForEach(
+          classes[i], [&](uint32_t child) { classes.push_back(child); });
+    }
+  }
+  for (uint32_t tc : classes) {
+    graph.TagClassTags().ForEach(tc, [&](uint32_t t) { mask[t] = true; });
+  }
+  return mask;
+}
+
+/// Country place index by name; kNoIdx when absent or not a country.
+inline uint32_t CountryIdx(const Graph& graph, const std::string& name) {
+  uint32_t place = graph.PlaceByName(name);
+  if (place == kNoIdx ||
+      graph.PlaceAt(place).type != core::PlaceType::kCountry) {
+    return kNoIdx;
+  }
+  return place;
+}
+
+/// Bitmap (size NumPersons) of persons located in the given country place.
+inline std::vector<bool> PersonsOfCountry(const Graph& graph,
+                                          uint32_t country) {
+  std::vector<bool> mask(graph.NumPersons(), false);
+  if (country == kNoIdx) return mask;
+  graph.CountryPersons().ForEach(country,
+                                 [&](uint32_t p) { mask[p] = true; });
+  return mask;
+}
+
+/// Continent place index of a country (kNoIdx-safe).
+inline uint32_t ContinentOfCountry(const Graph& graph, uint32_t country) {
+  return country == kNoIdx ? kNoIdx : graph.PlacePartOf(country);
+}
+
+/// Total likes a message has received.
+inline int64_t MessageLikeCount(const Graph& graph, uint32_t msg) {
+  return Graph::IsPost(msg)
+             ? static_cast<int64_t>(graph.PostLikers().Degree(msg))
+             : static_cast<int64_t>(
+                   graph.CommentLikers().Degree(Graph::AsComment(msg)));
+}
+
+/// Forum of a message: a post's container, a comment's thread-root's
+/// container.
+inline uint32_t ForumOfMessage(const Graph& graph, uint32_t msg) {
+  uint32_t post = Graph::IsPost(msg)
+                      ? Graph::AsPost(msg)
+                      : graph.CommentRootPost(Graph::AsComment(msg));
+  return graph.PostForum(post);
+}
+
+/// Packs an ordered person pair into a hash key.
+inline uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace snb::bi::internal
+
+#endif  // SNB_BI_COMMON_H_

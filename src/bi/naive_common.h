@@ -1,0 +1,137 @@
+// Helpers for the naive engine: record-chasing equivalents of the optimized
+// engine's precomputed columns and reverse indexes. Internal.
+
+#ifndef SNB_BI_NAIVE_COMMON_H_
+#define SNB_BI_NAIVE_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/graph.h"
+
+namespace snb::bi::naive::internal {
+
+using storage::Graph;
+using storage::kNoIdx;
+
+/// Country place index of a person, chased through city records.
+inline uint32_t PersonCountrySlow(const Graph& graph, uint32_t person) {
+  uint32_t city = graph.PlaceIdx(graph.PersonAt(person).city);
+  if (city == kNoIdx) return kNoIdx;
+  const core::Place& place = graph.PlaceAt(city);
+  if (place.type == core::PlaceType::kCountry) return city;
+  return graph.PlaceIdx(place.part_of);
+}
+
+/// Country place index recorded on a message.
+inline uint32_t MessageCountrySlow(const Graph& graph, uint32_t msg) {
+  core::Id country = Graph::IsPost(msg)
+                         ? graph.PostAt(Graph::AsPost(msg)).country
+                         : graph.CommentAt(Graph::AsComment(msg)).country;
+  return graph.PlaceIdx(country);
+}
+
+/// Thread-root post of a comment, chased reply-by-reply through records.
+inline uint32_t RootPostSlow(const Graph& graph, uint32_t comment) {
+  while (true) {
+    const core::Comment& c = graph.CommentAt(comment);
+    if (c.reply_of_post != core::kNoId) {
+      return graph.PostIdx(c.reply_of_post);
+    }
+    comment = graph.CommentIdx(c.reply_of_comment);
+  }
+}
+
+/// The direct reply target of a comment as a message reference.
+inline uint32_t ReplyOfSlow(const Graph& graph, uint32_t comment) {
+  const core::Comment& c = graph.CommentAt(comment);
+  if (c.reply_of_post != core::kNoId) {
+    return Graph::MessageOfPost(graph.PostIdx(c.reply_of_post));
+  }
+  return Graph::MessageOfComment(graph.CommentIdx(c.reply_of_comment));
+}
+
+/// Full scan of the undirected knows relation; f(a, b) once per edge, a < b.
+template <typename F>
+void ForEachKnowsEdge(const Graph& graph, F&& f) {
+  for (uint32_t a = 0; a < graph.NumPersons(); ++a) {
+    graph.Knows().ForEach(a, [&](uint32_t b) {
+      if (a < b) f(a, b);
+    });
+  }
+}
+
+/// Full scan of the likes relation; f(person, message_ref, date).
+template <typename F>
+void ForEachLike(const Graph& graph, F&& f) {
+  for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
+    graph.PersonLikes().ForEachDated(
+        p, [&](uint32_t msg, core::DateTime date) { f(p, msg, date); });
+  }
+}
+
+/// Full scan of forum memberships; f(forum, person, join_date).
+template <typename F>
+void ForEachMembership(const Graph& graph, F&& f) {
+  for (uint32_t forum = 0; forum < graph.NumForums(); ++forum) {
+    graph.ForumMembers().ForEachDated(
+        forum,
+        [&](uint32_t person, core::DateTime join) { f(forum, person, join); });
+  }
+}
+
+/// Tag bitmap of a class, resolved through record scans.
+inline std::vector<bool> TagsOfClassSlow(const Graph& graph,
+                                         const std::string& class_name,
+                                         bool transitive) {
+  std::vector<bool> class_mask(graph.NumTagClasses(), false);
+  for (uint32_t tc = 0; tc < graph.NumTagClasses(); ++tc) {
+    if (graph.TagClassAt(tc).name == class_name) class_mask[tc] = true;
+  }
+  if (transitive) {
+    // Fixed-point over the parent records.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t tc = 0; tc < graph.NumTagClasses(); ++tc) {
+        if (class_mask[tc]) continue;
+        core::Id parent = graph.TagClassAt(tc).parent;
+        if (parent == core::kNoId) continue;
+        if (class_mask[graph.TagClassIdx(parent)]) {
+          class_mask[tc] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<bool> tags(graph.NumTags(), false);
+  for (uint32_t t = 0; t < graph.NumTags(); ++t) {
+    tags[t] = class_mask[graph.TagClassIdx(graph.TagAt(t).tag_class)];
+  }
+  return tags;
+}
+
+/// Tag indices of a message from its record.
+inline std::vector<uint32_t> MessageTagsSlow(const Graph& graph,
+                                             uint32_t msg) {
+  const std::vector<core::Id>& ids =
+      Graph::IsPost(msg) ? graph.PostAt(Graph::AsPost(msg)).tags
+                         : graph.CommentAt(Graph::AsComment(msg)).tags;
+  std::vector<uint32_t> out;
+  out.reserve(ids.size());
+  for (core::Id id : ids) out.push_back(graph.TagIdx(id));
+  return out;
+}
+
+/// Likes received by a message, by scanning the whole likes relation.
+inline int64_t MessageLikesSlow(const Graph& graph, uint32_t msg) {
+  int64_t count = 0;
+  ForEachLike(graph, [&](uint32_t, uint32_t m, core::DateTime) {
+    if (m == msg) ++count;
+  });
+  return count;
+}
+
+}  // namespace snb::bi::naive::internal
+
+#endif  // SNB_BI_NAIVE_COMMON_H_

@@ -1,0 +1,136 @@
+#include "bi/parallel.h"
+
+#include <map>
+#include <mutex>
+
+#include "bi/common.h"
+#include "engine/top_k.h"
+
+namespace snb::bi::parallel {
+
+namespace {
+
+int32_t LengthCategory(int32_t length) {
+  if (length < 40) return 0;
+  if (length < 80) return 1;
+  if (length < 160) return 2;
+  return 3;
+}
+
+struct Bi1Key {
+  int32_t year;
+  bool is_comment;
+  int32_t category;
+  bool operator<(const Bi1Key& o) const {
+    if (year != o.year) return year > o.year;
+    if (is_comment != o.is_comment) return !is_comment;
+    return category < o.category;
+  }
+};
+
+struct Bi1Group {
+  int64_t count = 0;
+  int64_t sum_length = 0;
+};
+
+}  // namespace
+
+std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params,
+                           util::ThreadPool& pool) {
+  const core::DateTime cutoff = core::DateTimeFromDate(params.date);
+  const size_t num_messages = graph.NumMessages();
+  const size_t num_posts = graph.NumPosts();
+
+  // Per-shard partial aggregations; message index space is posts followed
+  // by comments, so a flat range partitions both tables.
+  std::mutex merge_mu;
+  std::map<Bi1Key, Bi1Group> groups;
+  int64_t total = 0;
+
+  pool.ParallelForShards(num_messages, [&](size_t begin, size_t end) {
+    std::map<Bi1Key, Bi1Group> local;
+    int64_t local_total = 0;
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t msg =
+          i < num_posts
+              ? Graph::MessageOfPost(static_cast<uint32_t>(i))
+              : Graph::MessageOfComment(static_cast<uint32_t>(i - num_posts));
+      core::DateTime created = graph.MessageCreationDate(msg);
+      if (created >= cutoff) continue;
+      int32_t length = graph.MessageLength(msg);
+      Bi1Key key{core::Year(created), !Graph::IsPost(msg),
+                 LengthCategory(length)};
+      Bi1Group& g = local[key];
+      ++g.count;
+      g.sum_length += length;
+      ++local_total;
+    }
+    // Re-aggregation step: merge the partials under a short critical
+    // section (few groups, CP-1.2's low-contention merge).
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (const auto& [key, g] : local) {
+      Bi1Group& target = groups[key];
+      target.count += g.count;
+      target.sum_length += g.sum_length;
+    }
+    total += local_total;
+  });
+
+  std::vector<Bi1Row> rows;
+  rows.reserve(groups.size());
+  for (const auto& [key, g] : groups) {
+    Bi1Row row;
+    row.year = key.year;
+    row.is_comment = key.is_comment;
+    row.length_category = key.category;
+    row.message_count = g.count;
+    row.average_message_length =
+        static_cast<double>(g.sum_length) / static_cast<double>(g.count);
+    row.sum_message_length = g.sum_length;
+    row.percentage_of_messages =
+        total == 0 ? 0.0
+                   : static_cast<double>(g.count) / static_cast<double>(total);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Bi20Row> RunBi20(const Graph& graph, const Bi20Params& params,
+                             util::ThreadPool& pool) {
+  // One independent rollup per class; keep input order, then sort like the
+  // sequential engine.
+  std::vector<Bi20Row> rows(params.tag_classes.size());
+  std::vector<bool> valid(params.tag_classes.size(), false);
+  pool.ParallelFor(params.tag_classes.size(), [&](size_t i) {
+    const std::string& class_name = params.tag_classes[i];
+    if (graph.TagClassByName(class_name) == storage::kNoIdx) return;
+    std::vector<bool> tags =
+        internal::TagsOfClass(graph, class_name, /*transitive=*/true);
+    int64_t count = 0;
+    graph.ForEachMessage([&](uint32_t msg) {
+      bool match = false;
+      graph.ForEachMessageTag(msg, [&](uint32_t tag) {
+        if (tags[tag]) match = true;
+      });
+      if (match) ++count;
+    });
+    rows[i] = {class_name, count};
+    valid[i] = true;
+  });
+  std::vector<Bi20Row> out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (valid[i]) out.push_back(std::move(rows[i]));
+  }
+  engine::SortAndLimit(
+      out,
+      [](const Bi20Row& a, const Bi20Row& b) {
+        if (a.message_count != b.message_count) {
+          return a.message_count > b.message_count;
+        }
+        return a.tag_class < b.tag_class;
+      },
+      100);
+  return out;
+}
+
+}  // namespace snb::bi::parallel

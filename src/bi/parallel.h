@@ -1,0 +1,27 @@
+// Intra-query parallel variants: choke point CP-1.2 (high-cardinality
+// group-by parallelization through per-thread partial aggregation followed
+// by re-aggregation) demonstrated on the scan-dominated queries BI 1 and
+// BI 20. Results are bit-identical to the sequential engine.
+
+#ifndef SNB_BI_PARALLEL_H_
+#define SNB_BI_PARALLEL_H_
+
+#include "bi/bi.h"
+#include "util/thread_pool.h"
+
+namespace snb::bi::parallel {
+
+/// BI 1 with the message scan partitioned across the pool; each worker
+/// builds a partial (year, isComment, lengthCategory) aggregation that is
+/// merged on the caller thread (CP-1.2).
+std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params,
+                           util::ThreadPool& pool);
+
+/// BI 20 with one task per tag class (independent rollups — embarrassingly
+/// parallel over the UNWIND of the parameter list).
+std::vector<Bi20Row> RunBi20(const Graph& graph, const Bi20Params& params,
+                             util::ThreadPool& pool);
+
+}  // namespace snb::bi::parallel
+
+#endif  // SNB_BI_PARALLEL_H_

@@ -1,0 +1,128 @@
+#include "core/choke_points.h"
+
+namespace snb::core {
+
+const std::vector<ChokePointInfo>& AllChokePoints() {
+  static const std::vector<ChokePointInfo>* kTable =
+      new std::vector<ChokePointInfo>{
+          {{1, 1}, "QOPT", "Interesting orders"},
+          {{1, 2}, "QEXE", "High cardinality group-by performance"},
+          {{1, 3}, "QOPT", "Top-k pushdown"},
+          {{1, 4}, "QEXE", "Low cardinality group-by performance"},
+          {{2, 1}, "QOPT", "Rich join order optimization"},
+          {{2, 2}, "QOPT", "Late projection"},
+          {{2, 3}, "QOPT", "Join type selection"},
+          {{2, 4}, "QOPT", "Sparse foreign key joins"},
+          {{3, 1}, "QOPT", "Detecting correlation"},
+          {{3, 2}, "STORAGE", "Dimensional clustering"},
+          {{3, 3}, "QEXE", "Scattered index access patterns"},
+          {{4, 1}, "QOPT", "Common subexpression elimination"},
+          {{4, 2}, "QOPT", "Complex boolean expression joins and selections"},
+          {{4, 3}, "QEXE", "Low overhead expressions interpretation"},
+          {{4, 4}, "QEXE", "String matching performance"},
+          {{5, 1}, "QOPT", "Flattening sub-queries"},
+          {{5, 2}, "QEXE", "Overlap between outer and sub-query"},
+          {{5, 3}, "QEXE", "Intra-query result reuse"},
+          {{6, 1}, "QEXE", "Inter-query result reuse"},
+          {{7, 1}, "QEXE", "Incremental path computation"},
+          {{7, 2}, "QOPT", "Cardinality estimation of transitive paths"},
+          {{7, 3}, "QEXE", "Execution of a transitive step"},
+          {{7, 4}, "QEXE", "Efficient evaluation of termination criteria"},
+          {{8, 1}, "LANG", "Complex patterns"},
+          {{8, 2}, "LANG", "Complex aggregations"},
+          {{8, 3}, "LANG", "Ranking-style queries"},
+          {{8, 4}, "LANG", "Query composition"},
+          {{8, 5}, "LANG", "Dates and times"},
+          {{8, 6}, "LANG", "Handling paths"},
+      };
+  return *kTable;
+}
+
+namespace {
+
+QueryChokePoints Bi(int32_t n, std::vector<ChokePointId> cps) {
+  return {QueryWorkload::kBi, n, std::move(cps)};
+}
+
+QueryChokePoints Ic(int32_t n, std::vector<ChokePointId> cps) {
+  return {QueryWorkload::kInteractiveComplex, n, std::move(cps)};
+}
+
+}  // namespace
+
+const std::vector<QueryChokePoints>& AllQueryChokePoints() {
+  static const std::vector<QueryChokePoints>* kTable =
+      new std::vector<QueryChokePoints>{
+          Bi(1, {{1, 2}, {3, 2}, {4, 1}, {8, 5}}),
+          Bi(2, {{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 3}, {3, 1}, {3, 2},
+                 {8, 5}}),
+          Bi(3, {{3, 1}, {3, 2}, {4, 1}, {4, 3}, {5, 3}, {6, 1}, {8, 5}}),
+          Bi(4, {{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2}, {2, 4}, {3, 3}}),
+          Bi(5, {{1, 2}, {1, 3}, {2, 1}, {2, 2}, {2, 3}, {2, 4}, {3, 3},
+                 {5, 3}, {6, 1}, {8, 4}}),
+          Bi(6, {{1, 2}, {2, 3}}),
+          Bi(7, {{1, 2}, {2, 3}, {3, 2}, {3, 3}, {6, 1}}),
+          Bi(8, {{1, 4}, {3, 3}, {5, 2}, {8, 1}}),
+          Bi(9, {{1, 2}, {1, 3}, {2, 1}, {2, 3}, {2, 4}}),
+          Bi(10, {{1, 2}, {2, 1}, {2, 3}, {3, 2}, {8, 4}, {8, 5}}),
+          Bi(11, {{1, 1}, {2, 1}, {2, 2}, {2, 3}, {3, 1}, {3, 2}, {6, 1},
+                  {8, 1}, {8, 3}}),
+          Bi(12, {{1, 2}, {2, 2}, {3, 1}, {6, 1}, {8, 5}}),
+          Bi(13, {{1, 2}, {2, 2}, {2, 3}, {3, 2}, {6, 1}, {8, 3}, {8, 5}}),
+          Bi(14, {{1, 2}, {2, 2}, {2, 3}, {3, 2}, {7, 2}, {7, 3}, {7, 4},
+                  {8, 1}, {8, 5}}),
+          Bi(15, {{1, 2}, {2, 3}, {3, 2}, {3, 3}, {5, 3}, {6, 1}, {8, 4}}),
+          Bi(16, {{1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 3}, {5, 3}, {7, 1},
+                  {7, 2}, {7, 3}, {8, 1}, {8, 6}}),
+          Bi(17, {{1, 1}}),
+          Bi(18, {{1, 1}, {1, 2}, {1, 4}, {3, 2}, {4, 2}, {4, 3}, {8, 1},
+                  {8, 2}, {8, 3}, {8, 4}, {8, 5}}),
+          Bi(19, {{1, 1}, {1, 3}, {2, 1}, {2, 3}, {2, 4}, {3, 3}, {5, 1},
+                  {7, 3}, {7, 4}, {8, 1}, {8, 5}}),
+          Bi(20, {{1, 4}, {2, 1}, {6, 1}, {8, 1}}),
+          Bi(21, {{1, 2}, {2, 1}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {5, 1},
+                  {5, 3}, {8, 2}, {8, 4}, {8, 5}}),
+          Bi(22, {{1, 3}, {1, 4}, {2, 1}, {3, 1}, {3, 3}, {5, 1}, {5, 2},
+                  {5, 3}, {8, 3}, {8, 4}}),
+          Bi(23, {{1, 4}, {2, 3}, {3, 3}, {4, 3}, {8, 5}}),
+          Bi(24, {{1, 4}, {2, 1}, {2, 3}, {3, 2}, {4, 3}, {8, 5}}),
+          Bi(25, {{1, 2}, {2, 1}, {2, 2}, {2, 4}, {3, 3}, {5, 1}, {5, 3},
+                  {7, 2}, {7, 3}, {8, 1}, {8, 3}, {8, 4}, {8, 5}, {8, 6}}),
+          Ic(1, {{2, 1}, {5, 3}, {8, 2}}),
+          Ic(2, {{1, 1}, {2, 2}, {2, 3}, {3, 2}, {8, 5}}),
+          Ic(3, {{2, 1}, {3, 1}, {5, 1}, {8, 2}, {8, 5}}),
+          Ic(4, {{2, 3}, {8, 2}, {8, 5}}),
+          Ic(5, {{2, 3}, {3, 3}, {8, 2}, {8, 5}}),
+          Ic(6, {{5, 1}}),
+          Ic(7, {{2, 2}, {2, 3}, {3, 3}, {5, 1}, {8, 1}, {8, 3}}),
+          Ic(8, {{2, 4}, {3, 2}, {3, 3}, {5, 3}}),
+          Ic(9, {{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 2}, {3, 3}, {8, 5}}),
+          Ic(10, {{2, 3}, {3, 3}, {4, 1}, {4, 2}, {5, 1}, {5, 2}, {6, 1},
+                  {7, 1}, {8, 6}}),
+          Ic(11, {{1, 3}, {2, 4}, {3, 3}}),
+          Ic(12, {{3, 3}, {7, 2}, {7, 3}, {8, 2}}),
+          Ic(13, {{3, 3}, {7, 2}, {7, 3}, {8, 1}, {8, 6}}),
+          Ic(14, {{3, 3}, {7, 2}, {7, 3}, {8, 1}, {8, 2}, {8, 3}, {8, 6}}),
+      };
+  return *kTable;
+}
+
+std::string QueryName(QueryWorkload workload, int32_t number) {
+  return (workload == QueryWorkload::kBi ? "BI " : "IC ") +
+         std::to_string(number);
+}
+
+std::vector<std::string> QueriesCovering(ChokePointId cp) {
+  std::vector<std::string> out;
+  for (const QueryChokePoints& q : AllQueryChokePoints()) {
+    for (const ChokePointId& id : q.choke_points) {
+      if (id == cp) {
+        out.push_back(QueryName(q.workload, q.number));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace snb::core

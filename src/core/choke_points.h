@@ -1,0 +1,59 @@
+// Choke-point registry: spec Appendix A / Table A.1.
+//
+// Every read query (BI 1–25, IC 1–14) carries the list of choke points it is
+// designed to stress. The canonical per-query lists below are assembled from
+// the query cards (§4.1, §5.1) and the per-choke-point query lists of
+// Appendix A; the Table A.1 coverage matrix is derived from them by the
+// `table_choke_points` bench binary.
+
+#ifndef SNB_CORE_CHOKE_POINTS_H_
+#define SNB_CORE_CHOKE_POINTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snb::core {
+
+/// Choke point identifier; e.g. {1, 2} is CP-1.2.
+struct ChokePointId {
+  int32_t group;
+  int32_t item;
+
+  bool operator==(const ChokePointId&) const = default;
+  bool operator<(const ChokePointId& other) const {
+    return group != other.group ? group < other.group : item < other.item;
+  }
+};
+
+/// One choke point's descriptive metadata (Appendix A).
+struct ChokePointInfo {
+  ChokePointId id;
+  std::string area;   // e.g. "QOPT", "QEXE", "STORAGE", "LANG"
+  std::string title;  // e.g. "Interesting orders"
+};
+
+enum class QueryWorkload : uint8_t { kBi = 0, kInteractiveComplex = 1 };
+
+/// One read query with its choke-point coverage.
+struct QueryChokePoints {
+  QueryWorkload workload;
+  int32_t number;  // BI 1–25 or IC 1–14
+  std::vector<ChokePointId> choke_points;
+};
+
+/// All 24 choke points of Appendix A (CP-1.1 … CP-8.6).
+const std::vector<ChokePointInfo>& AllChokePoints();
+
+/// Per-query choke-point lists for all 39 read queries.
+const std::vector<QueryChokePoints>& AllQueryChokePoints();
+
+/// Short display name, e.g. "BI 14" or "IC 3".
+std::string QueryName(QueryWorkload workload, int32_t number);
+
+/// Queries covering a given choke point (one Table A.1 column).
+std::vector<std::string> QueriesCovering(ChokePointId cp);
+
+}  // namespace snb::core
+
+#endif  // SNB_CORE_CHOKE_POINTS_H_

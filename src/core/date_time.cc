@@ -1,0 +1,138 @@
+#include "core/date_time.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace snb::core {
+
+namespace {
+
+// Howard Hinnant's days-from-civil algorithm (public domain).
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                // [0,399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;        // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                             // [0,146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;        // [0,399]
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);      // [0,365]
+  const int64_t mp = (5 * doy + 2) / 153;                           // [0,11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;                   // [1,31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                        // [1,12]
+  return CivilDate{static_cast<int32_t>(y + (m <= 2)),
+                   static_cast<int32_t>(m), static_cast<int32_t>(d)};
+}
+
+}  // namespace
+
+Date DateFromCivil(int32_t year, int32_t month, int32_t day) {
+  return static_cast<Date>(DaysFromCivil(year, month, day));
+}
+
+CivilDate CivilFromDate(Date date) { return CivilFromDays(date); }
+
+DateTime DateTimeFromCivil(int32_t year, int32_t month, int32_t day,
+                           int32_t hour, int32_t minute, int32_t second,
+                           int32_t millis) {
+  return DateTimeFromDate(DateFromCivil(year, month, day)) +
+         hour * kMillisPerHour + minute * kMillisPerMinute +
+         second * kMillisPerSecond + millis;
+}
+
+int32_t Year(DateTime dt) { return CivilFromDate(DateFromDateTime(dt)).year; }
+
+int32_t Month(DateTime dt) { return CivilFromDate(DateFromDateTime(dt)).month; }
+
+int32_t DayOfMonth(DateTime dt) {
+  return CivilFromDate(DateFromDateTime(dt)).day;
+}
+
+int32_t MonthsSpanInclusive(DateTime from, DateTime to) {
+  CivilDate a = CivilFromDate(DateFromDateTime(from));
+  CivilDate b = CivilFromDate(DateFromDateTime(to));
+  return (b.year * 12 + b.month) - (a.year * 12 + a.month) + 1;
+}
+
+std::string FormatDate(Date date) {
+  CivilDate c = CivilFromDate(date);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string FormatDateTime(DateTime dt) {
+  Date date = DateFromDateTime(dt);
+  CivilDate c = CivilFromDate(date);
+  int64_t ms_of_day = dt - DateTimeFromDate(date);
+  int32_t hour = static_cast<int32_t>(ms_of_day / kMillisPerHour);
+  int32_t minute =
+      static_cast<int32_t>((ms_of_day % kMillisPerHour) / kMillisPerMinute);
+  int32_t second =
+      static_cast<int32_t>((ms_of_day % kMillisPerMinute) / kMillisPerSecond);
+  int32_t millis = static_cast<int32_t>(ms_of_day % kMillisPerSecond);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d+0000",
+                c.year, c.month, c.day, hour, minute, second, millis);
+  return buf;
+}
+
+namespace {
+
+bool ParseFixedInt(const char* s, int len, int32_t* out) {
+  int32_t v = 0;
+  for (int i = 0; i < len; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseDate(const std::string& text, Date* out) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
+  int32_t y, m, d;
+  if (!ParseFixedInt(text.data(), 4, &y) ||
+      !ParseFixedInt(text.data() + 5, 2, &m) ||
+      !ParseFixedInt(text.data() + 8, 2, &d)) {
+    return false;
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *out = DateFromCivil(y, m, d);
+  return true;
+}
+
+bool ParseDateTime(const std::string& text, DateTime* out) {
+  // "yyyy-mm-ddTHH:MM:ss.sss" with optional "+0000" suffix.
+  if (text.size() < 23 || text[10] != 'T' || text[13] != ':' ||
+      text[16] != ':' || text[19] != '.') {
+    return false;
+  }
+  Date date;
+  if (!ParseDate(text.substr(0, 10), &date)) return false;
+  int32_t hh = 0, mm = 0, ss = 0, ms = 0;
+  if (!ParseFixedInt(text.data() + 11, 2, &hh) ||
+      !ParseFixedInt(text.data() + 14, 2, &mm) ||
+      !ParseFixedInt(text.data() + 17, 2, &ss) ||
+      !ParseFixedInt(text.data() + 20, 3, &ms)) {
+    return false;
+  }
+  if (hh > 23 || mm > 59 || ss > 59) return false;
+  *out = DateTimeFromDate(date) + hh * kMillisPerHour + mm * kMillisPerMinute +
+         ss * kMillisPerSecond + ms;
+  return true;
+}
+
+}  // namespace snb::core

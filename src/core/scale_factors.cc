@@ -1,0 +1,58 @@
+#include "core/scale_factors.h"
+
+namespace snb::core {
+
+const std::vector<ScaleFactorInfo>& AllScaleFactors() {
+  // Paper rows from spec Table 2.12; micro rows ("0.001", "0.003", "0.01",
+  // "0.03") scale the person count linearly below SF 0.1 for test use.
+  static const std::vector<ScaleFactorInfo>* kTable =
+      new std::vector<ScaleFactorInfo>{
+          {"0.001", 0.001, 150, 0, 0},
+          {"0.003", 0.003, 300, 0, 0},
+          {"0.01", 0.01, 500, 0, 0},
+          {"0.03", 0.03, 900, 0, 0},
+          {"0.1", 0.1, 1500, 327'600, 1'500'000},
+          {"0.3", 0.3, 3500, 908'000, 4'600'000},
+          {"1", 1, 11'000, 3'200'000, 17'300'000},
+          {"3", 3, 27'000, 9'300'000, 52'700'000},
+          {"10", 10, 73'000, 30'000'000, 176'600'000},
+          {"30", 30, 182'000, 88'800'000, 540'900'000},
+          {"100", 100, 499'000, 282'600'000, 1'800'000'000},
+          {"300", 300, 1'250'000, 817'300'000, 5'300'000'000},
+          {"1000", 1000, 3'600'000, 2'700'000'000, 17'000'000'000},
+      };
+  return *kTable;
+}
+
+std::optional<ScaleFactorInfo> FindScaleFactor(const std::string& name) {
+  for (const ScaleFactorInfo& info : AllScaleFactors()) {
+    if (info.name == name) return info;
+  }
+  return std::nullopt;
+}
+
+const std::vector<InteractiveFrequencies>& AllInteractiveFrequencies() {
+  // Spec Table B.1 verbatim.
+  static const std::vector<InteractiveFrequencies>* kTable =
+      new std::vector<InteractiveFrequencies>{
+          {"1", {26, 37, 69, 36, 57, 129, 87, 45, 157, 30, 16, 44, 19, 49}},
+          {"3", {26, 37, 79, 36, 61, 172, 72, 27, 209, 32, 17, 44, 19, 49}},
+          {"10", {26, 37, 92, 36, 66, 236, 54, 15, 287, 35, 19, 44, 19, 49}},
+          {"30", {26, 37, 106, 36, 72, 316, 48, 9, 384, 37, 20, 44, 19, 49}},
+          {"100", {26, 37, 123, 36, 78, 434, 38, 5, 527, 40, 22, 44, 19, 49}},
+          {"300", {26, 37, 142, 36, 84, 580, 32, 3, 705, 44, 24, 44, 19, 49}},
+          {"1000", {26, 37, 165, 36, 91, 796, 25, 1, 967, 47, 26, 44, 19, 49}},
+      };
+  return *kTable;
+}
+
+InteractiveFrequencies FrequenciesForScaleFactor(const std::string& name) {
+  for (const InteractiveFrequencies& row : AllInteractiveFrequencies()) {
+    if (row.sf_name == name) return row;
+  }
+  InteractiveFrequencies fallback = AllInteractiveFrequencies().front();
+  fallback.sf_name = name;
+  return fallback;
+}
+
+}  // namespace snb::core

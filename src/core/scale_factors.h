@@ -1,0 +1,51 @@
+// Scale-factor definitions: Table 2.12 (dataset metrics per SF) and
+// Table 3.1 / B.1 (Interactive complex-read frequencies per SF).
+//
+// The benchmark's SF is the CsvBasic on-disk size in GB; the generator is
+// parameterized by the person count, which Table 2.12 fixes per SF. We embed
+// the paper's reference numbers so benches can report measured-vs-paper
+// ratios, and we add "micro" SFs (not in the paper) small enough for unit
+// tests and laptop-scale benchmarking.
+
+#ifndef SNB_CORE_SCALE_FACTORS_H_
+#define SNB_CORE_SCALE_FACTORS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snb::core {
+
+/// One row of spec Table 2.12.
+struct ScaleFactorInfo {
+  std::string name;        // e.g. "0.1", "1", "1000"
+  double sf = 0;           // numeric scale factor (GB of CsvBasic output)
+  uint64_t num_persons = 0;
+  uint64_t paper_nodes = 0;  // 0 when the paper does not report it
+  uint64_t paper_edges = 0;
+};
+
+/// All SFs of spec Table 2.12 plus the micro SFs used by this repository's
+/// tests and benches (paper_nodes/paper_edges = 0 for those).
+const std::vector<ScaleFactorInfo>& AllScaleFactors();
+
+/// Looks up an SF row by its name ("0.1", "1", ..., or micro "0.003" etc.).
+std::optional<ScaleFactorInfo> FindScaleFactor(const std::string& name);
+
+/// Frequencies of Interactive complex reads IC 1–14 (Table 3.1 / B.1):
+/// one complex read of type q is issued every `frequency` update operations.
+struct InteractiveFrequencies {
+  std::string sf_name;
+  int32_t freq[14];  // freq[0] is IC 1
+};
+
+/// Table B.1 rows (SF1 .. SF1000).
+const std::vector<InteractiveFrequencies>& AllInteractiveFrequencies();
+
+/// Frequencies for an SF; falls back to the SF1 row for micro SFs.
+InteractiveFrequencies FrequenciesForScaleFactor(const std::string& name);
+
+}  // namespace snb::core
+
+#endif  // SNB_CORE_SCALE_FACTORS_H_

@@ -1,0 +1,45 @@
+#include "core/schema.h"
+
+namespace snb::core {
+
+size_t SocialNetwork::NumEdges() const {
+  size_t n = 0;
+  // Static edges: organisation isLocatedIn, place isPartOf, tag hasType,
+  // tagclass isSubclassOf.
+  n += organisations.size();
+  for (const Place& p : places) {
+    if (p.part_of != kNoId) ++n;
+  }
+  n += tags.size();
+  for (const TagClass& tc : tag_classes) {
+    if (tc.parent != kNoId) ++n;
+  }
+  // Person edges: isLocatedIn, hasInterest, studyAt, workAt, knows.
+  for (const Person& p : persons) {
+    n += 1;  // isLocatedIn
+    n += p.interests.size();
+    n += p.study_at.size();
+    n += p.work_at.size();
+  }
+  n += knows.size();
+  // Forum edges: hasModerator, hasTag, hasMember, containerOf (== #posts).
+  for (const Forum& f : forums) {
+    n += 1;  // hasModerator
+    n += f.tags.size();
+  }
+  n += memberships.size();
+  // Post edges: hasCreator, containerOf, isLocatedIn, hasTag.
+  for (const Post& p : posts) {
+    n += 3;
+    n += p.tags.size();
+  }
+  // Comment edges: hasCreator, isLocatedIn, replyOf, hasTag.
+  for (const Comment& c : comments) {
+    n += 3;
+    n += c.tags.size();
+  }
+  n += likes.size();
+  return n;
+}
+
+}  // namespace snb::core

@@ -1,0 +1,61 @@
+// Datagen run configuration (spec §2.3.3: number of persons, number of
+// simulated years, starting year — plus the engineering knobs this
+// implementation exposes).
+
+#ifndef SNB_DATAGEN_CONFIG_H_
+#define SNB_DATAGEN_CONFIG_H_
+
+#include <cstdint>
+
+#include "core/date_time.h"
+
+namespace snb::datagen {
+
+struct DatagenConfig {
+  /// Global seed; the entire network is a pure function of this config.
+  uint64_t seed = 42;
+
+  /// Number of persons in the network (the SF-determining parameter,
+  /// Table 2.12).
+  uint64_t num_persons = 1500;
+
+  /// First simulated year (spec default: 2010).
+  int32_t start_year = 2010;
+
+  /// Number of simulated years (spec default: 3).
+  int32_t num_years = 3;
+
+  /// Fraction of the simulated timeline withheld from the bulk dataset and
+  /// emitted as update streams (spec §2.3.4: 10 %).
+  double update_fraction = 0.1;
+
+  /// Multiplier on per-person message volume. 1.0 approximates the paper's
+  /// Table 2.12 volumes; tests use smaller values for speed.
+  double activity_scale = 1.0;
+
+  /// Sliding-window width of the knows-generation passes (spec §2.3.3.2).
+  uint32_t knows_window = 512;
+
+  /// Fraction of posts attached to flashmob events rather than uniform
+  /// background activity.
+  double flashmob_post_fraction = 0.25;
+
+  core::DateTime SimulationStart() const {
+    return core::DateTimeFromCivil(start_year, 1, 1);
+  }
+  core::DateTime SimulationEnd() const {
+    return core::DateTimeFromCivil(start_year + num_years, 1, 1);
+  }
+  /// Events at or after this instant belong to the update streams.
+  core::DateTime UpdateSplit() const {
+    core::DateTime start = SimulationStart();
+    core::DateTime end = SimulationEnd();
+    return start + static_cast<core::DateTime>(
+                       (1.0 - update_fraction) *
+                       static_cast<double>(end - start));
+  }
+};
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_CONFIG_H_

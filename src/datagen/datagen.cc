@@ -1,0 +1,254 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "datagen/activity_generator.h"
+#include "datagen/dictionaries.h"
+#include "datagen/flashmob.h"
+#include "datagen/knows_generator.h"
+#include "datagen/person_generator.h"
+#include "util/check.h"
+
+namespace snb::datagen {
+
+namespace {
+
+/// Sorts entities by creation date and returns old-index → new-id mapping;
+/// reorders `items` in place.
+template <typename T>
+std::vector<core::Id> AssignIdsByDate(std::vector<T>& items) {
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&items](size_t a, size_t b) {
+    return items[a].creation_date < items[b].creation_date;
+  });
+  std::vector<core::Id> remap(items.size());
+  std::vector<T> sorted;
+  sorted.reserve(items.size());
+  for (size_t new_id = 0; new_id < order.size(); ++new_id) {
+    remap[order[new_id]] = static_cast<core::Id>(new_id);
+    sorted.push_back(std::move(items[order[new_id]]));
+    sorted.back().id = static_cast<core::Id>(new_id);
+  }
+  items = std::move(sorted);
+  return remap;
+}
+
+}  // namespace
+
+GeneratedData Generate(const DatagenConfig& config) {
+  Dictionaries dicts(config.seed);
+  std::vector<PersonDraft> drafts = GeneratePersons(config, dicts);
+  GenerateKnows(config, dicts, drafts);
+  FlashmobSchedule flashmobs(config, dicts);
+  ActivityData activity = GenerateActivity(config, dicts, drafts, flashmobs);
+
+  // -- Final id assignment --------------------------------------------------
+  // Persons already carry id == index. Forums, posts and comments get
+  // creation-date-ordered ids; all references are remapped.
+  std::vector<core::Id> forum_remap = AssignIdsByDate(activity.forums);
+  for (core::ForumMembership& m : activity.memberships) {
+    m.forum = forum_remap[static_cast<size_t>(m.forum)];
+  }
+  for (core::Post& p : activity.posts) {
+    p.forum = forum_remap[static_cast<size_t>(p.forum)];
+  }
+
+  std::vector<core::Id> post_remap = AssignIdsByDate(activity.posts);
+  std::vector<core::Id> comment_remap = AssignIdsByDate(activity.comments);
+  for (core::Comment& c : activity.comments) {
+    if (c.reply_of_post != core::kNoId) {
+      c.reply_of_post = post_remap[static_cast<size_t>(c.reply_of_post)];
+    }
+    if (c.reply_of_comment != core::kNoId) {
+      c.reply_of_comment =
+          comment_remap[static_cast<size_t>(c.reply_of_comment)];
+    }
+  }
+  for (core::Like& l : activity.likes) {
+    l.message = l.is_post ? post_remap[static_cast<size_t>(l.message)]
+                          : comment_remap[static_cast<size_t>(l.message)];
+  }
+
+  // -- Split into bulk dataset vs update streams -----------------------------
+  // The update streams carry the trailing `update_fraction` of the generated
+  // *events* (spec §2.3.4), so the boundary is an event-volume quantile, not
+  // a share of simulated time.
+  core::DateTime split;
+  {
+    std::vector<core::DateTime> stamps;
+    stamps.reserve(drafts.size() + activity.posts.size() +
+                   activity.comments.size() + activity.likes.size() +
+                   activity.memberships.size() + activity.forums.size());
+    for (const PersonDraft& d : drafts) {
+      stamps.push_back(d.record.creation_date);
+      for (size_t k = 0; k < d.friends.size(); ++k) {
+        if (static_cast<core::Id>(d.friends[k]) > d.record.id) {
+          stamps.push_back(d.friend_dates[k]);
+        }
+      }
+    }
+    for (const core::Forum& f : activity.forums) {
+      stamps.push_back(f.creation_date);
+    }
+    for (const core::ForumMembership& m : activity.memberships) {
+      stamps.push_back(m.join_date);
+    }
+    for (const core::Post& p : activity.posts) {
+      stamps.push_back(p.creation_date);
+    }
+    for (const core::Comment& c : activity.comments) {
+      stamps.push_back(c.creation_date);
+    }
+    for (const core::Like& l : activity.likes) {
+      stamps.push_back(l.creation_date);
+    }
+    SNB_CHECK(!stamps.empty());
+    size_t cut = static_cast<size_t>(
+        (1.0 - config.update_fraction) * static_cast<double>(stamps.size()));
+    if (cut >= stamps.size()) cut = stamps.size() - 1;
+    std::nth_element(stamps.begin(), stamps.begin() + cut, stamps.end());
+    split = stamps[cut];
+    if (config.update_fraction < 1e-6) split = config.SimulationEnd() + 1;
+  }
+  GeneratedData out;
+  out.split_time = split;
+  core::SocialNetwork& net = out.network;
+
+  net.places = dicts.places();
+  net.organisations = dicts.organisations();
+  net.tag_classes = dicts.tag_classes();
+  net.tags = dicts.tags();
+
+  out.total_persons = drafts.size();
+  out.total_forums = activity.forums.size();
+  out.total_posts = activity.posts.size();
+  out.total_comments = activity.comments.size();
+  out.total_memberships = activity.memberships.size();
+  out.total_likes = activity.likes.size();
+
+  std::vector<core::DateTime> person_created(drafts.size());
+  for (size_t i = 0; i < drafts.size(); ++i) {
+    person_created[i] = drafts[i].record.creation_date;
+  }
+
+  auto person_dep = [&](core::Id p) {
+    return person_created[static_cast<size_t>(p)];
+  };
+
+  for (PersonDraft& d : drafts) {
+    if (d.record.creation_date < split) {
+      net.persons.push_back(std::move(d.record));
+    } else {
+      out.updates.push_back({UpdateKind::kAddPerson, d.record.creation_date,
+                             0, std::move(d.record)});
+    }
+  }
+
+  // Knows edges: emit each undirected edge once (i < j), split by edge date.
+  {
+    // drafts[i].record has been moved, but friends/friend_dates survive.
+    for (size_t i = 0; i < drafts.size(); ++i) {
+      const PersonDraft& d = drafts[i];
+      for (size_t k = 0; k < d.friends.size(); ++k) {
+        uint32_t j = d.friends[k];
+        if (j <= i) continue;
+        core::Knows edge{static_cast<core::Id>(i),
+                         static_cast<core::Id>(j), d.friend_dates[k]};
+        ++out.total_knows;
+        if (edge.creation_date < split) {
+          net.knows.push_back(edge);
+        } else {
+          core::DateTime dep = std::max(person_dep(edge.person1),
+                                        person_dep(edge.person2));
+          out.updates.push_back(
+              {UpdateKind::kAddKnows, edge.creation_date, dep, edge});
+        }
+      }
+    }
+  }
+
+  std::vector<core::DateTime> forum_created(activity.forums.size());
+  for (size_t i = 0; i < activity.forums.size(); ++i) {
+    forum_created[i] = activity.forums[i].creation_date;
+  }
+  std::vector<core::DateTime> post_created(activity.posts.size());
+  for (size_t i = 0; i < activity.posts.size(); ++i) {
+    post_created[i] = activity.posts[i].creation_date;
+  }
+  std::vector<core::DateTime> comment_created(activity.comments.size());
+  for (size_t i = 0; i < activity.comments.size(); ++i) {
+    comment_created[i] = activity.comments[i].creation_date;
+  }
+
+  for (core::Forum& f : activity.forums) {
+    core::DateTime dep = person_dep(f.moderator);
+    if (f.creation_date < split) {
+      net.forums.push_back(std::move(f));
+    } else {
+      out.updates.push_back(
+          {UpdateKind::kAddForum, f.creation_date, dep, std::move(f)});
+    }
+  }
+  for (core::ForumMembership& m : activity.memberships) {
+    if (m.join_date < split) {
+      net.memberships.push_back(m);
+    } else {
+      core::DateTime dep = std::max(
+          person_dep(m.person), forum_created[static_cast<size_t>(m.forum)]);
+      out.updates.push_back({UpdateKind::kAddMembership, m.join_date, dep, m});
+    }
+  }
+  for (core::Post& p : activity.posts) {
+    if (p.creation_date < split) {
+      net.posts.push_back(std::move(p));
+    } else {
+      core::DateTime dep = std::max(
+          person_dep(p.creator), forum_created[static_cast<size_t>(p.forum)]);
+      out.updates.push_back(
+          {UpdateKind::kAddPost, p.creation_date, dep, std::move(p)});
+    }
+  }
+  for (core::Comment& c : activity.comments) {
+    if (c.creation_date < split) {
+      net.comments.push_back(std::move(c));
+    } else {
+      core::DateTime parent =
+          c.reply_of_post != core::kNoId
+              ? post_created[static_cast<size_t>(c.reply_of_post)]
+              : comment_created[static_cast<size_t>(c.reply_of_comment)];
+      core::DateTime dep = std::max(person_dep(c.creator), parent);
+      out.updates.push_back(
+          {UpdateKind::kAddComment, c.creation_date, dep, std::move(c)});
+    }
+  }
+  for (core::Like& l : activity.likes) {
+    if (l.creation_date < split) {
+      net.likes.push_back(l);
+    } else {
+      core::DateTime msg =
+          l.is_post ? post_created[static_cast<size_t>(l.message)]
+                    : comment_created[static_cast<size_t>(l.message)];
+      core::DateTime dep = std::max(person_dep(l.person), msg);
+      out.updates.push_back({l.is_post ? UpdateKind::kAddLikePost
+                                       : UpdateKind::kAddLikeComment,
+                             l.creation_date, dep, l});
+    }
+  }
+
+  // Stable: ties on (timestamp, kind) keep generation order, so the
+  // write→read round-trip of the update streams is exact.
+  std::stable_sort(out.updates.begin(), out.updates.end(),
+                   [](const UpdateEvent& a, const UpdateEvent& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
+                   });
+
+  return out;
+}
+
+}  // namespace snb::datagen

@@ -1,0 +1,70 @@
+// Datagen orchestration (spec Fig. 2.2): dictionaries → persons → three
+// knows passes → activity → id assignment → bulk/update-stream split.
+//
+// Output ids are assigned in creation-date order per entity type, giving the
+// time-correlated identifier locality the benchmark's choke point CP-3.2
+// (dimensional clustering) expects.
+
+#ifndef SNB_DATAGEN_DATAGEN_H_
+#define SNB_DATAGEN_DATAGEN_H_
+
+#include <variant>
+#include <vector>
+
+#include "core/schema.h"
+#include "datagen/config.h"
+
+namespace snb::datagen {
+
+/// Insert operations of the update streams (spec Table 2.18).
+/// IU 1 add person, IU 2 add like to post, IU 3 add like to comment,
+/// IU 4 add forum, IU 5 add forum membership, IU 6 add post,
+/// IU 7 add comment, IU 8 add friendship.
+enum class UpdateKind : uint8_t {
+  kAddPerson = 1,
+  kAddLikePost = 2,
+  kAddLikeComment = 3,
+  kAddForum = 4,
+  kAddMembership = 5,
+  kAddPost = 6,
+  kAddComment = 7,
+  kAddKnows = 8,
+};
+
+struct UpdateEvent {
+  UpdateKind kind;
+  core::DateTime timestamp;    // when the event happened in the simulation
+  core::DateTime dependency;   // latest creation among referenced entities
+  std::variant<core::Person, core::Like, core::Forum, core::ForumMembership,
+               core::Post, core::Comment, core::Knows>
+      payload;
+};
+
+/// A full Datagen run: the bulk-load dataset (~90 % of simulated time) plus
+/// the update streams (remaining ~10 %), both with final ids.
+struct GeneratedData {
+  core::SocialNetwork network;
+  std::vector<UpdateEvent> updates;
+
+  /// The actual bulk/update boundary: the (1 - update_fraction) quantile of
+  /// all dynamic-event timestamps (spec §2.3.4: update streams are ~10 % of
+  /// the generated *dataset*, so the cut is by event volume, not by
+  /// simulated time).
+  core::DateTime split_time = 0;
+
+  /// Convenience totals over bulk + updates (for Table 2.12 statistics).
+  size_t total_persons = 0;
+  size_t total_forums = 0;
+  size_t total_posts = 0;
+  size_t total_comments = 0;
+  size_t total_knows = 0;
+  size_t total_likes = 0;
+  size_t total_memberships = 0;
+};
+
+/// Runs the whole generator. Deterministic in `config` alone.
+GeneratedData Generate(const DatagenConfig& config);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_DATAGEN_H_

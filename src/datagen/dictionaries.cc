@@ -1,0 +1,345 @@
+#include "datagen/dictionaries.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "datagen/dictionary_data.h"
+#include "util/check.h"
+
+namespace snb::datagen {
+
+using core::Organisation;
+using core::OrganisationType;
+using core::Place;
+using core::PlaceType;
+using core::Tag;
+using core::TagClass;
+
+namespace {
+
+/// Deterministic permutation of [0, n) keyed by `key`: the ranking function R.
+std::vector<size_t> RankPermutation(uint64_t key, size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  std::sort(perm.begin(), perm.end(), [key](size_t a, size_t b) {
+    uint64_t ha = util::Mix64(key ^ (a * 0x9e3779b97f4a7c15ULL + 1));
+    uint64_t hb = util::Mix64(key ^ (b * 0x9e3779b97f4a7c15ULL + 1));
+    return ha != hb ? ha < hb : a < b;
+  });
+  return perm;
+}
+
+std::string UrlFor(const std::string& kind, const std::string& name) {
+  std::string slug = name;
+  for (char& c : slug) {
+    if (c == ' ') c = '_';
+  }
+  return "http://snb.example.org/" + kind + "/" + slug;
+}
+
+}  // namespace
+
+Dictionaries::Dictionaries(uint64_t seed)
+    : seed_(seed),
+      name_zipf_(data::kNumMaleNames, 0.9),
+      surname_zipf_(data::kNumSurnames, 0.9),
+      tag_zipf_(data::kNumTags, 1.0) {
+  SNB_CHECK_EQ(data::kNumMaleNames, data::kNumFemaleNames);
+
+  // ---- Places: continents, then countries, then cities --------------------
+  core::Id next_place = 0;
+  std::vector<size_t> continent_index(data::kNumContinents);
+  for (size_t i = 0; i < data::kNumContinents; ++i) {
+    Place p;
+    p.id = next_place++;
+    p.name = data::kContinents[i];
+    p.url = UrlFor("place", p.name);
+    p.type = PlaceType::kContinent;
+    p.part_of = core::kNoId;
+    continent_index[i] = places_.size();
+    places_.push_back(std::move(p));
+  }
+  auto continent_of = [&](const char* name) -> size_t {
+    for (size_t i = 0; i < data::kNumContinents; ++i) {
+      if (std::string(data::kContinents[i]) == name) return continent_index[i];
+    }
+    SNB_CHECK(false);
+    return 0;
+  };
+
+  country_place_.resize(data::kNumCountries);
+  cities_of_country_.resize(data::kNumCountries);
+  universities_of_country_.resize(data::kNumCountries);
+  companies_of_country_.resize(data::kNumCountries);
+  languages_of_country_.resize(data::kNumCountries);
+
+  for (size_t c = 0; c < data::kNumCountries; ++c) {
+    const data::CountryRow& row = data::kCountries[c];
+    Place p;
+    p.id = next_place++;
+    p.name = row.name;
+    p.url = UrlFor("place", p.name);
+    p.type = PlaceType::kCountry;
+    p.part_of = places_[continent_of(row.continent)].id;
+    country_place_[c] = places_.size();
+    places_.push_back(std::move(p));
+    for (const char* const* lang = row.languages; *lang != nullptr; ++lang) {
+      languages_of_country_[c].push_back(*lang);
+    }
+  }
+  country_of_city_.assign(places_.size(), SIZE_MAX);
+  for (size_t c = 0; c < data::kNumCountries; ++c) {
+    const data::CountryRow& row = data::kCountries[c];
+    for (const char* const* city = row.cities; *city != nullptr; ++city) {
+      Place p;
+      p.id = next_place++;
+      p.name = *city;
+      p.url = UrlFor("place", p.name);
+      p.type = PlaceType::kCity;
+      p.part_of = places_[country_place_[c]].id;
+      cities_of_country_[c].push_back(places_.size());
+      country_of_city_.push_back(c);
+      places_.push_back(std::move(p));
+    }
+  }
+
+  // ---- Organisations: universities (per city) then companies (per country).
+  core::Id next_org = 0;
+  for (size_t c = 0; c < data::kNumCountries; ++c) {
+    for (size_t city_place : cities_of_country_[c]) {
+      Organisation u;
+      u.id = next_org++;
+      u.type = OrganisationType::kUniversity;
+      u.name = "University of " + places_[city_place].name;
+      u.url = UrlFor("organisation", u.name);
+      u.place = places_[city_place].id;
+      universities_of_country_[c].push_back(organisations_.size());
+      organisations_.push_back(std::move(u));
+    }
+  }
+  for (size_t c = 0; c < data::kNumCountries; ++c) {
+    for (size_t s = 0; s < data::kNumCompanySectors; ++s) {
+      Organisation o;
+      o.id = next_org++;
+      o.type = OrganisationType::kCompany;
+      o.name = std::string(data::kCountries[c].name) + " " +
+               data::kCompanySectors[s];
+      o.url = UrlFor("organisation", o.name);
+      o.place = places_[country_place_[c]].id;
+      companies_of_country_[c].push_back(organisations_.size());
+      organisations_.push_back(std::move(o));
+    }
+  }
+
+  // ---- Tag classes & tags --------------------------------------------------
+  core::Id next_class = 0;
+  auto class_index_of = [&](const char* name) -> size_t {
+    for (size_t i = 0; i < tag_classes_.size(); ++i) {
+      if (tag_classes_[i].name == name) return i;
+    }
+    SNB_CHECK(false);
+    return 0;
+  };
+  for (size_t i = 0; i < data::kNumTagClasses; ++i) {
+    const data::TagClassRow& row = data::kTagClasses[i];
+    TagClass tc;
+    tc.id = next_class++;
+    tc.name = row.name;
+    tc.url = UrlFor("tagclass", tc.name);
+    tc.parent = row.parent == nullptr
+                    ? core::kNoId
+                    : tag_classes_[class_index_of(row.parent)].id;
+    tag_classes_.push_back(std::move(tc));
+  }
+  class_children_.resize(tag_classes_.size());
+  for (size_t i = 0; i < tag_classes_.size(); ++i) {
+    if (tag_classes_[i].parent != core::kNoId) {
+      class_children_[static_cast<size_t>(tag_classes_[i].parent)].push_back(
+          i);
+    }
+  }
+
+  tags_of_class_.resize(tag_classes_.size());
+  core::Id next_tag = 0;
+  for (size_t i = 0; i < data::kNumTags; ++i) {
+    const data::TagRow& row = data::kTags[i];
+    Tag t;
+    t.id = next_tag++;
+    t.name = row.name;
+    t.url = UrlFor("tag", t.name);
+    size_t cls = class_index_of(row.tag_class);
+    t.tag_class = tag_classes_[cls].id;
+    tags_of_class_[cls].push_back(tags_.size());
+    tags_.push_back(std::move(t));
+  }
+
+  // ---- Ranking permutations (R) --------------------------------------------
+  male_name_rank_.reserve(data::kNumCountries);
+  female_name_rank_.reserve(data::kNumCountries);
+  surname_rank_.reserve(data::kNumCountries);
+  tag_rank_.reserve(data::kNumCountries);
+  for (size_t c = 0; c < data::kNumCountries; ++c) {
+    male_name_rank_.push_back(
+        RankPermutation(util::MixSeed(seed_, 101, c), data::kNumMaleNames));
+    female_name_rank_.push_back(
+        RankPermutation(util::MixSeed(seed_, 102, c), data::kNumFemaleNames));
+    surname_rank_.push_back(
+        RankPermutation(util::MixSeed(seed_, 103, c), data::kNumSurnames));
+    tag_rank_.push_back(
+        RankPermutation(util::MixSeed(seed_, 104, c), data::kNumTags));
+  }
+
+  // ---- Country sampling CDF ------------------------------------------------
+  double total = 0;
+  for (size_t c = 0; c < data::kNumCountries; ++c) {
+    total += data::kCountries[c].population;
+  }
+  double acc = 0;
+  country_cdf_.resize(data::kNumCountries);
+  for (size_t c = 0; c < data::kNumCountries; ++c) {
+    acc += data::kCountries[c].population / total;
+    country_cdf_[c] = acc;
+  }
+  country_cdf_.back() = 1.0;
+
+  // ---- Tag correlation neighbours (the Tag Matrix) -------------------------
+  // Each tag correlates with a deterministic subset of its class siblings.
+  tag_neighbours_.resize(tags_.size());
+  for (size_t t = 0; t < tags_.size(); ++t) {
+    size_t cls = 0;
+    for (size_t i = 0; i < tag_classes_.size(); ++i) {
+      if (tag_classes_[i].id == tags_[t].tag_class) cls = i;
+    }
+    const std::vector<size_t>& siblings = tags_of_class_[cls];
+    std::vector<size_t> order =
+        RankPermutation(util::MixSeed(seed_, 105, t), siblings.size());
+    for (size_t k = 0; k < order.size() && tag_neighbours_[t].size() < 6;
+         ++k) {
+      size_t candidate = siblings[order[k]];
+      if (candidate != t) tag_neighbours_[t].push_back(candidate);
+    }
+    // One cross-class neighbour for long-range correlation.
+    size_t cross = util::Mix64(util::MixSeed(seed_, 106, t)) % tags_.size();
+    if (cross != t) tag_neighbours_[t].push_back(cross);
+  }
+}
+
+size_t Dictionaries::SampleCountry(util::Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(country_cdf_.begin(), country_cdf_.end(), u);
+  return static_cast<size_t>(it - country_cdf_.begin());
+}
+
+size_t Dictionaries::SampleCityOfCountry(util::Rng& rng,
+                                         size_t country) const {
+  const std::vector<size_t>& cities = cities_of_country_[country];
+  SNB_CHECK(!cities.empty());
+  return cities[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(cities.size()) - 1))];
+}
+
+std::string Dictionaries::SampleFirstName(util::Rng& rng, size_t country,
+                                          bool female) const {
+  size_t rank = name_zipf_.Sample(rng);
+  if (female) return data::kFemaleNames[female_name_rank_[country][rank]];
+  return data::kMaleNames[male_name_rank_[country][rank]];
+}
+
+std::string Dictionaries::SampleSurname(util::Rng& rng,
+                                        size_t country) const {
+  size_t rank = surname_zipf_.Sample(rng);
+  return data::kSurnames[surname_rank_[country][rank]];
+}
+
+std::string Dictionaries::SampleBrowser(util::Rng& rng) const {
+  double u = rng.NextDouble();
+  double acc = 0;
+  for (size_t i = 0; i < data::kNumBrowsers; ++i) {
+    acc += data::kBrowsers[i].probability;
+    if (u < acc) return data::kBrowsers[i].name;
+  }
+  return data::kBrowsers[data::kNumBrowsers - 1].name;
+}
+
+std::string Dictionaries::SampleIp(util::Rng& rng, size_t country) const {
+  // Each country owns the /16 block (1 + 7c mod 223).(13 + 11c mod 251).x.y.
+  int a = static_cast<int>(1 + (7 * country) % 223);
+  int b = static_cast<int>(13 + (11 * country) % 251);
+  int x = static_cast<int>(rng.UniformInt(0, 255));
+  int y = static_cast<int>(rng.UniformInt(1, 254));
+  return std::to_string(a) + "." + std::to_string(b) + "." +
+         std::to_string(x) + "." + std::to_string(y);
+}
+
+std::string Dictionaries::MakeEmail(util::Rng& rng, const std::string& first,
+                                    const std::string& last,
+                                    int sequence) const {
+  std::string local = first + "." + last;
+  for (char& c : local) {
+    if (c == ' ') c = '_';
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (sequence > 0) local += std::to_string(sequence);
+  size_t provider = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(data::kNumEmailProviders) - 1));
+  return local + "@" + data::kEmailProviders[provider];
+}
+
+size_t Dictionaries::SampleInterestTag(util::Rng& rng, size_t country) const {
+  size_t rank = tag_zipf_.Sample(rng);
+  return tag_rank_[country][rank];
+}
+
+size_t Dictionaries::SampleUniformTag(util::Rng& rng) const {
+  return static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(tags_.size()) - 1));
+}
+
+std::vector<size_t> Dictionaries::SampleCorrelatedTags(util::Rng& rng,
+                                                       size_t tag,
+                                                       int max_extra) const {
+  std::vector<size_t> out;
+  const std::vector<size_t>& neighbours = tag_neighbours_[tag];
+  for (int i = 0; i < max_extra; ++i) {
+    size_t pick;
+    if (!neighbours.empty() && rng.Bernoulli(0.8)) {
+      pick = neighbours[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(neighbours.size()) - 1))];
+    } else {
+      pick = SampleUniformTag(rng);
+    }
+    if (pick != tag &&
+        std::find(out.begin(), out.end(), pick) == out.end()) {
+      out.push_back(pick);
+    }
+  }
+  return out;
+}
+
+std::string Dictionaries::MakeText(util::Rng& rng, size_t tag,
+                                   int length) const {
+  SNB_CHECK_GE(length, 1);
+  std::string text = "About " + tags_[tag].name + ":";
+  while (static_cast<int>(text.size()) < length) {
+    text.push_back(' ');
+    text += data::kTextWords[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(data::kNumTextWords) - 1))];
+  }
+  text.resize(static_cast<size_t>(length));
+  // Avoid trailing separator-looking whitespace after the resize.
+  if (text.back() == ' ') text.back() = '.';
+  return text;
+}
+
+std::vector<size_t> Dictionaries::TagClassDescendants(
+    size_t tag_class) const {
+  std::vector<size_t> out{tag_class};
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t child : class_children_[out[i]]) {
+      out.push_back(child);
+    }
+  }
+  return out;
+}
+
+}  // namespace snb::datagen

@@ -1,0 +1,148 @@
+// The property-dictionary model of spec §2.3.3.1.
+//
+// Every literal property is drawn from a dictionary D through a ranking
+// function R (a country/gender-parameterized permutation of D) and a
+// probability function F over ranks (Zipfian). This reproduces correlated
+// attribute values: e.g. the popularity ranking of first names differs per
+// (country, gender), so persons from the same country draw from the same
+// skewed head of the dictionary.
+//
+// The static part of the network (Places, Organisations, TagClasses, Tags)
+// is also built here, since it is fully determined by the resource data.
+
+#ifndef SNB_DATAGEN_DICTIONARIES_H_
+#define SNB_DATAGEN_DICTIONARIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace snb::datagen {
+
+/// Immutable processed dictionaries; build once per Datagen run.
+class Dictionaries {
+ public:
+  explicit Dictionaries(uint64_t seed);
+
+  Dictionaries(const Dictionaries&) = delete;
+  Dictionaries& operator=(const Dictionaries&) = delete;
+
+  // -- Static entity tables (ids assigned; indices == positions) -----------
+
+  const std::vector<core::Place>& places() const { return places_; }
+  const std::vector<core::Organisation>& organisations() const {
+    return organisations_;
+  }
+  const std::vector<core::TagClass>& tag_classes() const {
+    return tag_classes_;
+  }
+  const std::vector<core::Tag>& tags() const { return tags_; }
+
+  size_t num_countries() const { return country_place_.size(); }
+
+  /// Place index of country `c` (c in [0, num_countries())).
+  size_t CountryPlace(size_t c) const { return country_place_[c]; }
+
+  /// Country index owning a given city place index.
+  size_t CountryOfCity(size_t city_place) const {
+    return country_of_city_[city_place];
+  }
+
+  const std::vector<size_t>& CitiesOfCountry(size_t c) const {
+    return cities_of_country_[c];
+  }
+  const std::vector<size_t>& UniversitiesOfCountry(size_t c) const {
+    return universities_of_country_[c];
+  }
+  const std::vector<size_t>& CompaniesOfCountry(size_t c) const {
+    return companies_of_country_[c];
+  }
+  const std::vector<std::string>& LanguagesOfCountry(size_t c) const {
+    return languages_of_country_[c];
+  }
+
+  // -- Samplers (the F functions) -------------------------------------------
+
+  /// Population-weighted country (index into country tables).
+  size_t SampleCountry(util::Rng& rng) const;
+
+  /// Uniform city of a country, as a place index.
+  size_t SampleCityOfCountry(util::Rng& rng, size_t country) const;
+
+  /// Zipf-ranked first name; ranking parameterized by (country, gender).
+  std::string SampleFirstName(util::Rng& rng, size_t country,
+                              bool female) const;
+
+  /// Zipf-ranked surname; ranking parameterized by country.
+  std::string SampleSurname(util::Rng& rng, size_t country) const;
+
+  /// Browser by global usage probability.
+  std::string SampleBrowser(util::Rng& rng) const;
+
+  /// Random IPv4 inside the country's /16 block (the IP Zones resource).
+  std::string SampleIp(util::Rng& rng, size_t country) const;
+
+  /// Email address built from the person's name and a provider.
+  std::string MakeEmail(util::Rng& rng, const std::string& first,
+                        const std::string& last, int sequence) const;
+
+  /// Zipf-ranked interest tag; ranking parameterized by country
+  /// (the Tags-by-Country resource). Returns a tag index.
+  size_t SampleInterestTag(util::Rng& rng, size_t country) const;
+
+  /// Uniformly random tag index (for noise).
+  size_t SampleUniformTag(util::Rng& rng) const;
+
+  /// Tags correlated with `tag` per the Tag Matrix resource: same-class
+  /// neighbours with high probability, random otherwise. Returns up to
+  /// `max_extra` distinct tags != tag.
+  std::vector<size_t> SampleCorrelatedTags(util::Rng& rng, size_t tag,
+                                           int max_extra) const;
+
+  /// Synthesizes message text about `tag` of exactly `length` characters
+  /// (the Tag Text resource).
+  std::string MakeText(util::Rng& rng, size_t tag, int length) const;
+
+  /// Descendant closure of a tag class (inclusive), as tag-class indices.
+  std::vector<size_t> TagClassDescendants(size_t tag_class) const;
+
+ private:
+  uint64_t seed_;
+
+  std::vector<core::Place> places_;
+  std::vector<core::Organisation> organisations_;
+  std::vector<core::TagClass> tag_classes_;
+  std::vector<core::Tag> tags_;
+
+  std::vector<size_t> country_place_;                // country → place index
+  std::vector<size_t> country_of_city_;              // place idx → country (or SIZE_MAX)
+  std::vector<std::vector<size_t>> cities_of_country_;
+  std::vector<std::vector<size_t>> universities_of_country_;
+  std::vector<std::vector<size_t>> companies_of_country_;
+  std::vector<std::vector<std::string>> languages_of_country_;
+  std::vector<double> country_cdf_;
+
+  // Ranking permutations (R functions).
+  std::vector<std::vector<size_t>> male_name_rank_;    // per country
+  std::vector<std::vector<size_t>> female_name_rank_;  // per country
+  std::vector<std::vector<size_t>> surname_rank_;      // per country
+  std::vector<std::vector<size_t>> tag_rank_;          // per country
+
+  // Tag correlation neighbours (the Tag Matrix).
+  std::vector<std::vector<size_t>> tag_neighbours_;
+
+  std::vector<std::vector<size_t>> tags_of_class_;
+  std::vector<std::vector<size_t>> class_children_;
+
+  util::ZipfSampler name_zipf_;
+  util::ZipfSampler surname_zipf_;
+  util::ZipfSampler tag_zipf_;
+};
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_DICTIONARIES_H_

@@ -1,0 +1,493 @@
+#include "datagen/dictionary_data.h"
+
+namespace snb::datagen::data {
+
+namespace {
+
+const char* const kCitiesChina[] = {"Beijing", "Shanghai", "Guangzhou",
+                                    "Shenzhen", "Chengdu", "Wuhan",
+                                    "Xian", "Hangzhou", nullptr};
+const char* const kLangsChina[] = {"zh", "en", nullptr};
+
+const char* const kCitiesIndia[] = {"Mumbai", "Delhi", "Bangalore",
+                                    "Chennai", "Kolkata", "Hyderabad",
+                                    "Pune", nullptr};
+const char* const kLangsIndia[] = {"hi", "en", nullptr};
+
+const char* const kCitiesUsa[] = {"New York", "Los Angeles", "Chicago",
+                                  "Houston", "Philadelphia", "San Francisco",
+                                  "Seattle", "Boston", nullptr};
+const char* const kLangsUsa[] = {"en", nullptr};
+
+const char* const kCitiesIndonesia[] = {"Jakarta", "Surabaya", "Bandung",
+                                        "Medan", nullptr};
+const char* const kLangsIndonesia[] = {"id", "en", nullptr};
+
+const char* const kCitiesBrazil[] = {"Sao Paulo", "Rio de Janeiro",
+                                     "Brasilia", "Salvador", "Fortaleza",
+                                     nullptr};
+const char* const kLangsBrazil[] = {"pt", "en", nullptr};
+
+const char* const kCitiesPakistan[] = {"Karachi", "Lahore", "Faisalabad",
+                                       nullptr};
+const char* const kLangsPakistan[] = {"ur", "en", nullptr};
+
+const char* const kCitiesNigeria[] = {"Lagos", "Kano", "Ibadan", "Abuja",
+                                      nullptr};
+const char* const kLangsNigeria[] = {"en", nullptr};
+
+const char* const kCitiesRussia[] = {"Moscow", "Saint Petersburg",
+                                     "Novosibirsk", "Yekaterinburg", nullptr};
+const char* const kLangsRussia[] = {"ru", "en", nullptr};
+
+const char* const kCitiesJapan[] = {"Tokyo", "Osaka", "Nagoya", "Sapporo",
+                                    "Fukuoka", nullptr};
+const char* const kLangsJapan[] = {"ja", "en", nullptr};
+
+const char* const kCitiesMexico[] = {"Mexico City", "Guadalajara",
+                                     "Monterrey", "Puebla", nullptr};
+const char* const kLangsMexico[] = {"es", "en", nullptr};
+
+const char* const kCitiesGermany[] = {"Berlin", "Hamburg", "Munich",
+                                      "Cologne", "Frankfurt", nullptr};
+const char* const kLangsGermany[] = {"de", "en", nullptr};
+
+const char* const kCitiesFrance[] = {"Paris", "Marseille", "Lyon",
+                                     "Toulouse", "Nice", nullptr};
+const char* const kLangsFrance[] = {"fr", "en", nullptr};
+
+const char* const kCitiesUk[] = {"London", "Birmingham", "Manchester",
+                                 "Glasgow", "Leeds", nullptr};
+const char* const kLangsUk[] = {"en", nullptr};
+
+const char* const kCitiesItaly[] = {"Rome", "Milan", "Naples", "Turin",
+                                    nullptr};
+const char* const kLangsItaly[] = {"it", "en", nullptr};
+
+const char* const kCitiesSpain[] = {"Madrid", "Barcelona", "Valencia",
+                                    "Seville", nullptr};
+const char* const kLangsSpain[] = {"es", "en", nullptr};
+
+const char* const kCitiesArgentina[] = {"Buenos Aires", "Cordoba",
+                                        "Rosario", nullptr};
+const char* const kLangsArgentina[] = {"es", "en", nullptr};
+
+const char* const kCitiesCanada[] = {"Toronto", "Montreal", "Vancouver",
+                                     "Calgary", nullptr};
+const char* const kLangsCanada[] = {"en", "fr", nullptr};
+
+const char* const kCitiesAustralia[] = {"Sydney", "Melbourne", "Brisbane",
+                                        "Perth", nullptr};
+const char* const kLangsAustralia[] = {"en", nullptr};
+
+const char* const kCitiesEgypt[] = {"Cairo", "Alexandria", "Giza", nullptr};
+const char* const kLangsEgypt[] = {"ar", "en", nullptr};
+
+const char* const kCitiesTurkey[] = {"Istanbul", "Ankara", "Izmir", nullptr};
+const char* const kLangsTurkey[] = {"tr", "en", nullptr};
+
+const char* const kCitiesVietnam[] = {"Ho Chi Minh City", "Hanoi",
+                                      "Da Nang", nullptr};
+const char* const kLangsVietnam[] = {"vi", "en", nullptr};
+
+const char* const kCitiesPhilippines[] = {"Manila", "Quezon City", "Davao",
+                                          nullptr};
+const char* const kLangsPhilippines[] = {"tl", "en", nullptr};
+
+const char* const kCitiesSouthKorea[] = {"Seoul", "Busan", "Incheon",
+                                         nullptr};
+const char* const kLangsSouthKorea[] = {"ko", "en", nullptr};
+
+const char* const kCitiesNetherlands[] = {"Amsterdam", "Rotterdam",
+                                          "The Hague", "Utrecht", nullptr};
+const char* const kLangsNetherlands[] = {"nl", "en", nullptr};
+
+const char* const kCitiesPoland[] = {"Warsaw", "Krakow", "Wroclaw", nullptr};
+const char* const kLangsPoland[] = {"pl", "en", nullptr};
+
+const char* const kCitiesSweden[] = {"Stockholm", "Gothenburg", "Malmo",
+                                     nullptr};
+const char* const kLangsSweden[] = {"sv", "en", nullptr};
+
+const char* const kCitiesKenya[] = {"Nairobi", "Mombasa", nullptr};
+const char* const kLangsKenya[] = {"sw", "en", nullptr};
+
+const char* const kCitiesColombia[] = {"Bogota", "Medellin", "Cali",
+                                       nullptr};
+const char* const kLangsColombia[] = {"es", "en", nullptr};
+
+const char* const kCitiesChile[] = {"Santiago", "Valparaiso", nullptr};
+const char* const kLangsChile[] = {"es", "en", nullptr};
+
+const char* const kCitiesHungary[] = {"Budapest", "Debrecen", "Szeged",
+                                      nullptr};
+const char* const kLangsHungary[] = {"hu", "en", nullptr};
+
+const char* const kCitiesNewZealand[] = {"Auckland", "Wellington",
+                                         "Christchurch", nullptr};
+const char* const kLangsNewZealand[] = {"en", nullptr};
+
+const char* const kCitiesSouthAfrica[] = {"Johannesburg", "Cape Town",
+                                          "Durban", nullptr};
+const char* const kLangsSouthAfrica[] = {"en", "af", nullptr};
+
+}  // namespace
+
+// Population weights in millions; the Countries resource file of Table 2.11.
+const CountryRow kCountries[] = {
+    {"China", "Asia", 1370, kCitiesChina, kLangsChina},
+    {"India", "Asia", 1300, kCitiesIndia, kLangsIndia},
+    {"United States", "North America", 320, kCitiesUsa, kLangsUsa},
+    {"Indonesia", "Asia", 260, kCitiesIndonesia, kLangsIndonesia},
+    {"Brazil", "South America", 205, kCitiesBrazil, kLangsBrazil},
+    {"Pakistan", "Asia", 200, kCitiesPakistan, kLangsPakistan},
+    {"Nigeria", "Africa", 185, kCitiesNigeria, kLangsNigeria},
+    {"Russia", "Europe", 145, kCitiesRussia, kLangsRussia},
+    {"Japan", "Asia", 127, kCitiesJapan, kLangsJapan},
+    {"Mexico", "North America", 120, kCitiesMexico, kLangsMexico},
+    {"Philippines", "Asia", 103, kCitiesPhilippines, kLangsPhilippines},
+    {"Vietnam", "Asia", 93, kCitiesVietnam, kLangsVietnam},
+    {"Egypt", "Africa", 92, kCitiesEgypt, kLangsEgypt},
+    {"Germany", "Europe", 82, kCitiesGermany, kLangsGermany},
+    {"Turkey", "Asia", 79, kCitiesTurkey, kLangsTurkey},
+    {"France", "Europe", 67, kCitiesFrance, kLangsFrance},
+    {"United Kingdom", "Europe", 65, kCitiesUk, kLangsUk},
+    {"Italy", "Europe", 60, kCitiesItaly, kLangsItaly},
+    {"South Africa", "Africa", 55, kCitiesSouthAfrica, kLangsSouthAfrica},
+    {"South Korea", "Asia", 51, kCitiesSouthKorea, kLangsSouthKorea},
+    {"Colombia", "South America", 48, kCitiesColombia, kLangsColombia},
+    {"Spain", "Europe", 46, kCitiesSpain, kLangsSpain},
+    {"Argentina", "South America", 43, kCitiesArgentina, kLangsArgentina},
+    {"Kenya", "Africa", 47, kCitiesKenya, kLangsKenya},
+    {"Poland", "Europe", 38, kCitiesPoland, kLangsPoland},
+    {"Canada", "North America", 36, kCitiesCanada, kLangsCanada},
+    {"Australia", "Oceania", 24, kCitiesAustralia, kLangsAustralia},
+    {"Chile", "South America", 18, kCitiesChile, kLangsChile},
+    {"Netherlands", "Europe", 17, kCitiesNetherlands, kLangsNetherlands},
+    {"Sweden", "Europe", 10, kCitiesSweden, kLangsSweden},
+    {"Hungary", "Europe", 10, kCitiesHungary, kLangsHungary},
+    {"New Zealand", "Oceania", 5, kCitiesNewZealand, kLangsNewZealand},
+};
+const size_t kNumCountries = sizeof(kCountries) / sizeof(kCountries[0]);
+
+const char* const kContinents[] = {"Asia",          "Europe",
+                                   "North America", "South America",
+                                   "Africa",        "Oceania"};
+const size_t kNumContinents = sizeof(kContinents) / sizeof(kContinents[0]);
+
+const char* const kMaleNames[] = {
+    "James",   "John",    "Robert",  "Michael", "David",  "Wei",
+    "Jun",     "Hao",     "Lei",     "Chen",    "Rahul",  "Amit",
+    "Raj",     "Arjun",   "Vikram",  "Carlos",  "Jose",   "Luis",
+    "Miguel",  "Juan",    "Ahmed",   "Mohamed", "Ali",    "Omar",
+    "Hassan",  "Hans",    "Karl",    "Otto",    "Fritz",  "Jurgen",
+    "Pierre",  "Jean",    "Michel",  "Louis",   "Andre",  "Ivan",
+    "Dmitry",  "Sergey",  "Alexei",  "Nikolai", "Hiroshi", "Takeshi",
+    "Kenji",   "Yuki",    "Akira",   "Emeka",   "Chidi",  "Oluwaseun",
+    "Kwame",   "Tunde",   "Lars",    "Erik",    "Anders", "Bjorn",
+    "Sven",    "Marco",   "Giovanni", "Luca",   "Paolo",  "Antonio",
+};
+const size_t kNumMaleNames = sizeof(kMaleNames) / sizeof(kMaleNames[0]);
+
+const char* const kFemaleNames[] = {
+    "Mary",     "Patricia", "Jennifer", "Linda",   "Elizabeth", "Mei",
+    "Li",       "Xia",      "Yan",      "Jing",    "Priya",     "Ananya",
+    "Divya",    "Kavya",    "Sita",     "Maria",   "Ana",       "Carmen",
+    "Lucia",    "Sofia",    "Fatima",   "Aisha",   "Layla",     "Zainab",
+    "Noor",     "Anna",     "Greta",    "Ingrid",  "Ursula",    "Heidi",
+    "Marie",    "Sophie",   "Camille",  "Claire",  "Julie",     "Olga",
+    "Natasha",  "Svetlana", "Irina",    "Elena",   "Yuko",      "Sakura",
+    "Hana",     "Aiko",     "Emi",      "Ngozi",   "Amara",     "Chiamaka",
+    "Ada",      "Folake",   "Astrid",   "Freya",   "Sigrid",    "Linnea",
+    "Elsa",     "Giulia",   "Francesca", "Chiara", "Valentina", "Alessandra",
+};
+const size_t kNumFemaleNames = sizeof(kFemaleNames) / sizeof(kFemaleNames[0]);
+
+const char* const kSurnames[] = {
+    "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Wang",
+    "Li",       "Zhang",    "Liu",      "Chen",     "Yang",     "Huang",
+    "Singh",    "Kumar",    "Sharma",   "Patel",    "Gupta",    "Khan",
+    "Garcia",   "Rodriguez", "Martinez", "Hernandez", "Lopez",  "Gonzalez",
+    "Silva",    "Santos",   "Oliveira", "Souza",    "Pereira",  "Costa",
+    "Mueller",  "Schmidt",  "Schneider", "Fischer", "Weber",    "Meyer",
+    "Martin",   "Bernard",  "Dubois",   "Thomas",   "Robert",   "Petit",
+    "Ivanov",   "Smirnov",  "Kuznetsov", "Popov",   "Volkov",   "Petrov",
+    "Sato",     "Suzuki",   "Takahashi", "Tanaka",  "Watanabe", "Ito",
+    "Kim",      "Lee",      "Park",     "Choi",     "Jung",     "Kang",
+    "Nguyen",   "Tran",     "Pham",     "Hoang",    "Okafor",   "Adeyemi",
+    "Okonkwo",  "Eze",      "Abubakar", "Mohammed", "Andersson", "Johansson",
+    "Karlsson", "Nilsson",  "Eriksson", "Larsson",  "Rossi",    "Russo",
+    "Ferrari",  "Esposito", "Bianchi",  "Romano",   "Kowalski", "Nowak",
+    "Wisniewski", "Kaminski", "Yilmaz",  "Kaya",    "Demir",    "Celik",
+    "Nagy",     "Kovacs",   "Toth",     "Szabo",    "Horvath",  "Varga",
+    "De Jong",  "Jansen",   "De Vries", "Van den Berg", "Bakker", "Visser",
+};
+const size_t kNumSurnames = sizeof(kSurnames) / sizeof(kSurnames[0]);
+
+// The Browsers resource file (Table 2.11): probabilities sum to 1.
+const BrowserRow kBrowsers[] = {
+    {"Chrome", 0.47},  {"Firefox", 0.24}, {"Internet Explorer", 0.13},
+    {"Safari", 0.09},  {"Opera", 0.07},
+};
+const size_t kNumBrowsers = sizeof(kBrowsers) / sizeof(kBrowsers[0]);
+
+const char* const kEmailProviders[] = {
+    "gmail.com",  "yahoo.com",   "hotmail.com", "outlook.com",
+    "gmx.com",    "zoho.com",    "mail.com",    "yandex.ru",
+    "163.com",    "qq.com",      "web.de",      "orange.fr",
+};
+const size_t kNumEmailProviders =
+    sizeof(kEmailProviders) / sizeof(kEmailProviders[0]);
+
+const char* const kCompanySectors[] = {
+    "Airlines", "Software",  "Motors",   "Bank",     "Foods",
+    "Energy",   "Telecom",   "Media",    "Pharma",   "Logistics",
+    "Steel",    "Insurance", "Retail",   "Chemical", "Shipping",
+};
+const size_t kNumCompanySectors =
+    sizeof(kCompanySectors) / sizeof(kCompanySectors[0]);
+
+// The Tag Classes / Tag Hierarchies resource files: a DBpedia-like ontology.
+const TagClassRow kTagClasses[] = {
+    {"Thing", nullptr},
+    {"Agent", "Thing"},
+    {"Person", "Agent"},
+    {"Musician", "Person"},
+    {"Politician", "Person"},
+    {"Athlete", "Person"},
+    {"Writer", "Person"},
+    {"Scientist", "Person"},
+    {"Organisation", "Agent"},
+    {"Band", "Organisation"},
+    {"Work", "Thing"},
+    {"Album", "Work"},
+    {"Film", "Work"},
+    {"Book", "Work"},
+    {"MusicGenre", "Work"},
+    {"Sport", "Thing"},
+    {"Technology", "Thing"},
+    {"Event", "Thing"},
+    {"Cuisine", "Thing"},
+};
+const size_t kNumTagClasses = sizeof(kTagClasses) / sizeof(kTagClasses[0]);
+
+const TagRow kTags[] = {
+    // Musicians
+    {"Wolfgang Amadeus Mozart", "Musician"},
+    {"Ludwig van Beethoven", "Musician"},
+    {"Johann Sebastian Bach", "Musician"},
+    {"Elvis Presley", "Musician"},
+    {"John Lennon", "Musician"},
+    {"David Bowie", "Musician"},
+    {"Bob Dylan", "Musician"},
+    {"Frank Sinatra", "Musician"},
+    {"Aretha Franklin", "Musician"},
+    {"Jimi Hendrix", "Musician"},
+    {"Miles Davis", "Musician"},
+    {"Ravi Shankar", "Musician"},
+    {"Umm Kulthum", "Musician"},
+    {"Fela Kuti", "Musician"},
+    {"Edith Piaf", "Musician"},
+    {"Enrico Caruso", "Musician"},
+    {"Maria Callas", "Musician"},
+    {"Freddie Mercury", "Musician"},
+    {"Johnny Cash", "Musician"},
+    {"Nina Simone", "Musician"},
+    // Politicians
+    {"Abraham Lincoln", "Politician"},
+    {"Winston Churchill", "Politician"},
+    {"Mahatma Gandhi", "Politician"},
+    {"Nelson Mandela", "Politician"},
+    {"Napoleon Bonaparte", "Politician"},
+    {"Julius Caesar", "Politician"},
+    {"George Washington", "Politician"},
+    {"Otto von Bismarck", "Politician"},
+    {"Simon Bolivar", "Politician"},
+    {"Sun Yat-sen", "Politician"},
+    {"Kwame Nkrumah", "Politician"},
+    {"Jawaharlal Nehru", "Politician"},
+    {"Charles de Gaulle", "Politician"},
+    {"Ataturk", "Politician"},
+    {"Jose de San Martin", "Politician"},
+    {"Queen Victoria", "Politician"},
+    {"Catherine the Great", "Politician"},
+    {"Emperor Meiji", "Politician"},
+    // Athletes
+    {"Pele", "Athlete"},
+    {"Diego Maradona", "Athlete"},
+    {"Muhammad Ali", "Athlete"},
+    {"Michael Jordan", "Athlete"},
+    {"Usain Bolt", "Athlete"},
+    {"Serena Williams", "Athlete"},
+    {"Roger Federer", "Athlete"},
+    {"Sachin Tendulkar", "Athlete"},
+    {"Jesse Owens", "Athlete"},
+    {"Nadia Comaneci", "Athlete"},
+    {"Ayrton Senna", "Athlete"},
+    {"Babe Ruth", "Athlete"},
+    {"Johan Cruyff", "Athlete"},
+    {"Zinedine Zidane", "Athlete"},
+    // Writers
+    {"William Shakespeare", "Writer"},
+    {"Leo Tolstoy", "Writer"},
+    {"Fyodor Dostoevsky", "Writer"},
+    {"Jane Austen", "Writer"},
+    {"Charles Dickens", "Writer"},
+    {"Gabriel Garcia Marquez", "Writer"},
+    {"Rabindranath Tagore", "Writer"},
+    {"Chinua Achebe", "Writer"},
+    {"Victor Hugo", "Writer"},
+    {"Johann Wolfgang von Goethe", "Writer"},
+    {"Miguel de Cervantes", "Writer"},
+    {"Franz Kafka", "Writer"},
+    {"Virginia Woolf", "Writer"},
+    {"Haruki Murakami", "Writer"},
+    {"Naguib Mahfouz", "Writer"},
+    {"Pablo Neruda", "Writer"},
+    // Scientists
+    {"Albert Einstein", "Scientist"},
+    {"Isaac Newton", "Scientist"},
+    {"Marie Curie", "Scientist"},
+    {"Charles Darwin", "Scientist"},
+    {"Nikola Tesla", "Scientist"},
+    {"Galileo Galilei", "Scientist"},
+    {"Ada Lovelace", "Scientist"},
+    {"Alan Turing", "Scientist"},
+    {"Srinivasa Ramanujan", "Scientist"},
+    {"Dmitri Mendeleev", "Scientist"},
+    {"Louis Pasteur", "Scientist"},
+    {"Niels Bohr", "Scientist"},
+    {"Rosalind Franklin", "Scientist"},
+    {"Ibn al-Haytham", "Scientist"},
+    // Bands
+    {"The Beatles", "Band"},
+    {"The Rolling Stones", "Band"},
+    {"Queen", "Band"},
+    {"Pink Floyd", "Band"},
+    {"Led Zeppelin", "Band"},
+    {"ABBA", "Band"},
+    {"U2", "Band"},
+    {"Radiohead", "Band"},
+    {"Nirvana", "Band"},
+    {"Metallica", "Band"},
+    {"The Beach Boys", "Band"},
+    {"Kraftwerk", "Band"},
+    // Albums
+    {"Abbey Road", "Album"},
+    {"The Dark Side of the Moon", "Album"},
+    {"Thriller", "Album"},
+    {"Kind of Blue", "Album"},
+    {"Pet Sounds", "Album"},
+    {"Rumours", "Album"},
+    {"Nevermind", "Album"},
+    {"OK Computer", "Album"},
+    // Films
+    {"Citizen Kane", "Film"},
+    {"Casablanca", "Film"},
+    {"The Godfather", "Film"},
+    {"Seven Samurai", "Film"},
+    {"Metropolis", "Film"},
+    {"La Dolce Vita", "Film"},
+    {"Bicycle Thieves", "Film"},
+    {"Rashomon", "Film"},
+    {"The Wizard of Oz", "Film"},
+    {"Battleship Potemkin", "Film"},
+    {"Pather Panchali", "Film"},
+    {"City Lights", "Film"},
+    // Books
+    {"War and Peace", "Book"},
+    {"Don Quixote", "Book"},
+    {"Moby-Dick", "Book"},
+    {"Pride and Prejudice", "Book"},
+    {"One Hundred Years of Solitude", "Book"},
+    {"Crime and Punishment", "Book"},
+    {"The Odyssey", "Book"},
+    {"Things Fall Apart", "Book"},
+    {"The Tale of Genji", "Book"},
+    {"Les Miserables", "Book"},
+    // Music genres
+    {"Jazz", "MusicGenre"},
+    {"Blues", "MusicGenre"},
+    {"Rock and roll", "MusicGenre"},
+    {"Hip hop", "MusicGenre"},
+    {"Reggae", "MusicGenre"},
+    {"Classical music", "MusicGenre"},
+    {"Electronic music", "MusicGenre"},
+    {"Folk music", "MusicGenre"},
+    {"Samba", "MusicGenre"},
+    {"Flamenco", "MusicGenre"},
+    {"K-pop", "MusicGenre"},
+    {"Bollywood music", "MusicGenre"},
+    // Sports
+    {"Football", "Sport"},
+    {"Basketball", "Sport"},
+    {"Cricket", "Sport"},
+    {"Tennis", "Sport"},
+    {"Baseball", "Sport"},
+    {"Rugby", "Sport"},
+    {"Formula One", "Sport"},
+    {"Chess", "Sport"},
+    {"Table tennis", "Sport"},
+    {"Volleyball", "Sport"},
+    {"Swimming", "Sport"},
+    {"Athletics", "Sport"},
+    {"Boxing", "Sport"},
+    {"Golf", "Sport"},
+    // Technology
+    {"Artificial intelligence", "Technology"},
+    {"World Wide Web", "Technology"},
+    {"Smartphone", "Technology"},
+    {"Linux", "Technology"},
+    {"Photography", "Technology"},
+    {"Space exploration", "Technology"},
+    {"Renewable energy", "Technology"},
+    {"Robotics", "Technology"},
+    {"Cryptography", "Technology"},
+    {"Quantum computing", "Technology"},
+    {"3D printing", "Technology"},
+    {"Electric vehicles", "Technology"},
+    // Events
+    {"Olympic Games", "Event"},
+    {"FIFA World Cup", "Event"},
+    {"Carnival of Rio", "Event"},
+    {"Oktoberfest", "Event"},
+    {"Diwali", "Event"},
+    {"Chinese New Year", "Event"},
+    {"Eurovision Song Contest", "Event"},
+    {"Tour de France", "Event"},
+    {"Cannes Film Festival", "Event"},
+    {"Burning Man", "Event"},
+    // Cuisines
+    {"Sushi", "Cuisine"},
+    {"Pizza", "Cuisine"},
+    {"Curry", "Cuisine"},
+    {"Tacos", "Cuisine"},
+    {"Dim sum", "Cuisine"},
+    {"Paella", "Cuisine"},
+    {"Croissant", "Cuisine"},
+    {"Kebab", "Cuisine"},
+    {"Pho", "Cuisine"},
+    {"Jollof rice", "Cuisine"},
+    {"Borscht", "Cuisine"},
+    {"Feijoada", "Cuisine"},
+};
+const size_t kNumTags = sizeof(kTags) / sizeof(kTags[0]);
+
+// Vocabulary for message-text synthesis (the Tag Text resource). Neutral
+// filler words; the generator mixes them with the tag name.
+const char* const kTextWords[] = {
+    "about",   "maybe",   "really",   "photo",    "great",    "amazing",
+    "today",   "think",   "people",   "world",    "found",    "interesting",
+    "article", "read",    "watch",    "listen",   "concert",  "game",
+    "match",   "season",  "history",  "culture",  "classic",  "modern",
+    "favorite", "best",   "ever",     "never",    "always",   "sometimes",
+    "friend",  "family",  "travel",   "visit",    "city",     "country",
+    "music",   "film",    "book",     "story",    "science",  "discovery",
+    "news",    "share",   "thanks",   "love",     "enjoy",    "remember",
+    "moment",  "beautiful", "wonderful", "incredible", "opinion", "question",
+    "answer",  "discussion", "review", "recommend", "weekend", "morning",
+    "evening", "night",   "year",     "month",    "week",     "day",
+};
+const size_t kNumTextWords = sizeof(kTextWords) / sizeof(kTextWords[0]);
+
+}  // namespace snb::datagen::data

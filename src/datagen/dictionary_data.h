@@ -1,0 +1,73 @@
+// Raw embedded dictionary data (synthetic stand-in for the DBpedia resource
+// files of spec Table 2.11). Data-only: the property-dictionary logic lives
+// in dictionaries.h/.cc.
+
+#ifndef SNB_DATAGEN_DICTIONARY_DATA_H_
+#define SNB_DATAGEN_DICTIONARY_DATA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snb::datagen::data {
+
+/// One country row: name, continent, relative population weight (millions),
+/// cities (nullptr-terminated), languages (nullptr-terminated).
+struct CountryRow {
+  const char* name;
+  const char* continent;
+  double population;          // in millions; used as the sampling weight
+  const char* const* cities;  // nullptr-terminated
+  const char* const* languages;
+};
+
+extern const CountryRow kCountries[];
+extern const size_t kNumCountries;
+
+extern const char* const kContinents[];
+extern const size_t kNumContinents;
+
+extern const char* const kMaleNames[];
+extern const size_t kNumMaleNames;
+extern const char* const kFemaleNames[];
+extern const size_t kNumFemaleNames;
+extern const char* const kSurnames[];
+extern const size_t kNumSurnames;
+
+/// Browser dictionary with usage probabilities (sums to 1).
+struct BrowserRow {
+  const char* name;
+  double probability;
+};
+extern const BrowserRow kBrowsers[];
+extern const size_t kNumBrowsers;
+
+extern const char* const kEmailProviders[];
+extern const size_t kNumEmailProviders;
+
+/// Company-name sectors, composed with country names.
+extern const char* const kCompanySectors[];
+extern const size_t kNumCompanySectors;
+
+/// One tag-class row of the hierarchy; parent == nullptr marks the root.
+struct TagClassRow {
+  const char* name;
+  const char* parent;
+};
+extern const TagClassRow kTagClasses[];
+extern const size_t kNumTagClasses;
+
+/// One tag row: name and the (leaf) tag class it belongs to.
+struct TagRow {
+  const char* name;
+  const char* tag_class;
+};
+extern const TagRow kTags[];
+extern const size_t kNumTags;
+
+/// Vocabulary for synthesizing message text (the "Tag Text" resource).
+extern const char* const kTextWords[];
+extern const size_t kNumTextWords;
+
+}  // namespace snb::datagen::data
+
+#endif  // SNB_DATAGEN_DICTIONARY_DATA_H_

@@ -1,0 +1,63 @@
+#include "datagen/flashmob.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snb::datagen {
+
+namespace {
+constexpr uint64_t kStreamFlashmob = 401;
+}  // namespace
+
+FlashmobSchedule::FlashmobSchedule(const DatagenConfig& config,
+                                   const Dictionaries& dicts)
+    : sim_start_(config.SimulationStart()), sim_end_(config.SimulationEnd()) {
+  util::Rng rng(config.seed, kStreamFlashmob);
+  // Event count grows with network size: roughly one event per 100 persons,
+  // at least one per simulated month.
+  size_t num_events =
+      std::max<size_t>(static_cast<size_t>(config.num_years) * 12,
+                       config.num_persons / 100);
+  events_.reserve(num_events);
+  double acc = 0;
+  for (size_t e = 0; e < num_events; ++e) {
+    FlashmobEvent ev;
+    ev.tag = dicts.SampleUniformTag(rng);
+    ev.time = sim_start_ + rng.UniformInt(0, sim_end_ - sim_start_ - 1);
+    // Heavy-tailed repercussion: most events are small, a few are global.
+    ev.intensity = static_cast<double>(rng.PowerLaw(1, 100, 2.0));
+    events_.push_back(ev);
+    acc += ev.intensity;
+    intensity_cdf_.push_back(acc);
+  }
+  for (double& c : intensity_cdf_) c /= acc;
+  intensity_cdf_.back() = 1.0;
+}
+
+const FlashmobEvent& FlashmobSchedule::SampleEvent(util::Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(intensity_cdf_.begin(), intensity_cdf_.end(), u);
+  return events_[static_cast<size_t>(it - intensity_cdf_.begin())];
+}
+
+core::DateTime FlashmobSchedule::SamplePostTime(
+    util::Rng& rng, const FlashmobEvent& event,
+    core::DateTime not_before) const {
+  // Two-sided exponential around the peak; scale grows mildly with
+  // intensity (big events reverberate longer). Mean offset ≈ 6–18 hours.
+  double scale_ms = (6.0 + std::log1p(event.intensity) * 4.0) *
+                    static_cast<double>(core::kMillisPerHour);
+  double u = rng.NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  double magnitude = -std::log(u) * scale_ms;
+  double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  core::DateTime t =
+      event.time + static_cast<core::DateTime>(sign * magnitude);
+  if (t < not_before) t = not_before;
+  if (t >= sim_end_) t = sim_end_ - 1;
+  return t;
+}
+
+}  // namespace snb::datagen

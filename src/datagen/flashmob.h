@@ -1,0 +1,51 @@
+// Flashmob events (spec §2.3.3.2): globally generated events with a tag, an
+// occurrence time and an intensity; a fraction of all posts clusters around
+// these events, reproducing the spiky time-correlation of real social
+// activity (volume model after Leskovec et al. [17]). The remaining posts
+// are uniformly distributed over the simulated period.
+
+#ifndef SNB_DATAGEN_FLASHMOB_H_
+#define SNB_DATAGEN_FLASHMOB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/date_time.h"
+#include "datagen/config.h"
+#include "datagen/dictionaries.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+
+struct FlashmobEvent {
+  size_t tag = 0;            // tag index
+  core::DateTime time = 0;   // peak instant
+  double intensity = 1.0;    // repercussion; sampling weight
+};
+
+/// The global flashmob timetable of one Datagen run.
+class FlashmobSchedule {
+ public:
+  FlashmobSchedule(const DatagenConfig& config, const Dictionaries& dicts);
+
+  const std::vector<FlashmobEvent>& events() const { return events_; }
+
+  /// Picks an event, weighted by intensity.
+  const FlashmobEvent& SampleEvent(util::Rng& rng) const;
+
+  /// Samples a post creation instant clustered around the event peak
+  /// (two-sided exponential decay, hours-scale), clamped to
+  /// [not_before, sim_end).
+  core::DateTime SamplePostTime(util::Rng& rng, const FlashmobEvent& event,
+                                core::DateTime not_before) const;
+
+ private:
+  core::DateTime sim_start_;
+  core::DateTime sim_end_;
+  std::vector<FlashmobEvent> events_;
+  std::vector<double> intensity_cdf_;
+};
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_FLASHMOB_H_

@@ -1,0 +1,153 @@
+#include "datagen/person_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+
+namespace {
+
+// RNG stream tags for the person pass.
+constexpr uint64_t kStreamPerson = 201;
+
+}  // namespace
+
+double MeanDegreeForNetworkSize(uint64_t n) {
+  if (n < 2) return 0.0;
+  double logn = std::log10(static_cast<double>(n));
+  double exponent = 0.512 - 0.028 * logn;
+  return std::pow(static_cast<double>(n), exponent);
+}
+
+std::vector<PersonDraft> GeneratePersons(const DatagenConfig& config,
+                                         const Dictionaries& dicts) {
+  const uint64_t n = config.num_persons;
+  SNB_CHECK_GE(n, 2u);
+  const double mean_degree = MeanDegreeForNetworkSize(n);
+
+  // The discrete power law below has an analytic-free mean; normalize it
+  // empirically once so that scaled samples hit `mean_degree` on average.
+  double raw_mean;
+  {
+    util::Rng probe(config.seed, kStreamPerson, uint64_t{0xfeed});
+    double acc = 0;
+    constexpr int kProbes = 4096;
+    for (int i = 0; i < kProbes; ++i) {
+      acc += static_cast<double>(probe.PowerLaw(1, 1000, 2.5));
+    }
+    raw_mean = acc / kProbes;
+  }
+
+  const core::DateTime sim_start = config.SimulationStart();
+  const core::DateTime sim_end = config.SimulationEnd();
+  // Persons join during the first 90 % of the simulation so that even the
+  // youngest account has time to act.
+  const core::DateTime join_end =
+      sim_start + static_cast<core::DateTime>(
+                      0.9 * static_cast<double>(sim_end - sim_start));
+
+  std::vector<PersonDraft> drafts(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    util::Rng rng(config.seed, kStreamPerson, i);
+    PersonDraft& d = drafts[i];
+    core::Person& p = d.record;
+
+    p.id = static_cast<core::Id>(i);
+    d.country = dicts.SampleCountry(rng);
+    size_t city_place = dicts.SampleCityOfCountry(rng, d.country);
+    p.city = dicts.places()[city_place].id;
+
+    const bool female = rng.Bernoulli(0.5);
+    p.gender = female ? "female" : "male";
+    p.first_name = dicts.SampleFirstName(rng, d.country, female);
+    p.last_name = dicts.SampleSurname(rng, d.country);
+
+    // Birthday: ages 18–65 at simulation start.
+    int32_t birth_year =
+        config.start_year - static_cast<int32_t>(rng.UniformInt(18, 65));
+    int32_t birth_month = static_cast<int32_t>(rng.UniformInt(1, 12));
+    int32_t birth_day = static_cast<int32_t>(rng.UniformInt(1, 28));
+    p.birthday = core::DateFromCivil(birth_year, birth_month, birth_day);
+
+    p.creation_date = sim_start + rng.UniformInt(0, join_end - sim_start);
+    p.browser_used = dicts.SampleBrowser(rng);
+    p.location_ip = dicts.SampleIp(rng, d.country);
+
+    // Languages: the country's languages plus English-as-lingua-franca is
+    // already included in the dictionaries.
+    p.speaks = dicts.LanguagesOfCountry(d.country);
+
+    int num_emails = static_cast<int>(rng.UniformInt(1, 3));
+    for (int e = 0; e < num_emails; ++e) {
+      p.emails.push_back(dicts.MakeEmail(rng, p.first_name, p.last_name, e));
+    }
+
+    // Interests: one Zipf-ranked country-correlated main interest plus a few
+    // tags correlated with it (the homophily key of the knows pass).
+    d.main_interest = dicts.SampleInterestTag(rng, d.country);
+    p.interests.push_back(dicts.tags()[d.main_interest].id);
+    for (size_t extra : dicts.SampleCorrelatedTags(
+             rng, d.main_interest, static_cast<int>(rng.UniformInt(1, 4)))) {
+      p.interests.push_back(dicts.tags()[extra].id);
+    }
+
+    // University: ~55 % studied, usually in their home country.
+    if (rng.Bernoulli(0.55)) {
+      size_t uni_country = d.country;
+      if (rng.Bernoulli(0.08)) uni_country = dicts.SampleCountry(rng);
+      const std::vector<size_t>& unis =
+          dicts.UniversitiesOfCountry(uni_country);
+      if (!unis.empty()) {
+        d.university_org = unis[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(unis.size()) - 1))];
+        core::StudyAt study;
+        study.university = dicts.organisations()[d.university_org].id;
+        study.class_year = birth_year + 18 +
+                           static_cast<int32_t>(rng.UniformInt(3, 7));
+        p.study_at.push_back(study);
+      }
+    }
+
+    // Work: 0–2 companies in the home country (occasionally abroad).
+    int num_jobs = static_cast<int>(rng.UniformInt(0, 2));
+    for (int j = 0; j < num_jobs; ++j) {
+      size_t job_country = rng.Bernoulli(0.9) ? d.country
+                                              : dicts.SampleCountry(rng);
+      const std::vector<size_t>& companies =
+          dicts.CompaniesOfCountry(job_country);
+      if (companies.empty()) continue;
+      core::WorkAt work;
+      size_t org = companies[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(companies.size()) - 1))];
+      work.company = dicts.organisations()[org].id;
+      work.work_from = birth_year + 18 +
+                       static_cast<int32_t>(rng.UniformInt(4, 20));
+      // Avoid duplicate company edges.
+      bool dup = false;
+      for (const core::WorkAt& w : p.work_at) {
+        if (w.company == work.company) dup = true;
+      }
+      if (!dup) p.work_at.push_back(work);
+    }
+
+    // Target degree: Facebook-like heavy tail, scaled to the network-size-
+    // dependent mean, and damped for late joiners (less time to make
+    // friends).
+    double raw = static_cast<double>(rng.PowerLaw(1, 1000, 2.5));
+    double time_left_fraction =
+        static_cast<double>(sim_end - p.creation_date) /
+        static_cast<double>(sim_end - sim_start);
+    double scaled =
+        raw * mean_degree / raw_mean * std::sqrt(time_left_fraction);
+    d.target_degree = static_cast<uint32_t>(std::max(1.0, scaled));
+    // Cap: nobody is friends with more than ~1/3 of the network.
+    d.target_degree = std::min<uint32_t>(
+        d.target_degree, static_cast<uint32_t>(std::max<uint64_t>(n / 3, 1)));
+  }
+  return drafts;
+}
+
+}  // namespace snb::datagen

@@ -1,0 +1,43 @@
+// Person generation (spec Fig. 2.2, step "generate persons"): all Person
+// attributes plus the minimum information the later passes need — interests,
+// study/work affiliations, and the target knows-degree drawn from a
+// Facebook-like distribution [Ugander et al., 2011].
+
+#ifndef SNB_DATAGEN_PERSON_GENERATOR_H_
+#define SNB_DATAGEN_PERSON_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schema.h"
+#include "datagen/config.h"
+#include "datagen/dictionaries.h"
+
+namespace snb::datagen {
+
+/// A person plus the generator-internal fields the knows/activity passes use.
+struct PersonDraft {
+  core::Person record;          // record.id == index in the drafts vector
+  size_t country = 0;           // dictionary country index
+  size_t university_org = SIZE_MAX;  // org index, SIZE_MAX if none
+  size_t main_interest = 0;     // tag index: the interest correlation key
+  uint32_t target_degree = 0;   // knows-degree budget
+
+  // Filled by the knows generator.
+  std::vector<uint32_t> friends;             // person indices
+  std::vector<core::DateTime> friend_dates;  // parallel to `friends`
+};
+
+/// Mean knows-degree for a network of n persons, following the density law of
+/// the Facebook graph (mean degree grows sublinearly with network size):
+/// n^(0.512 - 0.028 * log10(n)), as used by the reference Datagen.
+double MeanDegreeForNetworkSize(uint64_t n);
+
+/// Generates all persons. Deterministic: person i's attributes depend only on
+/// (config.seed, i).
+std::vector<PersonDraft> GeneratePersons(const DatagenConfig& config,
+                                         const Dictionaries& dicts);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_PERSON_GENERATOR_H_

@@ -1,0 +1,293 @@
+// CsvComposite / CsvCompositeMergeForeign serializers (spec Tables
+// 2.15/2.16): the CsvBasic / CsvMergeForeign layouts with the two
+// multi-valued Person attributes (email, speaks) folded into ';'-composite
+// columns of the person file, dropping their standalone files.
+
+#include <filesystem>
+
+#include "core/date_time.h"
+#include "datagen/serializer.h"
+#include "util/csv.h"
+
+namespace snb::datagen {
+
+using core::SocialNetwork;
+using util::CsvWriter;
+using util::Status;
+
+namespace {
+
+std::string I(core::Id id) { return std::to_string(id); }
+
+Status OpenFile(CsvWriter& w, const std::string& dir, const std::string& sub,
+                const std::string& stem,
+                const std::vector<std::string>& header) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/" + sub, ec);
+  if (ec) return Status::IoError("cannot create directory " + dir);
+  return w.Open(dir + "/" + sub + "/" + stem + "_0_0.csv", header);
+}
+
+/// Removes `drop` stems from a base stem list.
+std::vector<std::string> Without(const std::vector<std::string>& base,
+                                 const std::vector<std::string>& drop) {
+  std::vector<std::string> out;
+  for (const std::string& stem : base) {
+    bool dropped = false;
+    for (const std::string& d : drop) {
+      if (stem == d) dropped = true;
+    }
+    if (!dropped) out.push_back(stem);
+  }
+  return out;
+}
+
+const std::vector<std::string> kCompositeDropped = {
+    "person_email_emailaddress", "person_speaks_language"};
+
+/// Writes the composite person file (the only file that differs from the
+/// non-composite variant besides the two dropped attribute files).
+Status WriteCompositePersons(CsvWriter& w, const SocialNetwork& net,
+                             const std::string& dir, bool merge_foreign) {
+  std::vector<std::string> header = {"id",           "firstName",
+                                     "lastName",     "gender",
+                                     "birthday",     "creationDate",
+                                     "locationIP",   "browserUsed"};
+  if (merge_foreign) header.push_back("place");
+  header.push_back("language");
+  header.push_back("emails");
+  SNB_RETURN_IF_ERROR(OpenFile(w, dir, "dynamic", "person", header));
+  for (const auto& p : net.persons) {
+    std::vector<std::string> row = {I(p.id),
+                                    p.first_name,
+                                    p.last_name,
+                                    p.gender,
+                                    core::FormatDate(p.birthday),
+                                    core::FormatDateTime(p.creation_date),
+                                    p.location_ip,
+                                    p.browser_used};
+    if (merge_foreign) row.push_back(I(p.city));
+    row.push_back(util::JoinMultiValued(p.speaks));
+    row.push_back(util::JoinMultiValued(p.emails));
+    w.WriteRow(row);
+  }
+  return w.Close();
+}
+
+/// Deletes the two standalone multi-valued attribute files a base-format
+/// writer produced, leaving the composite layout.
+Status DropAttributeFiles(const std::string& dir) {
+  for (const std::string& stem : kCompositeDropped) {
+    std::error_code ec;
+    std::filesystem::remove(dir + "/dynamic/" + stem + "_0_0.csv", ec);
+    if (ec) return Status::IoError("cannot drop " + stem);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const std::vector<std::string>& CsvCompositeFileStems() {
+  static const std::vector<std::string>* kStems = new std::vector<std::string>(
+      Without(CsvBasicFileStems(), kCompositeDropped));
+  return *kStems;
+}
+
+const std::vector<std::string>& CsvCompositeMergeForeignFileStems() {
+  static const std::vector<std::string>* kStems = new std::vector<std::string>(
+      Without(CsvMergeForeignFileStems(), kCompositeDropped));
+  return *kStems;
+}
+
+Status WriteCsvComposite(const SocialNetwork& net, const std::string& dir) {
+  // The non-person files are identical to CsvBasic; write that layout, then
+  // replace the person file and drop the attribute files.
+  SNB_RETURN_IF_ERROR(WriteCsvBasic(net, dir));
+  SNB_RETURN_IF_ERROR(DropAttributeFiles(dir));
+  CsvWriter w;
+  return WriteCompositePersons(w, net, dir, /*merge_foreign=*/false);
+}
+
+Status WriteCsvCompositeMergeForeign(const SocialNetwork& net,
+                                     const std::string& dir) {
+  SNB_RETURN_IF_ERROR(WriteCsvMergeForeign(net, dir));
+  SNB_RETURN_IF_ERROR(DropAttributeFiles(dir));
+  CsvWriter w;
+  return WriteCompositePersons(w, net, dir, /*merge_foreign=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Turtle (RDF)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Escapes a literal for Turtle double-quoted strings.
+std::string TtlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Lit(const std::string& text) {
+  return "\"" + TtlEscape(text) + "\"";
+}
+
+std::string DateTimeLit(core::DateTime dt) {
+  return "\"" + core::FormatDateTime(dt) +
+         "\"^^xsd:dateTime";
+}
+
+constexpr char kPrefixes[] =
+    "@prefix snvoc: <http://snb.example.org/vocabulary/> .\n"
+    "@prefix sn: <http://snb.example.org/data/> .\n"
+    "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\n";
+
+}  // namespace
+
+Status WriteTurtle(const SocialNetwork& net, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory " + dir);
+
+  // ---- static part ----------------------------------------------------------
+  std::FILE* f =
+      std::fopen((dir + "/0_ldbc_socialnet_static_dbp.ttl").c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open static turtle file");
+  std::fputs(kPrefixes, f);
+  for (const auto& p : net.places) {
+    const char* type = p.type == core::PlaceType::kCity      ? "City"
+                       : p.type == core::PlaceType::kCountry ? "Country"
+                                                             : "Continent";
+    std::fprintf(f, "sn:place%lld a snvoc:%s ;\n    snvoc:name %s",
+                 static_cast<long long>(p.id), type, Lit(p.name).c_str());
+    if (p.part_of != core::kNoId) {
+      std::fprintf(f, " ;\n    snvoc:isPartOf sn:place%lld",
+                   static_cast<long long>(p.part_of));
+    }
+    std::fputs(" .\n", f);
+  }
+  for (const auto& tc : net.tag_classes) {
+    std::fprintf(f, "sn:tagclass%lld a snvoc:TagClass ;\n    snvoc:name %s",
+                 static_cast<long long>(tc.id), Lit(tc.name).c_str());
+    if (tc.parent != core::kNoId) {
+      std::fprintf(f, " ;\n    snvoc:isSubclassOf sn:tagclass%lld",
+                   static_cast<long long>(tc.parent));
+    }
+    std::fputs(" .\n", f);
+  }
+  for (const auto& t : net.tags) {
+    std::fprintf(f,
+                 "sn:tag%lld a snvoc:Tag ;\n    snvoc:name %s ;\n"
+                 "    snvoc:hasType sn:tagclass%lld .\n",
+                 static_cast<long long>(t.id), Lit(t.name).c_str(),
+                 static_cast<long long>(t.tag_class));
+  }
+  for (const auto& o : net.organisations) {
+    std::fprintf(f,
+                 "sn:organisation%lld a snvoc:%s ;\n    snvoc:name %s ;\n"
+                 "    snvoc:isLocatedIn sn:place%lld .\n",
+                 static_cast<long long>(o.id),
+                 o.type == core::OrganisationType::kUniversity ? "University"
+                                                               : "Company",
+                 Lit(o.name).c_str(), static_cast<long long>(o.place));
+  }
+  if (std::fclose(f) != 0) return Status::IoError("static turtle close");
+
+  // ---- dynamic part ----------------------------------------------------------
+  f = std::fopen((dir + "/0_ldbc_socialnet.ttl").c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open dynamic turtle file");
+  std::fputs(kPrefixes, f);
+  for (const auto& p : net.persons) {
+    std::fprintf(f,
+                 "sn:pers%lld a snvoc:Person ;\n    snvoc:firstName %s ;\n"
+                 "    snvoc:lastName %s ;\n    snvoc:gender %s ;\n"
+                 "    snvoc:creationDate %s ;\n"
+                 "    snvoc:isLocatedIn sn:place%lld",
+                 static_cast<long long>(p.id), Lit(p.first_name).c_str(),
+                 Lit(p.last_name).c_str(), Lit(p.gender).c_str(),
+                 DateTimeLit(p.creation_date).c_str(),
+                 static_cast<long long>(p.city));
+    for (const std::string& email : p.emails) {
+      std::fprintf(f, " ;\n    snvoc:email %s", Lit(email).c_str());
+    }
+    for (const std::string& lang : p.speaks) {
+      std::fprintf(f, " ;\n    snvoc:speaks %s", Lit(lang).c_str());
+    }
+    for (core::Id tag : p.interests) {
+      std::fprintf(f, " ;\n    snvoc:hasInterest sn:tag%lld",
+                   static_cast<long long>(tag));
+    }
+    std::fputs(" .\n", f);
+  }
+  for (const auto& k : net.knows) {
+    std::fprintf(f, "sn:pers%lld snvoc:knows sn:pers%lld .\n",
+                 static_cast<long long>(k.person1),
+                 static_cast<long long>(k.person2));
+  }
+  for (const auto& forum : net.forums) {
+    std::fprintf(f,
+                 "sn:forum%lld a snvoc:Forum ;\n    snvoc:title %s ;\n"
+                 "    snvoc:hasModerator sn:pers%lld .\n",
+                 static_cast<long long>(forum.id),
+                 Lit(forum.title).c_str(),
+                 static_cast<long long>(forum.moderator));
+  }
+  for (const auto& p : net.posts) {
+    std::fprintf(f,
+                 "sn:post%lld a snvoc:Post ;\n    snvoc:creationDate %s ;\n"
+                 "    snvoc:hasCreator sn:pers%lld ;\n"
+                 "    snvoc:containerOf sn:forum%lld",
+                 static_cast<long long>(p.id),
+                 DateTimeLit(p.creation_date).c_str(),
+                 static_cast<long long>(p.creator),
+                 static_cast<long long>(p.forum));
+    if (!p.content.empty()) {
+      std::fprintf(f, " ;\n    snvoc:content %s", Lit(p.content).c_str());
+    }
+    for (core::Id tag : p.tags) {
+      std::fprintf(f, " ;\n    snvoc:hasTag sn:tag%lld",
+                   static_cast<long long>(tag));
+    }
+    std::fputs(" .\n", f);
+  }
+  for (const auto& c : net.comments) {
+    std::fprintf(f,
+                 "sn:comm%lld a snvoc:Comment ;\n    snvoc:creationDate %s ;\n"
+                 "    snvoc:hasCreator sn:pers%lld ;\n    snvoc:replyOf sn:%s%lld .\n",
+                 static_cast<long long>(c.id),
+                 DateTimeLit(c.creation_date).c_str(),
+                 static_cast<long long>(c.creator),
+                 c.reply_of_post != core::kNoId ? "post" : "comm",
+                 static_cast<long long>(c.reply_of_post != core::kNoId
+                                            ? c.reply_of_post
+                                            : c.reply_of_comment));
+  }
+  for (const auto& l : net.likes) {
+    std::fprintf(f, "sn:pers%lld snvoc:likes sn:%s%lld .\n",
+                 static_cast<long long>(l.person), l.is_post ? "post" : "comm",
+                 static_cast<long long>(l.message));
+  }
+  if (std::fclose(f) != 0) return Status::IoError("dynamic turtle close");
+  return Status::Ok();
+}
+
+}  // namespace snb::datagen

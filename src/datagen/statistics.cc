@@ -1,0 +1,131 @@
+#include "datagen/statistics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/date_time.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+
+DatasetStatistics ComputeStatistics(const core::SocialNetwork& net) {
+  DatasetStatistics s;
+  s.num_persons = net.persons.size();
+  s.num_forums = net.forums.size();
+  s.num_posts = net.posts.size();
+  s.num_comments = net.comments.size();
+  s.num_knows = net.knows.size();
+  s.num_likes = net.likes.size();
+  s.num_memberships = net.memberships.size();
+  s.num_nodes = net.NumNodes();
+  s.num_edges = net.NumEdges();
+
+  // Person id → position (ids are dense for generated data, but the
+  // statistics must also hold for loaded data with arbitrary ids).
+  std::unordered_map<core::Id, size_t> person_pos;
+  person_pos.reserve(net.persons.size());
+  for (size_t i = 0; i < net.persons.size(); ++i) {
+    person_pos[net.persons[i].id] = i;
+  }
+
+  std::vector<uint32_t> degree(net.persons.size(), 0);
+  for (const core::Knows& k : net.knows) {
+    auto it1 = person_pos.find(k.person1);
+    auto it2 = person_pos.find(k.person2);
+    SNB_CHECK(it1 != person_pos.end() && it2 != person_pos.end());
+    ++degree[it1->second];
+    ++degree[it2->second];
+  }
+  uint64_t total_degree = 0;
+  for (uint32_t d : degree) {
+    total_degree += d;
+    s.max_degree = std::max(s.max_degree, d);
+    size_t bucket = 0;
+    while ((uint32_t{1} << (bucket + 1)) <= std::max<uint32_t>(d, 1)) {
+      ++bucket;
+    }
+    if (s.degree_histogram_log2.size() <= bucket) {
+      s.degree_histogram_log2.resize(bucket + 1, 0);
+    }
+    ++s.degree_histogram_log2[bucket];
+  }
+  s.avg_degree = net.persons.empty()
+                     ? 0.0
+                     : static_cast<double>(total_degree) /
+                           static_cast<double>(net.persons.size());
+
+  // Homophily measurement over the actual edges vs random person pairs.
+  std::unordered_map<core::Id, core::Id> city_country;  // city → country
+  for (const core::Place& p : net.places) {
+    if (p.type == core::PlaceType::kCity) city_country[p.id] = p.part_of;
+  }
+  auto country_of = [&](const core::Person& p) {
+    auto it = city_country.find(p.city);
+    return it == city_country.end() ? core::kNoId : it->second;
+  };
+  auto university_of = [](const core::Person& p) {
+    return p.study_at.empty() ? core::kNoId : p.study_at[0].university;
+  };
+  auto share_interest = [](const core::Person& a, const core::Person& b) {
+    for (core::Id t : a.interests) {
+      if (std::find(b.interests.begin(), b.interests.end(), t) !=
+          b.interests.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t same_country = 0, same_uni = 0, common_interest = 0;
+  for (const core::Knows& k : net.knows) {
+    const core::Person& a = net.persons[person_pos[k.person1]];
+    const core::Person& b = net.persons[person_pos[k.person2]];
+    if (country_of(a) == country_of(b)) ++same_country;
+    if (university_of(a) != core::kNoId &&
+        university_of(a) == university_of(b)) {
+      ++same_uni;
+    }
+    if (share_interest(a, b)) ++common_interest;
+  }
+  if (!net.knows.empty()) {
+    double e = static_cast<double>(net.knows.size());
+    s.frac_same_country = static_cast<double>(same_country) / e;
+    s.frac_same_university = static_cast<double>(same_uni) / e;
+    s.frac_common_interest = static_cast<double>(common_interest) / e;
+  }
+
+  // Random-pair baseline, sampled with a fixed seed.
+  if (net.persons.size() >= 2) {
+    util::Rng rng(0xba5eULL);
+    size_t trials = std::min<size_t>(20000, net.persons.size() * 4);
+    size_t rc = 0, ru = 0, ri = 0;
+    for (size_t t = 0; t < trials; ++t) {
+      size_t i = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(net.persons.size()) - 1));
+      size_t j = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(net.persons.size()) - 1));
+      if (i == j) continue;
+      const core::Person& a = net.persons[i];
+      const core::Person& b = net.persons[j];
+      if (country_of(a) == country_of(b)) ++rc;
+      if (university_of(a) != core::kNoId &&
+          university_of(a) == university_of(b)) {
+        ++ru;
+      }
+      if (share_interest(a, b)) ++ri;
+    }
+    s.random_same_country = static_cast<double>(rc) / trials;
+    s.random_same_university = static_cast<double>(ru) / trials;
+    s.random_common_interest = static_cast<double>(ri) / trials;
+  }
+
+  for (const core::Post& p : net.posts) {
+    ++s.posts_per_day[core::DateFromDateTime(p.creation_date)];
+  }
+
+  return s;
+}
+
+}  // namespace snb::datagen

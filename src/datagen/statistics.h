@@ -1,0 +1,55 @@
+// Dataset statistics: the measurable artefacts behind spec Table 2.12
+// (node/edge counts), the Facebook-like degree distribution, the flashmob
+// activity timeline, and the homophily of the knows graph. Consumed by
+// tests and by the table/figure regenerator benches.
+
+#ifndef SNB_DATAGEN_STATISTICS_H_
+#define SNB_DATAGEN_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/schema.h"
+
+namespace snb::datagen {
+
+struct DatasetStatistics {
+  size_t num_persons = 0;
+  size_t num_forums = 0;
+  size_t num_posts = 0;
+  size_t num_comments = 0;
+  size_t num_knows = 0;
+  size_t num_likes = 0;
+  size_t num_memberships = 0;
+  size_t num_nodes = 0;  // Table 2.12 definition: all entities
+  size_t num_edges = 0;  // Table 2.12 definition: all relation rows
+
+  double avg_degree = 0;  // knows graph
+  uint32_t max_degree = 0;
+
+  /// Degree histogram, log2 buckets: bucket b counts persons with degree in
+  /// [2^b, 2^(b+1)).
+  std::vector<size_t> degree_histogram_log2;
+
+  /// Homophily: fraction of knows edges whose endpoints share…
+  double frac_same_country = 0;
+  double frac_same_university = 0;
+  double frac_common_interest = 0;
+
+  /// Expected values of the same fractions under random pairing (baseline
+  /// for the correlation figure).
+  double random_same_country = 0;
+  double random_same_university = 0;
+  double random_common_interest = 0;
+
+  /// Posts per simulated day (flashmob spike figure).
+  std::map<core::Date, size_t> posts_per_day;
+};
+
+/// Computes all statistics over a (bulk) network.
+DatasetStatistics ComputeStatistics(const core::SocialNetwork& net);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_STATISTICS_H_

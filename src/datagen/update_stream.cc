@@ -1,0 +1,362 @@
+#include "datagen/update_stream.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/date_time.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace snb::datagen {
+
+namespace {
+
+constexpr char kPersonStreamFile[] = "/updateStream_0_0_person.csv";
+constexpr char kForumStreamFile[] = "/updateStream_0_0_forum.csv";
+
+std::string I(core::Id id) { return std::to_string(id); }
+
+std::string JoinIds(const std::vector<core::Id>& ids) {
+  std::vector<std::string> parts;
+  parts.reserve(ids.size());
+  for (core::Id id : ids) parts.push_back(std::to_string(id));
+  return util::JoinMultiValued(parts);
+}
+
+}  // namespace
+
+std::vector<std::string> UpdateEventFields(const UpdateEvent& event) {
+  switch (event.kind) {
+    case UpdateKind::kAddPerson: {
+      const auto& p = std::get<core::Person>(event.payload);
+      std::vector<std::string> study, work;
+      for (const core::StudyAt& s : p.study_at) {
+        study.push_back(std::to_string(s.university) + "," +
+                        std::to_string(s.class_year));
+      }
+      for (const core::WorkAt& w : p.work_at) {
+        work.push_back(std::to_string(w.company) + "," +
+                       std::to_string(w.work_from));
+      }
+      return {I(p.id),
+              p.first_name,
+              p.last_name,
+              p.gender,
+              core::FormatDate(p.birthday),
+              core::FormatDateTime(p.creation_date),
+              p.location_ip,
+              p.browser_used,
+              I(p.city),
+              util::JoinMultiValued(p.speaks),
+              util::JoinMultiValued(p.emails),
+              JoinIds(p.interests),
+              util::JoinMultiValued(study),
+              util::JoinMultiValued(work)};
+    }
+    case UpdateKind::kAddLikePost:
+    case UpdateKind::kAddLikeComment: {
+      const auto& l = std::get<core::Like>(event.payload);
+      return {I(l.person), I(l.message),
+              core::FormatDateTime(l.creation_date)};
+    }
+    case UpdateKind::kAddForum: {
+      const auto& f = std::get<core::Forum>(event.payload);
+      return {I(f.id), util::SanitizeField(f.title),
+              core::FormatDateTime(f.creation_date), I(f.moderator),
+              JoinIds(f.tags)};
+    }
+    case UpdateKind::kAddMembership: {
+      const auto& m = std::get<core::ForumMembership>(event.payload);
+      return {I(m.person), I(m.forum), core::FormatDateTime(m.join_date)};
+    }
+    case UpdateKind::kAddPost: {
+      const auto& p = std::get<core::Post>(event.payload);
+      return {I(p.id),
+              p.image_file,
+              core::FormatDateTime(p.creation_date),
+              p.location_ip,
+              p.browser_used,
+              p.language,
+              util::SanitizeField(p.content),
+              std::to_string(p.length),
+              I(p.creator),
+              I(p.forum),
+              I(p.country),
+              JoinIds(p.tags)};
+    }
+    case UpdateKind::kAddComment: {
+      const auto& c = std::get<core::Comment>(event.payload);
+      return {I(c.id),
+              core::FormatDateTime(c.creation_date),
+              c.location_ip,
+              c.browser_used,
+              util::SanitizeField(c.content),
+              std::to_string(c.length),
+              I(c.creator),
+              I(c.country),
+              I(c.reply_of_post),     // -1 when replying to a comment
+              I(c.reply_of_comment),  // -1 when replying to a post
+              JoinIds(c.tags)};
+    }
+    case UpdateKind::kAddKnows: {
+      const auto& k = std::get<core::Knows>(event.payload);
+      return {I(k.person1), I(k.person2),
+              core::FormatDateTime(k.creation_date)};
+    }
+  }
+  SNB_CHECK(false);
+  return {};
+}
+
+util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,
+                                const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return util::Status::IoError("cannot create directory " + dir);
+
+  std::FILE* person_stream =
+      std::fopen((dir + kPersonStreamFile).c_str(), "w");
+  if (person_stream == nullptr) {
+    return util::Status::IoError("cannot open person update stream");
+  }
+  std::FILE* forum_stream =
+      std::fopen((dir + kForumStreamFile).c_str(), "w");
+  if (forum_stream == nullptr) {
+    std::fclose(person_stream);
+    return util::Status::IoError("cannot open forum update stream");
+  }
+
+  for (const UpdateEvent& e : updates) {
+    std::string line = std::to_string(e.timestamp) + "|" +
+                       std::to_string(e.dependency) + "|" +
+                       std::to_string(static_cast<int>(e.kind));
+    for (const std::string& field : UpdateEventFields(e)) {
+      line.push_back('|');
+      line.append(field);
+    }
+    line.push_back('\n');
+    std::FILE* target =
+        e.kind == UpdateKind::kAddPerson ? person_stream : forum_stream;
+    std::fwrite(line.data(), 1, line.size(), target);
+  }
+
+  int rc1 = std::fclose(person_stream);
+  int rc2 = std::fclose(forum_stream);
+  if (rc1 != 0 || rc2 != 0) {
+    return util::Status::IoError("fclose failed for update streams");
+  }
+  return util::Status::Ok();
+}
+
+
+namespace {
+
+core::Id ParseId(const std::string& s) {
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+int32_t ParseI32(const std::string& s) {
+  return static_cast<int32_t>(std::strtol(s.c_str(), nullptr, 10));
+}
+
+std::vector<core::Id> ParseIds(const std::string& field) {
+  std::vector<core::Id> out;
+  for (const std::string& part : util::SplitMultiValued(field)) {
+    out.push_back(ParseId(part));
+  }
+  return out;
+}
+
+util::Status ParseDateTimeOr(const std::string& text, core::DateTime* out) {
+  if (!core::ParseDateTime(text, out)) {
+    return util::Status::CorruptData("bad datetime in update stream: " + text);
+  }
+  return util::Status::Ok();
+}
+
+/// Parses one stream line into an UpdateEvent.
+util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
+  std::vector<std::string> f;
+  size_t start = 0;
+  while (true) {
+    size_t pos = line.find('|', start);
+    if (pos == std::string::npos) {
+      f.push_back(line.substr(start));
+      break;
+    }
+    f.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  if (f.size() < 4) return util::Status::CorruptData("short stream line");
+  out->timestamp = std::strtoll(f[0].c_str(), nullptr, 10);
+  out->dependency = std::strtoll(f[1].c_str(), nullptr, 10);
+  int op = ParseI32(f[2]);
+  auto field = [&](size_t i) -> const std::string& { return f[3 + i]; };
+  switch (op) {
+    case 1: {
+      if (f.size() != 3 + 14) return util::Status::CorruptData("IU1 width");
+      core::Person p;
+      p.id = ParseId(field(0));
+      p.first_name = field(1);
+      p.last_name = field(2);
+      p.gender = field(3);
+      if (!core::ParseDate(field(4), &p.birthday)) {
+        return util::Status::CorruptData("bad birthday");
+      }
+      SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(5), &p.creation_date));
+      p.location_ip = field(6);
+      p.browser_used = field(7);
+      p.city = ParseId(field(8));
+      p.speaks = util::SplitMultiValued(field(9));
+      p.emails = util::SplitMultiValued(field(10));
+      p.interests = ParseIds(field(11));
+      for (const std::string& pair : util::SplitMultiValued(field(12))) {
+        size_t comma = pair.find(',');
+        p.study_at.push_back({ParseId(pair.substr(0, comma)),
+                              ParseI32(pair.substr(comma + 1))});
+      }
+      for (const std::string& pair : util::SplitMultiValued(field(13))) {
+        size_t comma = pair.find(',');
+        p.work_at.push_back({ParseId(pair.substr(0, comma)),
+                             ParseI32(pair.substr(comma + 1))});
+      }
+      out->kind = UpdateKind::kAddPerson;
+      out->payload = std::move(p);
+      return util::Status::Ok();
+    }
+    case 2:
+    case 3: {
+      if (f.size() != 3 + 3) return util::Status::CorruptData("IU2/3 width");
+      core::Like l;
+      l.person = ParseId(field(0));
+      l.message = ParseId(field(1));
+      l.is_post = op == 2;
+      SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(2), &l.creation_date));
+      out->kind = op == 2 ? UpdateKind::kAddLikePost
+                          : UpdateKind::kAddLikeComment;
+      out->payload = l;
+      return util::Status::Ok();
+    }
+    case 4: {
+      if (f.size() != 3 + 5) return util::Status::CorruptData("IU4 width");
+      core::Forum forum;
+      forum.id = ParseId(field(0));
+      forum.title = field(1);
+      SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(2), &forum.creation_date));
+      forum.moderator = ParseId(field(3));
+      forum.tags = ParseIds(field(4));
+      forum.kind = forum.title.rfind("Wall", 0) == 0
+                       ? core::ForumKind::kWall
+                   : forum.title.rfind("Album", 0) == 0
+                       ? core::ForumKind::kAlbum
+                       : core::ForumKind::kGroup;
+      out->kind = UpdateKind::kAddForum;
+      out->payload = std::move(forum);
+      return util::Status::Ok();
+    }
+    case 5: {
+      if (f.size() != 3 + 3) return util::Status::CorruptData("IU5 width");
+      core::ForumMembership m;
+      m.person = ParseId(field(0));
+      m.forum = ParseId(field(1));
+      SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(2), &m.join_date));
+      out->kind = UpdateKind::kAddMembership;
+      out->payload = m;
+      return util::Status::Ok();
+    }
+    case 6: {
+      if (f.size() != 3 + 12) return util::Status::CorruptData("IU6 width");
+      core::Post p;
+      p.id = ParseId(field(0));
+      p.image_file = field(1);
+      SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(2), &p.creation_date));
+      p.location_ip = field(3);
+      p.browser_used = field(4);
+      p.language = field(5);
+      p.content = field(6);
+      p.length = ParseI32(field(7));
+      p.creator = ParseId(field(8));
+      p.forum = ParseId(field(9));
+      p.country = ParseId(field(10));
+      p.tags = ParseIds(field(11));
+      out->kind = UpdateKind::kAddPost;
+      out->payload = std::move(p);
+      return util::Status::Ok();
+    }
+    case 7: {
+      if (f.size() != 3 + 11) return util::Status::CorruptData("IU7 width");
+      core::Comment c;
+      c.id = ParseId(field(0));
+      SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(1), &c.creation_date));
+      c.location_ip = field(2);
+      c.browser_used = field(3);
+      c.content = field(4);
+      c.length = ParseI32(field(5));
+      c.creator = ParseId(field(6));
+      c.country = ParseId(field(7));
+      c.reply_of_post = ParseId(field(8));
+      c.reply_of_comment = ParseId(field(9));
+      c.tags = ParseIds(field(10));
+      out->kind = UpdateKind::kAddComment;
+      out->payload = std::move(c);
+      return util::Status::Ok();
+    }
+    case 8: {
+      if (f.size() != 3 + 3) return util::Status::CorruptData("IU8 width");
+      core::Knows k;
+      k.person1 = ParseId(field(0));
+      k.person2 = ParseId(field(1));
+      SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(2), &k.creation_date));
+      out->kind = UpdateKind::kAddKnows;
+      out->payload = k;
+      return util::Status::Ok();
+    }
+    default:
+      return util::Status::CorruptData("unknown opId " + f[2]);
+  }
+}
+
+util::Status ReadStreamFile(const std::string& path,
+                            std::vector<UpdateEvent>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  std::string buffer;
+  char chunk[1 << 16];
+  util::Status status = util::Status::Ok();
+  while (std::fgets(chunk, sizeof(chunk), f) != nullptr) {
+    buffer.append(chunk);
+    if (buffer.empty() || buffer.back() != '\n') continue;
+    buffer.pop_back();
+    UpdateEvent event;
+    status = ParseEventLine(buffer, &event);
+    if (!status.ok()) break;
+    out->push_back(std::move(event));
+    buffer.clear();
+  }
+  std::fclose(f);
+  return status;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<UpdateEvent>> ReadUpdateStreams(
+    const std::string& dir) {
+  std::vector<UpdateEvent> events;
+  SNB_RETURN_IF_ERROR(ReadStreamFile(dir + kPersonStreamFile, &events));
+  SNB_RETURN_IF_ERROR(ReadStreamFile(dir + kForumStreamFile, &events));
+  // Stable merge: in-file order is generation order for equal keys.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const UpdateEvent& a, const UpdateEvent& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
+                   });
+  return events;
+}
+
+}  // namespace snb::datagen

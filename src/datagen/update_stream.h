@@ -1,0 +1,36 @@
+// Update-stream serialization (spec §2.3.4.3, Tables 2.17–2.18).
+//
+// Two files: updateStream_0_0_person.csv carries IU 1 (add person) and
+// updateStream_0_0_forum.csv carries IU 2–8. Each line is
+// `t|t_d|opId|<operation fields…>` where t is the simulation timestamp and
+// t_d the dependency timestamp (latest creation among referenced entities).
+
+#ifndef SNB_DATAGEN_UPDATE_STREAM_H_
+#define SNB_DATAGEN_UPDATE_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "util/status.h"
+
+namespace snb::datagen {
+
+/// Serializes one update event into its Table 2.18 field list (excluding the
+/// leading t|t_d|opId triple).
+std::vector<std::string> UpdateEventFields(const UpdateEvent& event);
+
+/// Writes both stream files under `dir`.
+util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,
+                                const std::string& dir);
+
+/// Reads both stream files back into a single timestamp-ordered event list —
+/// the driver-side consumer of the Datagen artefacts. Inverse of
+/// WriteUpdateStreams up to sub-millisecond text truncation (exact for
+/// generated data, which is millisecond-precise).
+util::StatusOr<std::vector<UpdateEvent>> ReadUpdateStreams(
+    const std::string& dir);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_UPDATE_STREAM_H_

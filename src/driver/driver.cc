@@ -1,0 +1,600 @@
+#include "driver/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "bi/bi.h"
+#include "interactive/interactive.h"
+#include "interactive/updates.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snb::driver {
+
+using Clock = std::chrono::steady_clock;
+
+double OperationStats::PercentileMs(double p) const {
+  if (latencies_ms.empty()) return 0;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+namespace {
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+class Recorder {
+ public:
+  explicit Recorder(DriverReport& report) : report_(report) {}
+
+  template <typename Fn>
+  size_t Run(const std::string& op, double scheduled_ms,
+             Clock::time_point t0, Fn&& fn) {
+    double actual_ms = MsSince(t0);
+    size_t rows = fn();
+    double end_ms = MsSince(t0);
+    OperationStats& stats = report_.per_operation[op];
+    double latency = end_ms - actual_ms;
+    ++stats.count;
+    stats.total_ms += latency;
+    stats.max_ms = std::max(stats.max_ms, latency);
+    stats.latencies_ms.push_back(latency);
+    ++report_.total_operations;
+    report_.results_log.push_back(
+        {op, scheduled_ms, actual_ms, latency, rows});
+    if (actual_ms - scheduled_ms >= 1000.0) ++late_;
+    return rows;
+  }
+
+  size_t late() const { return late_; }
+
+ private:
+  DriverReport& report_;
+  size_t late_ = 0;
+};
+
+}  // namespace
+
+DriverReport RunInteractiveWorkload(
+    storage::Graph& graph, const std::vector<datagen::UpdateEvent>& updates,
+    const params::WorkloadParameters& params, const DriverConfig& config) {
+  DriverReport report;
+  Recorder recorder(report);
+  util::Rng rng(config.seed, uint64_t{0xd417e});
+
+  const core::InteractiveFrequencies freq =
+      core::FrequenciesForScaleFactor(config.sf_name);
+
+  // Cursors into the parameter lists, advanced round-robin.
+  size_t cursor[14] = {0};
+  // Update countdowns per complex-read type.
+  int32_t countdown[14];
+  for (int i = 0; i < 14; ++i) countdown[i] = freq.freq[i];
+
+  // Short-read substitution state, fed from complex-read results.
+  std::vector<core::Id> recent_persons;
+  std::vector<std::pair<core::Id, bool>> recent_messages;  // (id, is_post)
+  auto remember_person = [&](core::Id id) {
+    recent_persons.push_back(id);
+    if (recent_persons.size() > 64) {
+      recent_persons.erase(recent_persons.begin());
+    }
+  };
+  auto remember_message = [&](core::Id id, bool is_post) {
+    recent_messages.emplace_back(id, is_post);
+    if (recent_messages.size() > 64) {
+      recent_messages.erase(recent_messages.begin());
+    }
+  };
+
+  const Clock::time_point t0 = Clock::now();
+  const core::DateTime sim_t0 =
+      updates.empty() ? 0 : updates.front().timestamp;
+  auto scheduled_ms_of = [&](core::DateTime sim_t) {
+    return static_cast<double>(sim_t - sim_t0) / config.acceleration;
+  };
+
+  auto maybe_pace = [&](double scheduled_ms) {
+    if (config.as_fast_as_possible) return;
+    double now = MsSince(t0);
+    if (now < scheduled_ms) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(scheduled_ms - now));
+    }
+  };
+
+  auto run_short_read_sequence = [&](bool person_centric,
+                                     double scheduled_ms) {
+    double p = config.short_read_probability;
+    while (rng.NextDouble() < p) {
+      p *= 0.5;
+      if (person_centric && !recent_persons.empty()) {
+        core::Id person = recent_persons[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(recent_persons.size()) - 1))];
+        recorder.Run("IS 1", scheduled_ms, t0, [&] {
+          return interactive::RunIs1(graph, person).size();
+        });
+        recorder.Run("IS 2", scheduled_ms, t0, [&] {
+          auto rows = interactive::RunIs2(graph, person);
+          for (const auto& r : rows) {
+            remember_message(r.original_post_id, true);
+          }
+          return rows.size();
+        });
+        recorder.Run("IS 3", scheduled_ms, t0, [&] {
+          auto rows = interactive::RunIs3(graph, person);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        ++report.short_reads;
+        report.short_reads += 2;
+      } else if (!recent_messages.empty()) {
+        auto [message, is_post] =
+            recent_messages[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(recent_messages.size()) - 1))];
+        recorder.Run("IS 4", scheduled_ms, t0, [&] {
+          return interactive::RunIs4(graph, message, is_post).size();
+        });
+        recorder.Run("IS 5", scheduled_ms, t0, [&] {
+          auto rows = interactive::RunIs5(graph, message, is_post);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        recorder.Run("IS 6", scheduled_ms, t0, [&] {
+          return interactive::RunIs6(graph, message, is_post).size();
+        });
+        recorder.Run("IS 7", scheduled_ms, t0, [&] {
+          auto rows = interactive::RunIs7(graph, message, is_post);
+          for (const auto& r : rows) remember_person(r.author_id);
+          return rows.size();
+        });
+        report.short_reads += 4;
+      } else {
+        break;
+      }
+    }
+  };
+
+  auto run_complex = [&](int type, double scheduled_ms) {
+    const std::string op = "IC " + std::to_string(type + 1);
+    bool person_centric = true;
+    switch (type + 1) {
+      case 1: {
+        auto& ps = params.ic1;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          auto rows =
+              interactive::RunIc1(graph, ps[cursor[type]++ % ps.size()]);
+          for (const auto& r : rows) remember_person(r.friend_id);
+          return rows.size();
+        });
+        break;
+      }
+      case 2: {
+        auto& ps = params.ic2;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          auto rows =
+              interactive::RunIc2(graph, ps[cursor[type]++ % ps.size()]);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        person_centric = false;
+        break;
+      }
+      case 3: {
+        auto& ps = params.ic3;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          return interactive::RunIc3(graph, ps[cursor[type]++ % ps.size()])
+              .size();
+        });
+        break;
+      }
+      case 4: {
+        auto& ps = params.ic4;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          return interactive::RunIc4(graph, ps[cursor[type]++ % ps.size()])
+              .size();
+        });
+        break;
+      }
+      case 5: {
+        auto& ps = params.ic5;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          return interactive::RunIc5(graph, ps[cursor[type]++ % ps.size()])
+              .size();
+        });
+        break;
+      }
+      case 6: {
+        auto& ps = params.ic6;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          return interactive::RunIc6(graph, ps[cursor[type]++ % ps.size()])
+              .size();
+        });
+        break;
+      }
+      case 7: {
+        auto& ps = params.ic7;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          auto rows =
+              interactive::RunIc7(graph, ps[cursor[type]++ % ps.size()]);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        person_centric = false;
+        break;
+      }
+      case 8: {
+        auto& ps = params.ic8;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          auto rows =
+              interactive::RunIc8(graph, ps[cursor[type]++ % ps.size()]);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        person_centric = false;
+        break;
+      }
+      case 9: {
+        auto& ps = params.ic9;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          auto rows =
+              interactive::RunIc9(graph, ps[cursor[type]++ % ps.size()]);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        break;
+      }
+      case 10: {
+        auto& ps = params.ic10;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          auto rows =
+              interactive::RunIc10(graph, ps[cursor[type]++ % ps.size()]);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        break;
+      }
+      case 11: {
+        auto& ps = params.ic11;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          return interactive::RunIc11(graph, ps[cursor[type]++ % ps.size()])
+              .size();
+        });
+        break;
+      }
+      case 12: {
+        auto& ps = params.ic12;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          auto rows =
+              interactive::RunIc12(graph, ps[cursor[type]++ % ps.size()]);
+          for (const auto& r : rows) remember_person(r.person_id);
+          return rows.size();
+        });
+        break;
+      }
+      case 13: {
+        auto& ps = params.ic13;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          interactive::RunIc13(graph, ps[cursor[type]++ % ps.size()]);
+          return size_t{1};
+        });
+        break;
+      }
+      case 14: {
+        auto& ps = params.ic14;
+        if (ps.empty()) return;
+        recorder.Run(op, scheduled_ms, t0, [&] {
+          return interactive::RunIc14(graph, ps[cursor[type]++ % ps.size()])
+              .size();
+        });
+        break;
+      }
+      default:
+        SNB_CHECK(false);
+    }
+    ++report.complex_reads;
+    run_short_read_sequence(person_centric, scheduled_ms);
+  };
+
+  size_t limit = config.max_updates == 0 ? updates.size()
+                                         : std::min(config.max_updates,
+                                                    updates.size());
+  for (size_t u = 0; u < limit; ++u) {
+    const datagen::UpdateEvent& event = updates[u];
+    double scheduled_ms = scheduled_ms_of(event.timestamp);
+    maybe_pace(scheduled_ms);
+    const std::string op = "IU " + std::to_string(static_cast<int>(event.kind));
+    recorder.Run(op, scheduled_ms, t0, [&] {
+      interactive::ApplyUpdate(graph, event);
+      return size_t{1};
+    });
+    ++report.update_operations;
+    // Seed the short-read parameter pool from the update itself.
+    switch (event.kind) {
+      case datagen::UpdateKind::kAddPerson:
+        remember_person(std::get<core::Person>(event.payload).id);
+        break;
+      case datagen::UpdateKind::kAddLikePost:
+      case datagen::UpdateKind::kAddLikeComment: {
+        const core::Like& like = std::get<core::Like>(event.payload);
+        remember_person(like.person);
+        remember_message(like.message, like.is_post);
+        break;
+      }
+      case datagen::UpdateKind::kAddPost:
+        remember_message(std::get<core::Post>(event.payload).id, true);
+        break;
+      case datagen::UpdateKind::kAddComment:
+        remember_message(std::get<core::Comment>(event.payload).id, false);
+        break;
+      case datagen::UpdateKind::kAddKnows:
+        remember_person(std::get<core::Knows>(event.payload).person1);
+        break;
+      default:
+        break;
+    }
+    for (int type = 0; type < 14; ++type) {
+      if (--countdown[type] == 0) {
+        countdown[type] = freq.freq[type];
+        run_complex(type, scheduled_ms);
+      }
+    }
+  }
+
+  report.wall_seconds = MsSince(t0) / 1000.0;
+  report.throughput_ops_per_sec =
+      report.wall_seconds == 0
+          ? 0
+          : static_cast<double>(report.total_operations) / report.wall_seconds;
+  report.on_time_fraction =
+      report.total_operations == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(recorder.late()) /
+                      static_cast<double>(report.total_operations);
+  return report;
+}
+
+DriverReport RunBiWorkload(const storage::Graph& graph,
+                           const params::WorkloadParameters& params,
+                           size_t bindings_per_query) {
+  DriverReport report;
+  Recorder recorder(report);
+  const Clock::time_point t0 = Clock::now();
+
+  auto run = [&](const std::string& op, auto&& bindings, auto&& query) {
+    size_t n = std::min(bindings_per_query, bindings.size());
+    for (size_t i = 0; i < n; ++i) {
+      recorder.Run(op, 0.0, t0,
+                   [&] { return query(graph, bindings[i]).size(); });
+    }
+  };
+
+  run("BI 1", params.bi1, bi::RunBi1);
+  run("BI 2", params.bi2, bi::RunBi2);
+  run("BI 3", params.bi3, bi::RunBi3);
+  run("BI 4", params.bi4, bi::RunBi4);
+  run("BI 5", params.bi5, bi::RunBi5);
+  run("BI 6", params.bi6, bi::RunBi6);
+  run("BI 7", params.bi7, bi::RunBi7);
+  run("BI 8", params.bi8, bi::RunBi8);
+  run("BI 9", params.bi9, bi::RunBi9);
+  run("BI 10", params.bi10, bi::RunBi10);
+  run("BI 11", params.bi11, bi::RunBi11);
+  run("BI 12", params.bi12, bi::RunBi12);
+  run("BI 13", params.bi13, bi::RunBi13);
+  run("BI 14", params.bi14, bi::RunBi14);
+  run("BI 15", params.bi15, bi::RunBi15);
+  run("BI 16", params.bi16, bi::RunBi16);
+  run("BI 17", params.bi17, bi::RunBi17);
+  run("BI 18", params.bi18, bi::RunBi18);
+  run("BI 19", params.bi19, bi::RunBi19);
+  run("BI 20", params.bi20, bi::RunBi20);
+  run("BI 21", params.bi21, bi::RunBi21);
+  run("BI 22", params.bi22, bi::RunBi22);
+  run("BI 23", params.bi23, bi::RunBi23);
+  run("BI 24", params.bi24, bi::RunBi24);
+  run("BI 25", params.bi25, bi::RunBi25);
+
+  report.wall_seconds = MsSince(t0) / 1000.0;
+  report.throughput_ops_per_sec =
+      report.wall_seconds == 0
+          ? 0
+          : static_cast<double>(report.total_operations) / report.wall_seconds;
+  return report;
+}
+
+
+util::Status WriteResultsLog(const std::vector<ResultsLogEntry>& log,
+                             const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open results log " + path);
+  }
+  std::fputs(
+      "operation|scheduled_start_time|actual_start_time|duration|"
+      "result_rows\n",
+      f);
+  for (const ResultsLogEntry& e : log) {
+    std::fprintf(f, "%s|%.3f|%.3f|%.3f|%zu\n", e.operation.c_str(),
+                 e.scheduled_start_ms, e.actual_start_ms, e.duration_ms,
+                 e.result_rows);
+  }
+  if (std::fclose(f) != 0) {
+    return util::Status::IoError("fclose failed for results log");
+  }
+  return util::Status::Ok();
+}
+
+
+DriverReport RunBiWorkloadParallel(const storage::Graph& graph,
+                                   const params::WorkloadParameters& params,
+                                   size_t bindings_per_query,
+                                   util::ThreadPool& pool) {
+  DriverReport report;
+  struct Sample {
+    std::string op;
+    double latency_ms;
+    size_t rows;
+  };
+  std::vector<Sample> samples;
+  std::mutex mu;
+  const Clock::time_point t0 = Clock::now();
+
+  auto submit = [&](const std::string& op, auto&& bindings, auto&& query) {
+    size_t n = std::min(bindings_per_query, bindings.size());
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([&, op, i] {
+        double start = MsSince(t0);
+        size_t rows = query(graph, bindings[i]).size();
+        double latency = MsSince(t0) - start;
+        std::lock_guard<std::mutex> lock(mu);
+        samples.push_back({op, latency, rows});
+      });
+    }
+  };
+
+  submit("BI 1", params.bi1, bi::RunBi1);
+  submit("BI 2", params.bi2, bi::RunBi2);
+  submit("BI 3", params.bi3, bi::RunBi3);
+  submit("BI 4", params.bi4, bi::RunBi4);
+  submit("BI 5", params.bi5, bi::RunBi5);
+  submit("BI 6", params.bi6, bi::RunBi6);
+  submit("BI 7", params.bi7, bi::RunBi7);
+  submit("BI 8", params.bi8, bi::RunBi8);
+  submit("BI 9", params.bi9, bi::RunBi9);
+  submit("BI 10", params.bi10, bi::RunBi10);
+  submit("BI 11", params.bi11, bi::RunBi11);
+  submit("BI 12", params.bi12, bi::RunBi12);
+  submit("BI 13", params.bi13, bi::RunBi13);
+  submit("BI 14", params.bi14, bi::RunBi14);
+  submit("BI 15", params.bi15, bi::RunBi15);
+  submit("BI 16", params.bi16, bi::RunBi16);
+  submit("BI 17", params.bi17, bi::RunBi17);
+  submit("BI 18", params.bi18, bi::RunBi18);
+  submit("BI 19", params.bi19, bi::RunBi19);
+  submit("BI 20", params.bi20, bi::RunBi20);
+  submit("BI 21", params.bi21, bi::RunBi21);
+  submit("BI 22", params.bi22, bi::RunBi22);
+  submit("BI 23", params.bi23, bi::RunBi23);
+  submit("BI 24", params.bi24, bi::RunBi24);
+  submit("BI 25", params.bi25, bi::RunBi25);
+  pool.Wait();
+
+  for (const Sample& s : samples) {
+    OperationStats& stats = report.per_operation[s.op];
+    ++stats.count;
+    stats.total_ms += s.latency_ms;
+    stats.max_ms = std::max(stats.max_ms, s.latency_ms);
+    stats.latencies_ms.push_back(s.latency_ms);
+    report.results_log.push_back({s.op, 0.0, 0.0, s.latency_ms, s.rows});
+    ++report.total_operations;
+  }
+  report.wall_seconds = MsSince(t0) / 1000.0;
+  report.throughput_ops_per_sec =
+      report.wall_seconds == 0
+          ? 0
+          : static_cast<double>(report.total_operations) / report.wall_seconds;
+  return report;
+}
+
+
+DriverReport RunBiReadWriteWorkload(
+    storage::Graph& graph, const std::vector<datagen::UpdateEvent>& updates,
+    const params::WorkloadParameters& params, size_t updates_per_read,
+    size_t max_updates) {
+  SNB_CHECK_GE(updates_per_read, 1u);
+  DriverReport report;
+  Recorder recorder(report);
+  const Clock::time_point t0 = Clock::now();
+
+  // Round-robin BI read dispatcher.
+  size_t next_query = 0;
+  size_t cursor[25] = {0};
+  auto run_next_read = [&] {
+    size_t q = next_query;
+    next_query = (next_query + 1) % 25;
+    const std::string op = "BI " + std::to_string(q + 1);
+    auto dispatch = [&](auto&& bindings, auto&& query) {
+      if (bindings.empty()) return;
+      recorder.Run(op, 0.0, t0, [&] {
+        return query(graph, bindings[cursor[q]++ % bindings.size()]).size();
+      });
+    };
+    switch (q + 1) {
+      case 1: dispatch(params.bi1, bi::RunBi1); break;
+      case 2: dispatch(params.bi2, bi::RunBi2); break;
+      case 3: dispatch(params.bi3, bi::RunBi3); break;
+      case 4: dispatch(params.bi4, bi::RunBi4); break;
+      case 5: dispatch(params.bi5, bi::RunBi5); break;
+      case 6: dispatch(params.bi6, bi::RunBi6); break;
+      case 7: dispatch(params.bi7, bi::RunBi7); break;
+      case 8: dispatch(params.bi8, bi::RunBi8); break;
+      case 9: dispatch(params.bi9, bi::RunBi9); break;
+      case 10: dispatch(params.bi10, bi::RunBi10); break;
+      case 11: dispatch(params.bi11, bi::RunBi11); break;
+      case 12: dispatch(params.bi12, bi::RunBi12); break;
+      case 13: dispatch(params.bi13, bi::RunBi13); break;
+      case 14: dispatch(params.bi14, bi::RunBi14); break;
+      case 15: dispatch(params.bi15, bi::RunBi15); break;
+      case 16: dispatch(params.bi16, bi::RunBi16); break;
+      case 17: dispatch(params.bi17, bi::RunBi17); break;
+      case 18: dispatch(params.bi18, bi::RunBi18); break;
+      case 19: dispatch(params.bi19, bi::RunBi19); break;
+      case 20: dispatch(params.bi20, bi::RunBi20); break;
+      case 21: dispatch(params.bi21, bi::RunBi21); break;
+      case 22: dispatch(params.bi22, bi::RunBi22); break;
+      case 23: dispatch(params.bi23, bi::RunBi23); break;
+      case 24: dispatch(params.bi24, bi::RunBi24); break;
+      case 25: dispatch(params.bi25, bi::RunBi25); break;
+      default: SNB_CHECK(false);
+    }
+    ++report.complex_reads;
+  };
+
+  size_t limit = max_updates == 0 ? updates.size()
+                                  : std::min(max_updates, updates.size());
+  size_t countdown = updates_per_read;
+  for (size_t u = 0; u < limit; ++u) {
+    const datagen::UpdateEvent& event = updates[u];
+    const std::string op =
+        "IU " + std::to_string(static_cast<int>(event.kind));
+    recorder.Run(op, 0.0, t0, [&] {
+      interactive::ApplyUpdate(graph, event);
+      return size_t{1};
+    });
+    ++report.update_operations;
+    if (--countdown == 0) {
+      countdown = updates_per_read;
+      run_next_read();
+    }
+  }
+
+  report.wall_seconds = MsSince(t0) / 1000.0;
+  report.throughput_ops_per_sec =
+      report.wall_seconds == 0
+          ? 0
+          : static_cast<double>(report.total_operations) / report.wall_seconds;
+  return report;
+}
+
+}  // namespace snb::driver

@@ -1,0 +1,35 @@
+// Validation mode (spec §6.2 "validating the query implementations"):
+// cross-validates the optimized engine against the naive baseline on the
+// same parameter bindings — our equivalent of the official validation
+// datasets, with the naive engine playing the role of the reference
+// implementation.
+
+#ifndef SNB_DRIVER_VALIDATION_H_
+#define SNB_DRIVER_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "params/parameter_curation.h"
+#include "storage/graph.h"
+
+namespace snb::driver {
+
+struct ValidationReport {
+  size_t queries_checked = 0;
+  size_t bindings_checked = 0;
+  /// Query names ("BI 7") that produced at least one mismatch.
+  std::vector<std::string> mismatched_queries;
+
+  bool ok() const { return mismatched_queries.empty(); }
+};
+
+/// Runs every BI query on up to `bindings_per_query` bindings through both
+/// engines and compares results exactly.
+ValidationReport ValidateBiImplementations(
+    const storage::Graph& graph, const params::WorkloadParameters& params,
+    size_t bindings_per_query);
+
+}  // namespace snb::driver
+
+#endif  // SNB_DRIVER_VALIDATION_H_

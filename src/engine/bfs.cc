@@ -1,0 +1,147 @@
+#include "engine/bfs.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace snb::engine {
+
+using storage::AdjacencyList;
+
+std::vector<int32_t> BfsDistances(const AdjacencyList& adj, uint32_t src,
+                                  int32_t max_depth) {
+  std::vector<int32_t> dist(adj.num_nodes(), -1);
+  SNB_CHECK_LT(src, adj.num_nodes());
+  dist[src] = 0;
+  std::vector<uint32_t> frontier{src};
+  int32_t depth = 0;
+  while (!frontier.empty() && (max_depth < 0 || depth < max_depth)) {
+    ++depth;
+    std::vector<uint32_t> next;
+    for (uint32_t u : frontier) {
+      adj.ForEach(u, [&](uint32_t v) {
+        if (dist[v] < 0) {
+          dist[v] = depth;
+          next.push_back(v);
+        }
+      });
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+int32_t ShortestPathLength(const AdjacencyList& adj, uint32_t src,
+                           uint32_t dst) {
+  SNB_CHECK(src < adj.num_nodes() && dst < adj.num_nodes());
+  if (src == dst) return 0;
+  std::vector<int32_t> dist_f(adj.num_nodes(), -1);
+  std::vector<int32_t> dist_b(adj.num_nodes(), -1);
+  dist_f[src] = 0;
+  dist_b[dst] = 0;
+  std::vector<uint32_t> frontier_f{src}, frontier_b{dst};
+  int32_t depth_f = 0, depth_b = 0;
+  int32_t best = INT32_MAX;
+  while (!frontier_f.empty() && !frontier_b.empty()) {
+    // Once the levels completed on both sides cannot produce a shorter
+    // meeting, the best seen so far is the answer (CP-7.4).
+    if (best <= depth_f + depth_b) break;
+    // Expand the smaller frontier.
+    const bool fwd = frontier_f.size() <= frontier_b.size();
+    std::vector<uint32_t>& frontier = fwd ? frontier_f : frontier_b;
+    std::vector<int32_t>& dist_own = fwd ? dist_f : dist_b;
+    std::vector<int32_t>& dist_other = fwd ? dist_b : dist_f;
+    int32_t& depth = fwd ? depth_f : depth_b;
+    ++depth;
+    std::vector<uint32_t> next;
+    for (uint32_t u : frontier) {
+      adj.ForEach(u, [&](uint32_t v) {
+        if (dist_own[v] < 0) {
+          dist_own[v] = depth;
+          if (dist_other[v] >= 0) {
+            best = std::min(best, depth + dist_other[v]);
+          }
+          next.push_back(v);
+        }
+      });
+    }
+    frontier = std::move(next);
+  }
+  return best == INT32_MAX ? -1 : best;
+}
+
+std::vector<std::vector<uint32_t>> AllShortestPaths(const AdjacencyList& adj,
+                                                    uint32_t src, uint32_t dst,
+                                                    size_t max_paths) {
+  std::vector<std::vector<uint32_t>> paths;
+  if (src == dst) {
+    paths.push_back({src});
+    return paths;
+  }
+  // Forward BFS from src recording distances, stop once dst's layer is done.
+  std::vector<int32_t> dist(adj.num_nodes(), -1);
+  dist[src] = 0;
+  std::vector<uint32_t> frontier{src};
+  int32_t depth = 0;
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    ++depth;
+    std::vector<uint32_t> next;
+    for (uint32_t u : frontier) {
+      adj.ForEach(u, [&](uint32_t v) {
+        if (dist[v] < 0) {
+          dist[v] = depth;
+          if (v == dst) found = true;
+          next.push_back(v);
+        }
+      });
+    }
+    frontier = std::move(next);
+  }
+  if (!found) return paths;
+
+  // Backward DFS from dst following strictly-decreasing distances.
+  std::vector<uint32_t> partial{dst};
+  // Iterative stack of (node, neighbours yet to try).
+  struct Frame {
+    uint32_t node;
+    std::vector<uint32_t> preds;
+    size_t next = 0;
+  };
+  auto preds_of = [&](uint32_t node) {
+    std::vector<uint32_t> preds;
+    adj.ForEach(node, [&](uint32_t v) {
+      if (dist[v] == dist[node] - 1) preds.push_back(v);
+    });
+    std::sort(preds.begin(), preds.end());
+    // Parallel edges must not duplicate paths.
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    return preds;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({dst, preds_of(dst), 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.node == src) {
+      std::vector<uint32_t> path;
+      path.reserve(stack.size());
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        path.push_back(it->node);
+      }
+      paths.push_back(std::move(path));
+      if (max_paths > 0 && paths.size() >= max_paths) return paths;
+      stack.pop_back();
+      continue;
+    }
+    if (top.next >= top.preds.size()) {
+      stack.pop_back();
+      continue;
+    }
+    uint32_t pred = top.preds[top.next++];
+    stack.push_back({pred, pred == src ? std::vector<uint32_t>{} :
+                                          preds_of(pred), 0});
+  }
+  return paths;
+}
+
+}  // namespace snb::engine

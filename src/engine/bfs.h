@@ -1,0 +1,35 @@
+// Breadth-first traversal family over AdjacencyList graphs — the transitive
+// machinery behind IC 13/14, BI 16/25 (choke points CP-7.2/7.3/7.4, CP-8.6).
+
+#ifndef SNB_ENGINE_BFS_H_
+#define SNB_ENGINE_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/adjacency.h"
+
+namespace snb::engine {
+
+/// Distances from `src` (in hops) up to `max_depth` (-1 = unbounded);
+/// -1 for unreachable nodes. O(V + E) with a dense visited array.
+std::vector<int32_t> BfsDistances(const storage::AdjacencyList& adj,
+                                  uint32_t src, int32_t max_depth = -1);
+
+/// Length of the shortest path src→dst via bidirectional BFS;
+/// -1 if disconnected, 0 when src == dst. Expands the smaller frontier
+/// first — the termination-criteria choke point CP-7.4.
+int32_t ShortestPathLength(const storage::AdjacencyList& adj, uint32_t src,
+                           uint32_t dst);
+
+/// Enumerates *all* shortest paths src→dst (each path as a node sequence,
+/// src first). Empty when disconnected; the single path {src} when
+/// src == dst. Caps the enumeration at `max_paths` to bound memory
+/// (0 = unlimited).
+std::vector<std::vector<uint32_t>> AllShortestPaths(
+    const storage::AdjacencyList& adj, uint32_t src, uint32_t dst,
+    size_t max_paths = 0);
+
+}  // namespace snb::engine
+
+#endif  // SNB_ENGINE_BFS_H_

@@ -1,0 +1,81 @@
+// Bounded top-k selection with the spec's tie-break comparators —
+// choke point CP-1.3 (top-k pushdown).
+//
+// TopK keeps the k best elements under a strict-weak "ranks before"
+// comparator. WouldAccept lets scans skip work for rows that cannot enter
+// the result (the pushdown); the ablation bench compares this against
+// sort-everything.
+
+#ifndef SNB_ENGINE_TOP_K_H_
+#define SNB_ENGINE_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace snb::engine {
+
+template <typename T, typename RanksBefore>
+class TopK {
+ public:
+  explicit TopK(size_t k, RanksBefore ranks_before = RanksBefore())
+      : k_(k), ranks_before_(std::move(ranks_before)) {
+    SNB_CHECK(k_ > 0);
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// True when `item` would enter the current top k.
+  bool WouldAccept(const T& item) const {
+    return heap_.size() < k_ || ranks_before_(item, heap_.front());
+  }
+
+  /// Inserts if the item ranks in the top k; returns whether it entered.
+  bool Add(T item) {
+    if (heap_.size() < k_) {
+      heap_.push_back(std::move(item));
+      std::push_heap(heap_.begin(), heap_.end(), ranks_before_);
+      return true;
+    }
+    if (!ranks_before_(item, heap_.front())) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), ranks_before_);
+    heap_.back() = std::move(item);
+    std::push_heap(heap_.begin(), heap_.end(), ranks_before_);
+    return true;
+  }
+
+  /// Returns the k best, ordered best-first; the container is consumed.
+  std::vector<T> Take() {
+    std::sort_heap(heap_.begin(), heap_.end(), ranks_before_);
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  RanksBefore ranks_before_;
+  // Max-heap keyed by ranks_before_: the *worst* retained element sits at
+  // the front, ready to be evicted.
+  std::vector<T> heap_;
+};
+
+/// Sorts `rows` with `ranks_before` and truncates to `limit` (0 = no limit).
+/// The sort-everything baseline for the CP-1.3 ablation, and the finisher
+/// for grouped results.
+template <typename T, typename RanksBefore>
+void SortAndLimit(std::vector<T>& rows, RanksBefore ranks_before,
+                  size_t limit) {
+  if (limit > 0 && rows.size() > limit) {
+    std::partial_sort(rows.begin(), rows.begin() + limit, rows.end(),
+                      ranks_before);
+    rows.resize(limit);
+  } else {
+    std::sort(rows.begin(), rows.end(), ranks_before);
+  }
+}
+
+}  // namespace snb::engine
+
+#endif  // SNB_ENGINE_TOP_K_H_

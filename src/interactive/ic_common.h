@@ -1,0 +1,40 @@
+// Internal helpers for the Interactive complex reads.
+
+#ifndef SNB_INTERACTIVE_IC_COMMON_H_
+#define SNB_INTERACTIVE_IC_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/bfs.h"
+#include "storage/graph.h"
+
+namespace snb::interactive::internal {
+
+using storage::Graph;
+using storage::kNoIdx;
+
+/// BFS distances over knows, bounded by `max_depth`.
+inline std::vector<int32_t> KnowsDistances(const Graph& graph, uint32_t start,
+                                           int32_t max_depth) {
+  return engine::BfsDistances(graph.Knows(), start, max_depth);
+}
+
+/// Persons at knows-distance in [1, 2] from start (friends + foafs).
+inline std::vector<uint32_t> FriendsAndFoafs(const Graph& graph,
+                                             uint32_t start) {
+  std::vector<int32_t> dist = KnowsDistances(graph, start, 2);
+  std::vector<uint32_t> out;
+  for (uint32_t p = 0; p < dist.size(); ++p) {
+    if (p != start && dist[p] >= 1) out.push_back(p);
+  }
+  return out;
+}
+
+inline std::string CityName(const Graph& graph, uint32_t person) {
+  return graph.PlaceAt(graph.PersonCity(person)).name;
+}
+
+}  // namespace snb::interactive::internal
+
+#endif  // SNB_INTERACTIVE_IC_COMMON_H_

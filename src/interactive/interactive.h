@@ -1,0 +1,417 @@
+// The Interactive workload (spec §4): complex reads IC 1–14, short reads
+// IS 1–7 and update operations IU 1–8, implemented against the graph store.
+//
+// Conventions follow the query cards: every complex/short read returns rows
+// in the card's sort order with the card's limit applied. Where a card
+// leaves a tie unspecified, the official reference ordering (ascending id)
+// is used and noted.
+
+#ifndef SNB_INTERACTIVE_INTERACTIVE_H_
+#define SNB_INTERACTIVE_INTERACTIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/date_time.h"
+#include "core/schema.h"
+#include "storage/graph.h"
+
+namespace snb::interactive {
+
+using storage::Graph;
+
+// ---- IC 1: Friends with certain name --------------------------------------
+
+struct Ic1Params {
+  core::Id person_id = 0;
+  std::string first_name;
+};
+
+struct Ic1Row {
+  core::Id friend_id = 0;
+  std::string last_name;
+  int32_t distance = 0;
+  core::Date birthday = 0;
+  core::DateTime creation_date = 0;
+  std::string gender;
+  std::string browser_used;
+  std::string location_ip;
+  std::vector<std::string> emails;     // as stored
+  std::vector<std::string> languages;  // as stored
+  std::string city_name;
+  // (university name, class year, city name), sorted for determinism.
+  std::vector<std::tuple<std::string, int32_t, std::string>> universities;
+  // (company name, work from, country name), sorted for determinism.
+  std::vector<std::tuple<std::string, int32_t, std::string>> companies;
+
+  bool operator==(const Ic1Row&) const = default;
+};
+
+/// Persons with the given first name within 3 knows-hops of the start
+/// person (excluded). Sort: distance ↑, lastName ↑, id ↑. Limit 20.
+std::vector<Ic1Row> RunIc1(const Graph& graph, const Ic1Params& params);
+
+// ---- IC 2: Recent messages by your friends ---------------------------------
+
+struct Ic2Params {
+  core::Id person_id = 0;
+  core::Date max_date = 0;  // messages strictly before this day
+};
+
+struct Ic2Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  core::Id message_id = 0;
+  std::string content;  // content or imageFile
+  core::DateTime creation_date = 0;
+
+  bool operator==(const Ic2Row&) const = default;
+};
+
+/// Sort: creationDate ↓, message id ↑. Limit 20.
+std::vector<Ic2Row> RunIc2(const Graph& graph, const Ic2Params& params);
+
+// ---- IC 3: Friends within two hops that have been to given countries -------
+
+struct Ic3Params {
+  core::Id person_id = 0;
+  std::string country_x;
+  std::string country_y;
+  core::Date start_date = 0;
+  int32_t duration_days = 0;
+};
+
+struct Ic3Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  int64_t x_count = 0;
+  int64_t y_count = 0;
+  int64_t count = 0;
+
+  bool operator==(const Ic3Row&) const = default;
+};
+
+/// Friends and friends-of-friends foreign to both countries who posted in
+/// both within the window. Sort: xCount ↓, id ↑. Limit 20.
+std::vector<Ic3Row> RunIc3(const Graph& graph, const Ic3Params& params);
+
+// ---- IC 4: New topics -------------------------------------------------------
+
+struct Ic4Params {
+  core::Id person_id = 0;
+  core::Date start_date = 0;
+  int32_t duration_days = 0;
+};
+
+struct Ic4Row {
+  std::string tag_name;
+  int64_t post_count = 0;
+
+  bool operator==(const Ic4Row&) const = default;
+};
+
+/// Tags on friends' posts inside the window that never appeared on friends'
+/// posts before it. Sort: postCount ↓, tagName ↑. Limit 10.
+std::vector<Ic4Row> RunIc4(const Graph& graph, const Ic4Params& params);
+
+// ---- IC 5: New groups --------------------------------------------------------
+
+struct Ic5Params {
+  core::Id person_id = 0;
+  core::Date min_date = 0;
+};
+
+struct Ic5Row {
+  std::string forum_title;
+  core::Id forum_id = 0;
+  int64_t post_count = 0;
+
+  bool operator==(const Ic5Row&) const = default;
+};
+
+/// Forums joined by friends/friends-of-friends after minDate; postCount
+/// counts the posts those joiners made in the forum. Sort: postCount ↓,
+/// forum id ↑. Limit 20.
+std::vector<Ic5Row> RunIc5(const Graph& graph, const Ic5Params& params);
+
+// ---- IC 6: Tag co-occurrence ---------------------------------------------
+
+struct Ic6Params {
+  core::Id person_id = 0;
+  std::string tag_name;
+};
+
+struct Ic6Row {
+  std::string tag_name;
+  int64_t post_count = 0;
+
+  bool operator==(const Ic6Row&) const = default;
+};
+
+/// Other tags on posts with the given tag created by friends or friends of
+/// friends. Sort: postCount ↓, tagName ↑. Limit 10.
+std::vector<Ic6Row> RunIc6(const Graph& graph, const Ic6Params& params);
+
+// ---- IC 7: Recent likers ----------------------------------------------------
+
+struct Ic7Params {
+  core::Id person_id = 0;
+};
+
+struct Ic7Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  core::DateTime like_creation_date = 0;
+  core::Id message_id = 0;
+  std::string content;
+  int32_t minutes_latency = 0;
+  bool is_new = false;  // true when the liker is not a friend
+
+  bool operator==(const Ic7Row&) const = default;
+};
+
+/// Most recent like per liker of the person's messages (ties: lowest
+/// message id). Sort: like date ↓, liker id ↑. Limit 20.
+std::vector<Ic7Row> RunIc7(const Graph& graph, const Ic7Params& params);
+
+// ---- IC 8: Recent replies ----------------------------------------------------
+
+struct Ic8Params {
+  core::Id person_id = 0;
+};
+
+struct Ic8Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  core::DateTime creation_date = 0;
+  core::Id comment_id = 0;
+  std::string content;
+
+  bool operator==(const Ic8Row&) const = default;
+};
+
+/// Direct replies to the person's messages. Sort: creationDate ↓,
+/// comment id ↑. Limit 20.
+std::vector<Ic8Row> RunIc8(const Graph& graph, const Ic8Params& params);
+
+// ---- IC 9: Recent messages by friends or friends of friends -------------------
+
+struct Ic9Params {
+  core::Id person_id = 0;
+  core::Date max_date = 0;
+};
+
+using Ic9Row = Ic2Row;
+
+/// Sort: creationDate ↓, message id ↑. Limit 20.
+std::vector<Ic9Row> RunIc9(const Graph& graph, const Ic9Params& params);
+
+// ---- IC 10: Friend recommendation ---------------------------------------------
+
+struct Ic10Params {
+  core::Id person_id = 0;
+  int32_t month = 0;  // 1..12
+};
+
+struct Ic10Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  int64_t common_interest_score = 0;
+  std::string gender;
+  std::string city_name;
+
+  bool operator==(const Ic10Row&) const = default;
+};
+
+/// Friends of friends (distance exactly 2) born on/after the 21st of the
+/// month or before the 22nd of the next month. Sort: score ↓, id ↑.
+/// Limit 10.
+std::vector<Ic10Row> RunIc10(const Graph& graph, const Ic10Params& params);
+
+// ---- IC 11: Job referral ---------------------------------------------------
+
+struct Ic11Params {
+  core::Id person_id = 0;
+  std::string country_name;
+  int32_t work_from_year = 0;
+};
+
+struct Ic11Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  std::string company_name;
+  int32_t work_from = 0;
+
+  bool operator==(const Ic11Row&) const = default;
+};
+
+/// Friends / friends of friends working at a company in the country with
+/// workFrom < workFromYear. Sort: workFrom ↑, id ↑, companyName ↓.
+/// Limit 10.
+std::vector<Ic11Row> RunIc11(const Graph& graph, const Ic11Params& params);
+
+// ---- IC 12: Expert search ---------------------------------------------------
+
+struct Ic12Params {
+  core::Id person_id = 0;
+  std::string tag_class_name;
+};
+
+struct Ic12Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  std::vector<std::string> tag_names;  // sorted ascending
+  int64_t reply_count = 0;
+
+  bool operator==(const Ic12Row&) const = default;
+};
+
+/// Friends whose comments directly reply to posts tagged within the tag
+/// class or its descendants. Sort: replyCount ↓, id ↑. Limit 20.
+std::vector<Ic12Row> RunIc12(const Graph& graph, const Ic12Params& params);
+
+// ---- IC 13: Single shortest path ---------------------------------------------
+
+struct Ic13Params {
+  core::Id person1_id = 0;
+  core::Id person2_id = 0;
+};
+
+struct Ic13Row {
+  int32_t shortest_path_length = -1;
+
+  bool operator==(const Ic13Row&) const = default;
+};
+
+Ic13Row RunIc13(const Graph& graph, const Ic13Params& params);
+
+// ---- IC 14: Trusted connection paths -------------------------------------------
+
+struct Ic14Params {
+  core::Id person1_id = 0;
+  core::Id person2_id = 0;
+};
+
+struct Ic14Row {
+  std::vector<core::Id> person_ids_in_path;
+  double path_weight = 0;
+
+  bool operator==(const Ic14Row&) const = default;
+};
+
+/// All shortest paths, weighted: direct reply to a post 1.0, to a comment
+/// 0.5 (both directions per consecutive pair). Sort: weight ↓, then path
+/// ids ↑ for determinism.
+std::vector<Ic14Row> RunIc14(const Graph& graph, const Ic14Params& params);
+
+// ---- Short reads IS 1–7 ------------------------------------------------------
+
+struct Is1Row {
+  std::string first_name;
+  std::string last_name;
+  core::Date birthday = 0;
+  std::string location_ip;
+  std::string browser_used;
+  core::Id city_id = 0;
+  std::string gender;
+  core::DateTime creation_date = 0;
+
+  bool operator==(const Is1Row&) const = default;
+};
+
+/// IS 1: profile of a person (empty vector when the person is unknown).
+std::vector<Is1Row> RunIs1(const Graph& graph, core::Id person_id);
+
+struct Is2Row {
+  core::Id message_id = 0;
+  std::string content;
+  core::DateTime creation_date = 0;
+  core::Id original_post_id = 0;
+  core::Id original_post_author_id = 0;
+  std::string original_post_author_first_name;
+  std::string original_post_author_last_name;
+
+  bool operator==(const Is2Row&) const = default;
+};
+
+/// IS 2: the person's 10 most recent messages with their thread-root posts.
+/// Sort: creationDate ↓, message id ↓.
+std::vector<Is2Row> RunIs2(const Graph& graph, core::Id person_id);
+
+struct Is3Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+  core::DateTime friendship_creation_date = 0;
+
+  bool operator==(const Is3Row&) const = default;
+};
+
+/// IS 3: all friends with friendship dates. Sort: date ↓, id ↑.
+std::vector<Is3Row> RunIs3(const Graph& graph, core::Id person_id);
+
+struct Is4Row {
+  core::DateTime creation_date = 0;
+  std::string content;
+
+  bool operator==(const Is4Row&) const = default;
+};
+
+/// IS 4: content and creation date of a message (post when `is_post`).
+std::vector<Is4Row> RunIs4(const Graph& graph, core::Id message_id,
+                           bool is_post);
+
+struct Is5Row {
+  core::Id person_id = 0;
+  std::string first_name;
+  std::string last_name;
+
+  bool operator==(const Is5Row&) const = default;
+};
+
+/// IS 5: creator of a message.
+std::vector<Is5Row> RunIs5(const Graph& graph, core::Id message_id,
+                           bool is_post);
+
+struct Is6Row {
+  core::Id forum_id = 0;
+  std::string forum_title;
+  core::Id moderator_id = 0;
+  std::string moderator_first_name;
+  std::string moderator_last_name;
+
+  bool operator==(const Is6Row&) const = default;
+};
+
+/// IS 6: forum of a message (the thread root's container for comments).
+std::vector<Is6Row> RunIs6(const Graph& graph, core::Id message_id,
+                           bool is_post);
+
+struct Is7Row {
+  core::Id comment_id = 0;
+  std::string content;
+  core::DateTime creation_date = 0;
+  core::Id author_id = 0;
+  std::string author_first_name;
+  std::string author_last_name;
+  bool knows = false;
+
+  bool operator==(const Is7Row&) const = default;
+};
+
+/// IS 7: direct replies to a message, with a flag for whether the reply
+/// author knows the original author. Sort: date ↓, author id ↑ (per card).
+std::vector<Is7Row> RunIs7(const Graph& graph, core::Id message_id,
+                           bool is_post);
+
+}  // namespace snb::interactive
+
+#endif  // SNB_INTERACTIVE_INTERACTIVE_H_

@@ -1,0 +1,44 @@
+// Naive baseline engine for the Interactive complex reads IC 1–14: the
+// same tuple-at-a-time, no-reverse-index ground rules as bi/naive.h
+// (record chasing instead of precomputed columns, edge-list rescans instead
+// of CSR BFS, full sorts instead of top-k pushdown). Outputs are
+// bit-identical to the optimized engine; tests cross-validate both.
+
+#ifndef SNB_INTERACTIVE_NAIVE_H_
+#define SNB_INTERACTIVE_NAIVE_H_
+
+#include "interactive/interactive.h"
+
+namespace snb::interactive::naive {
+
+std::vector<Ic1Row> RunIc1(const Graph& graph, const Ic1Params& params);
+std::vector<Ic2Row> RunIc2(const Graph& graph, const Ic2Params& params);
+std::vector<Ic3Row> RunIc3(const Graph& graph, const Ic3Params& params);
+std::vector<Ic4Row> RunIc4(const Graph& graph, const Ic4Params& params);
+std::vector<Ic5Row> RunIc5(const Graph& graph, const Ic5Params& params);
+std::vector<Ic6Row> RunIc6(const Graph& graph, const Ic6Params& params);
+std::vector<Ic7Row> RunIc7(const Graph& graph, const Ic7Params& params);
+std::vector<Ic8Row> RunIc8(const Graph& graph, const Ic8Params& params);
+std::vector<Ic9Row> RunIc9(const Graph& graph, const Ic9Params& params);
+std::vector<Ic10Row> RunIc10(const Graph& graph, const Ic10Params& params);
+std::vector<Ic11Row> RunIc11(const Graph& graph, const Ic11Params& params);
+std::vector<Ic12Row> RunIc12(const Graph& graph, const Ic12Params& params);
+Ic13Row RunIc13(const Graph& graph, const Ic13Params& params);
+std::vector<Ic14Row> RunIc14(const Graph& graph, const Ic14Params& params);
+
+// Short reads IS 1–7 (same signatures as the optimized engine).
+std::vector<Is1Row> RunIs1(const Graph& graph, core::Id person_id);
+std::vector<Is2Row> RunIs2(const Graph& graph, core::Id person_id);
+std::vector<Is3Row> RunIs3(const Graph& graph, core::Id person_id);
+std::vector<Is4Row> RunIs4(const Graph& graph, core::Id message_id,
+                           bool is_post);
+std::vector<Is5Row> RunIs5(const Graph& graph, core::Id message_id,
+                           bool is_post);
+std::vector<Is6Row> RunIs6(const Graph& graph, core::Id message_id,
+                           bool is_post);
+std::vector<Is7Row> RunIs7(const Graph& graph, core::Id message_id,
+                           bool is_post);
+
+}  // namespace snb::interactive::naive
+
+#endif  // SNB_INTERACTIVE_NAIVE_H_

@@ -1,0 +1,51 @@
+#include "interactive/updates.h"
+
+#include "util/check.h"
+
+namespace snb::interactive {
+
+using datagen::UpdateEvent;
+using datagen::UpdateKind;
+
+void ApplyUpdate(storage::Graph& graph, const UpdateEvent& event) {
+  switch (event.kind) {
+    case UpdateKind::kAddPerson:
+      graph.AddPerson(std::get<core::Person>(event.payload));
+      return;
+    case UpdateKind::kAddLikePost: {
+      const core::Like& like = std::get<core::Like>(event.payload);
+      SNB_CHECK(like.is_post);
+      graph.AddLikePost(like.person, like.message, like.creation_date);
+      return;
+    }
+    case UpdateKind::kAddLikeComment: {
+      const core::Like& like = std::get<core::Like>(event.payload);
+      SNB_CHECK(!like.is_post);
+      graph.AddLikeComment(like.person, like.message, like.creation_date);
+      return;
+    }
+    case UpdateKind::kAddForum:
+      graph.AddForum(std::get<core::Forum>(event.payload));
+      return;
+    case UpdateKind::kAddMembership: {
+      const core::ForumMembership& m =
+          std::get<core::ForumMembership>(event.payload);
+      graph.AddMembership(m.person, m.forum, m.join_date);
+      return;
+    }
+    case UpdateKind::kAddPost:
+      graph.AddPost(std::get<core::Post>(event.payload));
+      return;
+    case UpdateKind::kAddComment:
+      graph.AddComment(std::get<core::Comment>(event.payload));
+      return;
+    case UpdateKind::kAddKnows: {
+      const core::Knows& k = std::get<core::Knows>(event.payload);
+      graph.AddKnows(k.person1, k.person2, k.creation_date);
+      return;
+    }
+  }
+  SNB_CHECK(false);
+}
+
+}  // namespace snb::interactive

@@ -1,0 +1,19 @@
+// Interactive update operations IU 1–8 (spec §4.3): application of
+// Datagen-produced update events to a live graph store.
+
+#ifndef SNB_INTERACTIVE_UPDATES_H_
+#define SNB_INTERACTIVE_UPDATES_H_
+
+#include "datagen/datagen.h"
+#include "storage/graph.h"
+
+namespace snb::interactive {
+
+/// Applies one update event (IU 1–8) to the graph. Referenced entities must
+/// already exist — the driver enforces dependency ordering via the events'
+/// dependency timestamps.
+void ApplyUpdate(storage::Graph& graph, const datagen::UpdateEvent& event);
+
+}  // namespace snb::interactive
+
+#endif  // SNB_INTERACTIVE_UPDATES_H_

@@ -1,0 +1,119 @@
+// Parameter curation (spec §3.3).
+//
+// Substitution parameters must give every instance of a query template
+// similar runtime behaviour (properties P1–P3). The two-stage procedure of
+// the spec is implemented directly:
+//   1. count collection — for every candidate binding, the size of the
+//      intermediate results its query would touch (friend count, two-hop
+//      size, messages-of-friends for persons; message counts for tags;
+//      person counts for countries);
+//   2. greedy selection — bindings whose count vectors lie closest to the
+//      candidate median are selected, so the selected set has bounded
+//      variance (P1) and a stable distribution across samples (P2).
+//
+// The module produces typed parameter lists for all 39 read queries (used
+// by the driver and the benches) and serializes them in the
+// substitution_parameters/ layout of spec §2.3.4.4.
+
+#ifndef SNB_PARAMS_PARAMETER_CURATION_H_
+#define SNB_PARAMS_PARAMETER_CURATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bi/bi.h"
+#include "interactive/interactive.h"
+#include "storage/graph.h"
+#include "util/status.h"
+
+namespace snb::params {
+
+struct CurationConfig {
+  uint64_t seed = 42;
+  /// Bindings generated per query template.
+  size_t per_query = 20;
+  /// Candidates within this relative distance of the median count vector
+  /// are eligible (the greedy stage widens it if too few qualify).
+  double tolerance = 0.25;
+  /// Simulated period (for date parameters).
+  int32_t start_year = 2010;
+  int32_t num_years = 3;
+};
+
+/// Per-person counts collected in stage 1.
+struct PersonCounts {
+  uint32_t person = 0;
+  int64_t friends = 0;
+  int64_t two_hop = 0;
+  int64_t friend_messages = 0;
+};
+
+/// Curated person bindings plus the count statistics, for the P1 test and
+/// the curation bench.
+struct CuratedPersons {
+  std::vector<PersonCounts> selected;
+  double selected_friend_stddev = 0;
+  double population_friend_stddev = 0;
+};
+
+/// Stage 1 + 2 for person parameters.
+CuratedPersons CuratePersons(const storage::Graph& graph,
+                             const CurationConfig& config);
+
+/// Typed parameter lists for every read query template.
+struct WorkloadParameters {
+  std::vector<interactive::Ic1Params> ic1;
+  std::vector<interactive::Ic2Params> ic2;
+  std::vector<interactive::Ic3Params> ic3;
+  std::vector<interactive::Ic4Params> ic4;
+  std::vector<interactive::Ic5Params> ic5;
+  std::vector<interactive::Ic6Params> ic6;
+  std::vector<interactive::Ic7Params> ic7;
+  std::vector<interactive::Ic8Params> ic8;
+  std::vector<interactive::Ic9Params> ic9;
+  std::vector<interactive::Ic10Params> ic10;
+  std::vector<interactive::Ic11Params> ic11;
+  std::vector<interactive::Ic12Params> ic12;
+  std::vector<interactive::Ic13Params> ic13;
+  std::vector<interactive::Ic14Params> ic14;
+
+  std::vector<bi::Bi1Params> bi1;
+  std::vector<bi::Bi2Params> bi2;
+  std::vector<bi::Bi3Params> bi3;
+  std::vector<bi::Bi4Params> bi4;
+  std::vector<bi::Bi5Params> bi5;
+  std::vector<bi::Bi6Params> bi6;
+  std::vector<bi::Bi7Params> bi7;
+  std::vector<bi::Bi8Params> bi8;
+  std::vector<bi::Bi9Params> bi9;
+  std::vector<bi::Bi10Params> bi10;
+  std::vector<bi::Bi11Params> bi11;
+  std::vector<bi::Bi12Params> bi12;
+  std::vector<bi::Bi13Params> bi13;
+  std::vector<bi::Bi14Params> bi14;
+  std::vector<bi::Bi15Params> bi15;
+  std::vector<bi::Bi16Params> bi16;
+  std::vector<bi::Bi17Params> bi17;
+  std::vector<bi::Bi18Params> bi18;
+  std::vector<bi::Bi19Params> bi19;
+  std::vector<bi::Bi20Params> bi20;
+  std::vector<bi::Bi21Params> bi21;
+  std::vector<bi::Bi22Params> bi22;
+  std::vector<bi::Bi23Params> bi23;
+  std::vector<bi::Bi24Params> bi24;
+  std::vector<bi::Bi25Params> bi25;
+};
+
+/// Runs the full curation for all query templates.
+WorkloadParameters CurateParameters(const storage::Graph& graph,
+                                    const CurationConfig& config);
+
+/// Writes {interactive|bi}_<n>_param.txt files with JSON-formatted bindings
+/// (spec §2.3.4.4) under `dir`.
+util::Status WriteSubstitutionParameters(const WorkloadParameters& params,
+                                         const std::string& dir);
+
+}  // namespace snb::params
+
+#endif  // SNB_PARAMS_PARAMETER_CURATION_H_

@@ -1,0 +1,158 @@
+// Appendable CSR adjacency.
+//
+// The bulk-loaded part of every relation is stored as a compressed sparse
+// row structure (offset array + target array, optionally a parallel payload
+// array of DateTimes) for scan locality — choke point CP-3.2/3.3. Inserts
+// arriving through the update workload land in per-node overflow vectors;
+// iteration walks base then overflow, so readers see a single merged list.
+
+#ifndef SNB_STORAGE_ADJACENCY_H_
+#define SNB_STORAGE_ADJACENCY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/date_time.h"
+#include "util/check.h"
+
+namespace snb::storage {
+
+/// One directed edge with an optional DateTime payload, used at build time.
+struct EdgeInput {
+  uint32_t src;
+  uint32_t dst;
+  core::DateTime date = 0;
+};
+
+class AdjacencyList {
+ public:
+  AdjacencyList() = default;
+
+  /// Builds the CSR base from an edge list (consumed). `with_dates` controls
+  /// whether the payload array is materialized.
+  void Build(size_t num_nodes, std::vector<EdgeInput> edges, bool with_dates);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return targets_.size() + num_extra_edges_; }
+
+  /// Grows the node space (new nodes start with no edges).
+  void AddNodes(size_t count);
+
+  /// Appends one edge (update path).
+  void Append(uint32_t src, uint32_t dst, core::DateTime date = 0);
+
+  size_t Degree(uint32_t node) const {
+    SNB_DCHECK(node < num_nodes());
+    size_t d = offsets_[node + 1] - offsets_[node];
+    if (node < extra_.size()) d += extra_[node].size();
+    return d;
+  }
+
+  /// Base (bulk-loaded) neighbours only — a contiguous span.
+  std::span<const uint32_t> Base(uint32_t node) const {
+    SNB_DCHECK(node < num_nodes());
+    return {targets_.data() + offsets_[node],
+            targets_.data() + offsets_[node + 1]};
+  }
+
+  /// Visits every neighbour: f(target).
+  template <typename F>
+  void ForEach(uint32_t node, F&& f) const {
+    SNB_DCHECK(node < num_nodes());
+    for (size_t k = offsets_[node]; k < offsets_[node + 1]; ++k) {
+      f(targets_[k]);
+    }
+    if (node < extra_.size()) {
+      for (uint32_t t : extra_[node]) f(t);
+    }
+  }
+
+  /// Visits every neighbour with its payload: f(target, date).
+  template <typename F>
+  void ForEachDated(uint32_t node, F&& f) const {
+    SNB_DCHECK(node < num_nodes());
+    SNB_DCHECK(!dates_.empty() || targets_.empty());
+    for (size_t k = offsets_[node]; k < offsets_[node + 1]; ++k) {
+      f(targets_[k], dates_[k]);
+    }
+    if (node < extra_.size()) {
+      const auto& ex = extra_[node];
+      const auto& exd = extra_dates_[node];
+      for (size_t k = 0; k < ex.size(); ++k) f(ex[k], exd[k]);
+    }
+  }
+
+  /// Materializes the merged neighbour list (used by callers that need to
+  /// sort or binary-search).
+  std::vector<uint32_t> Collect(uint32_t node) const {
+    std::vector<uint32_t> out;
+    out.reserve(Degree(node));
+    ForEach(node, [&out](uint32_t t) { out.push_back(t); });
+    return out;
+  }
+
+  /// True when `dst` is among `src`'s neighbours (linear scan; callers on
+  /// hot paths should build hash sets instead).
+  bool Contains(uint32_t src, uint32_t dst) const {
+    bool found = false;
+    ForEach(src, [&found, dst](uint32_t t) {
+      if (t == dst) found = true;
+    });
+    return found;
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;   // size num_nodes + 1
+  std::vector<uint32_t> targets_;
+  std::vector<core::DateTime> dates_;  // parallel to targets_, may be empty
+
+  std::vector<std::vector<uint32_t>> extra_;
+  std::vector<std::vector<core::DateTime>> extra_dates_;
+  size_t num_extra_edges_ = 0;
+  bool with_dates_ = false;
+};
+
+inline void AdjacencyList::Build(size_t num_nodes,
+                                 std::vector<EdgeInput> edges,
+                                 bool with_dates) {
+  with_dates_ = with_dates;
+  offsets_.assign(num_nodes + 1, 0);
+  for (const EdgeInput& e : edges) {
+    SNB_CHECK_LT(e.src, num_nodes);
+    ++offsets_[e.src + 1];
+  }
+  for (size_t i = 1; i <= num_nodes; ++i) offsets_[i] += offsets_[i - 1];
+  targets_.resize(edges.size());
+  if (with_dates) dates_.resize(edges.size());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const EdgeInput& e : edges) {
+    uint64_t pos = cursor[e.src]++;
+    targets_[pos] = e.dst;
+    if (with_dates) dates_[pos] = e.date;
+  }
+}
+
+inline void AdjacencyList::AddNodes(size_t count) {
+  uint64_t last = offsets_.empty() ? 0 : offsets_.back();
+  if (offsets_.empty()) offsets_.push_back(0);
+  for (size_t i = 0; i < count; ++i) offsets_.push_back(last);
+}
+
+inline void AdjacencyList::Append(uint32_t src, uint32_t dst,
+                                  core::DateTime date) {
+  SNB_CHECK_LT(src, num_nodes());
+  if (extra_.size() < num_nodes()) {
+    extra_.resize(num_nodes());
+    extra_dates_.resize(num_nodes());
+  }
+  extra_[src].push_back(dst);
+  extra_dates_[src].push_back(date);
+  ++num_extra_edges_;
+}
+
+}  // namespace snb::storage
+
+#endif  // SNB_STORAGE_ADJACENCY_H_

@@ -1,0 +1,67 @@
+#include "storage/export.h"
+
+namespace snb::storage {
+
+core::SocialNetwork ExportNetwork(const Graph& graph) {
+  core::SocialNetwork net;
+
+  // Static entities and entity records are stored verbatim.
+  net.places.reserve(graph.NumPlaces());
+  for (uint32_t i = 0; i < graph.NumPlaces(); ++i) {
+    net.places.push_back(graph.PlaceAt(i));
+  }
+  net.organisations.reserve(graph.NumOrganisations());
+  for (uint32_t i = 0; i < graph.NumOrganisations(); ++i) {
+    net.organisations.push_back(graph.OrganisationAt(i));
+  }
+  net.tag_classes.reserve(graph.NumTagClasses());
+  for (uint32_t i = 0; i < graph.NumTagClasses(); ++i) {
+    net.tag_classes.push_back(graph.TagClassAt(i));
+  }
+  net.tags.reserve(graph.NumTags());
+  for (uint32_t i = 0; i < graph.NumTags(); ++i) {
+    net.tags.push_back(graph.TagAt(i));
+  }
+  net.persons.reserve(graph.NumPersons());
+  for (uint32_t i = 0; i < graph.NumPersons(); ++i) {
+    net.persons.push_back(graph.PersonAt(i));
+  }
+  net.forums.reserve(graph.NumForums());
+  for (uint32_t i = 0; i < graph.NumForums(); ++i) {
+    net.forums.push_back(graph.ForumAt(i));
+  }
+  net.posts.reserve(graph.NumPosts());
+  for (uint32_t i = 0; i < graph.NumPosts(); ++i) {
+    net.posts.push_back(graph.PostAt(i));
+  }
+  net.comments.reserve(graph.NumComments());
+  for (uint32_t i = 0; i < graph.NumComments(); ++i) {
+    net.comments.push_back(graph.CommentAt(i));
+  }
+
+  // Pure-edge relations are only held in adjacency; rebuild their rows.
+  for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
+    core::Id p_id = graph.PersonAt(p).id;
+    graph.Knows().ForEachDated(p, [&](uint32_t q, core::DateTime when) {
+      if (q > p) {  // one row per undirected edge
+        net.knows.push_back({p_id, graph.PersonAt(q).id, when});
+      }
+    });
+    graph.PersonLikes().ForEachDated(p, [&](uint32_t msg,
+                                            core::DateTime when) {
+      net.likes.push_back(
+          {p_id, graph.MessageId(msg), Graph::IsPost(msg), when});
+    });
+  }
+  for (uint32_t f = 0; f < graph.NumForums(); ++f) {
+    core::Id f_id = graph.ForumAt(f).id;
+    graph.ForumMembers().ForEachDated(
+        f, [&](uint32_t member, core::DateTime join) {
+          net.memberships.push_back({f_id, graph.PersonAt(member).id, join});
+        });
+  }
+
+  return net;
+}
+
+}  // namespace snb::storage

@@ -1,0 +1,22 @@
+// Graph → raw-network export: the inverse of Graph construction,
+// reconstructing a core::SocialNetwork from the store's tables and
+// adjacency. Together with the CSV serializers this gives checkpointing:
+// a mutated graph can be snapshotted to disk and reloaded — the mechanism
+// behind the spec §6.3 recovery test.
+
+#ifndef SNB_STORAGE_EXPORT_H_
+#define SNB_STORAGE_EXPORT_H_
+
+#include "core/schema.h"
+#include "storage/graph.h"
+
+namespace snb::storage {
+
+/// Materializes the graph's current state (bulk data plus every applied
+/// update) as a raw network. Round-trip property:
+/// Graph(ExportNetwork(g)) is observationally equal to g.
+core::SocialNetwork ExportNetwork(const Graph& graph);
+
+}  // namespace snb::storage
+
+#endif  // SNB_STORAGE_EXPORT_H_

@@ -1,0 +1,433 @@
+#include "storage/graph.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace snb::storage {
+
+namespace {
+
+template <typename T>
+std::unordered_map<core::Id, uint32_t> IndexById(const std::vector<T>& rows) {
+  std::unordered_map<core::Id, uint32_t> map;
+  map.reserve(rows.size() * 2);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool inserted =
+        map.emplace(rows[i].id, static_cast<uint32_t>(i)).second;
+    SNB_CHECK(inserted);  // ids must be unique within an entity type
+  }
+  return map;
+}
+
+}  // namespace
+
+Graph::Graph(core::SocialNetwork net)
+    : persons_(std::move(net.persons)),
+      forums_(std::move(net.forums)),
+      posts_(std::move(net.posts)),
+      comments_(std::move(net.comments)),
+      tags_(std::move(net.tags)),
+      tag_classes_(std::move(net.tag_classes)),
+      places_(std::move(net.places)),
+      organisations_(std::move(net.organisations)) {
+  person_idx_ = IndexById(persons_);
+  forum_idx_ = IndexById(forums_);
+  post_idx_ = IndexById(posts_);
+  comment_idx_ = IndexById(comments_);
+  tag_idx_ = IndexById(tags_);
+  tag_class_idx_ = IndexById(tag_classes_);
+  place_idx_ = IndexById(places_);
+  organisation_idx_ = IndexById(organisations_);
+
+  for (size_t i = 0; i < places_.size(); ++i) {
+    place_by_name_[places_[i].name] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    tag_by_name_[tags_[i].name] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = 0; i < tag_classes_.size(); ++i) {
+    tag_class_by_name_[tag_classes_[i].name] = static_cast<uint32_t>(i);
+  }
+
+  // ---- Static structure columns -------------------------------------------
+  place_part_of_.resize(places_.size());
+  for (size_t i = 0; i < places_.size(); ++i) {
+    place_part_of_[i] =
+        places_[i].part_of == core::kNoId ? kNoIdx : PlaceIdx(places_[i].part_of);
+  }
+  tag_class_parent_.resize(tag_classes_.size());
+  {
+    std::vector<EdgeInput> child_edges;
+    for (size_t i = 0; i < tag_classes_.size(); ++i) {
+      if (tag_classes_[i].parent == core::kNoId) {
+        tag_class_parent_[i] = kNoIdx;
+      } else {
+        tag_class_parent_[i] = TagClassIdx(tag_classes_[i].parent);
+        child_edges.push_back(
+            {tag_class_parent_[i], static_cast<uint32_t>(i)});
+      }
+    }
+    tag_class_children_.Build(tag_classes_.size(), std::move(child_edges),
+                              false);
+  }
+  tag_class_of_tag_.resize(tags_.size());
+  {
+    std::vector<EdgeInput> class_tags;
+    for (size_t i = 0; i < tags_.size(); ++i) {
+      tag_class_of_tag_[i] = TagClassIdx(tags_[i].tag_class);
+      class_tags.push_back({tag_class_of_tag_[i], static_cast<uint32_t>(i)});
+    }
+    tag_class_tags_.Build(tag_classes_.size(), std::move(class_tags), false);
+  }
+
+  // ---- Person columns -------------------------------------------------------
+  person_creation_.resize(persons_.size());
+  person_city_.resize(persons_.size());
+  person_country_.resize(persons_.size());
+  {
+    std::vector<EdgeInput> country_persons, interests;
+    for (size_t i = 0; i < persons_.size(); ++i) {
+      person_creation_[i] = persons_[i].creation_date;
+      person_city_[i] = PlaceIdx(persons_[i].city);
+      SNB_CHECK_NE(person_city_[i], kNoIdx);
+      person_country_[i] = CountryOfPlace(person_city_[i]);
+      country_persons.push_back(
+          {person_country_[i], static_cast<uint32_t>(i)});
+      for (core::Id t : persons_[i].interests) {
+        interests.push_back({static_cast<uint32_t>(i), TagIdx(t)});
+      }
+    }
+    country_persons_.Build(places_.size(), std::move(country_persons), false);
+    std::vector<EdgeInput> interests_rev;
+    interests_rev.reserve(interests.size());
+    for (const EdgeInput& e : interests) {
+      interests_rev.push_back({e.dst, e.src});
+    }
+    person_interests_.Build(persons_.size(), std::move(interests), false);
+    tag_persons_.Build(tags_.size(), std::move(interests_rev), false);
+  }
+
+  // ---- Knows ----------------------------------------------------------------
+  {
+    std::vector<EdgeInput> edges;
+    edges.reserve(net.knows.size() * 2);
+    for (const core::Knows& k : net.knows) {
+      uint32_t a = PersonIdx(k.person1);
+      uint32_t b = PersonIdx(k.person2);
+      SNB_CHECK(a != kNoIdx && b != kNoIdx);
+      edges.push_back({a, b, k.creation_date});
+      edges.push_back({b, a, k.creation_date});
+    }
+    knows_.Build(persons_.size(), std::move(edges), true);
+  }
+
+  // ---- Forums ----------------------------------------------------------------
+  {
+    std::vector<EdgeInput> moderates, ftags, tag_forums;
+    for (size_t i = 0; i < forums_.size(); ++i) {
+      uint32_t mod = PersonIdx(forums_[i].moderator);
+      SNB_CHECK_NE(mod, kNoIdx);
+      moderates.push_back({mod, static_cast<uint32_t>(i)});
+      for (core::Id t : forums_[i].tags) {
+        uint32_t tag = TagIdx(t);
+        ftags.push_back({static_cast<uint32_t>(i), tag});
+        tag_forums.push_back({tag, static_cast<uint32_t>(i)});
+      }
+    }
+    person_moderates_.Build(persons_.size(), std::move(moderates), false);
+    forum_tags_.Build(forums_.size(), std::move(ftags), false);
+    tag_forums_.Build(tags_.size(), std::move(tag_forums), false);
+
+    std::vector<EdgeInput> members, member_of;
+    members.reserve(net.memberships.size());
+    member_of.reserve(net.memberships.size());
+    for (const core::ForumMembership& m : net.memberships) {
+      uint32_t f = ForumIdx(m.forum);
+      uint32_t p = PersonIdx(m.person);
+      SNB_CHECK(f != kNoIdx && p != kNoIdx);
+      members.push_back({f, p, m.join_date});
+      member_of.push_back({p, f, m.join_date});
+    }
+    forum_members_.Build(forums_.size(), std::move(members), true);
+    person_forums_.Build(persons_.size(), std::move(member_of), true);
+  }
+
+  // ---- Posts -----------------------------------------------------------------
+  post_creation_.resize(posts_.size());
+  post_creator_.resize(posts_.size());
+  post_forum_.resize(posts_.size());
+  post_country_.resize(posts_.size());
+  {
+    std::vector<EdgeInput> person_posts, forum_posts, ptags, tag_posts;
+    for (size_t i = 0; i < posts_.size(); ++i) {
+      const core::Post& p = posts_[i];
+      post_creation_[i] = p.creation_date;
+      post_creator_[i] = PersonIdx(p.creator);
+      post_forum_[i] = ForumIdx(p.forum);
+      post_country_[i] = PlaceIdx(p.country);
+      SNB_CHECK_NE(post_creator_[i], kNoIdx);
+      SNB_CHECK_NE(post_forum_[i], kNoIdx);
+      person_posts.push_back({post_creator_[i], static_cast<uint32_t>(i)});
+      forum_posts.push_back({post_forum_[i], static_cast<uint32_t>(i)});
+      for (core::Id t : p.tags) {
+        uint32_t tag = TagIdx(t);
+        ptags.push_back({static_cast<uint32_t>(i), tag});
+        tag_posts.push_back({tag, static_cast<uint32_t>(i)});
+      }
+    }
+    person_posts_.Build(persons_.size(), std::move(person_posts), false);
+    forum_posts_.Build(forums_.size(), std::move(forum_posts), false);
+    post_tags_.Build(posts_.size(), std::move(ptags), false);
+    tag_posts_.Build(tags_.size(), std::move(tag_posts), false);
+  }
+
+  // ---- Comments --------------------------------------------------------------
+  comment_creation_.resize(comments_.size());
+  comment_creator_.resize(comments_.size());
+  comment_country_.resize(comments_.size());
+  comment_reply_of_.resize(comments_.size());
+  comment_root_post_.resize(comments_.size());
+  {
+    std::vector<EdgeInput> person_comments, post_replies, comment_replies,
+        ctags, tag_comments;
+    for (size_t i = 0; i < comments_.size(); ++i) {
+      const core::Comment& c = comments_[i];
+      comment_creation_[i] = c.creation_date;
+      comment_creator_[i] = PersonIdx(c.creator);
+      comment_country_[i] = PlaceIdx(c.country);
+      SNB_CHECK_NE(comment_creator_[i], kNoIdx);
+      person_comments.push_back(
+          {comment_creator_[i], static_cast<uint32_t>(i)});
+      if (c.reply_of_post != core::kNoId) {
+        uint32_t post = PostIdx(c.reply_of_post);
+        SNB_CHECK_NE(post, kNoIdx);
+        comment_reply_of_[i] = MessageOfPost(post);
+        comment_root_post_[i] = post;
+        post_replies.push_back({post, static_cast<uint32_t>(i)});
+      } else {
+        uint32_t parent = CommentIdx(c.reply_of_comment);
+        SNB_CHECK_NE(parent, kNoIdx);
+        // Datagen emits comments in thread order, but loaded data may not be
+        // ordered; resolve roots transitively afterwards when needed.
+        SNB_CHECK_LT(parent, i);  // replies always follow their target
+        comment_reply_of_[i] = MessageOfComment(parent);
+        comment_root_post_[i] = comment_root_post_[parent];
+        comment_replies.push_back({parent, static_cast<uint32_t>(i)});
+      }
+      for (core::Id t : c.tags) {
+        uint32_t tag = TagIdx(t);
+        ctags.push_back({static_cast<uint32_t>(i), tag});
+        tag_comments.push_back({tag, static_cast<uint32_t>(i)});
+      }
+    }
+    person_comments_.Build(persons_.size(), std::move(person_comments),
+                           false);
+    post_replies_.Build(posts_.size(), std::move(post_replies), false);
+    comment_replies_.Build(comments_.size(), std::move(comment_replies),
+                           false);
+    comment_tags_.Build(comments_.size(), std::move(ctags), false);
+    tag_comments_.Build(tags_.size(), std::move(tag_comments), false);
+  }
+
+  // ---- Likes -----------------------------------------------------------------
+  {
+    std::vector<EdgeInput> person_likes, post_likers, comment_likers;
+    person_likes.reserve(net.likes.size());
+    for (const core::Like& l : net.likes) {
+      uint32_t person = PersonIdx(l.person);
+      SNB_CHECK_NE(person, kNoIdx);
+      if (l.is_post) {
+        uint32_t post = PostIdx(l.message);
+        SNB_CHECK_NE(post, kNoIdx);
+        person_likes.push_back({person, MessageOfPost(post), l.creation_date});
+        post_likers.push_back({post, person, l.creation_date});
+      } else {
+        uint32_t comment = CommentIdx(l.message);
+        SNB_CHECK_NE(comment, kNoIdx);
+        person_likes.push_back(
+            {person, MessageOfComment(comment), l.creation_date});
+        comment_likers.push_back({comment, person, l.creation_date});
+      }
+    }
+    person_likes_.Build(persons_.size(), std::move(person_likes), true);
+    post_likers_.Build(posts_.size(), std::move(post_likers), true);
+    comment_likers_.Build(comments_.size(), std::move(comment_likers), true);
+  }
+}
+
+uint32_t Graph::CountryOfPlace(uint32_t place) const {
+  // Walks city → country; a country maps to itself.
+  if (places_[place].type == core::PlaceType::kCountry) return place;
+  uint32_t parent = place_part_of_[place];
+  SNB_CHECK_NE(parent, kNoIdx);
+  return parent;
+}
+
+uint32_t Graph::PlaceByName(const std::string& name) const {
+  auto it = place_by_name_.find(name);
+  return it == place_by_name_.end() ? kNoIdx : it->second;
+}
+
+uint32_t Graph::TagByName(const std::string& name) const {
+  auto it = tag_by_name_.find(name);
+  return it == tag_by_name_.end() ? kNoIdx : it->second;
+}
+
+uint32_t Graph::TagClassByName(const std::string& name) const {
+  auto it = tag_class_by_name_.find(name);
+  return it == tag_class_by_name_.end() ? kNoIdx : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Mutators (IU 1–8)
+// ---------------------------------------------------------------------------
+
+uint32_t Graph::AddPerson(const core::Person& person) {
+  SNB_CHECK_EQ(PersonIdx(person.id), kNoIdx);
+  uint32_t idx = static_cast<uint32_t>(persons_.size());
+  persons_.push_back(person);
+  person_idx_[person.id] = idx;
+  person_creation_.push_back(person.creation_date);
+  uint32_t city = PlaceIdx(person.city);
+  SNB_CHECK_NE(city, kNoIdx);
+  person_city_.push_back(city);
+  uint32_t country = CountryOfPlace(city);
+  person_country_.push_back(country);
+  country_persons_.Append(country, idx);
+
+  knows_.AddNodes(1);
+  person_posts_.AddNodes(1);
+  person_comments_.AddNodes(1);
+  person_likes_.AddNodes(1);
+  person_forums_.AddNodes(1);
+  person_moderates_.AddNodes(1);
+  person_interests_.AddNodes(1);
+  for (core::Id t : person.interests) {
+    uint32_t tag = TagIdx(t);
+    SNB_CHECK_NE(tag, kNoIdx);
+    person_interests_.Append(idx, tag);
+    tag_persons_.Append(tag, idx);
+  }
+  return idx;
+}
+
+void Graph::AddLikePost(core::Id person, core::Id post, core::DateTime date) {
+  uint32_t p = PersonIdx(person);
+  uint32_t m = PostIdx(post);
+  SNB_CHECK(p != kNoIdx && m != kNoIdx);
+  person_likes_.Append(p, MessageOfPost(m), date);
+  post_likers_.Append(m, p, date);
+}
+
+void Graph::AddLikeComment(core::Id person, core::Id comment,
+                           core::DateTime date) {
+  uint32_t p = PersonIdx(person);
+  uint32_t m = CommentIdx(comment);
+  SNB_CHECK(p != kNoIdx && m != kNoIdx);
+  person_likes_.Append(p, MessageOfComment(m), date);
+  comment_likers_.Append(m, p, date);
+}
+
+uint32_t Graph::AddForum(const core::Forum& forum) {
+  SNB_CHECK_EQ(ForumIdx(forum.id), kNoIdx);
+  uint32_t idx = static_cast<uint32_t>(forums_.size());
+  forums_.push_back(forum);
+  forum_idx_[forum.id] = idx;
+  forum_members_.AddNodes(1);
+  forum_posts_.AddNodes(1);
+  forum_tags_.AddNodes(1);
+  uint32_t mod = PersonIdx(forum.moderator);
+  SNB_CHECK_NE(mod, kNoIdx);
+  person_moderates_.Append(mod, idx);
+  for (core::Id t : forum.tags) {
+    uint32_t tag = TagIdx(t);
+    SNB_CHECK_NE(tag, kNoIdx);
+    forum_tags_.Append(idx, tag);
+    tag_forums_.Append(tag, idx);
+  }
+  return idx;
+}
+
+void Graph::AddMembership(core::Id person, core::Id forum,
+                          core::DateTime join_date) {
+  uint32_t p = PersonIdx(person);
+  uint32_t f = ForumIdx(forum);
+  SNB_CHECK(p != kNoIdx && f != kNoIdx);
+  forum_members_.Append(f, p, join_date);
+  person_forums_.Append(p, f, join_date);
+}
+
+uint32_t Graph::AddPost(const core::Post& post) {
+  SNB_CHECK_EQ(PostIdx(post.id), kNoIdx);
+  uint32_t idx = static_cast<uint32_t>(posts_.size());
+  posts_.push_back(post);
+  post_idx_[post.id] = idx;
+  post_creation_.push_back(post.creation_date);
+  uint32_t creator = PersonIdx(post.creator);
+  uint32_t forum = ForumIdx(post.forum);
+  uint32_t country = PlaceIdx(post.country);
+  SNB_CHECK(creator != kNoIdx && forum != kNoIdx && country != kNoIdx);
+  post_creator_.push_back(creator);
+  post_forum_.push_back(forum);
+  post_country_.push_back(country);
+  person_posts_.Append(creator, idx);
+  forum_posts_.Append(forum, idx);
+  post_tags_.AddNodes(1);
+  post_replies_.AddNodes(1);
+  post_likers_.AddNodes(1);
+  for (core::Id t : post.tags) {
+    uint32_t tag = TagIdx(t);
+    SNB_CHECK_NE(tag, kNoIdx);
+    post_tags_.Append(idx, tag);
+    tag_posts_.Append(tag, idx);
+  }
+  return idx;
+}
+
+uint32_t Graph::AddComment(const core::Comment& comment) {
+  SNB_CHECK_EQ(CommentIdx(comment.id), kNoIdx);
+  uint32_t idx = static_cast<uint32_t>(comments_.size());
+  comments_.push_back(comment);
+  comment_idx_[comment.id] = idx;
+  comment_creation_.push_back(comment.creation_date);
+  uint32_t creator = PersonIdx(comment.creator);
+  uint32_t country = PlaceIdx(comment.country);
+  SNB_CHECK(creator != kNoIdx && country != kNoIdx);
+  comment_creator_.push_back(creator);
+  comment_country_.push_back(country);
+  person_comments_.Append(creator, idx);
+  comment_tags_.AddNodes(1);
+  comment_replies_.AddNodes(1);
+  comment_likers_.AddNodes(1);
+  if (comment.reply_of_post != core::kNoId) {
+    uint32_t post = PostIdx(comment.reply_of_post);
+    SNB_CHECK_NE(post, kNoIdx);
+    comment_reply_of_.push_back(MessageOfPost(post));
+    comment_root_post_.push_back(post);
+    post_replies_.Append(post, idx);
+  } else {
+    uint32_t parent = CommentIdx(comment.reply_of_comment);
+    SNB_CHECK_NE(parent, kNoIdx);
+    comment_reply_of_.push_back(MessageOfComment(parent));
+    comment_root_post_.push_back(comment_root_post_[parent]);
+    comment_replies_.Append(parent, idx);
+  }
+  for (core::Id t : comment.tags) {
+    uint32_t tag = TagIdx(t);
+    SNB_CHECK_NE(tag, kNoIdx);
+    comment_tags_.Append(idx, tag);
+    tag_comments_.Append(tag, idx);
+  }
+  return idx;
+}
+
+void Graph::AddKnows(core::Id person1, core::Id person2, core::DateTime date) {
+  uint32_t a = PersonIdx(person1);
+  uint32_t b = PersonIdx(person2);
+  SNB_CHECK(a != kNoIdx && b != kNoIdx);
+  knows_.Append(a, b, date);
+  knows_.Append(b, a, date);
+}
+
+}  // namespace snb::storage

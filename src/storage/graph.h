@@ -1,0 +1,284 @@
+// The in-memory social-network graph store.
+//
+// Entities live in columnar-ish tables (the raw record vectors plus flat
+// "hot" columns for scan-heavy attributes); every relation is materialized
+// as forward and, where queries need it, reverse appendable-CSR adjacency
+// (see adjacency.h). External spec ids map to dense uint32 indices at build
+// time; all traversal is index-based.
+//
+// Posts and comments are distinct tables; a *message reference* encodes
+// either in one uint32: bit 31 clear → post index, bit 31 set → comment
+// index. The encoding is stable under appends (updates can add posts and
+// comments without invalidating existing references) and gives the unified
+// "Message" view the BI workload queries over.
+//
+// The store is single-writer / multi-reader: Add* mutators (the Interactive
+// update operations IU 1–8) append to overflow regions without invalidating
+// base CSR spans.
+
+#ifndef SNB_STORAGE_GRAPH_H_
+#define SNB_STORAGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/schema.h"
+#include "storage/adjacency.h"
+
+namespace snb::storage {
+
+constexpr uint32_t kNoIdx = UINT32_MAX;
+
+class Graph {
+ public:
+  /// Builds all indexes from a raw network (consumed).
+  explicit Graph(core::SocialNetwork net);
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+
+  // ---- Entity tables ------------------------------------------------------
+
+  size_t NumPersons() const { return persons_.size(); }
+  size_t NumForums() const { return forums_.size(); }
+  size_t NumPosts() const { return posts_.size(); }
+  size_t NumComments() const { return comments_.size(); }
+  size_t NumMessages() const { return posts_.size() + comments_.size(); }
+  size_t NumTags() const { return tags_.size(); }
+  size_t NumTagClasses() const { return tag_classes_.size(); }
+  size_t NumPlaces() const { return places_.size(); }
+  size_t NumOrganisations() const { return organisations_.size(); }
+
+  const core::Person& PersonAt(uint32_t i) const { return persons_[i]; }
+  const core::Forum& ForumAt(uint32_t i) const { return forums_[i]; }
+  const core::Post& PostAt(uint32_t i) const { return posts_[i]; }
+  const core::Comment& CommentAt(uint32_t i) const { return comments_[i]; }
+  const core::Tag& TagAt(uint32_t i) const { return tags_[i]; }
+  const core::TagClass& TagClassAt(uint32_t i) const {
+    return tag_classes_[i];
+  }
+  const core::Place& PlaceAt(uint32_t i) const { return places_[i]; }
+  const core::Organisation& OrganisationAt(uint32_t i) const {
+    return organisations_[i];
+  }
+
+  // ---- Id ↔ index ----------------------------------------------------------
+
+  uint32_t PersonIdx(core::Id id) const { return Lookup(person_idx_, id); }
+  uint32_t ForumIdx(core::Id id) const { return Lookup(forum_idx_, id); }
+  uint32_t PostIdx(core::Id id) const { return Lookup(post_idx_, id); }
+  uint32_t CommentIdx(core::Id id) const { return Lookup(comment_idx_, id); }
+  uint32_t TagIdx(core::Id id) const { return Lookup(tag_idx_, id); }
+  uint32_t TagClassIdx(core::Id id) const {
+    return Lookup(tag_class_idx_, id);
+  }
+  uint32_t PlaceIdx(core::Id id) const { return Lookup(place_idx_, id); }
+  uint32_t OrganisationIdx(core::Id id) const {
+    return Lookup(organisation_idx_, id);
+  }
+
+  /// Name lookups for query parameters given by name (countries, tags,
+  /// tag classes). Return kNoIdx when absent.
+  uint32_t PlaceByName(const std::string& name) const;
+  uint32_t TagByName(const std::string& name) const;
+  uint32_t TagClassByName(const std::string& name) const;
+
+  // ---- Message references --------------------------------------------------
+
+  static constexpr uint32_t kCommentBit = 0x80000000u;
+
+  static bool IsPost(uint32_t msg) { return (msg & kCommentBit) == 0; }
+  static uint32_t AsPost(uint32_t msg) { return msg; }
+  static uint32_t AsComment(uint32_t msg) { return msg & ~kCommentBit; }
+  static uint32_t MessageOfPost(uint32_t post) { return post; }
+  static uint32_t MessageOfComment(uint32_t comment) {
+    return comment | kCommentBit;
+  }
+
+  /// Visits every message reference: first all posts, then all comments.
+  template <typename F>
+  void ForEachMessage(F&& f) const {
+    for (uint32_t i = 0; i < posts_.size(); ++i) f(MessageOfPost(i));
+    for (uint32_t i = 0; i < comments_.size(); ++i) f(MessageOfComment(i));
+  }
+
+  core::DateTime MessageCreationDate(uint32_t msg) const {
+    return IsPost(msg) ? post_creation_[msg]
+                       : comment_creation_[AsComment(msg)];
+  }
+  uint32_t MessageCreator(uint32_t msg) const {
+    return IsPost(msg) ? post_creator_[msg] : comment_creator_[AsComment(msg)];
+  }
+  /// Country *place index* of the message.
+  uint32_t MessageCountry(uint32_t msg) const {
+    return IsPost(msg) ? post_country_[msg] : comment_country_[AsComment(msg)];
+  }
+  int32_t MessageLength(uint32_t msg) const {
+    return IsPost(msg) ? posts_[msg].length
+                       : comments_[AsComment(msg)].length;
+  }
+  /// Message id in the external id space of its entity type.
+  core::Id MessageId(uint32_t msg) const {
+    return IsPost(msg) ? posts_[msg].id : comments_[AsComment(msg)].id;
+  }
+  /// content for comments and text posts, imageFile for image posts.
+  const std::string& MessageContent(uint32_t msg) const {
+    if (IsPost(msg)) {
+      const core::Post& p = posts_[msg];
+      return p.content.empty() ? p.image_file : p.content;
+    }
+    return comments_[AsComment(msg)].content;
+  }
+  bool MessageHasContent(uint32_t msg) const {
+    return IsPost(msg) ? !posts_[msg].content.empty() : true;
+  }
+
+  /// Visits the tag indices of a message.
+  template <typename F>
+  void ForEachMessageTag(uint32_t msg, F&& f) const {
+    if (IsPost(msg)) {
+      post_tags_.ForEach(msg, f);
+    } else {
+      comment_tags_.ForEach(AsComment(msg), f);
+    }
+  }
+
+  // ---- Hot columns ----------------------------------------------------------
+
+  core::DateTime PersonCreation(uint32_t p) const {
+    return person_creation_[p];
+  }
+  /// City place index of the person.
+  uint32_t PersonCity(uint32_t p) const { return person_city_[p]; }
+  /// Country place index of the person (city's parent, precomputed).
+  uint32_t PersonCountry(uint32_t p) const { return person_country_[p]; }
+
+  core::DateTime PostCreation(uint32_t i) const { return post_creation_[i]; }
+  uint32_t PostCreator(uint32_t i) const { return post_creator_[i]; }
+  uint32_t PostForum(uint32_t i) const { return post_forum_[i]; }
+  uint32_t PostCountry(uint32_t i) const { return post_country_[i]; }
+
+  core::DateTime CommentCreation(uint32_t i) const {
+    return comment_creation_[i];
+  }
+  uint32_t CommentCreator(uint32_t i) const { return comment_creator_[i]; }
+  uint32_t CommentCountry(uint32_t i) const { return comment_country_[i]; }
+  /// Direct reply target as a message reference.
+  uint32_t CommentReplyOf(uint32_t i) const { return comment_reply_of_[i]; }
+  /// Post at the root of the comment's thread (precomputed).
+  uint32_t CommentRootPost(uint32_t i) const { return comment_root_post_[i]; }
+
+  /// Parent place index (city→country, country→continent); kNoIdx for
+  /// continents.
+  uint32_t PlacePartOf(uint32_t place) const { return place_part_of_[place]; }
+  /// Parent tag-class index; kNoIdx at the root.
+  uint32_t TagClassParent(uint32_t tc) const { return tag_class_parent_[tc]; }
+  /// Tag-class index of a tag.
+  uint32_t TagClassOfTag(uint32_t t) const { return tag_class_of_tag_[t]; }
+
+  // ---- Adjacency ------------------------------------------------------------
+
+  const AdjacencyList& Knows() const { return knows_; }                // dated
+  const AdjacencyList& PersonPosts() const { return person_posts_; }
+  const AdjacencyList& PersonComments() const { return person_comments_; }
+  /// person → message references, dated with the like creation date.
+  const AdjacencyList& PersonLikes() const { return person_likes_; }
+  /// post/comment → liker person, dated.
+  const AdjacencyList& PostLikers() const { return post_likers_; }
+  const AdjacencyList& CommentLikers() const { return comment_likers_; }
+  const AdjacencyList& ForumMembers() const { return forum_members_; }  // dated
+  /// person → forums they are a member of, dated with joinDate.
+  const AdjacencyList& PersonForums() const { return person_forums_; }
+  const AdjacencyList& ForumPosts() const { return forum_posts_; }
+  /// person → forums they moderate.
+  const AdjacencyList& PersonModerates() const { return person_moderates_; }
+  /// post → direct reply comments.
+  const AdjacencyList& PostReplies() const { return post_replies_; }
+  /// comment → direct reply comments.
+  const AdjacencyList& CommentReplies() const { return comment_replies_; }
+  const AdjacencyList& PostTags() const { return post_tags_; }
+  const AdjacencyList& CommentTags() const { return comment_tags_; }
+  const AdjacencyList& ForumTags() const { return forum_tags_; }
+  const AdjacencyList& PersonInterests() const { return person_interests_; }
+  const AdjacencyList& TagPosts() const { return tag_posts_; }
+  const AdjacencyList& TagComments() const { return tag_comments_; }
+  const AdjacencyList& TagForums() const { return tag_forums_; }
+  const AdjacencyList& TagPersons() const { return tag_persons_; }
+  /// country place index → persons located there.
+  const AdjacencyList& CountryPersons() const { return country_persons_; }
+  /// tag-class index → child class indices.
+  const AdjacencyList& TagClassChildren() const { return tag_class_children_; }
+  /// tag-class index → tags of that class.
+  const AdjacencyList& TagClassTags() const { return tag_class_tags_; }
+
+  // ---- Mutators (Interactive updates IU 1–8) --------------------------------
+
+  uint32_t AddPerson(const core::Person& person);              // IU 1
+  void AddLikePost(core::Id person, core::Id post,
+                   core::DateTime date);                       // IU 2
+  void AddLikeComment(core::Id person, core::Id comment,
+                      core::DateTime date);                    // IU 3
+  uint32_t AddForum(const core::Forum& forum);                 // IU 4
+  void AddMembership(core::Id person, core::Id forum,
+                     core::DateTime join_date);                // IU 5
+  uint32_t AddPost(const core::Post& post);                    // IU 6
+  uint32_t AddComment(const core::Comment& comment);           // IU 7
+  void AddKnows(core::Id person1, core::Id person2,
+                core::DateTime date);                          // IU 8
+
+ private:
+  static uint32_t Lookup(const std::unordered_map<core::Id, uint32_t>& map,
+                         core::Id id) {
+    auto it = map.find(id);
+    return it == map.end() ? kNoIdx : it->second;
+  }
+
+  uint32_t CountryOfPlace(uint32_t place) const;
+
+  // Raw entity tables.
+  std::vector<core::Person> persons_;
+  std::vector<core::Forum> forums_;
+  std::vector<core::Post> posts_;
+  std::vector<core::Comment> comments_;
+  std::vector<core::Tag> tags_;
+  std::vector<core::TagClass> tag_classes_;
+  std::vector<core::Place> places_;
+  std::vector<core::Organisation> organisations_;
+
+  // Id maps.
+  std::unordered_map<core::Id, uint32_t> person_idx_, forum_idx_, post_idx_,
+      comment_idx_, tag_idx_, tag_class_idx_, place_idx_, organisation_idx_;
+  std::unordered_map<std::string, uint32_t> place_by_name_, tag_by_name_,
+      tag_class_by_name_;
+
+  // Hot columns.
+  std::vector<core::DateTime> person_creation_;
+  std::vector<uint32_t> person_city_, person_country_;
+  std::vector<core::DateTime> post_creation_;
+  std::vector<uint32_t> post_creator_, post_forum_, post_country_;
+  std::vector<core::DateTime> comment_creation_;
+  std::vector<uint32_t> comment_creator_, comment_country_;
+  std::vector<uint32_t> comment_reply_of_;   // message reference
+  std::vector<uint32_t> comment_root_post_;  // post index
+  std::vector<uint32_t> place_part_of_;
+  std::vector<uint32_t> tag_class_parent_, tag_class_of_tag_;
+
+  // Adjacency.
+  AdjacencyList knows_;
+  AdjacencyList person_posts_, person_comments_, person_likes_;
+  AdjacencyList post_likers_, comment_likers_;
+  AdjacencyList forum_members_, person_forums_, forum_posts_,
+      person_moderates_;
+  AdjacencyList post_replies_, comment_replies_;
+  AdjacencyList post_tags_, comment_tags_, forum_tags_, person_interests_;
+  AdjacencyList tag_posts_, tag_comments_, tag_forums_, tag_persons_;
+  AdjacencyList country_persons_;
+  AdjacencyList tag_class_children_, tag_class_tags_;
+};
+
+}  // namespace snb::storage
+
+#endif  // SNB_STORAGE_GRAPH_H_

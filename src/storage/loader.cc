@@ -1,0 +1,316 @@
+#include "storage/loader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "core/date_time.h"
+#include "util/csv.h"
+
+namespace snb::storage {
+
+using core::SocialNetwork;
+using util::CsvTable;
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+core::Id ToId(const std::string& s) { return std::strtoll(s.c_str(), nullptr, 10); }
+int32_t ToI32(const std::string& s) {
+  return static_cast<int32_t>(std::strtol(s.c_str(), nullptr, 10));
+}
+
+StatusOr<CsvTable> Read(const std::string& dir, const std::string& sub,
+                        const std::string& stem) {
+  return util::ReadCsv(dir + "/" + sub + "/" + stem + "_0_0.csv");
+}
+
+Status ParseDateField(const std::string& text, core::Date* out) {
+  if (!core::ParseDate(text, out)) {
+    return Status::CorruptData("bad date: " + text);
+  }
+  return Status::Ok();
+}
+
+Status ParseDateTimeField(const std::string& text, core::DateTime* out) {
+  if (!core::ParseDateTime(text, out)) {
+    return Status::CorruptData("bad datetime: " + text);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<SocialNetwork> LoadCsvBasic(const std::string& dir) {
+  SocialNetwork net;
+
+#define SNB_LOAD(var, sub, stem)                  \
+  auto var##_or = Read(dir, sub, stem);           \
+  if (!var##_or.ok()) return var##_or.status();   \
+  CsvTable& var = var##_or.value()
+
+  // ---- static ----
+  {
+    SNB_LOAD(t, "static", "place");
+    for (auto& row : t.rows) {
+      core::Place p;
+      p.id = ToId(row[0]);
+      p.name = row[1];
+      p.url = row[2];
+      p.type = row[3] == "city"      ? core::PlaceType::kCity
+               : row[3] == "country" ? core::PlaceType::kCountry
+                                     : core::PlaceType::kContinent;
+      net.places.push_back(std::move(p));
+    }
+    SNB_LOAD(rel, "static", "place_isPartOf_place");
+    std::unordered_map<core::Id, core::Id> part_of;
+    for (auto& row : rel.rows) part_of[ToId(row[0])] = ToId(row[1]);
+    for (core::Place& p : net.places) {
+      auto it = part_of.find(p.id);
+      p.part_of = it == part_of.end() ? core::kNoId : it->second;
+    }
+  }
+  {
+    SNB_LOAD(t, "static", "organisation");
+    for (auto& row : t.rows) {
+      core::Organisation o;
+      o.id = ToId(row[0]);
+      o.type = row[1] == "university" ? core::OrganisationType::kUniversity
+                                      : core::OrganisationType::kCompany;
+      o.name = row[2];
+      o.url = row[3];
+      net.organisations.push_back(std::move(o));
+    }
+    SNB_LOAD(rel, "static", "organisation_isLocatedIn_place");
+    std::unordered_map<core::Id, core::Id> located;
+    for (auto& row : rel.rows) located[ToId(row[0])] = ToId(row[1]);
+    for (core::Organisation& o : net.organisations) o.place = located[o.id];
+  }
+  {
+    SNB_LOAD(t, "static", "tagclass");
+    for (auto& row : t.rows) {
+      core::TagClass tc;
+      tc.id = ToId(row[0]);
+      tc.name = row[1];
+      tc.url = row[2];
+      net.tag_classes.push_back(std::move(tc));
+    }
+    SNB_LOAD(rel, "static", "tagclass_isSubclassOf_tagclass");
+    std::unordered_map<core::Id, core::Id> parent;
+    for (auto& row : rel.rows) parent[ToId(row[0])] = ToId(row[1]);
+    for (core::TagClass& tc : net.tag_classes) {
+      auto it = parent.find(tc.id);
+      tc.parent = it == parent.end() ? core::kNoId : it->second;
+    }
+  }
+  {
+    SNB_LOAD(t, "static", "tag");
+    for (auto& row : t.rows) {
+      core::Tag tag;
+      tag.id = ToId(row[0]);
+      tag.name = row[1];
+      tag.url = row[2];
+      net.tags.push_back(std::move(tag));
+    }
+    SNB_LOAD(rel, "static", "tag_hasType_tagclass");
+    std::unordered_map<core::Id, core::Id> type_of;
+    for (auto& row : rel.rows) type_of[ToId(row[0])] = ToId(row[1]);
+    for (core::Tag& tag : net.tags) tag.tag_class = type_of[tag.id];
+  }
+
+  // ---- persons ----
+  std::unordered_map<core::Id, size_t> person_pos;
+  {
+    SNB_LOAD(t, "dynamic", "person");
+    for (auto& row : t.rows) {
+      core::Person p;
+      p.id = ToId(row[0]);
+      p.first_name = row[1];
+      p.last_name = row[2];
+      p.gender = row[3];
+      SNB_RETURN_IF_ERROR(ParseDateField(row[4], &p.birthday));
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[5], &p.creation_date));
+      p.location_ip = row[6];
+      p.browser_used = row[7];
+      person_pos[p.id] = net.persons.size();
+      net.persons.push_back(std::move(p));
+    }
+    SNB_LOAD(city, "dynamic", "person_isLocatedIn_place");
+    for (auto& row : city.rows) {
+      net.persons[person_pos[ToId(row[0])]].city = ToId(row[1]);
+    }
+    SNB_LOAD(email, "dynamic", "person_email_emailaddress");
+    for (auto& row : email.rows) {
+      net.persons[person_pos[ToId(row[0])]].emails.push_back(row[1]);
+    }
+    SNB_LOAD(speaks, "dynamic", "person_speaks_language");
+    for (auto& row : speaks.rows) {
+      net.persons[person_pos[ToId(row[0])]].speaks.push_back(row[1]);
+    }
+    SNB_LOAD(interest, "dynamic", "person_hasInterest_tag");
+    for (auto& row : interest.rows) {
+      net.persons[person_pos[ToId(row[0])]].interests.push_back(ToId(row[1]));
+    }
+    SNB_LOAD(study, "dynamic", "person_studyAt_organisation");
+    for (auto& row : study.rows) {
+      net.persons[person_pos[ToId(row[0])]].study_at.push_back(
+          {ToId(row[1]), ToI32(row[2])});
+    }
+    SNB_LOAD(work, "dynamic", "person_workAt_organisation");
+    for (auto& row : work.rows) {
+      net.persons[person_pos[ToId(row[0])]].work_at.push_back(
+          {ToId(row[1]), ToI32(row[2])});
+    }
+    SNB_LOAD(knows, "dynamic", "person_knows_person");
+    for (auto& row : knows.rows) {
+      core::Knows k;
+      k.person1 = ToId(row[0]);
+      k.person2 = ToId(row[1]);
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[2], &k.creation_date));
+      net.knows.push_back(k);
+    }
+  }
+
+  // ---- forums ----
+  std::unordered_map<core::Id, size_t> forum_pos;
+  {
+    SNB_LOAD(t, "dynamic", "forum");
+    for (auto& row : t.rows) {
+      core::Forum f;
+      f.id = ToId(row[0]);
+      f.title = row[1];
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[2], &f.creation_date));
+      f.kind = f.title.rfind("Wall", 0) == 0    ? core::ForumKind::kWall
+               : f.title.rfind("Album", 0) == 0 ? core::ForumKind::kAlbum
+                                                : core::ForumKind::kGroup;
+      forum_pos[f.id] = net.forums.size();
+      net.forums.push_back(std::move(f));
+    }
+    SNB_LOAD(mod, "dynamic", "forum_hasModerator_person");
+    for (auto& row : mod.rows) {
+      net.forums[forum_pos[ToId(row[0])]].moderator = ToId(row[1]);
+    }
+    SNB_LOAD(ftag, "dynamic", "forum_hasTag_tag");
+    for (auto& row : ftag.rows) {
+      net.forums[forum_pos[ToId(row[0])]].tags.push_back(ToId(row[1]));
+    }
+    SNB_LOAD(member, "dynamic", "forum_hasMember_person");
+    for (auto& row : member.rows) {
+      core::ForumMembership m;
+      m.forum = ToId(row[0]);
+      m.person = ToId(row[1]);
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[2], &m.join_date));
+      net.memberships.push_back(m);
+    }
+  }
+
+  // ---- posts ----
+  std::unordered_map<core::Id, size_t> post_pos;
+  {
+    SNB_LOAD(t, "dynamic", "post");
+    for (auto& row : t.rows) {
+      core::Post p;
+      p.id = ToId(row[0]);
+      p.image_file = row[1];
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[2], &p.creation_date));
+      p.location_ip = row[3];
+      p.browser_used = row[4];
+      p.language = row[5];
+      p.content = row[6];
+      p.length = ToI32(row[7]);
+      post_pos[p.id] = net.posts.size();
+      net.posts.push_back(std::move(p));
+    }
+    SNB_LOAD(creator, "dynamic", "post_hasCreator_person");
+    for (auto& row : creator.rows) {
+      net.posts[post_pos[ToId(row[0])]].creator = ToId(row[1]);
+    }
+    SNB_LOAD(container, "dynamic", "forum_containerOf_post");
+    for (auto& row : container.rows) {
+      net.posts[post_pos[ToId(row[1])]].forum = ToId(row[0]);
+    }
+    SNB_LOAD(loc, "dynamic", "post_isLocatedIn_place");
+    for (auto& row : loc.rows) {
+      net.posts[post_pos[ToId(row[0])]].country = ToId(row[1]);
+    }
+    SNB_LOAD(ptag, "dynamic", "post_hasTag_tag");
+    for (auto& row : ptag.rows) {
+      net.posts[post_pos[ToId(row[0])]].tags.push_back(ToId(row[1]));
+    }
+  }
+
+  // ---- comments ----
+  std::unordered_map<core::Id, size_t> comment_pos;
+  {
+    SNB_LOAD(t, "dynamic", "comment");
+    for (auto& row : t.rows) {
+      core::Comment c;
+      c.id = ToId(row[0]);
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[1], &c.creation_date));
+      c.location_ip = row[2];
+      c.browser_used = row[3];
+      c.content = row[4];
+      c.length = ToI32(row[5]);
+      comment_pos[c.id] = net.comments.size();
+      net.comments.push_back(std::move(c));
+    }
+    SNB_LOAD(creator, "dynamic", "comment_hasCreator_person");
+    for (auto& row : creator.rows) {
+      net.comments[comment_pos[ToId(row[0])]].creator = ToId(row[1]);
+    }
+    SNB_LOAD(loc, "dynamic", "comment_isLocatedIn_place");
+    for (auto& row : loc.rows) {
+      net.comments[comment_pos[ToId(row[0])]].country = ToId(row[1]);
+    }
+    SNB_LOAD(rp, "dynamic", "comment_replyOf_post");
+    for (auto& row : rp.rows) {
+      net.comments[comment_pos[ToId(row[0])]].reply_of_post = ToId(row[1]);
+    }
+    SNB_LOAD(rc, "dynamic", "comment_replyOf_comment");
+    for (auto& row : rc.rows) {
+      net.comments[comment_pos[ToId(row[0])]].reply_of_comment = ToId(row[1]);
+    }
+    SNB_LOAD(ctag, "dynamic", "comment_hasTag_tag");
+    for (auto& row : ctag.rows) {
+      net.comments[comment_pos[ToId(row[0])]].tags.push_back(ToId(row[1]));
+    }
+  }
+
+  // ---- likes ----
+  {
+    SNB_LOAD(lp, "dynamic", "person_likes_post");
+    for (auto& row : lp.rows) {
+      core::Like l;
+      l.person = ToId(row[0]);
+      l.message = ToId(row[1]);
+      l.is_post = true;
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[2], &l.creation_date));
+      net.likes.push_back(l);
+    }
+    SNB_LOAD(lc, "dynamic", "person_likes_comment");
+    for (auto& row : lc.rows) {
+      core::Like l;
+      l.person = ToId(row[0]);
+      l.message = ToId(row[1]);
+      l.is_post = false;
+      SNB_RETURN_IF_ERROR(ParseDateTimeField(row[2], &l.creation_date));
+      net.likes.push_back(l);
+    }
+  }
+
+#undef SNB_LOAD
+
+  // Graph construction requires comments ordered so that replies follow
+  // their targets; creation-date order guarantees it.
+  std::sort(net.comments.begin(), net.comments.end(),
+            [](const core::Comment& a, const core::Comment& b) {
+              return a.creation_date != b.creation_date
+                         ? a.creation_date < b.creation_date
+                         : a.id < b.id;
+            });
+
+  return net;
+}
+
+}  // namespace snb::storage

@@ -1,0 +1,21 @@
+// Bulk loader: reads a CsvBasic dataset directory (spec Table 2.13) back
+// into a core::SocialNetwork, ready for Graph construction. This is the
+// "Load Data" phase of the audit workflow (§6.1.3): every file is read, no
+// rows are filtered.
+
+#ifndef SNB_STORAGE_LOADER_H_
+#define SNB_STORAGE_LOADER_H_
+
+#include <string>
+
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace snb::storage {
+
+/// Loads <dir>/static/*.csv and <dir>/dynamic/*.csv (CsvBasic layout).
+util::StatusOr<core::SocialNetwork> LoadCsvBasic(const std::string& dir);
+
+}  // namespace snb::storage
+
+#endif  // SNB_STORAGE_LOADER_H_

@@ -1,0 +1,50 @@
+// Lightweight invariant-checking macros (CHECK-style, Google conventions).
+//
+// The snb library does not use exceptions: unrecoverable invariant violations
+// abort the process with a diagnostic, recoverable I/O failures travel through
+// snb::util::Status (see status.h).
+
+#ifndef SNB_UTIL_CHECK_H_
+#define SNB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snb::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SNB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace snb::util
+
+/// Aborts with a diagnostic when `cond` is false. Always enabled (the cost of
+/// a predictable branch is negligible next to the cost of silent corruption
+/// in a data generator whose output must be bit-reproducible).
+#define SNB_CHECK(cond)                                      \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::snb::util::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                        \
+  } while (0)
+
+#define SNB_CHECK_EQ(a, b) SNB_CHECK((a) == (b))
+#define SNB_CHECK_NE(a, b) SNB_CHECK((a) != (b))
+#define SNB_CHECK_LT(a, b) SNB_CHECK((a) < (b))
+#define SNB_CHECK_LE(a, b) SNB_CHECK((a) <= (b))
+#define SNB_CHECK_GT(a, b) SNB_CHECK((a) > (b))
+#define SNB_CHECK_GE(a, b) SNB_CHECK((a) >= (b))
+
+/// Checks that are only active in debug builds (hot loops).
+#ifdef NDEBUG
+#define SNB_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SNB_DCHECK(cond) SNB_CHECK(cond)
+#endif
+
+#endif  // SNB_UTIL_CHECK_H_

@@ -1,0 +1,97 @@
+// Minimal Status/StatusOr for recoverable errors (file I/O, parsing).
+//
+// The library avoids exceptions; functions that can fail in ways the caller
+// should handle return Status (or StatusOr<T>).
+
+#ifndef SNB_UTIL_STATUS_H_
+#define SNB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace snb::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kCorruptData = 4,
+};
+
+/// Result of an operation that may fail; cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status CorruptData(std::string m) {
+    return Status(StatusCode::kCorruptData, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Access to the value requires ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    SNB_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SNB_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    SNB_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    SNB_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define SNB_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::snb::util::Status _st = (expr);      \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_STATUS_H_

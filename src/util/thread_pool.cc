@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace snb::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  SNB_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForShards(n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForShards(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t shards = std::min(n, num_threads());
+  const size_t block = (n + shards - 1) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * block;
+    const size_t end = std::min(n, begin + block);
+    if (begin >= end) break;
+    Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace snb::util

@@ -1,0 +1,64 @@
+// Fixed-size thread pool with a blocking ParallelFor.
+//
+// Used to parallelize datagen passes and query evaluation. Work partitioning
+// is deterministic (static block assignment), so parallel execution never
+// changes results — only wall-clock time.
+
+#ifndef SNB_UTIL_THREAD_POOL_H_
+#define SNB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace snb::util {
+
+/// A minimal fixed-size worker pool. Tasks are std::function<void()>; Wait()
+/// blocks until all submitted tasks completed.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous blocks across
+  /// the pool; blocks until complete. fn must be safe to call concurrently
+  /// for distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(begin, end) over contiguous shards of [0, n); blocks until done.
+  void ParallelForShards(
+      size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// Returns a process-wide default pool sized to the hardware concurrency.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,66 @@
+// Zipf-distributed sampling over ranked dictionaries.
+//
+// The property-dictionary model of spec §2.3.3.1 draws values from a fixed
+// dictionary D through a ranking function R and a probability function F over
+// ranks. F is Zipfian in real social data (names, tags), so this sampler is
+// the F used throughout Datagen.
+
+#ifndef SNB_UTIL_ZIPF_H_
+#define SNB_UTIL_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snb::util {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1 / (k+1)^s.
+/// Precomputes the CDF once; sampling is a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    SNB_CHECK(n > 0);
+    double acc = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = acc;
+    }
+    const double total = acc;
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against FP drift
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+  /// Returns a rank in [0, size()).
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Probability mass of a given rank (for tests and curation statistics).
+  double Pmf(size_t rank) const {
+    SNB_DCHECK(rank < cdf_.size());
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_ZIPF_H_

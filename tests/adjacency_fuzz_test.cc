@@ -1,0 +1,105 @@
+// Property-based fuzz test for AdjacencyList against a reference model
+// (std::multimap): random build + append + node-growth sequences must agree
+// on degrees, contents, order (base before overflow, insertion order within
+// each), and payloads.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "storage/adjacency.h"
+#include "util/rng.h"
+
+namespace snb::storage {
+namespace {
+
+struct ReferenceModel {
+  // node → (target, date) in the adjacency's documented order: build
+  // insertion order within a node, then appends in order.
+  std::vector<std::vector<std::pair<uint32_t, core::DateTime>>> lists;
+
+  void EnsureNodes(size_t n) {
+    if (lists.size() < n) lists.resize(n);
+  }
+};
+
+class AdjacencyFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdjacencyFuzzTest, MatchesReferenceModel) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t nodes = static_cast<size_t>(rng.UniformInt(1, 40));
+    size_t build_edges = static_cast<size_t>(rng.UniformInt(0, 200));
+
+    // Build phase.
+    std::vector<EdgeInput> edges;
+    ReferenceModel model;
+    model.EnsureNodes(nodes);
+    for (size_t e = 0; e < build_edges; ++e) {
+      uint32_t src = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(nodes) - 1));
+      uint32_t dst = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(nodes) - 1));
+      core::DateTime date = rng.UniformInt(0, 1 << 20);
+      edges.push_back({src, dst, date});
+    }
+    AdjacencyList adj;
+    adj.Build(nodes, edges, /*with_dates=*/true);
+    // The CSR build groups by src but keeps input order within one src.
+    for (const EdgeInput& e : edges) {
+      model.lists[e.src].emplace_back(e.dst, e.date);
+    }
+
+    // Mutation phase: interleaved appends and node growth.
+    size_t ops = static_cast<size_t>(rng.UniformInt(0, 100));
+    for (size_t op = 0; op < ops; ++op) {
+      if (rng.Bernoulli(0.15)) {
+        size_t grow = static_cast<size_t>(rng.UniformInt(1, 5));
+        adj.AddNodes(grow);
+        model.EnsureNodes(model.lists.size() + grow);
+      } else {
+        uint32_t src = static_cast<uint32_t>(rng.UniformInt(
+            0, static_cast<int64_t>(model.lists.size()) - 1));
+        uint32_t dst = static_cast<uint32_t>(rng.UniformInt(
+            0, static_cast<int64_t>(model.lists.size()) - 1));
+        core::DateTime date = rng.UniformInt(0, 1 << 20);
+        adj.Append(src, dst, date);
+        model.lists[src].emplace_back(dst, date);
+      }
+    }
+
+    // Verification.
+    ASSERT_EQ(adj.num_nodes(), model.lists.size());
+    size_t total_edges = 0;
+    for (uint32_t node = 0; node < model.lists.size(); ++node) {
+      total_edges += model.lists[node].size();
+      ASSERT_EQ(adj.Degree(node), model.lists[node].size())
+          << "node " << node << " trial " << trial;
+      std::vector<std::pair<uint32_t, core::DateTime>> seen;
+      adj.ForEachDated(node, [&](uint32_t t, core::DateTime d) {
+        seen.emplace_back(t, d);
+      });
+      EXPECT_EQ(seen, model.lists[node]) << "node " << node;
+      // ForEach agrees with ForEachDated on targets.
+      std::vector<uint32_t> targets;
+      adj.ForEach(node, [&](uint32_t t) { targets.push_back(t); });
+      ASSERT_EQ(targets.size(), seen.size());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        EXPECT_EQ(targets[i], seen[i].first);
+      }
+      EXPECT_EQ(adj.Collect(node), targets);
+      // Contains agrees with the model.
+      if (!model.lists[node].empty()) {
+        EXPECT_TRUE(adj.Contains(node, model.lists[node].front().first));
+      }
+    }
+    EXPECT_EQ(adj.num_edges(), total_edges);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjacencyFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace snb::storage

@@ -1,0 +1,100 @@
+// Cross-validation of the optimized BI engine against the naive baseline:
+// every query, multiple curated parameter bindings, multiple generated
+// networks. This is the repository's equivalent of the official validation
+// datasets (spec §6.2).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bi/bi.h"
+#include "bi/naive.h"
+#include "datagen/datagen.h"
+#include "params/parameter_curation.h"
+#include "storage/graph.h"
+
+namespace snb::bi {
+namespace {
+
+struct Workbench {
+  storage::Graph graph;
+  params::WorkloadParameters params;
+};
+
+Workbench* MakeWorkbench(uint64_t seed) {
+  datagen::DatagenConfig cfg;
+  cfg.seed = seed;
+  cfg.num_persons = 280;
+  cfg.activity_scale = 0.5;
+  datagen::GeneratedData data = datagen::Generate(cfg);
+  auto* bench = new Workbench{storage::Graph(std::move(data.network)), {}};
+  params::CurationConfig pc;
+  pc.seed = seed;
+  pc.per_query = 6;
+  bench->params = params::CurateParameters(bench->graph, pc);
+  return bench;
+}
+
+class BiCrossValTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    if (benches_ == nullptr) {
+      benches_ = new std::map<uint64_t, Workbench*>();
+    }
+  }
+  Workbench& bench() {
+    Workbench*& b = (*benches_)[GetParam()];
+    if (b == nullptr) b = MakeWorkbench(GetParam());
+    return *b;
+  }
+
+ private:
+  static std::map<uint64_t, Workbench*>* benches_;
+};
+
+std::map<uint64_t, Workbench*>* BiCrossValTest::benches_ = nullptr;
+
+#define SNB_CROSSVAL(N)                                             \
+  TEST_P(BiCrossValTest, Bi##N##MatchesNaive) {                     \
+    Workbench& wb = bench();                                        \
+    ASSERT_FALSE(wb.params.bi##N.empty());                          \
+    for (size_t i = 0; i < wb.params.bi##N.size() && i < 4; ++i) {  \
+      auto optimized = RunBi##N(wb.graph, wb.params.bi##N[i]);      \
+      auto baseline = naive::RunBi##N(wb.graph, wb.params.bi##N[i]); \
+      EXPECT_EQ(optimized, baseline) << "binding " << i;            \
+    }                                                               \
+  }
+
+SNB_CROSSVAL(1)
+SNB_CROSSVAL(2)
+SNB_CROSSVAL(3)
+SNB_CROSSVAL(4)
+SNB_CROSSVAL(5)
+SNB_CROSSVAL(6)
+SNB_CROSSVAL(7)
+SNB_CROSSVAL(8)
+SNB_CROSSVAL(9)
+SNB_CROSSVAL(10)
+SNB_CROSSVAL(11)
+SNB_CROSSVAL(12)
+SNB_CROSSVAL(13)
+SNB_CROSSVAL(14)
+SNB_CROSSVAL(15)
+SNB_CROSSVAL(16)
+SNB_CROSSVAL(17)
+SNB_CROSSVAL(18)
+SNB_CROSSVAL(19)
+SNB_CROSSVAL(20)
+SNB_CROSSVAL(21)
+SNB_CROSSVAL(22)
+SNB_CROSSVAL(23)
+SNB_CROSSVAL(24)
+SNB_CROSSVAL(25)
+
+#undef SNB_CROSSVAL
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BiCrossValTest,
+                         ::testing::Values(42, 1337, 20260705));
+
+}  // namespace
+}  // namespace snb::bi

@@ -1,0 +1,253 @@
+// Second batch of hand-computed BI answers on the fixture graph
+// (BI 2, 5, 7, 9, 10, 11, 15, 19), plus sort-order invariants for the
+// queries not covered by the first batch.
+
+#include <gtest/gtest.h>
+
+#include "bi/bi.h"
+#include "datagen/datagen.h"
+#include "fixture_graph.h"
+#include "params/parameter_curation.h"
+#include "storage/graph.h"
+
+namespace snb::bi {
+namespace {
+
+using namespace snb::testfixture;  // NOLINT: test-local fixture ids
+
+class BiSemantics2Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new storage::Graph(MakeFixtureNetwork());
+  }
+  static void TearDownTestSuite() { delete graph_; }
+  static const storage::Graph& graph() { return *graph_; }
+
+ private:
+  static storage::Graph* graph_;
+};
+
+storage::Graph* BiSemantics2Test::graph_ = nullptr;
+
+TEST_F(BiSemantics2Test, Bi2GroupsByCountryMonthGenderAgeTag) {
+  Bi2Params params;
+  params.start_date = core::DateFromCivil(2010, 1, 1);
+  params.end_date = core::DateFromCivil(2010, 12, 31);
+  params.country1 = "Germany";
+  params.country2 = "France";
+  params.simulation_end = core::DateFromCivil(2011, 1, 1);
+  params.threshold = 0;
+  std::vector<Bi2Row> rows = RunBi2(graph(), params);
+  ASSERT_EQ(rows.size(), 4u);
+  // All counts are 1; ties resolve by tag, gender, ageGroup, month, country.
+  // Age groups at 2011-01-01: alice 25y → 5, bob 20y → 4, carol 22y → 4.
+  EXPECT_EQ(rows[0], (Bi2Row{"Germany", 4, "male", 4, "Bach", 1}));    // c0
+  EXPECT_EQ(rows[1], (Bi2Row{"Germany", 5, "male", 4, "Bach", 1}));    // post1
+  EXPECT_EQ(rows[2], (Bi2Row{"France", 4, "female", 4, "Mozart", 1}));  // c1
+  EXPECT_EQ(rows[3], (Bi2Row{"Germany", 4, "female", 5, "Mozart", 1}));  // post0
+}
+
+TEST_F(BiSemantics2Test, Bi2ThresholdFiltersSmallGroups) {
+  Bi2Params params;
+  params.start_date = core::DateFromCivil(2010, 1, 1);
+  params.end_date = core::DateFromCivil(2010, 12, 31);
+  params.country1 = "Germany";
+  params.country2 = "France";
+  params.simulation_end = core::DateFromCivil(2011, 1, 1);
+  params.threshold = 1;  // all groups have exactly 1 message
+  EXPECT_TRUE(RunBi2(graph(), params).empty());
+}
+
+TEST_F(BiSemantics2Test, Bi5CountsPostsInTopForums) {
+  std::vector<Bi5Row> rows = RunBi5(graph(), {"Germany"});
+  // Only the wall exists; members bob, dave, carol. Posts in it:
+  // post0 (alice, moderator — not a member, excluded), post1 (bob).
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].person_id, kBob);
+  EXPECT_EQ(rows[0].post_count, 1);
+  EXPECT_EQ(rows[1].person_id, kCarol);
+  EXPECT_EQ(rows[1].post_count, 0);
+  EXPECT_EQ(rows[2].person_id, kDave);
+  EXPECT_EQ(rows[2].post_count, 0);
+}
+
+TEST_F(BiSemantics2Test, Bi7SumsLikerPopularity) {
+  std::vector<Bi7Row> rows = RunBi7(graph(), {"Mozart"});
+  // Mozart messages: post0 (alice; likers bob, carol), c1 (carol; none).
+  // popularity(bob) = likes on post1 + c0 = 2; popularity(carol) = 0.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].person_id, kAlice);
+  EXPECT_EQ(rows[0].authority_score, 2);
+  EXPECT_EQ(rows[1].person_id, kCarol);
+  EXPECT_EQ(rows[1].authority_score, 0);
+}
+
+TEST_F(BiSemantics2Test, Bi9CountsClassTaggedPostsAboveThreshold) {
+  std::vector<Bi9Row> rows = RunBi9(graph(), {"Musician", "Person", 2});
+  // The wall has 3 members (> 2). Both posts carry Musician-class tags;
+  // no post carries a direct Person-class tag.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].forum_id, kWall);
+  EXPECT_EQ(rows[0].count1, 2);
+  EXPECT_EQ(rows[0].count2, 0);
+  // Raising the member threshold above 3 removes the forum.
+  EXPECT_TRUE(RunBi9(graph(), {"Musician", "Person", 3}).empty());
+}
+
+TEST_F(BiSemantics2Test, Bi10ScattersScoreToFriends) {
+  std::vector<Bi10Row> rows =
+      RunBi10(graph(), {"Mozart", core::DateFromCivil(2010, 1, 1)});
+  // score: alice = 100 (interest) + 1 (post0) = 101; carol = 100 + 1 (c1).
+  // friendsScore: bob = 101 (alice) + 101 (carol) = 202; dave = 101.
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (Bi10Row{kBob, 0, 202}));
+  EXPECT_EQ(rows[1], (Bi10Row{kAlice, 101, 0}));
+  EXPECT_EQ(rows[2], (Bi10Row{kCarol, 101, 0}));
+  EXPECT_EQ(rows[3], (Bi10Row{kDave, 0, 101}));
+}
+
+TEST_F(BiSemantics2Test, Bi11FindsUnrelatedRepliesAndBlacklists) {
+  std::vector<Bi11Row> rows = RunBi11(graph(), {"Germany", {"zzz"}});
+  // c0 (bob, DE) replies post0; tags {Bach} vs {Mozart} — disjoint; one
+  // like (dave).
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (Bi11Row{kBob, "Bach", 1, 1}));
+  // The comment body is 80 'c's; blacklist "ccc" kills it.
+  EXPECT_TRUE(RunBi11(graph(), {"Germany", {"ccc"}}).empty());
+}
+
+TEST_F(BiSemantics2Test, Bi15FindsSocialNormals) {
+  std::vector<Bi15Row> rows = RunBi15(graph(), {"Germany"});
+  // Same-country friend counts: alice 2, bob 2, dave 2 → avg 2 → all match.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (Bi15Row{kAlice, 2}));
+  EXPECT_EQ(rows[1], (Bi15Row{kBob, 2}));
+  EXPECT_EQ(rows[2], (Bi15Row{kDave, 2}));
+  // France: carol has 0 in-country friends; avg 0 → she is the normal.
+  std::vector<Bi15Row> fr = RunBi15(graph(), {"France"});
+  ASSERT_EQ(fr.size(), 1u);
+  EXPECT_EQ(fr[0], (Bi15Row{kCarol, 0}));
+}
+
+TEST_F(BiSemantics2Test, Bi19FindsNoStrangerInteractionsOnFixture) {
+  // Strangers must sit in forums of both classes; the wall only carries a
+  // Musician-class tag, so (Musician, Person) yields nobody…
+  EXPECT_TRUE(
+      RunBi19(graph(),
+              {core::DateFromCivil(1980, 1, 1), "Musician", "Person"})
+          .empty());
+  // …and with (Musician, Musician) the only transitive-reply candidates
+  // are known to their targets, so the result is still empty.
+  EXPECT_TRUE(
+      RunBi19(graph(),
+              {core::DateFromCivil(1980, 1, 1), "Musician", "Musician"})
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sort-order invariants on a generated graph for the queries whose order is
+// not already pinned by the fixture tests.
+// ---------------------------------------------------------------------------
+
+class BiOrderingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = 350;
+    cfg.activity_scale = 0.5;
+    datagen::GeneratedData data = datagen::Generate(cfg);
+    graph_ = new storage::Graph(std::move(data.network));
+    params::CurationConfig pc;
+    pc.per_query = 2;
+    params_ = new params::WorkloadParameters(
+        params::CurateParameters(*graph_, pc));
+  }
+  static void TearDownTestSuite() {
+    delete params_;
+    delete graph_;
+  }
+  static const storage::Graph& graph() { return *graph_; }
+  static const params::WorkloadParameters& params() { return *params_; }
+
+ private:
+  static storage::Graph* graph_;
+  static params::WorkloadParameters* params_;
+};
+
+storage::Graph* BiOrderingTest::graph_ = nullptr;
+params::WorkloadParameters* BiOrderingTest::params_ = nullptr;
+
+template <typename Row, typename Key>
+void ExpectSorted(const std::vector<Row>& rows, Key key,
+                  const char* what) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_FALSE(key(rows[i]) < key(rows[i - 1]))
+        << what << " misordered at row " << i;
+  }
+}
+
+TEST_F(BiOrderingTest, SortKeysRespected) {
+  {
+    auto rows = RunBi5(graph(), params().bi5[0]);
+    ExpectSorted(rows, [](const Bi5Row& r) {
+      return std::make_tuple(-r.post_count, r.person_id);
+    }, "BI 5");
+  }
+  {
+    auto rows = RunBi6(graph(), params().bi6[0]);
+    ExpectSorted(rows, [](const Bi6Row& r) {
+      return std::make_tuple(-r.score, r.person_id);
+    }, "BI 6");
+  }
+  {
+    auto rows = RunBi7(graph(), params().bi7[0]);
+    ExpectSorted(rows, [](const Bi7Row& r) {
+      return std::make_tuple(-r.authority_score, r.person_id);
+    }, "BI 7");
+  }
+  {
+    auto rows = RunBi8(graph(), params().bi8[0]);
+    ExpectSorted(rows, [](const Bi8Row& r) {
+      return std::make_tuple(-r.count, r.related_tag);
+    }, "BI 8");
+  }
+  {
+    auto rows = RunBi14(graph(), params().bi14[0]);
+    ExpectSorted(rows, [](const Bi14Row& r) {
+      return std::make_tuple(-r.message_count, r.person_id);
+    }, "BI 14");
+  }
+  {
+    auto rows = RunBi16(graph(), params().bi16[0]);
+    ExpectSorted(rows, [](const Bi16Row& r) {
+      return std::make_tuple(-r.message_count, r.tag, r.person_id);
+    }, "BI 16");
+  }
+  {
+    auto rows = RunBi22(graph(), params().bi22[0]);
+    ExpectSorted(rows, [](const Bi22Row& r) {
+      return std::make_tuple(-r.score, r.person1_id, r.person2_id);
+    }, "BI 22");
+  }
+  {
+    auto rows = RunBi23(graph(), params().bi23[0]);
+    ExpectSorted(rows, [](const Bi23Row& r) {
+      return std::make_tuple(-r.message_count, r.destination, r.month);
+    }, "BI 23");
+  }
+  {
+    auto rows = RunBi24(graph(), params().bi24[0]);
+    ExpectSorted(rows, [](const Bi24Row& r) {
+      return std::make_tuple(r.year, r.month, r.continent);
+    }, "BI 24");
+  }
+  {
+    auto rows = RunBi25(graph(), params().bi25[0]);
+    ExpectSorted(rows, [](const Bi25Row& r) {
+      return std::make_tuple(-r.weight, r.person_ids);
+    }, "BI 25");
+  }
+}
+
+}  // namespace
+}  // namespace snb::bi

@@ -1,0 +1,114 @@
+// Tests for the graph consistency checker and the mixed BI read/write
+// workload: consistency must hold after bulk load, after incremental
+// update replay, and throughout the mixed workload.
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "driver/driver.h"
+#include "interactive/updates.h"
+#include "params/parameter_curation.h"
+#include "storage/consistency.h"
+#include "storage/graph.h"
+
+namespace snb {
+namespace {
+
+datagen::GeneratedData MakeData() {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = 250;
+  cfg.activity_scale = 0.4;
+  return datagen::Generate(cfg);
+}
+
+std::string Join(const std::vector<std::string>& issues) {
+  std::string out;
+  for (const std::string& i : issues) out += i + "; ";
+  return out;
+}
+
+TEST(ConsistencyTest, BulkLoadedGraphIsConsistent) {
+  datagen::GeneratedData data = MakeData();
+  storage::Graph graph(std::move(data.network));
+  auto issues = storage::CheckGraphConsistency(graph);
+  EXPECT_TRUE(issues.empty()) << Join(issues);
+}
+
+TEST(ConsistencyTest, GraphStaysConsistentAfterUpdateReplay) {
+  datagen::GeneratedData data = MakeData();
+  storage::Graph graph(std::move(data.network));
+  for (const datagen::UpdateEvent& e : data.updates) {
+    interactive::ApplyUpdate(graph, e);
+  }
+  auto issues = storage::CheckGraphConsistency(graph);
+  EXPECT_TRUE(issues.empty()) << Join(issues);
+}
+
+TEST(ConsistencyTest, FixtureOfOnePersonIsConsistent) {
+  core::SocialNetwork net;
+  net.places.push_back({0, "X", "u", core::PlaceType::kContinent, core::kNoId});
+  net.places.push_back({1, "Y", "u", core::PlaceType::kCountry, 0});
+  net.places.push_back({2, "Z", "u", core::PlaceType::kCity, 1});
+  core::Person p;
+  p.id = 7;
+  p.city = 2;
+  net.persons.push_back(p);
+  storage::Graph graph(std::move(net));
+  EXPECT_TRUE(storage::CheckGraphConsistency(graph).empty());
+}
+
+TEST(BiReadWriteTest, MixedWorkloadRunsReadsAndWrites) {
+  datagen::GeneratedData data = MakeData();
+  storage::Graph graph(std::move(data.network));
+  params::CurationConfig pc;
+  pc.per_query = 4;
+  params::WorkloadParameters params = params::CurateParameters(graph, pc);
+
+  const size_t limit = std::min<size_t>(1000, data.updates.size());
+  driver::DriverReport report = driver::RunBiReadWriteWorkload(
+      graph, data.updates, params, /*updates_per_read=*/25,
+      /*max_updates=*/1000);
+  EXPECT_EQ(report.update_operations, limit);
+  EXPECT_EQ(report.complex_reads, limit / 25);
+  ASSERT_GE(limit / 25, 25u);  // enough reads for one full round-robin
+  EXPECT_EQ(report.total_operations,
+            report.update_operations + report.complex_reads);
+  // Round-robin over 25 templates: 40 reads → at least one full cycle,
+  // so several distinct BI ops must appear.
+  size_t distinct_bi = 0;
+  for (const auto& [op, stats] : report.per_operation) {
+    if (op.rfind("BI ", 0) == 0) ++distinct_bi;
+  }
+  EXPECT_EQ(distinct_bi, 25u);
+
+  // The graph must still be consistent mid-stream state.
+  auto issues = storage::CheckGraphConsistency(graph);
+  EXPECT_TRUE(issues.empty()) << Join(issues);
+}
+
+TEST(BiReadWriteTest, ReadsSeeFreshlyInsertedData) {
+  datagen::GeneratedData data = MakeData();
+  storage::Graph graph(std::move(data.network));
+  params::CurationConfig pc;
+  pc.per_query = 2;
+  params::WorkloadParameters params = params::CurateParameters(graph, pc);
+
+  // BI 1 counts messages before a far-future date; replaying updates must
+  // strictly grow it.
+  bi::Bi1Params far{core::DateFromCivil(2020, 1, 1)};
+  auto before = bi::RunBi1(graph, far);
+  int64_t count_before = 0;
+  for (const auto& r : before) count_before += r.message_count;
+
+  driver::RunBiReadWriteWorkload(graph, data.updates, params, 50);
+
+  auto after = bi::RunBi1(graph, far);
+  int64_t count_after = 0;
+  for (const auto& r : after) count_after += r.message_count;
+  EXPECT_GT(count_after, count_before);
+  EXPECT_EQ(static_cast<size_t>(count_after),
+            data.total_posts + data.total_comments);
+}
+
+}  // namespace
+}  // namespace snb

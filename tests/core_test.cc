@@ -1,0 +1,165 @@
+// Unit tests for scale factors (Table 2.12 / B.1) and the choke-point
+// registry (Table A.1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/choke_points.h"
+#include "core/scale_factors.h"
+#include "core/schema.h"
+
+namespace snb::core {
+namespace {
+
+TEST(ScaleFactorsTest, PaperRowsPresent) {
+  auto sf1 = FindScaleFactor("1");
+  ASSERT_TRUE(sf1.has_value());
+  EXPECT_EQ(sf1->num_persons, 11'000u);
+  EXPECT_EQ(sf1->paper_nodes, 3'200'000u);
+  EXPECT_EQ(sf1->paper_edges, 17'300'000u);
+
+  auto sf1000 = FindScaleFactor("1000");
+  ASSERT_TRUE(sf1000.has_value());
+  EXPECT_EQ(sf1000->num_persons, 3'600'000u);
+}
+
+TEST(ScaleFactorsTest, PersonCountsIncreaseWithSf) {
+  const auto& all = AllScaleFactors();
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].num_persons, all[i].num_persons)
+        << all[i - 1].name << " vs " << all[i].name;
+    EXPECT_LT(all[i - 1].sf, all[i].sf);
+  }
+}
+
+TEST(ScaleFactorsTest, UnknownNameIsEmpty) {
+  EXPECT_FALSE(FindScaleFactor("17").has_value());
+}
+
+TEST(FrequenciesTest, Sf1MatchesTable31) {
+  InteractiveFrequencies f = FrequenciesForScaleFactor("1");
+  // Spec Table 3.1 row by row.
+  const int32_t expected[14] = {26, 37, 69, 36, 57, 129, 87,
+                                45, 157, 30, 16, 44, 19, 49};
+  for (int i = 0; i < 14; ++i) EXPECT_EQ(f.freq[i], expected[i]) << "IC " << i + 1;
+}
+
+TEST(FrequenciesTest, ConstantQueriesStayConstantAcrossSfs) {
+  // Spec Table B.1: IC 1, 2, 4, 12, 13, 14 have SF-independent frequencies.
+  for (const auto& row : AllInteractiveFrequencies()) {
+    EXPECT_EQ(row.freq[0], 26) << row.sf_name;
+    EXPECT_EQ(row.freq[1], 37) << row.sf_name;
+    EXPECT_EQ(row.freq[3], 36) << row.sf_name;
+    EXPECT_EQ(row.freq[11], 44) << row.sf_name;
+    EXPECT_EQ(row.freq[12], 19) << row.sf_name;
+    EXPECT_EQ(row.freq[13], 49) << row.sf_name;
+  }
+}
+
+TEST(FrequenciesTest, Ic9GrowsAndIc8ShrinksWithSf) {
+  // Per Table B.1: IC 9 gets rarer relative to updates as data grows
+  // (frequency grows), IC 8 more frequent (frequency shrinks).
+  const auto& all = AllInteractiveFrequencies();
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i].freq[8], all[i - 1].freq[8]);
+    EXPECT_LE(all[i].freq[7], all[i - 1].freq[7]);
+  }
+}
+
+TEST(FrequenciesTest, MicroSfFallsBackToSf1) {
+  InteractiveFrequencies f = FrequenciesForScaleFactor("0.01");
+  EXPECT_EQ(f.freq[0], 26);
+  EXPECT_EQ(f.sf_name, "0.01");
+}
+
+TEST(ChokePointsTest, RegistryHasAll29ChokePoints) {
+  // Appendix A defines 29 choke points across 8 groups (CP-1.1 … CP-8.6).
+  EXPECT_EQ(AllChokePoints().size(), 29u);
+  std::set<std::pair<int, int>> ids;
+  for (const ChokePointInfo& cp : AllChokePoints()) {
+    ids.insert({cp.id.group, cp.id.item});
+    EXPECT_GE(cp.id.group, 1);
+    EXPECT_LE(cp.id.group, 8);
+    EXPECT_FALSE(cp.title.empty());
+    EXPECT_TRUE(cp.area == "QOPT" || cp.area == "QEXE" ||
+                cp.area == "STORAGE" || cp.area == "LANG")
+        << cp.area;
+  }
+  EXPECT_EQ(ids.size(), 29u);  // unique
+}
+
+TEST(ChokePointsTest, All39ReadQueriesRegistered) {
+  size_t bi = 0, ic = 0;
+  for (const QueryChokePoints& q : AllQueryChokePoints()) {
+    if (q.workload == QueryWorkload::kBi) ++bi;
+    if (q.workload == QueryWorkload::kInteractiveComplex) ++ic;
+    EXPECT_FALSE(q.choke_points.empty())
+        << QueryName(q.workload, q.number);
+  }
+  EXPECT_EQ(bi, 25u);
+  EXPECT_EQ(ic, 14u);
+}
+
+TEST(ChokePointsTest, QueryCpListsReferenceKnownChokePoints) {
+  std::set<std::pair<int, int>> known;
+  for (const ChokePointInfo& cp : AllChokePoints()) {
+    known.insert({cp.id.group, cp.id.item});
+  }
+  for (const QueryChokePoints& q : AllQueryChokePoints()) {
+    std::set<std::pair<int, int>> seen;
+    for (const ChokePointId& id : q.choke_points) {
+      EXPECT_TRUE(known.contains({id.group, id.item}))
+          << QueryName(q.workload, q.number) << " references CP-" << id.group
+          << "." << id.item;
+      EXPECT_TRUE(seen.insert({id.group, id.item}).second)
+          << "duplicate CP in " << QueryName(q.workload, q.number);
+    }
+  }
+}
+
+TEST(ChokePointsTest, SpecSpotChecks) {
+  // CP-7.4 is covered by exactly BI 14 and BI 19 (Appendix A).
+  std::vector<std::string> cp74 = QueriesCovering({7, 4});
+  EXPECT_EQ(cp74, (std::vector<std::string>{"BI 14", "BI 19"}));
+  // CP-4.4 (string matching) has no covering queries in the spec.
+  EXPECT_TRUE(QueriesCovering({4, 4}).empty());
+  // IC 13's CPs per its card: 3.3, 7.2, 7.3, 8.1, 8.6.
+  for (const QueryChokePoints& q : AllQueryChokePoints()) {
+    if (q.workload == QueryWorkload::kInteractiveComplex && q.number == 13) {
+      EXPECT_EQ(q.choke_points.size(), 5u);
+    }
+  }
+}
+
+TEST(ChokePointsTest, EveryChokePointButStringMatchingIsCovered) {
+  for (const ChokePointInfo& cp : AllChokePoints()) {
+    if (cp.id == ChokePointId{4, 4}) continue;
+    EXPECT_FALSE(QueriesCovering(cp.id).empty())
+        << "CP-" << cp.id.group << "." << cp.id.item << " uncovered";
+  }
+}
+
+TEST(SchemaTest, NumEdgesCountsAllRelations) {
+  SocialNetwork net;
+  net.places.push_back({0, "X", "u", PlaceType::kContinent, kNoId});
+  net.places.push_back({1, "Y", "u", PlaceType::kCountry, 0});
+  net.tag_classes.push_back({0, "Thing", "u", kNoId});
+  net.tag_classes.push_back({1, "Person", "u", 0});
+  net.tags.push_back({0, "t", "u", 1});
+  net.organisations.push_back(
+      {0, OrganisationType::kCompany, "c", "u", 1});
+  Person p;
+  p.id = 0;
+  p.city = 1;
+  p.interests = {0};
+  p.work_at.push_back({0, 2000});
+  net.persons.push_back(p);
+  // Edges: place isPartOf (1) + tagclass subclass (1) + tag hasType (1) +
+  // org isLocatedIn (1) + person isLocatedIn (1) + interest (1) + workAt (1).
+  EXPECT_EQ(net.NumEdges(), 7u);
+  EXPECT_EQ(net.NumNodes(), 7u);
+}
+
+}  // namespace
+}  // namespace snb::core

@@ -1,0 +1,206 @@
+// Tests for the property-dictionary model (spec §2.3.3.1): the D/R/F
+// structure, per-country ranking functions, correlation resources, and the
+// static entities built from the resource data.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/dictionaries.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+namespace {
+
+class DictionariesFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { dicts_ = new Dictionaries(42); }
+  static void TearDownTestSuite() { delete dicts_; }
+  static const Dictionaries& dicts() { return *dicts_; }
+
+ private:
+  static Dictionaries* dicts_;
+};
+
+Dictionaries* DictionariesFixture::dicts_ = nullptr;
+
+TEST_F(DictionariesFixture, StaticEntitiesWellFormed) {
+  EXPECT_GT(dicts().num_countries(), 20u);
+  EXPECT_GT(dicts().places().size(), dicts().num_countries());
+  EXPECT_GT(dicts().tags().size(), 100u);
+  EXPECT_GT(dicts().tag_classes().size(), 10u);
+  EXPECT_GT(dicts().organisations().size(), 100u);
+
+  // Unique ids within each entity type.
+  std::set<core::Id> ids;
+  for (const core::Place& p : dicts().places()) {
+    EXPECT_TRUE(ids.insert(p.id).second);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.url.empty());
+  }
+}
+
+TEST_F(DictionariesFixture, PlaceHierarchyIsThreeLevels) {
+  std::map<core::Id, const core::Place*> by_id;
+  for (const core::Place& p : dicts().places()) by_id[p.id] = &p;
+  for (const core::Place& p : dicts().places()) {
+    switch (p.type) {
+      case core::PlaceType::kContinent:
+        EXPECT_EQ(p.part_of, core::kNoId);
+        break;
+      case core::PlaceType::kCountry:
+        ASSERT_NE(p.part_of, core::kNoId);
+        EXPECT_EQ(by_id[p.part_of]->type, core::PlaceType::kContinent);
+        break;
+      case core::PlaceType::kCity:
+        ASSERT_NE(p.part_of, core::kNoId);
+        EXPECT_EQ(by_id[p.part_of]->type, core::PlaceType::kCountry);
+        break;
+    }
+  }
+}
+
+TEST_F(DictionariesFixture, EveryCountryHasCitiesOrgsAndLanguages) {
+  for (size_t c = 0; c < dicts().num_countries(); ++c) {
+    EXPECT_FALSE(dicts().CitiesOfCountry(c).empty()) << c;
+    EXPECT_FALSE(dicts().UniversitiesOfCountry(c).empty()) << c;
+    EXPECT_FALSE(dicts().CompaniesOfCountry(c).empty()) << c;
+    EXPECT_FALSE(dicts().LanguagesOfCountry(c).empty()) << c;
+    for (size_t city : dicts().CitiesOfCountry(c)) {
+      EXPECT_EQ(dicts().CountryOfCity(city), c);
+    }
+  }
+}
+
+TEST_F(DictionariesFixture, TagClassHierarchyIsRootedAndAcyclic) {
+  size_t roots = 0;
+  for (const core::TagClass& tc : dicts().tag_classes()) {
+    if (tc.parent == core::kNoId) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  // Descendant closure of the root covers all classes (acyclic + connected).
+  std::vector<size_t> closure = dicts().TagClassDescendants(0);
+  EXPECT_EQ(closure.size(), dicts().tag_classes().size());
+  std::set<size_t> unique(closure.begin(), closure.end());
+  EXPECT_EQ(unique.size(), closure.size());
+}
+
+TEST_F(DictionariesFixture, SamplersAreDeterministicPerStream) {
+  util::Rng a(42, 7, 1);
+  util::Rng b(42, 7, 1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dicts().SampleCountry(a), dicts().SampleCountry(b));
+  }
+}
+
+TEST_F(DictionariesFixture, CountrySamplingFollowsPopulation) {
+  util::Rng rng(42, 8);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[dicts().SampleCountry(rng)];
+  // China (index 0) and India (1) dominate any small country.
+  size_t small_country = dicts().num_countries() - 1;  // New Zealand
+  EXPECT_GT(counts[0], counts[small_country] * 20);
+  EXPECT_GT(counts[1], counts[small_country] * 20);
+}
+
+TEST_F(DictionariesFixture, NameRankingIsCountryParameterized) {
+  // The R function gives different countries different name popularity
+  // heads: the most common female name must differ for at least one pair
+  // of countries (with overwhelming probability under distinct
+  // permutations).
+  auto top_name = [&](size_t country) {
+    util::Rng rng(42, 9, country);
+    std::map<std::string, int> counts;
+    for (int i = 0; i < 3000; ++i) {
+      ++counts[dicts().SampleFirstName(rng, country, true)];
+    }
+    std::string best;
+    int best_count = 0;
+    for (const auto& [name, count] : counts) {
+      if (count > best_count) {
+        best = name;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  std::set<std::string> tops;
+  for (size_t c = 0; c < 8; ++c) tops.insert(top_name(c));
+  EXPECT_GT(tops.size(), 1u);
+}
+
+TEST_F(DictionariesFixture, InterestTagsAreZipfSkewed) {
+  util::Rng rng(42, 10);
+  std::map<size_t, int> counts;
+  const int kSamples = 30000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[dicts().SampleInterestTag(rng, 0)];
+  }
+  int max_count = 0;
+  for (const auto& [tag, count] : counts) max_count = std::max(max_count, count);
+  // The head tag of a Zipf(1.0) over ~200 tags takes >> uniform share.
+  EXPECT_GT(max_count, 5 * kSamples / static_cast<int>(dicts().tags().size()));
+}
+
+TEST_F(DictionariesFixture, CorrelatedTagsPreferSameClass) {
+  util::Rng rng(42, 11);
+  size_t same_class = 0, total = 0;
+  for (size_t t = 0; t < dicts().tags().size(); t += 7) {
+    for (size_t trial = 0; trial < 20; ++trial) {
+      for (size_t other : dicts().SampleCorrelatedTags(rng, t, 2)) {
+        ++total;
+        if (dicts().tags()[other].tag_class == dicts().tags()[t].tag_class) {
+          ++same_class;
+        }
+        EXPECT_NE(other, t);
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(same_class) / static_cast<double>(total),
+            0.5);
+}
+
+TEST_F(DictionariesFixture, MakeTextHitsExactLength) {
+  util::Rng rng(42, 12);
+  for (int length : {10, 40, 80, 160, 500, 2000}) {
+    std::string text = dicts().MakeText(rng, 3, length);
+    EXPECT_EQ(static_cast<int>(text.size()), length);
+    EXPECT_NE(text.back(), ' ');
+  }
+}
+
+TEST_F(DictionariesFixture, IpAddressesAreCountryBlocked) {
+  util::Rng rng(42, 13);
+  std::string ip1 = dicts().SampleIp(rng, 3);
+  std::string ip2 = dicts().SampleIp(rng, 3);
+  // Same /16 block per country.
+  EXPECT_EQ(ip1.substr(0, ip1.find('.', ip1.find('.') + 1)),
+            ip2.substr(0, ip2.find('.', ip2.find('.') + 1)));
+  // Four octets.
+  EXPECT_EQ(std::count(ip1.begin(), ip1.end(), '.'), 3);
+}
+
+TEST_F(DictionariesFixture, EmailsEmbedNameAndProvider) {
+  util::Rng rng(42, 14);
+  std::string email = dicts().MakeEmail(rng, "Mary Jane", "O Neil", 2);
+  EXPECT_NE(email.find("mary_jane.o_neil2@"), std::string::npos);
+  EXPECT_NE(email.find('@'), std::string::npos);
+}
+
+TEST(DictionariesSeedTest, DifferentSeedsPermuteDifferently) {
+  Dictionaries a(1);
+  Dictionaries b(2);
+  util::Rng ra(9), rb(9);
+  int differences = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (a.SampleFirstName(ra, 0, false) != b.SampleFirstName(rb, 0, false)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+}  // namespace
+}  // namespace snb::datagen

@@ -1,0 +1,212 @@
+// Engine primitive tests: top-k selection (vs full sort, property-based)
+// and the BFS family (distances, bidirectional shortest path, all shortest
+// paths) on crafted and random graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "engine/bfs.h"
+#include "engine/top_k.h"
+#include "storage/adjacency.h"
+#include "util/rng.h"
+
+namespace snb::engine {
+namespace {
+
+TEST(TopKTest, KeepsBestElements) {
+  auto less = [](int a, int b) { return a < b; };
+  TopK<int, decltype(less)> top(3, less);
+  for (int v : {9, 1, 8, 2, 7, 3}) top.Add(v);
+  EXPECT_EQ(top.Take(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TopKTest, FewerThanKElements) {
+  auto less = [](int a, int b) { return a < b; };
+  TopK<int, decltype(less)> top(10, less);
+  top.Add(5);
+  top.Add(3);
+  EXPECT_EQ(top.Take(), (std::vector<int>{3, 5}));
+}
+
+TEST(TopKTest, WouldAcceptReflectsThreshold) {
+  auto less = [](int a, int b) { return a < b; };
+  TopK<int, decltype(less)> top(2, less);
+  EXPECT_TRUE(top.WouldAccept(100));
+  top.Add(10);
+  top.Add(20);
+  EXPECT_TRUE(top.full());
+  EXPECT_FALSE(top.WouldAccept(30));
+  EXPECT_FALSE(top.WouldAccept(20));  // equal ranks below the retained one
+  EXPECT_TRUE(top.WouldAccept(15));
+  EXPECT_TRUE(top.Add(15));
+  EXPECT_EQ(top.Take(), (std::vector<int>{10, 15}));
+}
+
+class TopKPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKPropertyTest, MatchesFullSort) {
+  const size_t k = GetParam();
+  util::Rng rng(99, k);
+  auto less = [](int64_t a, int64_t b) { return a < b; };
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> values;
+    size_t n = static_cast<size_t>(rng.UniformInt(0, 500));
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(rng.UniformInt(-1000, 1000));
+    }
+    TopK<int64_t, decltype(less)> top(k, less);
+    for (int64_t v : values) top.Add(v);
+    std::vector<int64_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    if (expected.size() > k) expected.resize(k);
+    EXPECT_EQ(top.Take(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKPropertyTest,
+                         ::testing::Values(1, 2, 5, 20, 100));
+
+TEST(SortAndLimitTest, TruncatesAfterSorting) {
+  std::vector<int> v{5, 1, 4, 2, 3};
+  SortAndLimit(v, std::less<int>(), 3);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+  std::vector<int> w{5, 1};
+  SortAndLimit(w, std::less<int>(), 0);  // 0 = unlimited
+  EXPECT_EQ(w, (std::vector<int>{1, 5}));
+}
+
+// ---------------------------------------------------------------------------
+
+storage::AdjacencyList MakeUndirected(
+    size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  std::vector<storage::EdgeInput> dir;
+  for (auto [a, b] : edges) {
+    dir.push_back({a, b});
+    dir.push_back({b, a});
+  }
+  storage::AdjacencyList adj;
+  adj.Build(n, std::move(dir), false);
+  return adj;
+}
+
+TEST(BfsTest, DistancesOnPathGraph) {
+  auto adj = MakeUndirected(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto dist = BfsDistances(adj, 0);
+  EXPECT_EQ(dist, (std::vector<int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsTest, MaxDepthBoundsExploration) {
+  auto adj = MakeUndirected(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto dist = BfsDistances(adj, 0, 2);
+  EXPECT_EQ(dist, (std::vector<int32_t>{0, 1, 2, -1, -1}));
+}
+
+TEST(BfsTest, DisconnectedComponentsUnreachable) {
+  auto adj = MakeUndirected(4, {{0, 1}, {2, 3}});
+  auto dist = BfsDistances(adj, 0);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(ShortestPathTest, BasicCases) {
+  auto adj = MakeUndirected(6, {{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}});
+  EXPECT_EQ(ShortestPathLength(adj, 0, 0), 0);
+  EXPECT_EQ(ShortestPathLength(adj, 0, 3), 2);  // 0-4-3 beats 0-1-2-3
+  EXPECT_EQ(ShortestPathLength(adj, 0, 5), -1);
+}
+
+TEST(ShortestPathTest, MatchesFullBfsOnRandomGraphs) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(2, 60));
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    size_t m = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n * 2)));
+    for (size_t e = 0; e < m; ++e) {
+      uint32_t a = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      uint32_t b = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      if (a != b) edges.emplace_back(a, b);
+    }
+    auto adj = MakeUndirected(n, edges);
+    for (int pair = 0; pair < 10; ++pair) {
+      uint32_t s = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      uint32_t t = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      auto dist = BfsDistances(adj, s);
+      EXPECT_EQ(ShortestPathLength(adj, s, t), dist[t])
+          << "n=" << n << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(AllShortestPathsTest, EnumeratesAllOnDiamond) {
+  // Diamond 0-{1,2}-3: two shortest paths 0-1-3 and 0-2-3.
+  auto adj = MakeUndirected(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto paths = AllShortestPaths(adj, 0, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  std::set<std::vector<uint32_t>> got(paths.begin(), paths.end());
+  EXPECT_TRUE(got.contains({0, 1, 3}));
+  EXPECT_TRUE(got.contains({0, 2, 3}));
+}
+
+TEST(AllShortestPathsTest, TrivialAndDisconnected) {
+  auto adj = MakeUndirected(3, {{0, 1}});
+  auto self = AllShortestPaths(adj, 0, 0);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(AllShortestPaths(adj, 0, 2).empty());
+}
+
+TEST(AllShortestPathsTest, AllPathsHaveShortestLength) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(4, 40));
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (size_t e = 0; e < n * 2; ++e) {
+      uint32_t a = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      uint32_t b = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      if (a != b) edges.emplace_back(a, b);
+    }
+    auto adj = MakeUndirected(n, edges);
+    uint32_t s = 0, t = static_cast<uint32_t>(n - 1);
+    int32_t d = ShortestPathLength(adj, s, t);
+    auto paths = AllShortestPaths(adj, s, t);
+    if (d < 0) {
+      EXPECT_TRUE(paths.empty());
+      continue;
+    }
+    EXPECT_FALSE(paths.empty());
+    std::set<std::vector<uint32_t>> unique(paths.begin(), paths.end());
+    EXPECT_EQ(unique.size(), paths.size()) << "duplicate paths";
+    for (const auto& path : paths) {
+      EXPECT_EQ(static_cast<int32_t>(path.size()) - 1, d);
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), t);
+      // Consecutive nodes are adjacent.
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(adj.Contains(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(AllShortestPathsTest, MaxPathsCapsEnumeration) {
+  // Ladder of diamonds: path count doubles per stage.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  uint32_t node = 0;
+  for (int stage = 0; stage < 5; ++stage) {
+    edges.emplace_back(node, node + 1);
+    edges.emplace_back(node, node + 2);
+    edges.emplace_back(node + 1, node + 3);
+    edges.emplace_back(node + 2, node + 3);
+    node += 3;
+  }
+  auto adj = MakeUndirected(node + 1, edges);
+  auto all = AllShortestPaths(adj, 0, node);
+  EXPECT_EQ(all.size(), 32u);  // 2^5
+  auto capped = AllShortestPaths(adj, 0, node, 7);
+  EXPECT_EQ(capped.size(), 7u);
+}
+
+}  // namespace
+}  // namespace snb::engine

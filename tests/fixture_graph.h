@@ -1,0 +1,180 @@
+// A small hand-built social network with hand-computable query answers,
+// shared by the BI and Interactive semantics tests.
+//
+// Persons: alice(0) Berlin/DE, bob(1) Berlin/DE, carol(2) Paris/FR,
+//          dave(3) Berlin/DE.
+// Knows:   alice–bob, bob–carol, bob–dave, alice–dave
+//          (triangle {alice, bob, dave} inside Germany).
+// Forum 0: "Wall of Alice" (moderator alice, tag Mozart);
+//          members bob, dave, carol.
+// Posts:   post 0 by alice (tag Mozart, len 50, DE, lang de),
+//          post 1 by bob   (tag Bach,   len 100, FR, lang en).
+// Comments: c0 by bob replying post 0 (tag Bach, len 80, DE),
+//           c1 by carol replying c0   (tag Mozart, len 20, FR).
+// Likes:   bob→post0, carol→post0, alice→post1, dave→c0.
+
+#ifndef SNB_TESTS_FIXTURE_GRAPH_H_
+#define SNB_TESTS_FIXTURE_GRAPH_H_
+
+#include "core/date_time.h"
+#include "core/schema.h"
+
+namespace snb::testfixture {
+
+using core::DateTimeFromCivil;
+
+// Entity ids used by the tests.
+constexpr core::Id kAlice = 0, kBob = 1, kCarol = 2, kDave = 3;
+constexpr core::Id kEurope = 0, kGermany = 1, kBerlin = 2, kFrance = 3,
+                   kParis = 4;
+constexpr core::Id kThing = 0, kPersonClass = 1, kMusician = 2;
+constexpr core::Id kMozart = 0, kBach = 1;
+constexpr core::Id kWall = 0;
+constexpr core::Id kPost0 = 0, kPost1 = 1;
+constexpr core::Id kComment0 = 0, kComment1 = 1;
+
+inline core::SocialNetwork MakeFixtureNetwork() {
+  core::SocialNetwork net;
+
+  net.places.push_back(
+      {kEurope, "Europe", "u", core::PlaceType::kContinent, core::kNoId});
+  net.places.push_back(
+      {kGermany, "Germany", "u", core::PlaceType::kCountry, kEurope});
+  net.places.push_back(
+      {kBerlin, "Berlin", "u", core::PlaceType::kCity, kGermany});
+  net.places.push_back(
+      {kFrance, "France", "u", core::PlaceType::kCountry, kEurope});
+  net.places.push_back(
+      {kParis, "Paris", "u", core::PlaceType::kCity, kFrance});
+
+  net.tag_classes.push_back({kThing, "Thing", "u", core::kNoId});
+  net.tag_classes.push_back({kPersonClass, "Person", "u", kThing});
+  net.tag_classes.push_back({kMusician, "Musician", "u", kPersonClass});
+
+  net.tags.push_back({kMozart, "Mozart", "u", kMusician});
+  net.tags.push_back({kBach, "Bach", "u", kMusician});
+
+  net.organisations.push_back({0, core::OrganisationType::kUniversity,
+                               "University of Berlin", "u", kBerlin});
+  net.organisations.push_back(
+      {1, core::OrganisationType::kCompany, "France Telecom", "u", kFrance});
+
+  auto make_person = [](core::Id id, const char* first, const char* last,
+                        const char* gender, core::Id city,
+                        core::DateTime created, int birth_year,
+                        int birth_month, int birth_day) {
+    core::Person p;
+    p.id = id;
+    p.first_name = first;
+    p.last_name = last;
+    p.gender = gender;
+    p.city = city;
+    p.creation_date = created;
+    p.birthday = core::DateFromCivil(birth_year, birth_month, birth_day);
+    p.browser_used = "Firefox";
+    p.location_ip = "1.2.3.4";
+    p.speaks = {"en"};
+    p.emails = {"x@example.org"};
+    return p;
+  };
+  net.persons.push_back(make_person(kAlice, "Alice", "Ant", "female", kBerlin,
+                                    DateTimeFromCivil(2010, 1, 5), 1985, 3,
+                                    22));
+  net.persons.push_back(make_person(kBob, "Bob", "Bee", "male", kBerlin,
+                                    DateTimeFromCivil(2010, 1, 10), 1990, 7,
+                                    2));
+  net.persons.push_back(make_person(kCarol, "Carol", "Cat", "female", kParis,
+                                    DateTimeFromCivil(2010, 2, 1), 1988, 12,
+                                    21));
+  net.persons.push_back(make_person(kDave, "Dave", "Dog", "male", kBerlin,
+                                    DateTimeFromCivil(2010, 2, 15), 1979, 5,
+                                    30));
+  net.persons[0].interests = {kMozart};
+  net.persons[1].interests = {kBach};
+  net.persons[2].interests = {kMozart, kBach};
+  net.persons[0].study_at = {{0, 2006}};
+  net.persons[2].work_at = {{1, 2009}};
+
+  net.knows.push_back({kAlice, kBob, DateTimeFromCivil(2010, 3, 1)});
+  net.knows.push_back({kBob, kCarol, DateTimeFromCivil(2010, 3, 5)});
+  net.knows.push_back({kBob, kDave, DateTimeFromCivil(2010, 3, 10)});
+  net.knows.push_back({kAlice, kDave, DateTimeFromCivil(2010, 3, 15)});
+
+  core::Forum wall;
+  wall.id = kWall;
+  wall.title = "Wall of Alice Ant";
+  wall.creation_date = DateTimeFromCivil(2010, 1, 6);
+  wall.moderator = kAlice;
+  wall.tags = {kMozart};
+  wall.kind = core::ForumKind::kWall;
+  net.forums.push_back(wall);
+  net.memberships.push_back({kWall, kBob, DateTimeFromCivil(2010, 3, 2)});
+  net.memberships.push_back({kWall, kDave, DateTimeFromCivil(2010, 3, 16)});
+  net.memberships.push_back({kWall, kCarol, DateTimeFromCivil(2010, 4, 1)});
+
+  core::Post post0;
+  post0.id = kPost0;
+  post0.creation_date = DateTimeFromCivil(2010, 4, 10);
+  post0.creator = kAlice;
+  post0.forum = kWall;
+  post0.country = kGermany;
+  post0.language = "de";
+  post0.content = std::string(50, 'a');
+  post0.length = 50;
+  post0.tags = {kMozart};
+  post0.browser_used = "Firefox";
+  post0.location_ip = "1.1.1.1";
+  net.posts.push_back(post0);
+
+  core::Post post1;
+  post1.id = kPost1;
+  post1.creation_date = DateTimeFromCivil(2010, 5, 20);
+  post1.creator = kBob;
+  post1.forum = kWall;
+  post1.country = kFrance;
+  post1.language = "en";
+  post1.content = std::string(100, 'b');
+  post1.length = 100;
+  post1.tags = {kBach};
+  post1.browser_used = "Chrome";
+  post1.location_ip = "2.2.2.2";
+  net.posts.push_back(post1);
+
+  core::Comment c0;
+  c0.id = kComment0;
+  c0.creation_date = DateTimeFromCivil(2010, 4, 11);
+  c0.creator = kBob;
+  c0.country = kGermany;
+  c0.content = std::string(80, 'c');
+  c0.length = 80;
+  c0.reply_of_post = kPost0;
+  c0.tags = {kBach};
+  c0.browser_used = "Chrome";
+  c0.location_ip = "2.2.2.2";
+  net.comments.push_back(c0);
+
+  core::Comment c1;
+  c1.id = kComment1;
+  c1.creation_date = DateTimeFromCivil(2010, 4, 12);
+  c1.creator = kCarol;
+  c1.country = kFrance;
+  c1.content = std::string(20, 'd');
+  c1.length = 20;
+  c1.reply_of_comment = kComment0;
+  c1.tags = {kMozart};
+  c1.browser_used = "Safari";
+  c1.location_ip = "3.3.3.3";
+  net.comments.push_back(c1);
+
+  net.likes.push_back({kBob, kPost0, true, DateTimeFromCivil(2010, 4, 13)});
+  net.likes.push_back({kCarol, kPost0, true, DateTimeFromCivil(2010, 4, 14)});
+  net.likes.push_back({kAlice, kPost1, true, DateTimeFromCivil(2010, 5, 21)});
+  net.likes.push_back(
+      {kDave, kComment0, false, DateTimeFromCivil(2010, 4, 15)});
+
+  return net;
+}
+
+}  // namespace snb::testfixture
+
+#endif  // SNB_TESTS_FIXTURE_GRAPH_H_

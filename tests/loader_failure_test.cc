@@ -1,0 +1,120 @@
+// Failure-injection tests for the bulk loader and CSV reader: missing
+// files, truncated rows, malformed dates — the loader must fail with a
+// descriptive Status, never crash or silently drop data.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/datagen.h"
+#include "datagen/serializer.h"
+#include "storage/loader.h"
+#include "util/csv.h"
+
+namespace snb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LoaderFailureFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = 120;
+    cfg.activity_scale = 0.3;
+    datagen::GeneratedData data = datagen::Generate(cfg);
+    dir_ = ::testing::TempDir() + "/snb_loader_failure";
+    fs::remove_all(dir_);
+    ASSERT_TRUE(datagen::WriteCsvBasic(data.network, dir_).ok());
+  }
+
+  void Corrupt(const std::string& relative,
+               const std::string& replacement_content) {
+    std::ofstream out(dir_ + "/" + relative, std::ios::trunc);
+    out << replacement_content;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LoaderFailureFixture, LoadsCleanDataset) {
+  auto result = LoadCsvBasic(dir_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().persons.size(), 0u);
+}
+
+TEST_F(LoaderFailureFixture, MissingDirectoryFails) {
+  auto result = LoadCsvBasic("/nonexistent/snb");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(LoaderFailureFixture, MissingFileFails) {
+  fs::remove(dir_ + "/dynamic/person_knows_person_0_0.csv");
+  auto result = LoadCsvBasic(dir_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(LoaderFailureFixture, RowWidthMismatchFails) {
+  Corrupt("dynamic/person_knows_person_0_0.csv",
+          "Person.id|Person.id|creationDate\n1|2\n");
+  auto result = LoadCsvBasic(dir_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+}
+
+TEST_F(LoaderFailureFixture, MalformedDateTimeFails) {
+  Corrupt("dynamic/person_knows_person_0_0.csv",
+          "Person.id|Person.id|creationDate\n1|2|not-a-date\n");
+  auto result = LoadCsvBasic(dir_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+}
+
+TEST_F(LoaderFailureFixture, MalformedBirthdayFails) {
+  Corrupt("dynamic/person_0_0.csv",
+          "id|firstName|lastName|gender|birthday|creationDate|locationIP|"
+          "browserUsed\n"
+          "7|A|B|male|1990-13-77|2010-01-01T00:00:00.000+0000|1.1.1.1|"
+          "Chrome\n");
+  auto result = LoadCsvBasic(dir_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+}
+
+TEST_F(LoaderFailureFixture, EmptyFileFails) {
+  Corrupt("dynamic/post_0_0.csv", "");
+  auto result = LoadCsvBasic(dir_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+}
+
+TEST_F(LoaderFailureFixture, HeaderOnlyFilesAreValid) {
+  // A dataset slice with zero likes is legal: header-only file.
+  Corrupt("dynamic/person_likes_post_0_0.csv",
+          "Person.id|Post.id|creationDate\n");
+  Corrupt("dynamic/person_likes_comment_0_0.csv",
+          "Person.id|Comment.id|creationDate\n");
+  auto result = LoadCsvBasic(dir_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().likes.empty());
+}
+
+TEST_F(LoaderFailureFixture, FinalLineWithoutNewlineIsRead) {
+  std::string path = dir_ + "/dynamic/person_speaks_language_0_0.csv";
+  // Rewrite without trailing newline.
+  auto table = util::ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  std::ofstream out(path, std::ios::trunc);
+  out << "Person.id|language\n0|xx\n1|yy";  // no trailing newline
+  out.close();
+  auto reread = util::ReadCsv(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().rows.size(), 2u);
+  EXPECT_EQ(reread.value().rows[1][1], "yy");
+}
+
+}  // namespace
+}  // namespace snb::storage

@@ -1,0 +1,94 @@
+// Tests for the parallel execution paths: intra-query parallel group-by
+// (CP-1.2) must match the sequential engine exactly; the parallel BI stream
+// must run every operation the sequential stream runs.
+
+#include <gtest/gtest.h>
+
+#include "bi/bi.h"
+#include "bi/parallel.h"
+#include "datagen/datagen.h"
+#include "driver/driver.h"
+#include "params/parameter_curation.h"
+#include "storage/graph.h"
+#include "util/thread_pool.h"
+
+namespace snb {
+namespace {
+
+class ParallelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = 350;
+    cfg.activity_scale = 0.5;
+    datagen::GeneratedData data = datagen::Generate(cfg);
+    graph_ = new storage::Graph(std::move(data.network));
+    params::CurationConfig pc;
+    pc.per_query = 4;
+    params_ = new params::WorkloadParameters(
+        params::CurateParameters(*graph_, pc));
+    pool_ = new util::ThreadPool(4);
+  }
+  static void TearDownTestSuite() {
+    delete pool_;
+    delete params_;
+    delete graph_;
+  }
+  static const storage::Graph& graph() { return *graph_; }
+  static const params::WorkloadParameters& params() { return *params_; }
+  static util::ThreadPool& pool() { return *pool_; }
+
+ private:
+  static storage::Graph* graph_;
+  static params::WorkloadParameters* params_;
+  static util::ThreadPool* pool_;
+};
+
+storage::Graph* ParallelFixture::graph_ = nullptr;
+params::WorkloadParameters* ParallelFixture::params_ = nullptr;
+util::ThreadPool* ParallelFixture::pool_ = nullptr;
+
+TEST_F(ParallelFixture, ParallelBi1MatchesSequential) {
+  for (const bi::Bi1Params& p : params().bi1) {
+    EXPECT_EQ(bi::parallel::RunBi1(graph(), p, pool()),
+              bi::RunBi1(graph(), p));
+  }
+  // Degenerate date (nothing qualifies) must also agree.
+  bi::Bi1Params empty{core::DateFromCivil(2009, 1, 1)};
+  EXPECT_EQ(bi::parallel::RunBi1(graph(), empty, pool()),
+            bi::RunBi1(graph(), empty));
+}
+
+TEST_F(ParallelFixture, ParallelBi1DeterministicAcrossPoolSizes) {
+  util::ThreadPool one(1), many(8);
+  const bi::Bi1Params& p = params().bi1[0];
+  EXPECT_EQ(bi::parallel::RunBi1(graph(), p, one),
+            bi::parallel::RunBi1(graph(), p, many));
+}
+
+TEST_F(ParallelFixture, ParallelBi20MatchesSequential) {
+  for (const bi::Bi20Params& p : params().bi20) {
+    EXPECT_EQ(bi::parallel::RunBi20(graph(), p, pool()),
+              bi::RunBi20(graph(), p));
+  }
+  bi::Bi20Params with_unknown{{"Thing", "NoSuchClass", "Person"}};
+  EXPECT_EQ(bi::parallel::RunBi20(graph(), with_unknown, pool()),
+            bi::RunBi20(graph(), with_unknown));
+}
+
+TEST_F(ParallelFixture, ParallelBiStreamRunsEveryOperation) {
+  driver::DriverReport sequential =
+      driver::RunBiWorkload(graph(), params(), 2);
+  driver::DriverReport parallel =
+      driver::RunBiWorkloadParallel(graph(), params(), 2, pool());
+  EXPECT_EQ(parallel.total_operations, sequential.total_operations);
+  ASSERT_EQ(parallel.per_operation.size(), sequential.per_operation.size());
+  for (const auto& [op, stats] : sequential.per_operation) {
+    ASSERT_TRUE(parallel.per_operation.contains(op)) << op;
+    EXPECT_EQ(parallel.per_operation.at(op).count, stats.count) << op;
+  }
+  EXPECT_EQ(parallel.results_log.size(), parallel.total_operations);
+}
+
+}  // namespace
+}  // namespace snb

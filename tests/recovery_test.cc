@@ -1,0 +1,146 @@
+// Recovery simulation (spec §6.3): checkpoint a mutated graph to disk
+// through export + CsvBasic serialization, "crash", reload, and verify the
+// last committed update is present and query results are unchanged.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bi/bi.h"
+#include "datagen/datagen.h"
+#include "datagen/serializer.h"
+#include "interactive/interactive.h"
+#include "interactive/updates.h"
+#include "params/parameter_curation.h"
+#include "storage/consistency.h"
+#include "storage/export.h"
+#include "storage/graph.h"
+#include "storage/loader.h"
+
+namespace snb::storage {
+namespace {
+
+TEST(ExportTest, RoundTripPreservesEverything) {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = 220;
+  cfg.activity_scale = 0.4;
+  datagen::GeneratedData data = datagen::Generate(cfg);
+  core::SocialNetwork original = data.network;  // keep a copy
+  Graph graph(std::move(data.network));
+
+  core::SocialNetwork exported = ExportNetwork(graph);
+  EXPECT_EQ(exported.persons.size(), original.persons.size());
+  EXPECT_EQ(exported.posts.size(), original.posts.size());
+  EXPECT_EQ(exported.comments.size(), original.comments.size());
+  EXPECT_EQ(exported.knows.size(), original.knows.size());
+  EXPECT_EQ(exported.likes.size(), original.likes.size());
+  EXPECT_EQ(exported.memberships.size(), original.memberships.size());
+  EXPECT_EQ(exported.NumEdges(), original.NumEdges());
+
+  // The re-built graph is consistent and answers queries identically.
+  Graph rebuilt(std::move(exported));
+  EXPECT_TRUE(CheckGraphConsistency(rebuilt).empty());
+  bi::Bi1Params probe{core::DateFromCivil(2013, 1, 1)};
+  EXPECT_EQ(bi::RunBi1(rebuilt, probe), bi::RunBi1(graph, probe));
+}
+
+TEST(RecoveryTest, CheckpointAfterUpdatesSurvivesCrash) {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = 220;
+  cfg.activity_scale = 0.4;
+  datagen::GeneratedData data = datagen::Generate(cfg);
+  Graph live(std::move(data.network));
+
+  // Apply the first half of the update stream ("measured run"), remember
+  // the last committed operation.
+  size_t half = data.updates.size() / 2;
+  ASSERT_GT(half, 10u);
+  for (size_t i = 0; i < half; ++i) {
+    interactive::ApplyUpdate(live, data.updates[i]);
+  }
+  const datagen::UpdateEvent& last = data.updates[half - 1];
+
+  // Checkpoint (§6.3: at most every 10 minutes; here: on demand).
+  std::string dir = ::testing::TempDir() + "/snb_recovery_checkpoint";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(
+      datagen::WriteCsvBasic(ExportNetwork(live), dir).ok());
+
+  // "Power failure" — the live graph is gone; recover from the checkpoint.
+  auto reloaded_or = LoadCsvBasic(dir);
+  ASSERT_TRUE(reloaded_or.ok()) << reloaded_or.status().ToString();
+  Graph recovered(std::move(reloaded_or.value()));
+  EXPECT_TRUE(CheckGraphConsistency(recovered).empty());
+
+  // The last committed update is in the recovered database (§6.3's check).
+  switch (last.kind) {
+    case datagen::UpdateKind::kAddPerson:
+      EXPECT_NE(recovered.PersonIdx(
+                    std::get<core::Person>(last.payload).id),
+                kNoIdx);
+      break;
+    case datagen::UpdateKind::kAddPost:
+      EXPECT_NE(recovered.PostIdx(std::get<core::Post>(last.payload).id),
+                kNoIdx);
+      break;
+    case datagen::UpdateKind::kAddComment:
+      EXPECT_NE(
+          recovered.CommentIdx(std::get<core::Comment>(last.payload).id),
+          kNoIdx);
+      break;
+    case datagen::UpdateKind::kAddForum:
+      EXPECT_NE(recovered.ForumIdx(std::get<core::Forum>(last.payload).id),
+                kNoIdx);
+      break;
+    case datagen::UpdateKind::kAddKnows: {
+      const core::Knows& k = std::get<core::Knows>(last.payload);
+      uint32_t a = recovered.PersonIdx(k.person1);
+      uint32_t b = recovered.PersonIdx(k.person2);
+      ASSERT_TRUE(a != kNoIdx && b != kNoIdx);
+      EXPECT_TRUE(recovered.Knows().Contains(a, b));
+      break;
+    }
+    case datagen::UpdateKind::kAddLikePost:
+    case datagen::UpdateKind::kAddLikeComment: {
+      const core::Like& l = std::get<core::Like>(last.payload);
+      uint32_t person = recovered.PersonIdx(l.person);
+      ASSERT_NE(person, kNoIdx);
+      bool found = false;
+      recovered.PersonLikes().ForEachDated(
+          person, [&](uint32_t msg, core::DateTime) {
+            if (recovered.MessageId(msg) == l.message &&
+                Graph::IsPost(msg) == l.is_post) {
+              found = true;
+            }
+          });
+      EXPECT_TRUE(found);
+      break;
+    }
+    case datagen::UpdateKind::kAddMembership: {
+      const core::ForumMembership& m =
+          std::get<core::ForumMembership>(last.payload);
+      uint32_t forum = recovered.ForumIdx(m.forum);
+      uint32_t person = recovered.PersonIdx(m.person);
+      ASSERT_TRUE(forum != kNoIdx && person != kNoIdx);
+      EXPECT_TRUE(recovered.ForumMembers().Contains(forum, person));
+      break;
+    }
+  }
+
+  // Resume the workload on the recovered graph; results must match the
+  // never-crashed path.
+  for (size_t i = half; i < data.updates.size(); ++i) {
+    interactive::ApplyUpdate(live, data.updates[i]);
+    interactive::ApplyUpdate(recovered, data.updates[i]);
+  }
+  bi::Bi1Params probe{core::DateFromCivil(2013, 6, 1)};
+  EXPECT_EQ(bi::RunBi1(recovered, probe), bi::RunBi1(live, probe));
+  bi::Bi12Params trending{core::DateFromCivil(2010, 1, 1), 1};
+  EXPECT_EQ(bi::RunBi12(recovered, trending), bi::RunBi12(live, trending));
+  interactive::Ic13Params path{live.PersonAt(0).id, live.PersonAt(50).id};
+  EXPECT_EQ(interactive::RunIc13(recovered, path),
+            interactive::RunIc13(live, path));
+}
+
+}  // namespace
+}  // namespace snb::storage
