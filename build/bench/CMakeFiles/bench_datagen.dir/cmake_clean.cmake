@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datagen.dir/bench_datagen.cc.o"
+  "CMakeFiles/bench_datagen.dir/bench_datagen.cc.o.d"
+  "bench_datagen"
+  "bench_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_ablation.dir/bench_engine_ablation.cc.o"
+  "CMakeFiles/bench_engine_ablation.dir/bench_engine_ablation.cc.o.d"
+  "bench_engine_ablation"
+  "bench_engine_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

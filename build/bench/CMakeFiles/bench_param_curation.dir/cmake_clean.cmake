@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_curation.dir/bench_param_curation.cc.o"
+  "CMakeFiles/bench_param_curation.dir/bench_param_curation.cc.o.d"
+  "bench_param_curation"
+  "bench_param_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bi_sf_sweep.dir/bi_sf_sweep.cc.o"
+  "CMakeFiles/bi_sf_sweep.dir/bi_sf_sweep.cc.o.d"
+  "bi_sf_sweep"
+  "bi_sf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bi_sf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bi_sf_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_activity_timeline.dir/fig_activity_timeline.cc.o"
+  "CMakeFiles/fig_activity_timeline.dir/fig_activity_timeline.cc.o.d"
+  "fig_activity_timeline"
+  "fig_activity_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_activity_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_degree_distribution.dir/fig_degree_distribution.cc.o"
+  "CMakeFiles/fig_degree_distribution.dir/fig_degree_distribution.cc.o.d"
+  "fig_degree_distribution"
+  "fig_degree_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_degree_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

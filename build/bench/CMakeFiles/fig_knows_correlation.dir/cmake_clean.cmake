@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_knows_correlation.dir/fig_knows_correlation.cc.o"
+  "CMakeFiles/fig_knows_correlation.dir/fig_knows_correlation.cc.o.d"
+  "fig_knows_correlation"
+  "fig_knows_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_knows_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

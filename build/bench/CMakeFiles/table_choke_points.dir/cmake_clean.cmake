@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_choke_points.dir/table_choke_points.cc.o"
+  "CMakeFiles/table_choke_points.dir/table_choke_points.cc.o.d"
+  "table_choke_points"
+  "table_choke_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_choke_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_frequencies.dir/table_frequencies.cc.o"
+  "CMakeFiles/table_frequencies.dir/table_frequencies.cc.o.d"
+  "table_frequencies"
+  "table_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

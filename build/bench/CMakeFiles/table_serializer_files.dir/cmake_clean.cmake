@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_serializer_files.dir/table_serializer_files.cc.o"
+  "CMakeFiles/table_serializer_files.dir/table_serializer_files.cc.o.d"
+  "table_serializer_files"
+  "table_serializer_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_serializer_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

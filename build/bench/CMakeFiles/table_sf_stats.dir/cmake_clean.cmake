@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sf_stats.dir/table_sf_stats.cc.o"
+  "CMakeFiles/table_sf_stats.dir/table_sf_stats.cc.o.d"
+  "table_sf_stats"
+  "table_sf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

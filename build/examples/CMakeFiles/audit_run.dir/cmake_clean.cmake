@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_run.dir/audit_run.cpp.o"
+  "CMakeFiles/audit_run.dir/audit_run.cpp.o.d"
+  "audit_run"
+  "audit_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

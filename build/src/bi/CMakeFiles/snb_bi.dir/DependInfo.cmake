@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bi/bi01.cc" "src/bi/CMakeFiles/snb_bi.dir/bi01.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi01.cc.o.d"
+  "/root/repo/src/bi/bi02.cc" "src/bi/CMakeFiles/snb_bi.dir/bi02.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi02.cc.o.d"
+  "/root/repo/src/bi/bi03.cc" "src/bi/CMakeFiles/snb_bi.dir/bi03.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi03.cc.o.d"
+  "/root/repo/src/bi/bi04.cc" "src/bi/CMakeFiles/snb_bi.dir/bi04.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi04.cc.o.d"
+  "/root/repo/src/bi/bi05.cc" "src/bi/CMakeFiles/snb_bi.dir/bi05.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi05.cc.o.d"
+  "/root/repo/src/bi/bi06.cc" "src/bi/CMakeFiles/snb_bi.dir/bi06.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi06.cc.o.d"
+  "/root/repo/src/bi/bi07.cc" "src/bi/CMakeFiles/snb_bi.dir/bi07.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi07.cc.o.d"
+  "/root/repo/src/bi/bi08.cc" "src/bi/CMakeFiles/snb_bi.dir/bi08.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi08.cc.o.d"
+  "/root/repo/src/bi/bi09.cc" "src/bi/CMakeFiles/snb_bi.dir/bi09.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi09.cc.o.d"
+  "/root/repo/src/bi/bi10.cc" "src/bi/CMakeFiles/snb_bi.dir/bi10.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi10.cc.o.d"
+  "/root/repo/src/bi/bi11.cc" "src/bi/CMakeFiles/snb_bi.dir/bi11.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi11.cc.o.d"
+  "/root/repo/src/bi/bi12.cc" "src/bi/CMakeFiles/snb_bi.dir/bi12.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi12.cc.o.d"
+  "/root/repo/src/bi/bi13.cc" "src/bi/CMakeFiles/snb_bi.dir/bi13.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi13.cc.o.d"
+  "/root/repo/src/bi/bi14.cc" "src/bi/CMakeFiles/snb_bi.dir/bi14.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi14.cc.o.d"
+  "/root/repo/src/bi/bi15.cc" "src/bi/CMakeFiles/snb_bi.dir/bi15.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi15.cc.o.d"
+  "/root/repo/src/bi/bi16.cc" "src/bi/CMakeFiles/snb_bi.dir/bi16.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi16.cc.o.d"
+  "/root/repo/src/bi/bi17.cc" "src/bi/CMakeFiles/snb_bi.dir/bi17.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi17.cc.o.d"
+  "/root/repo/src/bi/bi18.cc" "src/bi/CMakeFiles/snb_bi.dir/bi18.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi18.cc.o.d"
+  "/root/repo/src/bi/bi19.cc" "src/bi/CMakeFiles/snb_bi.dir/bi19.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi19.cc.o.d"
+  "/root/repo/src/bi/bi20.cc" "src/bi/CMakeFiles/snb_bi.dir/bi20.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi20.cc.o.d"
+  "/root/repo/src/bi/bi21.cc" "src/bi/CMakeFiles/snb_bi.dir/bi21.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi21.cc.o.d"
+  "/root/repo/src/bi/bi22.cc" "src/bi/CMakeFiles/snb_bi.dir/bi22.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi22.cc.o.d"
+  "/root/repo/src/bi/bi23.cc" "src/bi/CMakeFiles/snb_bi.dir/bi23.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi23.cc.o.d"
+  "/root/repo/src/bi/bi24.cc" "src/bi/CMakeFiles/snb_bi.dir/bi24.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi24.cc.o.d"
+  "/root/repo/src/bi/bi25.cc" "src/bi/CMakeFiles/snb_bi.dir/bi25.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/bi25.cc.o.d"
+  "/root/repo/src/bi/naive_bi_01_05.cc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_01_05.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_01_05.cc.o.d"
+  "/root/repo/src/bi/naive_bi_06_10.cc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_06_10.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_06_10.cc.o.d"
+  "/root/repo/src/bi/naive_bi_11_15.cc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_11_15.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_11_15.cc.o.d"
+  "/root/repo/src/bi/naive_bi_16_20.cc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_16_20.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_16_20.cc.o.d"
+  "/root/repo/src/bi/naive_bi_21_25.cc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_21_25.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/naive_bi_21_25.cc.o.d"
+  "/root/repo/src/bi/parallel.cc" "src/bi/CMakeFiles/snb_bi.dir/parallel.cc.o" "gcc" "src/bi/CMakeFiles/snb_bi.dir/parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/snb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/snb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/choke_points.cc" "src/core/CMakeFiles/snb_core.dir/choke_points.cc.o" "gcc" "src/core/CMakeFiles/snb_core.dir/choke_points.cc.o.d"
+  "/root/repo/src/core/date_time.cc" "src/core/CMakeFiles/snb_core.dir/date_time.cc.o" "gcc" "src/core/CMakeFiles/snb_core.dir/date_time.cc.o.d"
+  "/root/repo/src/core/scale_factors.cc" "src/core/CMakeFiles/snb_core.dir/scale_factors.cc.o" "gcc" "src/core/CMakeFiles/snb_core.dir/scale_factors.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/snb_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/snb_core.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_core.dir/choke_points.cc.o"
+  "CMakeFiles/snb_core.dir/choke_points.cc.o.d"
+  "CMakeFiles/snb_core.dir/date_time.cc.o"
+  "CMakeFiles/snb_core.dir/date_time.cc.o.d"
+  "CMakeFiles/snb_core.dir/scale_factors.cc.o"
+  "CMakeFiles/snb_core.dir/scale_factors.cc.o.d"
+  "CMakeFiles/snb_core.dir/schema.cc.o"
+  "CMakeFiles/snb_core.dir/schema.cc.o.d"
+  "libsnb_core.a"
+  "libsnb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

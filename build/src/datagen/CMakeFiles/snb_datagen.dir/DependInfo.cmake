@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/activity_generator.cc" "src/datagen/CMakeFiles/snb_datagen.dir/activity_generator.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/activity_generator.cc.o.d"
+  "/root/repo/src/datagen/datagen.cc" "src/datagen/CMakeFiles/snb_datagen.dir/datagen.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/datagen.cc.o.d"
+  "/root/repo/src/datagen/dictionaries.cc" "src/datagen/CMakeFiles/snb_datagen.dir/dictionaries.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/dictionaries.cc.o.d"
+  "/root/repo/src/datagen/dictionary_data.cc" "src/datagen/CMakeFiles/snb_datagen.dir/dictionary_data.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/dictionary_data.cc.o.d"
+  "/root/repo/src/datagen/flashmob.cc" "src/datagen/CMakeFiles/snb_datagen.dir/flashmob.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/flashmob.cc.o.d"
+  "/root/repo/src/datagen/knows_generator.cc" "src/datagen/CMakeFiles/snb_datagen.dir/knows_generator.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/knows_generator.cc.o.d"
+  "/root/repo/src/datagen/person_generator.cc" "src/datagen/CMakeFiles/snb_datagen.dir/person_generator.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/person_generator.cc.o.d"
+  "/root/repo/src/datagen/serializer.cc" "src/datagen/CMakeFiles/snb_datagen.dir/serializer.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/serializer.cc.o.d"
+  "/root/repo/src/datagen/serializer_composite.cc" "src/datagen/CMakeFiles/snb_datagen.dir/serializer_composite.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/serializer_composite.cc.o.d"
+  "/root/repo/src/datagen/statistics.cc" "src/datagen/CMakeFiles/snb_datagen.dir/statistics.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/statistics.cc.o.d"
+  "/root/repo/src/datagen/update_stream.cc" "src/datagen/CMakeFiles/snb_datagen.dir/update_stream.cc.o" "gcc" "src/datagen/CMakeFiles/snb_datagen.dir/update_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

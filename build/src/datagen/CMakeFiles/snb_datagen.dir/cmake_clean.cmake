@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_datagen.dir/activity_generator.cc.o"
+  "CMakeFiles/snb_datagen.dir/activity_generator.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/datagen.cc.o"
+  "CMakeFiles/snb_datagen.dir/datagen.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/dictionaries.cc.o"
+  "CMakeFiles/snb_datagen.dir/dictionaries.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/dictionary_data.cc.o"
+  "CMakeFiles/snb_datagen.dir/dictionary_data.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/flashmob.cc.o"
+  "CMakeFiles/snb_datagen.dir/flashmob.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/knows_generator.cc.o"
+  "CMakeFiles/snb_datagen.dir/knows_generator.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/person_generator.cc.o"
+  "CMakeFiles/snb_datagen.dir/person_generator.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/serializer.cc.o"
+  "CMakeFiles/snb_datagen.dir/serializer.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/serializer_composite.cc.o"
+  "CMakeFiles/snb_datagen.dir/serializer_composite.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/statistics.cc.o"
+  "CMakeFiles/snb_datagen.dir/statistics.cc.o.d"
+  "CMakeFiles/snb_datagen.dir/update_stream.cc.o"
+  "CMakeFiles/snb_datagen.dir/update_stream.cc.o.d"
+  "libsnb_datagen.a"
+  "libsnb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_driver.dir/driver.cc.o"
+  "CMakeFiles/snb_driver.dir/driver.cc.o.d"
+  "CMakeFiles/snb_driver.dir/validation.cc.o"
+  "CMakeFiles/snb_driver.dir/validation.cc.o.d"
+  "libsnb_driver.a"
+  "libsnb_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_engine.dir/bfs.cc.o"
+  "CMakeFiles/snb_engine.dir/bfs.cc.o.d"
+  "libsnb_engine.a"
+  "libsnb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interactive/ic01_05.cc" "src/interactive/CMakeFiles/snb_interactive.dir/ic01_05.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/ic01_05.cc.o.d"
+  "/root/repo/src/interactive/ic06_10.cc" "src/interactive/CMakeFiles/snb_interactive.dir/ic06_10.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/ic06_10.cc.o.d"
+  "/root/repo/src/interactive/ic11_14.cc" "src/interactive/CMakeFiles/snb_interactive.dir/ic11_14.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/ic11_14.cc.o.d"
+  "/root/repo/src/interactive/naive_ic_01_07.cc" "src/interactive/CMakeFiles/snb_interactive.dir/naive_ic_01_07.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/naive_ic_01_07.cc.o.d"
+  "/root/repo/src/interactive/naive_ic_08_14.cc" "src/interactive/CMakeFiles/snb_interactive.dir/naive_ic_08_14.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/naive_ic_08_14.cc.o.d"
+  "/root/repo/src/interactive/naive_is.cc" "src/interactive/CMakeFiles/snb_interactive.dir/naive_is.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/naive_is.cc.o.d"
+  "/root/repo/src/interactive/short_reads.cc" "src/interactive/CMakeFiles/snb_interactive.dir/short_reads.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/short_reads.cc.o.d"
+  "/root/repo/src/interactive/updates.cc" "src/interactive/CMakeFiles/snb_interactive.dir/updates.cc.o" "gcc" "src/interactive/CMakeFiles/snb_interactive.dir/updates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/snb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/snb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/snb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

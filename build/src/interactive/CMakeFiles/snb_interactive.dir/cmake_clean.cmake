@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_interactive.dir/ic01_05.cc.o"
+  "CMakeFiles/snb_interactive.dir/ic01_05.cc.o.d"
+  "CMakeFiles/snb_interactive.dir/ic06_10.cc.o"
+  "CMakeFiles/snb_interactive.dir/ic06_10.cc.o.d"
+  "CMakeFiles/snb_interactive.dir/ic11_14.cc.o"
+  "CMakeFiles/snb_interactive.dir/ic11_14.cc.o.d"
+  "CMakeFiles/snb_interactive.dir/naive_ic_01_07.cc.o"
+  "CMakeFiles/snb_interactive.dir/naive_ic_01_07.cc.o.d"
+  "CMakeFiles/snb_interactive.dir/naive_ic_08_14.cc.o"
+  "CMakeFiles/snb_interactive.dir/naive_ic_08_14.cc.o.d"
+  "CMakeFiles/snb_interactive.dir/naive_is.cc.o"
+  "CMakeFiles/snb_interactive.dir/naive_is.cc.o.d"
+  "CMakeFiles/snb_interactive.dir/short_reads.cc.o"
+  "CMakeFiles/snb_interactive.dir/short_reads.cc.o.d"
+  "CMakeFiles/snb_interactive.dir/updates.cc.o"
+  "CMakeFiles/snb_interactive.dir/updates.cc.o.d"
+  "libsnb_interactive.a"
+  "libsnb_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_params.dir/parameter_curation.cc.o"
+  "CMakeFiles/snb_params.dir/parameter_curation.cc.o.d"
+  "libsnb_params.a"
+  "libsnb_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

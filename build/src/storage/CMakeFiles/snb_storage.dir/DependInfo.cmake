@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/consistency.cc" "src/storage/CMakeFiles/snb_storage.dir/consistency.cc.o" "gcc" "src/storage/CMakeFiles/snb_storage.dir/consistency.cc.o.d"
+  "/root/repo/src/storage/export.cc" "src/storage/CMakeFiles/snb_storage.dir/export.cc.o" "gcc" "src/storage/CMakeFiles/snb_storage.dir/export.cc.o.d"
+  "/root/repo/src/storage/graph.cc" "src/storage/CMakeFiles/snb_storage.dir/graph.cc.o" "gcc" "src/storage/CMakeFiles/snb_storage.dir/graph.cc.o.d"
+  "/root/repo/src/storage/loader.cc" "src/storage/CMakeFiles/snb_storage.dir/loader.cc.o" "gcc" "src/storage/CMakeFiles/snb_storage.dir/loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

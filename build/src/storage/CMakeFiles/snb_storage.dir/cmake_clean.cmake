@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_storage.dir/consistency.cc.o"
+  "CMakeFiles/snb_storage.dir/consistency.cc.o.d"
+  "CMakeFiles/snb_storage.dir/export.cc.o"
+  "CMakeFiles/snb_storage.dir/export.cc.o.d"
+  "CMakeFiles/snb_storage.dir/graph.cc.o"
+  "CMakeFiles/snb_storage.dir/graph.cc.o.d"
+  "CMakeFiles/snb_storage.dir/loader.cc.o"
+  "CMakeFiles/snb_storage.dir/loader.cc.o.d"
+  "libsnb_storage.a"
+  "libsnb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

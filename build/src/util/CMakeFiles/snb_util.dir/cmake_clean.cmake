@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_util.dir/csv.cc.o"
+  "CMakeFiles/snb_util.dir/csv.cc.o.d"
+  "CMakeFiles/snb_util.dir/thread_pool.cc.o"
+  "CMakeFiles/snb_util.dir/thread_pool.cc.o.d"
+  "libsnb_util.a"
+  "libsnb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnb_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_fuzz_test.dir/adjacency_fuzz_test.cc.o"
+  "CMakeFiles/adjacency_fuzz_test.dir/adjacency_fuzz_test.cc.o.d"
+  "adjacency_fuzz_test"
+  "adjacency_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bi_crossval_test.dir/bi_crossval_test.cc.o"
+  "CMakeFiles/bi_crossval_test.dir/bi_crossval_test.cc.o.d"
+  "bi_crossval_test"
+  "bi_crossval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bi_crossval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

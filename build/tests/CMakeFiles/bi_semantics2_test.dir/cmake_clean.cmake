@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bi_semantics2_test.dir/bi_semantics2_test.cc.o"
+  "CMakeFiles/bi_semantics2_test.dir/bi_semantics2_test.cc.o.d"
+  "bi_semantics2_test"
+  "bi_semantics2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bi_semantics2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

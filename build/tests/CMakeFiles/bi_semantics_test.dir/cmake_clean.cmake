@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bi_semantics_test.dir/bi_semantics_test.cc.o"
+  "CMakeFiles/bi_semantics_test.dir/bi_semantics_test.cc.o.d"
+  "bi_semantics_test"
+  "bi_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bi_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_time_test.dir/date_time_test.cc.o"
+  "CMakeFiles/date_time_test.dir/date_time_test.cc.o.d"
+  "date_time_test"
+  "date_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_crossval_test.dir/interactive_crossval_test.cc.o"
+  "CMakeFiles/interactive_crossval_test.dir/interactive_crossval_test.cc.o.d"
+  "interactive_crossval_test"
+  "interactive_crossval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_crossval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

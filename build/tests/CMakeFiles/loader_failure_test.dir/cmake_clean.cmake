@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loader_failure_test.dir/loader_failure_test.cc.o"
+  "CMakeFiles/loader_failure_test.dir/loader_failure_test.cc.o.d"
+  "loader_failure_test"
+  "loader_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loader_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

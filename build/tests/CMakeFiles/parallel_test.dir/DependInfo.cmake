@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/snb_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/params/CMakeFiles/snb_params.dir/DependInfo.cmake"
+  "/root/repo/build/src/interactive/CMakeFiles/snb_interactive.dir/DependInfo.cmake"
+  "/root/repo/build/src/bi/CMakeFiles/snb_bi.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/snb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/snb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/snb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

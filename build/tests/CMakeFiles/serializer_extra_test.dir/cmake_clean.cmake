@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializer_extra_test.dir/serializer_extra_test.cc.o"
+  "CMakeFiles/serializer_extra_test.dir/serializer_extra_test.cc.o.d"
+  "serializer_extra_test"
+  "serializer_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializer_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
