@@ -1,0 +1,170 @@
+// The benchmark's headline scores: Power@SF and Throughput@SF (paper §6).
+//
+// Generates the requested scale factor's dataset, curates substitution
+// parameters, then runs
+//   1. a power run  — one sequential BI stream through the scheduler, and
+//   2. a throughput run — --streams concurrent permuted streams on a fixed
+//      worker pool,
+// and emits a single JSON report with both scores, the raw queries/hour
+// figures, the multi-stream speedup, and per-template latency statistics
+// from the fixed-bucket histograms.
+//
+//   bench_throughput --sf=0.1 --streams=4 [--workers=N] [--bindings=K]
+//                    [--activity=X] [--deadline-ms=D] [--seed=S]
+//                    [--max-in-flight=M]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/scale_factors.h"
+#include "datagen/datagen.h"
+#include "params/parameter_curation.h"
+#include "sched/scheduler.h"
+#include "sched/score.h"
+#include "storage/graph.h"
+
+namespace {
+
+using namespace snb;
+
+struct Options {
+  std::string sf = "0.1";
+  size_t streams = 4;
+  size_t workers = 0;  // 0 = hardware concurrency
+  size_t bindings = 4;
+  size_t max_in_flight = 1;
+  double activity = 0.5;
+  double deadline_ms = 0;
+  uint64_t seed = 42;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--sf", &v)) {
+      opt.sf = v;
+    } else if (ParseFlag(argv[i], "--streams", &v)) {
+      opt.streams = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      opt.workers = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--bindings", &v)) {
+      opt.bindings = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--max-in-flight", &v)) {
+      opt.max_in_flight = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--activity", &v)) {
+      opt.activity = std::strtod(v, nullptr);
+    } else if (ParseFlag(argv[i], "--deadline-ms", &v)) {
+      opt.deadline_ms = std::strtod(v, nullptr);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--sf=0.1] [--streams=4] "
+                   "[--workers=0] [--bindings=4] [--max-in-flight=1] "
+                   "[--activity=0.5] [--deadline-ms=0] [--seed=42]\n");
+      std::exit(2);
+    }
+  }
+  if (opt.streams == 0) opt.streams = 1;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+
+  auto sf_info = core::FindScaleFactor(opt.sf);
+  if (!sf_info) {
+    std::fprintf(stderr, "unknown scale factor '%s'\n", opt.sf.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr, "generating SF %s (%" PRIu64 " persons)...\n",
+               sf_info->name.c_str(), sf_info->num_persons);
+  datagen::DatagenConfig dg;
+  dg.seed = opt.seed;
+  dg.num_persons = sf_info->num_persons;
+  dg.activity_scale = opt.activity;
+  datagen::GeneratedData data = datagen::Generate(dg);
+  storage::Graph graph(std::move(data.network));
+
+  std::fprintf(stderr, "curating parameters...\n");
+  params::CurationConfig pc;
+  pc.seed = opt.seed;
+  pc.per_query = opt.bindings;
+  params::WorkloadParameters params = params::CurateParameters(graph, pc);
+
+  sched::SchedulerConfig base;
+  base.num_workers = opt.workers;
+  base.max_in_flight_per_stream = opt.max_in_flight;
+  base.bindings_per_query = opt.bindings;
+  base.query_deadline_ms = opt.deadline_ms;
+  base.seed = opt.seed;
+
+  std::fprintf(stderr, "power run (1 stream)...\n");
+  sched::SchedulerConfig power_cfg = base;
+  power_cfg.num_streams = 1;
+  sched::ScheduleResult power_run = sched::RunStreams(graph, params, power_cfg);
+  sched::PowerScore power = sched::ComputePowerScore(power_run, sf_info->sf);
+
+  std::fprintf(stderr, "throughput run (%zu streams)...\n", opt.streams);
+  sched::SchedulerConfig tp_cfg = base;
+  tp_cfg.num_streams = opt.streams;
+  sched::ScheduleResult tp_run = sched::RunStreams(graph, params, tp_cfg);
+  sched::ThroughputScore throughput =
+      sched::ComputeThroughputScore(tp_run, sf_info->sf);
+
+  const double single_qph = power_run.QueriesPerHour();
+  const double multi_qph = tp_run.QueriesPerHour();
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"snb-bi\",\n");
+  std::printf("  \"scale_factor\": \"%s\",\n", sf_info->name.c_str());
+  std::printf("  \"num_persons\": %" PRIu64 ",\n", sf_info->num_persons);
+  std::printf("  \"activity_scale\": %g,\n", opt.activity);
+  std::printf("  \"bindings_per_query\": %zu,\n", opt.bindings);
+  std::printf("  \"workers\": %zu,\n", tp_run.workers_used);
+  std::printf("  \"power\": {\n");
+  std::printf("    \"power_at_sf\": %.3f,\n", power.power_at_sf);
+  std::printf("    \"geomean_seconds\": %.6f,\n", power.geomean_seconds);
+  std::printf("    \"wall_seconds\": %.3f,\n", power_run.wall_seconds);
+  std::printf("    \"queries_per_hour\": %.1f,\n", single_qph);
+  std::printf("    \"completed\": %zu,\n", power_run.total_completed);
+  std::printf("    \"cancelled\": %zu\n", power_run.total_cancelled);
+  std::printf("  },\n");
+  std::printf("  \"throughput\": {\n");
+  std::printf("    \"streams\": %zu,\n", opt.streams);
+  std::printf("    \"throughput_at_sf\": %.3f,\n", throughput.throughput_at_sf);
+  std::printf("    \"wall_seconds\": %.3f,\n", tp_run.wall_seconds);
+  std::printf("    \"queries_per_hour\": %.1f,\n", multi_qph);
+  std::printf("    \"completed\": %zu,\n", tp_run.total_completed);
+  std::printf("    \"cancelled\": %zu\n", tp_run.total_cancelled);
+  std::printf("  },\n");
+  std::printf("  \"multi_stream_speedup\": %.3f,\n",
+              single_qph == 0 ? 0.0 : multi_qph / single_qph);
+  std::printf("  \"per_query\": [\n");
+  size_t emitted = 0;
+  for (const auto& [name, hist] : tp_run.per_query) {
+    std::printf("    {\"query\": \"%s\", \"count\": %zu, \"mean_ms\": %.3f, "
+                "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"max_ms\": %.3f}%s\n",
+                name.c_str(), hist.count(), hist.MeanMs(),
+                hist.PercentileMs(0.50), hist.PercentileMs(0.95),
+                hist.max_ms(),
+                ++emitted == tp_run.per_query.size() ? "" : ",");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

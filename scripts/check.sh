@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then the scheduler test
+# again under ThreadSanitizer. Run from anywhere; builds land in build/ and
+# build-tsan/ at the repo root.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j
+ctest --test-dir "$repo/build" --output-on-failure -j
+
+echo "== TSan: scheduler test under -fsanitize=thread =="
+cmake -B "$repo/build-tsan" -S "$repo" -DSNB_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j --target sched_test
+"$repo/build-tsan/tests/sched_test"
+
+echo "== all checks passed =="

@@ -1,6 +1,7 @@
 #include <map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 
 namespace snb::bi {
@@ -39,7 +40,9 @@ std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params) {
   std::map<Key, Group> groups;
   int64_t total = 0;
 
+  CancelPoller poll;
   graph.ForEachMessage([&](uint32_t msg) {
+    poll.Tick();
     core::DateTime created = graph.MessageCreationDate(msg);
     if (created >= cutoff) return;
     int32_t length = graph.MessageLength(msg);

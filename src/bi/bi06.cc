@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -18,7 +19,9 @@ std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params) {
   };
   std::unordered_map<uint32_t, Agg> by_person;
 
+  CancelPoller poll;
   auto handle = [&](uint32_t msg) {
+    poll.Tick();
     Agg& a = by_person[graph.MessageCreator(msg)];
     ++a.messages;
     a.likes += internal::MessageLikeCount(graph, msg);

@@ -1,4 +1,5 @@
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -17,7 +18,9 @@ std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params) {
   };
   engine::TopK<Bi12Row, decltype(better)> top(100, better);
 
+  CancelPoller poll;
   graph.ForEachMessage([&](uint32_t msg) {
+    poll.Tick();
     core::DateTime created = graph.MessageCreationDate(msg);
     if (created < after) return;
     int64_t likes = internal::MessageLikeCount(graph, msg);

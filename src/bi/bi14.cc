@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -18,8 +19,10 @@ std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params) {
   std::unordered_map<uint32_t, Agg> by_person;
 
   // Window posts: thread roots. A post contributes to its creator.
+  CancelPoller poll;
   std::vector<bool> post_in_window(graph.NumPosts(), false);
   for (uint32_t post = 0; post < graph.NumPosts(); ++post) {
+    poll.Tick();
     core::DateTime created = graph.PostCreation(post);
     if (created < begin || created >= end) continue;
     post_in_window[post] = true;
@@ -30,6 +33,7 @@ std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params) {
   // Window comments whose thread root is a window post credit the initiator
   // (precomputed root; CP-7.2/7.3 transitive replyOf* collapsed at load).
   for (uint32_t comment = 0; comment < graph.NumComments(); ++comment) {
+    poll.Tick();
     core::DateTime created = graph.CommentCreation(comment);
     if (created < begin || created >= end) continue;
     uint32_t root = graph.CommentRootPost(comment);

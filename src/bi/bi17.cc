@@ -1,4 +1,5 @@
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 
 namespace snb::bi {
@@ -16,7 +17,9 @@ std::vector<Bi17Row> RunBi17(const Graph& graph, const Bi17Params& params) {
   // triangle {a<b<c} is found exactly once.
   std::vector<bool> marked(graph.NumPersons(), false);
   int64_t triangles = 0;
+  CancelPoller poll(256);  // per-person work is itself a neighbourhood scan
   for (uint32_t a = 0; a < graph.NumPersons(); ++a) {
+    poll.Tick();
     if (!local[a]) continue;
     std::vector<uint32_t> bs;
     graph.Knows().ForEach(a, [&](uint32_t b) {

@@ -2,6 +2,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -16,8 +17,10 @@ std::vector<Bi18Row> RunBi18(const Graph& graph, const Bi18Params& params) {
   };
 
   // messageCount per person over qualifying messages.
+  CancelPoller poll;
   std::vector<int64_t> message_count(graph.NumPersons(), 0);
   for (uint32_t post = 0; post < graph.NumPosts(); ++post) {
+    poll.Tick();
     const core::Post& p = graph.PostAt(post);
     if (p.content.empty()) continue;
     if (p.length >= params.length_threshold) continue;
@@ -26,6 +29,7 @@ std::vector<Bi18Row> RunBi18(const Graph& graph, const Bi18Params& params) {
     ++message_count[graph.PostCreator(post)];
   }
   for (uint32_t comment = 0; comment < graph.NumComments(); ++comment) {
+    poll.Tick();
     const core::Comment& c = graph.CommentAt(comment);
     if (c.content.empty()) continue;
     if (c.length >= params.length_threshold) continue;

@@ -1,0 +1,10 @@
+#include "bi/cancel.h"
+
+namespace snb::bi::internal {
+
+const CancelToken*& CurrentTokenSlot() noexcept {
+  thread_local const CancelToken* token = nullptr;
+  return token;
+}
+
+}  // namespace snb::bi::internal

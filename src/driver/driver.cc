@@ -8,21 +8,13 @@
 #include "bi/bi.h"
 #include "interactive/interactive.h"
 #include "interactive/updates.h"
+#include "sched/scheduler.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace snb::driver {
 
 using Clock = std::chrono::steady_clock;
-
-double OperationStats::PercentileMs(double p) const {
-  if (latencies_ms.empty()) return 0;
-  std::vector<double> sorted = latencies_ms;
-  std::sort(sorted.begin(), sorted.end());
-  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
-  if (idx >= sorted.size()) idx = sorted.size() - 1;
-  return sorted[idx];
-}
 
 namespace {
 
@@ -40,12 +32,8 @@ class Recorder {
     double actual_ms = MsSince(t0);
     size_t rows = fn();
     double end_ms = MsSince(t0);
-    OperationStats& stats = report_.per_operation[op];
     double latency = end_ms - actual_ms;
-    ++stats.count;
-    stats.total_ms += latency;
-    stats.max_ms = std::max(stats.max_ms, latency);
-    stats.latencies_ms.push_back(latency);
+    report_.per_operation[op].Record(latency);
     ++report_.total_operations;
     report_.results_log.push_back(
         {op, scheduled_ms, actual_ms, latency, rows});
@@ -501,15 +489,44 @@ DriverReport RunBiWorkloadParallel(const storage::Graph& graph,
   pool.Wait();
 
   for (const Sample& s : samples) {
-    OperationStats& stats = report.per_operation[s.op];
-    ++stats.count;
-    stats.total_ms += s.latency_ms;
-    stats.max_ms = std::max(stats.max_ms, s.latency_ms);
-    stats.latencies_ms.push_back(s.latency_ms);
+    report.per_operation[s.op].Record(s.latency_ms);
     report.results_log.push_back({s.op, 0.0, 0.0, s.latency_ms, s.rows});
     ++report.total_operations;
   }
   report.wall_seconds = MsSince(t0) / 1000.0;
+  report.throughput_ops_per_sec =
+      report.wall_seconds == 0
+          ? 0
+          : static_cast<double>(report.total_operations) / report.wall_seconds;
+  return report;
+}
+
+
+DriverReport RunBiWorkloadMultiStream(
+    const storage::Graph& graph, const params::WorkloadParameters& params,
+    size_t bindings_per_query, const DriverConfig& config) {
+  sched::SchedulerConfig sc;
+  sc.num_streams = config.bi_streams;
+  sc.num_workers = config.bi_workers;
+  sc.max_in_flight_per_stream = config.bi_max_in_flight_per_stream;
+  sc.bindings_per_query = bindings_per_query;
+  sc.query_deadline_ms = config.bi_query_deadline_ms;
+  sc.seed = config.seed;
+  sched::ScheduleResult run = sched::RunStreams(graph, params, sc);
+
+  DriverReport report;
+  report.wall_seconds = run.wall_seconds;
+  report.complex_reads = run.total_completed;
+  report.cancelled_reads = run.total_cancelled;
+  for (const sched::StreamResult& stream : run.streams) {
+    for (const sched::OpOutcome& o : stream.outcomes) {
+      if (o.cancelled) continue;
+      report.per_operation[sched::StreamOpName(o.op)].Record(o.latency_ms);
+      report.results_log.push_back(
+          {sched::StreamOpName(o.op), 0.0, 0.0, o.latency_ms, o.rows});
+      ++report.total_operations;
+    }
+  }
   report.throughput_ops_per_sec =
       report.wall_seconds == 0
           ? 0

@@ -22,6 +22,7 @@
 #include "core/scale_factors.h"
 #include "datagen/datagen.h"
 #include "params/parameter_curation.h"
+#include "sched/histogram.h"
 #include "storage/graph.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -49,16 +50,40 @@ struct DriverConfig {
   double short_read_probability = 0.5;
 
   uint64_t seed = 42;
+
+  /// --- BI multi-stream mode (RunBiWorkloadMultiStream) ---
+
+  /// Concurrent BI query streams (1 = the power run's sequential stream).
+  size_t bi_streams = 1;
+
+  /// Worker threads shared by the streams; 0 = hardware concurrency.
+  size_t bi_workers = 0;
+
+  /// Queries of one stream allowed in flight at once (admission control).
+  size_t bi_max_in_flight_per_stream = 1;
+
+  /// Per-query cooperative deadline in milliseconds; 0 disables.
+  double bi_query_deadline_ms = 0;
 };
 
 struct OperationStats {
   size_t count = 0;
   double total_ms = 0;
   double max_ms = 0;
-  std::vector<double> latencies_ms;  // for percentiles
+  /// Bounded-memory latency record (replaces the old unbounded per-sample
+  /// vector); percentiles are exact within one histogram bucket ratio.
+  sched::LatencyHistogram latencies;
+
+  /// Folds one latency sample into count/total/max and the histogram.
+  void Record(double latency_ms) {
+    ++count;
+    total_ms += latency_ms;
+    if (latency_ms > max_ms) max_ms = latency_ms;
+    latencies.Record(latency_ms);
+  }
 
   double MeanMs() const { return count == 0 ? 0 : total_ms / count; }
-  double PercentileMs(double p) const;
+  double PercentileMs(double p) const { return latencies.PercentileMs(p); }
 };
 
 /// One row of the results log (spec §6.2: scheduled vs actual start per
@@ -80,6 +105,9 @@ struct DriverReport {
   size_t update_operations = 0;
   size_t complex_reads = 0;
   size_t short_reads = 0;
+  /// Queries abandoned by the cooperative per-query deadline (BI
+  /// multi-stream mode only; 0 elsewhere).
+  size_t cancelled_reads = 0;
   double wall_seconds = 0;
   double throughput_ops_per_sec = 0;
   /// Fraction of operations with actual_start - scheduled_start < 1 s
@@ -123,6 +151,16 @@ DriverReport RunBiWorkloadParallel(const storage::Graph& graph,
                                    const params::WorkloadParameters& params,
                                    size_t bindings_per_query,
                                    util::ThreadPool& pool);
+
+/// Runs `config.bi_streams` concurrent BI query streams through the
+/// sched:: scheduler (the paper's throughput run): each stream is a permuted
+/// sequence of the 25 reads, admission-controlled on a fixed worker pool,
+/// with per-query cooperative deadlines. Per-stream sequential semantics
+/// (bi_max_in_flight_per_stream = 1) match RunBiWorkload's results exactly.
+DriverReport RunBiWorkloadMultiStream(const storage::Graph& graph,
+                                      const params::WorkloadParameters& params,
+                                      size_t bindings_per_query,
+                                      const DriverConfig& config);
 
 }  // namespace snb::driver
 

@@ -1,0 +1,117 @@
+// Fixed-bucket log-scale latency histogram.
+//
+// The driver's per-operation statistics used to keep every latency sample in
+// an unbounded std::vector for percentile computation — O(ops) memory and an
+// O(n log n) sort per percentile query, which does not survive "millions of
+// users" workloads. LatencyHistogram replaces it: a fixed array of buckets
+// whose bounds grow geometrically (16 buckets per decade over
+// [1 µs, 10 000 s]), so any percentile is answered in O(buckets) with a
+// bounded relative error of one bucket ratio (10^(1/16) ≈ 15.5 %). Count,
+// total, min and max are tracked exactly, so means are exact.
+//
+// Not internally synchronized: record into per-thread/per-stream instances
+// and Merge() them, which is also how the scheduler aggregates streams.
+
+#ifndef SNB_SCHED_HISTOGRAM_H_
+#define SNB_SCHED_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace snb::sched {
+
+class LatencyHistogram {
+ public:
+  /// Geometric bucketing: kBucketsPerDecade buckets per power of ten.
+  static constexpr int kBucketsPerDecade = 16;
+  /// Lowest finite bucket bound, in milliseconds (1 µs).
+  static constexpr double kMinMs = 1e-3;
+  /// Decades covered above kMinMs: [1e-3 ms, 1e7 ms) ≈ [1 µs, 2.8 h).
+  static constexpr int kDecades = 10;
+  /// Finite buckets plus an underflow and an overflow bucket.
+  static constexpr int kNumBuckets = kBucketsPerDecade * kDecades + 2;
+
+  /// Upper/lower bound ratio of one bucket: 10^(1/kBucketsPerDecade).
+  /// Percentiles are exact up to this relative factor.
+  static double BucketRatio() {
+    static const double ratio = std::pow(10.0, 1.0 / kBucketsPerDecade);
+    return ratio;
+  }
+
+  void Record(double ms) {
+    ++count_;
+    total_ms_ += ms;
+    max_ms_ = std::max(max_ms_, ms);
+    min_ms_ = std::min(min_ms_, ms);
+    ++buckets_[BucketIndex(ms)];
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    count_ += other.count_;
+    total_ms_ += other.total_ms_;
+    max_ms_ = std::max(max_ms_, other.max_ms_);
+    min_ms_ = std::min(min_ms_, other.min_ms_);
+    for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
+  size_t count() const { return count_; }
+  double total_ms() const { return total_ms_; }
+  double max_ms() const { return count_ == 0 ? 0.0 : max_ms_; }
+  double min_ms() const { return count_ == 0 ? 0.0 : min_ms_; }
+
+  /// Exact mean (count and total are tracked outside the buckets).
+  double MeanMs() const {
+    return count_ == 0 ? 0.0 : total_ms_ / static_cast<double>(count_);
+  }
+
+  /// Latency of the rank-floor(p·count) sample (the rank convention of the
+  /// old sorted-vector percentile), reported as the enclosing bucket's upper
+  /// bound clamped to the exact max — so the result is ≥ the exact
+  /// percentile and ≤ BucketRatio()× above it.
+  double PercentileMs(double p) const {
+    if (count_ == 0) return 0.0;
+    size_t rank = static_cast<size_t>(p * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    size_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) {
+        // The underflow bucket (sub-µs samples) reports the observed
+        // minimum; the overflow bucket has no finite bound, so clamp every
+        // bucket to the exact observed maximum.
+        if (b == 0) return min_ms_;
+        return std::min(BucketUpperBoundMs(b), max_ms_);
+      }
+    }
+    return max_ms_;  // unreachable
+  }
+
+ private:
+  static int BucketIndex(double ms) {
+    if (!(ms > kMinMs)) return 0;  // underflow (also NaN-safe)
+    int idx = 1 + static_cast<int>(std::floor(std::log10(ms / kMinMs) *
+                                              kBucketsPerDecade));
+    return std::min(idx, kNumBuckets - 1);
+  }
+
+  /// Upper bound of bucket b: kMinMs·ratio^b for the finite range; the
+  /// overflow bucket has no finite bound (callers clamp to max_ms_).
+  static double BucketUpperBoundMs(int b) {
+    if (b >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+    return kMinMs * std::pow(10.0, static_cast<double>(b) / kBucketsPerDecade);
+  }
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  size_t count_ = 0;
+  double total_ms_ = 0;
+  double max_ms_ = 0;
+  double min_ms_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace snb::sched
+
+#endif  // SNB_SCHED_HISTOGRAM_H_

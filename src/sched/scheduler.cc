@@ -1,0 +1,120 @@
+#include "sched/scheduler.h"
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace snb::sched {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Mutable per-stream scheduling state. The stream's op list is immutable;
+/// `next` and `in_flight` are only touched under the scheduler mutex.
+struct StreamState {
+  explicit StreamState(QueryStream s) : stream(std::move(s)) {
+    result.stream_id = stream.stream_id();
+    result.outcomes.resize(stream.ops().size());
+  }
+
+  QueryStream stream;
+  size_t next = 0;       // next op index to admit
+  size_t in_flight = 0;  // ops currently executing
+  StreamResult result;
+};
+
+}  // namespace
+
+ScheduleResult RunStreams(const storage::Graph& graph,
+                          const params::WorkloadParameters& params,
+                          const SchedulerConfig& config) {
+  SNB_CHECK(config.num_streams > 0);
+  SNB_CHECK(config.max_in_flight_per_stream > 0);
+
+  const size_t workers =
+      config.num_workers > 0
+          ? config.num_workers
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+
+  std::vector<StreamState> states;
+  states.reserve(config.num_streams);
+  for (size_t s = 0; s < config.num_streams; ++s) {
+    states.emplace_back(
+        QueryStream(s, params, config.bindings_per_query, config.seed));
+  }
+
+  util::ThreadPool pool(workers);
+  std::mutex mu;
+  const Clock::time_point t0 = Clock::now();
+
+  // run_one executes an admitted op on a pool worker; admit (called under
+  // `mu`) tops a stream up to its in-flight bound. A finishing op re-admits
+  // its own stream, so each stream advances as a chain of at most
+  // max_in_flight_per_stream concurrent links.
+  std::function<void(size_t, size_t)> run_one;
+  auto admit = [&](size_t s) {
+    StreamState& st = states[s];
+    while (st.in_flight < config.max_in_flight_per_stream &&
+           st.next < st.stream.ops().size()) {
+      size_t index = st.next++;
+      ++st.in_flight;
+      pool.Submit([&run_one, s, index] { run_one(s, index); });
+    }
+  };
+
+  run_one = [&](size_t s, size_t index) {
+    const StreamOp op = states[s].stream.ops()[index];
+    bi::CancelToken token;
+    if (config.query_deadline_ms > 0) {
+      token.SetDeadlineAfterMs(config.query_deadline_ms);
+    }
+    const double start_ms = MsSince(t0);
+    OpOutcome outcome = ExecuteStreamOp(graph, params, op, &token);
+    outcome.latency_ms = MsSince(t0) - start_ms;
+
+    std::lock_guard<std::mutex> lock(mu);
+    StreamState& st = states[s];
+    if (outcome.cancelled) {
+      ++st.result.cancelled;
+    } else {
+      ++st.result.completed;
+      st.result.latencies.Record(outcome.latency_ms);
+    }
+    st.result.outcomes[index] = outcome;
+    --st.in_flight;
+    admit(s);
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t s = 0; s < states.size(); ++s) admit(s);
+  }
+  pool.Wait();
+
+  ScheduleResult result;
+  result.wall_seconds = MsSince(t0) / 1000.0;
+  result.workers_used = workers;
+  result.streams.reserve(states.size());
+  for (StreamState& st : states) {
+    result.total_completed += st.result.completed;
+    result.total_cancelled += st.result.cancelled;
+    for (const OpOutcome& o : st.result.outcomes) {
+      if (!o.cancelled) {
+        result.per_query[StreamOpName(o.op)].Record(o.latency_ms);
+      }
+    }
+    result.streams.push_back(std::move(st.result));
+  }
+  return result;
+}
+
+}  // namespace snb::sched

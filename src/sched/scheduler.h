@@ -1,0 +1,100 @@
+// Concurrent query-stream scheduler (the paper's throughput run, §6).
+//
+// Runs N independent BI query streams — each a permuted sequence of the 25
+// reads with curated substitution parameters — against one shared read-only
+// storage::Graph on a fixed worker pool. Three mechanisms keep the run
+// well-behaved under load:
+//
+//   * admission control: at most `max_in_flight_per_stream` queries of a
+//     stream execute at once (1 = the paper's sequential-per-stream model);
+//     a finished query admits its stream's next op, so streams interleave on
+//     the pool without any stream monopolizing it;
+//   * cooperative cancellation: each query gets a CancelToken armed with
+//     `query_deadline_ms`; BI implementations poll it at loop boundaries
+//     (bi/cancel.h) and over-deadline queries unwind and are recorded as
+//     cancelled rather than wedging a worker;
+//   * bounded accounting: latencies land in fixed-bucket log-scale
+//     histograms (sched/histogram.h), per stream and per query template, so
+//     memory is O(streams + templates) regardless of run length.
+//
+// The result feeds sched/score.h, which turns a single-stream run into
+// Power@SF and a multi-stream run into Throughput@SF.
+
+#ifndef SNB_SCHED_SCHEDULER_H_
+#define SNB_SCHED_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "params/parameter_curation.h"
+#include "sched/histogram.h"
+#include "sched/stream.h"
+#include "storage/graph.h"
+
+namespace snb::sched {
+
+struct SchedulerConfig {
+  /// Number of concurrent query streams (1 = the power run).
+  size_t num_streams = 1;
+
+  /// Worker threads executing queries; 0 = hardware concurrency.
+  size_t num_workers = 0;
+
+  /// Admission bound: queries of one stream in flight at once. 1 keeps each
+  /// stream sequential (the benchmark's model); larger values overlap
+  /// queries within a stream.
+  size_t max_in_flight_per_stream = 1;
+
+  /// Curated bindings executed per query template per stream (clamped to
+  /// the number available).
+  size_t bindings_per_query = 1;
+
+  /// Per-query deadline in milliseconds; 0 disables. Over-deadline queries
+  /// are cooperatively cancelled and recorded, not retried.
+  double query_deadline_ms = 0;
+
+  /// Seed for the per-stream permutations.
+  uint64_t seed = 42;
+};
+
+/// Everything recorded about one stream of a run.
+struct StreamResult {
+  size_t stream_id = 0;
+  /// Outcomes in the stream's (permuted) issue order.
+  std::vector<OpOutcome> outcomes;
+  /// Latencies of completed (non-cancelled) queries.
+  LatencyHistogram latencies;
+  size_t completed = 0;
+  size_t cancelled = 0;
+};
+
+struct ScheduleResult {
+  std::vector<StreamResult> streams;
+  /// Completed-query latencies per template ("BI 1".."BI 25"), merged over
+  /// all streams.
+  std::map<std::string, LatencyHistogram> per_query;
+  double wall_seconds = 0;
+  size_t total_completed = 0;
+  size_t total_cancelled = 0;
+  size_t workers_used = 0;
+
+  /// Completed queries per wall-clock hour across all streams.
+  double QueriesPerHour() const {
+    return wall_seconds == 0
+               ? 0
+               : static_cast<double>(total_completed) * 3600.0 / wall_seconds;
+  }
+};
+
+/// Runs the configured streams to completion and returns the merged
+/// accounting. The graph is shared read-only across all workers.
+ScheduleResult RunStreams(const storage::Graph& graph,
+                          const params::WorkloadParameters& params,
+                          const SchedulerConfig& config);
+
+}  // namespace snb::sched
+
+#endif  // SNB_SCHED_SCHEDULER_H_

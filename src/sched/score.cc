@@ -1,0 +1,47 @@
+#include "sched/score.h"
+
+#include <cmath>
+
+namespace snb::sched {
+
+PowerScore ComputePowerScore(const ScheduleResult& run, double scale_factor) {
+  PowerScore score;
+  score.scale_factor = scale_factor;
+  score.cancelled = run.total_cancelled;
+
+  // Geometric mean via the mean of logs: robust against the ~10^3 latency
+  // spread between the cheapest and the most expensive BI template.
+  double log_sum = 0;
+  for (const auto& [name, hist] : run.per_query) {
+    if (hist.count() == 0) continue;
+    double mean_seconds = hist.MeanMs() / 1000.0;
+    // Clamp to the clock's practical resolution so a template measuring 0 ms
+    // on a micro scale factor cannot zero the whole geomean.
+    if (mean_seconds < 1e-9) mean_seconds = 1e-9;
+    log_sum += std::log(mean_seconds);
+    ++score.templates_scored;
+  }
+  if (score.templates_scored == 0) return score;
+  score.geomean_seconds =
+      std::exp(log_sum / static_cast<double>(score.templates_scored));
+  score.power_at_sf = 3600.0 / score.geomean_seconds * scale_factor;
+  return score;
+}
+
+ThroughputScore ComputeThroughputScore(const ScheduleResult& run,
+                                       double scale_factor) {
+  ThroughputScore score;
+  score.scale_factor = scale_factor;
+  score.num_streams = run.streams.size();
+  score.wall_seconds = run.wall_seconds;
+  score.completed = run.total_completed;
+  score.cancelled = run.total_cancelled;
+  score.queries_per_hour = run.QueriesPerHour();
+  if (run.wall_seconds > 0) {
+    score.throughput_at_sf = static_cast<double>(score.num_streams) * 3600.0 /
+                             run.wall_seconds * scale_factor;
+  }
+  return score;
+}
+
+}  // namespace snb::sched

@@ -1,0 +1,70 @@
+// Benchmark scoring: Power@SF and Throughput@SF.
+//
+// The BI paper defines two headline metrics (§6 "Scoring"):
+//
+//   power@SF      = 3600 / geomean_q(t_q) · SF
+//       from a single sequential stream, where t_q is the mean execution
+//       time, in seconds, of query template q over its parameter bindings.
+//       The geometric mean keeps one slow heavy-hitter from drowning the
+//       24 other templates, and 3600/· expresses it as queries per hour.
+//
+//   throughput@SF = n_streams · 3600 / t_total · SF
+//       from a run of n concurrent streams finishing in t_total wall
+//       seconds: stream-batches per hour, scaled by SF. We also report the
+//       raw completed-queries-per-hour figure, which is the quantity the
+//       driver's multi-stream mode optimizes.
+//
+// Scores scale with SF so results on different scale factors are
+// comparable; cancelled queries make a run unscoreable (ok() == false)
+// rather than silently inflating the score.
+
+#ifndef SNB_SCHED_SCORE_H_
+#define SNB_SCHED_SCORE_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace snb::sched {
+
+struct PowerScore {
+  double scale_factor = 0;
+  /// Geometric mean over query templates of the mean latency, seconds.
+  double geomean_seconds = 0;
+  /// 3600 / geomean_seconds · scale_factor.
+  double power_at_sf = 0;
+  /// Templates that contributed (completed at least one binding).
+  size_t templates_scored = 0;
+  size_t cancelled = 0;
+
+  /// False when no template completed or any query was cancelled.
+  bool ok() const { return templates_scored > 0 && cancelled == 0; }
+};
+
+struct ThroughputScore {
+  double scale_factor = 0;
+  size_t num_streams = 0;
+  double wall_seconds = 0;
+  /// Completed queries per wall-clock hour, all streams combined.
+  double queries_per_hour = 0;
+  /// num_streams · 3600 / wall_seconds · scale_factor.
+  double throughput_at_sf = 0;
+  size_t completed = 0;
+  size_t cancelled = 0;
+
+  bool ok() const { return completed > 0 && cancelled == 0; }
+};
+
+/// Scores a power (single-stream) run. `scale_factor` is the numeric SF of
+/// the dataset (e.g. 0.1); multi-stream runs are rejected via ok() == false
+/// only when nothing completed — the caller is trusted to pass a
+/// single-stream run for an auditable power figure.
+PowerScore ComputePowerScore(const ScheduleResult& run, double scale_factor);
+
+/// Scores a throughput (multi-stream) run.
+ThroughputScore ComputeThroughputScore(const ScheduleResult& run,
+                                       double scale_factor);
+
+}  // namespace snb::sched
+
+#endif  // SNB_SCHED_SCORE_H_

@@ -13,6 +13,7 @@
 #define SNB_SNB_H_
 
 #include "bi/bi.h"                       // BI reads 1–25 (optimized engine)
+#include "bi/cancel.h"                   // cooperative query cancellation
 #include "bi/naive.h"                    // BI naive baseline engine
 #include "bi/parallel.h"                 // parallel BI variants (CP-1.2)
 #include "core/choke_points.h"           // Table A.1 registry
@@ -29,6 +30,10 @@
 #include "interactive/naive.h"           // Interactive naive baseline
 #include "interactive/updates.h"         // IU 1–8 application
 #include "params/parameter_curation.h"   // substitution parameters (§3.3)
+#include "sched/histogram.h"             // bounded latency histograms
+#include "sched/scheduler.h"             // concurrent query streams (§6)
+#include "sched/score.h"                 // Power@SF / Throughput@SF
+#include "sched/stream.h"                // permuted BI op streams
 #include "storage/consistency.h"         // audit checks (§6.1.3)
 #include "storage/export.h"              // checkpointing (§6.3)
 #include "storage/graph.h"               // the graph store

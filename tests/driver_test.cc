@@ -171,13 +171,19 @@ TEST_F(DriverFixture, PacedModeRespectsSchedule) {
 TEST_F(DriverFixture, OperationStatsPercentiles) {
   OperationStats stats;
   for (int i = 1; i <= 100; ++i) {
-    stats.latencies_ms.push_back(static_cast<double>(i));
-    stats.total_ms += i;
-    ++stats.count;
+    stats.Record(static_cast<double>(i));
   }
-  EXPECT_DOUBLE_EQ(stats.MeanMs(), 50.5);
-  EXPECT_GE(stats.PercentileMs(0.95), 95.0);
-  EXPECT_LE(stats.PercentileMs(0.50), 52.0);
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.MeanMs(), 50.5);  // count/total stay exact
+  EXPECT_DOUBLE_EQ(stats.max_ms, 100.0);
+  // Histogram percentiles are upper bounds within one bucket ratio of the
+  // exact rank statistic (exact p95 = 96, p50 = 51 under the floor(p·n)
+  // rank convention).
+  const double ratio = sched::LatencyHistogram::BucketRatio();
+  EXPECT_GE(stats.PercentileMs(0.95), 96.0);
+  EXPECT_LE(stats.PercentileMs(0.95), 96.0 * ratio);
+  EXPECT_GE(stats.PercentileMs(0.50), 51.0);
+  EXPECT_LE(stats.PercentileMs(0.50), 51.0 * ratio);
   EXPECT_EQ(OperationStats{}.PercentileMs(0.99), 0.0);
 }
 
