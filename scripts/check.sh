@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full build + test suite, then the scheduler test
-# again under ThreadSanitizer. Run from anywhere; builds land in build/ and
-# build-tsan/ at the repo root.
+# Tier-1 verification: the full build + test suite, then the scheduler and
+# morsel-parallel tests again under ThreadSanitizer. Run from anywhere;
+# builds land in build/ and build-tsan/ at the repo root.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -11,9 +11,10 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j
 ctest --test-dir "$repo/build" --output-on-failure -j
 
-echo "== TSan: scheduler test under -fsanitize=thread =="
+echo "== TSan: scheduler + morsel tests under -fsanitize=thread =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSNB_SANITIZE=thread
-cmake --build "$repo/build-tsan" -j --target sched_test
+cmake --build "$repo/build-tsan" -j --target sched_test parallel_test
 "$repo/build-tsan/tests/sched_test"
+"$repo/build-tsan/tests/parallel_test"
 
 echo "== all checks passed =="

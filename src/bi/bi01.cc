@@ -6,52 +6,31 @@
 
 namespace snb::bi {
 
-namespace {
-
-int32_t LengthCategory(int32_t length) {
-  if (length < 40) return 0;   // short
-  if (length < 80) return 1;   // one-liner
-  if (length < 160) return 2;  // tweet
-  return 3;                    // long
-}
-
-}  // namespace
-
 std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params) {
+  using internal::Bi1Group;
+  using internal::Bi1Key;
   const core::DateTime cutoff = core::DateTimeFromDate(params.date);
 
-  struct Group {
-    int64_t count = 0;
-    int64_t sum_length = 0;
-  };
   // Few distinct (year, isComment, category) groups — an ordered map both
   // aggregates and produces the output order (CP-1.4: low-cardinality
-  // group-by).
-  struct Key {
-    int32_t year;
-    bool is_comment;
-    int32_t category;
-    bool operator<(const Key& o) const {
-      if (year != o.year) return year > o.year;  // year descending
-      if (is_comment != o.is_comment) return !is_comment;
-      return category < o.category;
-    }
-  };
-  std::map<Key, Group> groups;
+  // group-by). The creation-date index replaces the full scan plus
+  // per-message date filter (CP-2.2): only messages before the cutoff are
+  // visited.
+  std::map<Bi1Key, Bi1Group> groups;
   int64_t total = 0;
 
   CancelPoller poll;
-  graph.ForEachMessage([&](uint32_t msg) {
-    poll.Tick();
-    core::DateTime created = graph.MessageCreationDate(msg);
-    if (created >= cutoff) return;
-    int32_t length = graph.MessageLength(msg);
-    Key key{core::Year(created), !Graph::IsPost(msg), LengthCategory(length)};
-    Group& g = groups[key];
-    ++g.count;
-    g.sum_length += length;
-    ++total;
-  });
+  graph.ForEachMessageInRange(
+      storage::kMinMessageDate, cutoff, [&](uint32_t msg) {
+        poll.Tick();
+        int32_t length = graph.MessageLength(msg);
+        Bi1Group& g =
+            groups[{core::Year(graph.MessageCreationDate(msg)),
+                    !Graph::IsPost(msg), internal::Bi1LengthCategory(length)}];
+        ++g.count;
+        g.sum_length += length;
+        ++total;
+      });
 
   std::vector<Bi1Row> rows;
   rows.reserve(groups.size());

@@ -1,37 +1,15 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
 namespace snb::bi {
 
-namespace {
-
-struct Key {
-  uint32_t country;  // place index
-  int32_t month;
-  bool gender_female;
-  int32_t age_group;
-  uint32_t tag;
-
-  bool operator==(const Key&) const = default;
-};
-
-struct KeyHash {
-  size_t operator()(const Key& k) const {
-    uint64_t h = k.country;
-    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.month);
-    h = h * 0x9e3779b97f4a7c15ULL + (k.gender_female ? 1 : 2);
-    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.age_group);
-    h = h * 0x9e3779b97f4a7c15ULL + k.tag;
-    return static_cast<size_t>(h ^ (h >> 32));
-  }
-};
-
-}  // namespace
-
 std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params) {
+  using internal::Bi2Key;
+  using internal::Bi2KeyHash;
   using internal::CountryIdx;
   const core::DateTime start = core::DateTimeFromDate(params.start_date);
   const core::DateTime end =
@@ -49,10 +27,12 @@ std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params) {
     return static_cast<int32_t>(years / 5);
   };
 
-  std::unordered_map<Key, int64_t, KeyHash> counts;
+  std::unordered_map<Bi2Key, int64_t, Bi2KeyHash> counts;
 
+  CancelPoller poll(256);  // per-person work is a message expansion
   auto scan_person_messages = [&](uint32_t person, uint32_t country) {
-    bool female = graph.PersonAt(person).gender == "female";
+    poll.Tick();
+    bool female = graph.PersonIsFemale(person);
     int32_t age_group = age_group_of(person);
     auto handle = [&](uint32_t msg) {
       core::DateTime created = graph.MessageCreationDate(msg);

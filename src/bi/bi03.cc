@@ -1,6 +1,7 @@
 #include <cstdlib>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -22,11 +23,15 @@ std::vector<Bi3Row> RunBi3(const Graph& graph, const Bi3Params& params) {
   const core::DateTime t2 = core::DateTimeFromCivil(y2, m2, 1);
   const core::DateTime t3 = core::DateTimeFromCivil(y3, m3, 1);
 
+  // Index range scan over [t1, t3) — the window filter becomes a binary
+  // search on the sorted base plus zone-map pruning of the update tail
+  // (CP-2.2/2.3).
   std::vector<int64_t> count1(graph.NumTags(), 0), count2(graph.NumTags(), 0);
-  graph.ForEachMessage([&](uint32_t msg) {
-    core::DateTime created = graph.MessageCreationDate(msg);
-    if (created < t1 || created >= t3) return;
-    std::vector<int64_t>& counts = created < t2 ? count1 : count2;
+  CancelPoller poll;
+  graph.ForEachMessageInRange(t1, t3, [&](uint32_t msg) {
+    poll.Tick();
+    std::vector<int64_t>& counts =
+        graph.MessageCreationDate(msg) < t2 ? count1 : count2;
     graph.ForEachMessageTag(msg, [&](uint32_t tag) { ++counts[tag]; });
   });
 

@@ -10,31 +10,43 @@ std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params) {
       core::DateTimeFromDate(params.date) + core::kMillisPerDay;  // exclusive
 
   // Post and Comment ids live in separate id spaces, so two messages can
-  // share an id; creationDate breaks the residual tie deterministically.
+  // share an id; creationDate and the creator-name legs break residual ties
+  // deterministically (the parallel variant's k-way merge needs the same
+  // total order — keep the three engines' comparators in sync). WouldAccept
+  // may see empty names, which only ever errs towards accepting; Add
+  // re-checks with the projected row.
   auto better = [](const Bi12Row& a, const Bi12Row& b) {
     if (a.like_count != b.like_count) return a.like_count > b.like_count;
     if (a.message_id != b.message_id) return a.message_id < b.message_id;
-    return a.creation_date < b.creation_date;
+    if (a.creation_date != b.creation_date) {
+      return a.creation_date < b.creation_date;
+    }
+    if (a.creator_last_name != b.creator_last_name) {
+      return a.creator_last_name < b.creator_last_name;
+    }
+    return a.creator_first_name < b.creator_first_name;
   };
   engine::TopK<Bi12Row, decltype(better)> top(100, better);
 
+  // Index range scan over [date+1, ∞) instead of a full scan with a
+  // per-message date filter.
   CancelPoller poll;
-  graph.ForEachMessage([&](uint32_t msg) {
-    poll.Tick();
-    core::DateTime created = graph.MessageCreationDate(msg);
-    if (created < after) return;
-    int64_t likes = internal::MessageLikeCount(graph, msg);
-    if (likes <= params.like_threshold) return;
-    Bi12Row row;
-    row.message_id = graph.MessageId(msg);
-    row.like_count = likes;
-    row.creation_date = created;
-    if (!top.WouldAccept(row)) return;  // CP-1.3: skip the projection
-    const core::Person& creator = graph.PersonAt(graph.MessageCreator(msg));
-    row.creator_first_name = creator.first_name;
-    row.creator_last_name = creator.last_name;
-    top.Add(std::move(row));
-  });
+  graph.ForEachMessageInRange(
+      after, storage::kMaxMessageDate, [&](uint32_t msg) {
+        poll.Tick();
+        int64_t likes = internal::MessageLikeCount(graph, msg);
+        if (likes <= params.like_threshold) return;
+        Bi12Row row;
+        row.message_id = graph.MessageId(msg);
+        row.like_count = likes;
+        row.creation_date = graph.MessageCreationDate(msg);
+        if (!top.WouldAccept(row)) return;  // CP-1.3: skip the projection
+        const core::Person& creator =
+            graph.PersonAt(graph.MessageCreator(msg));
+        row.creator_first_name = creator.first_name;
+        row.creator_last_name = creator.last_name;
+        top.Add(std::move(row));
+      });
   return top.Take();
 }
 

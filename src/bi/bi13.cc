@@ -2,6 +2,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -25,7 +26,9 @@ std::vector<Bi13Row> RunBi13(const Graph& graph, const Bi13Params& params) {
   };
   std::map<MonthKey, std::unordered_map<uint32_t, int64_t>> groups;
 
+  CancelPoller poll;
   graph.ForEachMessage([&](uint32_t msg) {
+    poll.Tick();
     if (graph.MessageCountry(msg) != country) return;
     core::DateTime created = graph.MessageCreationDate(msg);
     MonthKey key{core::Year(created), core::Month(created)};

@@ -18,28 +18,30 @@ std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params) {
   };
   std::unordered_map<uint32_t, Agg> by_person;
 
-  // Window posts: thread roots. A post contributes to its creator.
+  // Both passes scan only the [begin, end) slice of the creation-date
+  // index (CP-2.2/2.3) instead of the full post/comment tables.
+  // Pass 1 — window posts: thread roots. A post contributes to its creator.
   CancelPoller poll;
   std::vector<bool> post_in_window(graph.NumPosts(), false);
-  for (uint32_t post = 0; post < graph.NumPosts(); ++post) {
+  graph.ForEachMessageInRange(begin, end, [&](uint32_t msg) {
     poll.Tick();
-    core::DateTime created = graph.PostCreation(post);
-    if (created < begin || created >= end) continue;
+    if (!Graph::IsPost(msg)) return;
+    uint32_t post = Graph::AsPost(msg);
     post_in_window[post] = true;
     Agg& a = by_person[graph.PostCreator(post)];
     ++a.threads;
     ++a.messages;
-  }
-  // Window comments whose thread root is a window post credit the initiator
-  // (precomputed root; CP-7.2/7.3 transitive replyOf* collapsed at load).
-  for (uint32_t comment = 0; comment < graph.NumComments(); ++comment) {
+  });
+  // Pass 2 — window comments whose thread root is a window post credit the
+  // initiator (precomputed root; CP-7.2/7.3 transitive replyOf* collapsed
+  // at load).
+  graph.ForEachMessageInRange(begin, end, [&](uint32_t msg) {
     poll.Tick();
-    core::DateTime created = graph.CommentCreation(comment);
-    if (created < begin || created >= end) continue;
-    uint32_t root = graph.CommentRootPost(comment);
-    if (!post_in_window[root]) continue;
+    if (Graph::IsPost(msg)) return;
+    uint32_t root = graph.CommentRootPost(Graph::AsComment(msg));
+    if (!post_in_window[root]) return;
     ++by_person[graph.PostCreator(root)].messages;
-  }
+  });
 
   std::vector<Bi14Row> rows;
   rows.reserve(by_person.size());

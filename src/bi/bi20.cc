@@ -1,4 +1,5 @@
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -12,7 +13,9 @@ std::vector<Bi20Row> RunBi20(const Graph& graph, const Bi20Params& params) {
     std::vector<bool> tags =
         internal::TagsOfClass(graph, class_name, /*transitive=*/true);
     int64_t count = 0;
+    CancelPoller poll;
     graph.ForEachMessage([&](uint32_t msg) {
+      poll.Tick();
       bool match = false;
       graph.ForEachMessageTag(msg, [&](uint32_t tag) {
         if (tags[tag]) match = true;

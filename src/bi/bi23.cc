@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -14,7 +15,9 @@ std::vector<Bi23Row> RunBi23(const Graph& graph, const Bi23Params& params) {
 
   // (destination country, month) → count.
   std::unordered_map<uint64_t, int64_t> counts;
+  CancelPoller poll;
   graph.ForEachMessage([&](uint32_t msg) {
+    poll.Tick();
     uint32_t creator = graph.MessageCreator(msg);
     if (graph.PersonCountry(creator) != home) return;
     uint32_t dest = graph.MessageCountry(msg);

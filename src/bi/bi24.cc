@@ -3,6 +3,7 @@
 #include "engine/top_k.h"
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 
 namespace snb::bi {
@@ -28,7 +29,9 @@ std::vector<Bi24Row> RunBi24(const Graph& graph, const Bi24Params& params) {
   };
   std::map<Key, Agg> groups;
 
+  CancelPoller poll;
   graph.ForEachMessage([&](uint32_t msg) {
+    poll.Tick();
     bool match = false;
     graph.ForEachMessageTag(msg, [&](uint32_t tag) {
       if (class_tags[tag]) match = true;

@@ -84,6 +84,53 @@ inline uint64_t PairKey(uint32_t a, uint32_t b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+/// BI 1's message length buckets: 0:[0,40) 1:[40,80) 2:[80,160) 3:[160,∞).
+inline int32_t Bi1LengthCategory(int32_t length) {
+  if (length < 40) return 0;   // short
+  if (length < 80) return 1;   // one-liner
+  if (length < 160) return 2;  // tweet
+  return 3;                    // long
+}
+
+/// BI 1's group key with its output order (year ↓, posts first, category ↑).
+struct Bi1Key {
+  int32_t year;
+  bool is_comment;
+  int32_t category;
+  bool operator<(const Bi1Key& o) const {
+    if (year != o.year) return year > o.year;
+    if (is_comment != o.is_comment) return !is_comment;
+    return category < o.category;
+  }
+};
+
+struct Bi1Group {
+  int64_t count = 0;
+  int64_t sum_length = 0;
+};
+
+/// BI 2's (country, month, gender, ageGroup, tag) group key.
+struct Bi2Key {
+  uint32_t country;  // place index
+  int32_t month;
+  bool gender_female;
+  int32_t age_group;
+  uint32_t tag;
+
+  bool operator==(const Bi2Key&) const = default;
+};
+
+struct Bi2KeyHash {
+  size_t operator()(const Bi2Key& k) const {
+    uint64_t h = k.country;
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.month);
+    h = h * 0x9e3779b97f4a7c15ULL + (k.gender_female ? 1 : 2);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.age_group);
+    h = h * 0x9e3779b97f4a7c15ULL + k.tag;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
 }  // namespace snb::bi::internal
 
 #endif  // SNB_BI_COMMON_H_

@@ -83,10 +83,17 @@ std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params) {
     rows.push_back({graph.MessageId(msg), graph.MessageCreationDate(msg),
                     creator.first_name, creator.last_name, likes});
   });
+  // Same total tie-break order as the optimized engines (see bi12.cc).
   std::sort(rows.begin(), rows.end(), [](const Bi12Row& a, const Bi12Row& b) {
     if (a.like_count != b.like_count) return a.like_count > b.like_count;
     if (a.message_id != b.message_id) return a.message_id < b.message_id;
-    return a.creation_date < b.creation_date;
+    if (a.creation_date != b.creation_date) {
+      return a.creation_date < b.creation_date;
+    }
+    if (a.creator_last_name != b.creator_last_name) {
+      return a.creator_last_name < b.creator_last_name;
+    }
+    return a.creator_first_name < b.creator_first_name;
   });
   if (rows.size() > 100) rows.resize(100);
   return rows;

@@ -1,80 +1,95 @@
 #include "bi/parallel.h"
 
+#include <cstdlib>
 #include <map>
-#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "bi/cancel.h"
 #include "bi/common.h"
+#include "engine/morsel.h"
 #include "engine/top_k.h"
 
 namespace snb::bi::parallel {
 
 namespace {
 
-int32_t LengthCategory(int32_t length) {
-  if (length < 40) return 0;
-  if (length < 80) return 1;
-  if (length < 160) return 2;
-  return 3;
+using storage::kMaxMessageDate;
+using storage::kMinMessageDate;
+
+/// Elements per morsel when each element expands an adjacency list (person
+/// message scans, neighbourhood probes) rather than reading flat columns.
+constexpr size_t kExpandMorselSize = 256;
+
+/// engine::ParallelAggregate with the calling thread's ambient CancelToken
+/// re-installed on every executor and polled once per morsel. The engine
+/// layer cannot depend on bi/cancel.h (bi links against engine), so the
+/// bridge lives here: a deadline fired mid-query surfaces as QueryCancelled
+/// on the calling thread after all executors joined.
+template <typename Init, typename Body, typename Merge>
+void Aggregate(util::ThreadPool& pool, size_t n, Init&& init, Body&& body,
+               Merge&& merge,
+               size_t morsel_size = engine::kDefaultMorselSize) {
+  const CancelToken* token = CurrentCancelToken();
+  engine::ParallelAggregate(
+      pool, n, std::forward<Init>(init),
+      [&](auto& state, size_t begin, size_t end) {
+        ScopedCancelToken guard(token);
+        PollCancel();
+        body(state, begin, end);
+      },
+      std::forward<Merge>(merge), morsel_size);
 }
 
-struct Bi1Key {
-  int32_t year;
-  bool is_comment;
-  int32_t category;
-  bool operator<(const Bi1Key& o) const {
-    if (year != o.year) return year > o.year;
-    if (is_comment != o.is_comment) return !is_comment;
-    return category < o.category;
-  }
-};
-
-struct Bi1Group {
-  int64_t count = 0;
-  int64_t sum_length = 0;
-};
+/// Message reference for flat position i of the unified message table
+/// (posts first, then comments) — the domain of the full-scan queries.
+uint32_t MessageAtFlat(const Graph& graph, size_t i) {
+  const size_t num_posts = graph.NumPosts();
+  return i < num_posts
+             ? Graph::MessageOfPost(static_cast<uint32_t>(i))
+             : Graph::MessageOfComment(static_cast<uint32_t>(i - num_posts));
+}
 
 }  // namespace
 
 std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params,
                            util::ThreadPool& pool) {
+  using internal::Bi1Group;
+  using internal::Bi1Key;
   const core::DateTime cutoff = core::DateTimeFromDate(params.date);
-  const size_t num_messages = graph.NumMessages();
-  const size_t num_posts = graph.NumPosts();
+  // The index range replaces the per-message `created < cutoff` filter.
+  const Graph::MessageRangeView range =
+      graph.MessageRange(kMinMessageDate, cutoff);
 
-  // Per-shard partial aggregations; message index space is posts followed
-  // by comments, so a flat range partitions both tables.
-  std::mutex merge_mu;
+  struct State {
+    std::map<Bi1Key, Bi1Group> groups;
+    int64_t total = 0;
+  };
   std::map<Bi1Key, Bi1Group> groups;
   int64_t total = 0;
-
-  pool.ParallelForShards(num_messages, [&](size_t begin, size_t end) {
-    std::map<Bi1Key, Bi1Group> local;
-    int64_t local_total = 0;
-    for (size_t i = begin; i < end; ++i) {
-      uint32_t msg =
-          i < num_posts
-              ? Graph::MessageOfPost(static_cast<uint32_t>(i))
-              : Graph::MessageOfComment(static_cast<uint32_t>(i - num_posts));
-      core::DateTime created = graph.MessageCreationDate(msg);
-      if (created >= cutoff) continue;
-      int32_t length = graph.MessageLength(msg);
-      Bi1Key key{core::Year(created), !Graph::IsPost(msg),
-                 LengthCategory(length)};
-      Bi1Group& g = local[key];
-      ++g.count;
-      g.sum_length += length;
-      ++local_total;
-    }
-    // Re-aggregation step: merge the partials under a short critical
-    // section (few groups, CP-1.2's low-contention merge).
-    std::lock_guard<std::mutex> lock(merge_mu);
-    for (const auto& [key, g] : local) {
-      Bi1Group& target = groups[key];
-      target.count += g.count;
-      target.sum_length += g.sum_length;
-    }
-    total += local_total;
-  });
+  Aggregate(
+      pool, range.size(), [] { return State{}; },
+      [&](State& s, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = range[i];
+          const core::DateTime created = graph.MessageCreationDate(msg);
+          const int32_t length = graph.MessageLength(msg);
+          Bi1Group& g = s.groups[{core::Year(created), !Graph::IsPost(msg),
+                                  internal::Bi1LengthCategory(length)}];
+          ++g.count;
+          g.sum_length += length;
+          ++s.total;
+        }
+      },
+      [&](State& s) {
+        for (const auto& [key, g] : s.groups) {
+          Bi1Group& target = groups[key];
+          target.count += g.count;
+          target.sum_length += g.sum_length;
+        }
+        total += s.total;
+      });
 
   std::vector<Bi1Row> rows;
   rows.reserve(groups.size());
@@ -95,34 +110,476 @@ std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params,
   return rows;
 }
 
+std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params,
+                           util::ThreadPool& pool) {
+  using internal::Bi2Key;
+  using internal::Bi2KeyHash;
+  using internal::CountryIdx;
+  const core::DateTime start = core::DateTimeFromDate(params.start_date);
+  const core::DateTime end =
+      core::DateTimeFromDate(params.end_date) + core::kMillisPerDay;
+  const core::DateTime sim_end = core::DateTimeFromDate(params.simulation_end);
+
+  uint32_t countries[2] = {CountryIdx(graph, params.country1),
+                           CountryIdx(graph, params.country2)};
+
+  // Materialize the (person, country) domain; the morsel loop partitions it.
+  std::vector<std::pair<uint32_t, uint32_t>> domain;
+  for (int c = 0; c < 2; ++c) {
+    if (countries[c] == storage::kNoIdx) continue;
+    if (c == 1 && countries[1] == countries[0]) break;  // same country twice
+    graph.CountryPersons().ForEach(countries[c], [&](uint32_t person) {
+      domain.emplace_back(person, countries[c]);
+    });
+  }
+
+  auto age_group_of = [&](uint32_t person) {
+    core::DateTime birth =
+        core::DateTimeFromDate(graph.PersonAt(person).birthday);
+    int64_t years = (sim_end - birth) / (365 * core::kMillisPerDay);
+    return static_cast<int32_t>(years / 5);
+  };
+
+  using CountMap = std::unordered_map<Bi2Key, int64_t, Bi2KeyHash>;
+  CountMap counts;
+  Aggregate(
+      pool, domain.size(), [] { return CountMap{}; },
+      [&](CountMap& local, size_t begin, size_t domain_end) {
+        for (size_t i = begin; i < domain_end; ++i) {
+          const auto [person, country] = domain[i];
+          const bool female = graph.PersonIsFemale(person);
+          const int32_t age_group = age_group_of(person);
+          auto handle = [&](uint32_t msg) {
+            core::DateTime created = graph.MessageCreationDate(msg);
+            if (created < start || created >= end) return;
+            int32_t month = core::Month(created);
+            graph.ForEachMessageTag(msg, [&](uint32_t tag) {
+              ++local[{country, month, female, age_group, tag}];
+            });
+          };
+          graph.PersonPosts().ForEach(person, [&](uint32_t post) {
+            handle(Graph::MessageOfPost(post));
+          });
+          graph.PersonComments().ForEach(person, [&](uint32_t comment) {
+            handle(Graph::MessageOfComment(comment));
+          });
+        }
+      },
+      [&](CountMap& local) {
+        for (const auto& [key, count] : local) counts[key] += count;
+      },
+      kExpandMorselSize);
+
+  std::vector<Bi2Row> rows;
+  for (const auto& [key, count] : counts) {
+    if (count <= params.threshold) continue;
+    Bi2Row row;
+    row.country = graph.PlaceAt(key.country).name;
+    row.month = key.month;
+    row.gender = key.gender_female ? "female" : "male";
+    row.age_group = key.age_group;
+    row.tag = graph.TagAt(key.tag).name;
+    row.message_count = count;
+    rows.push_back(std::move(row));
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi2Row& a, const Bi2Row& b) {
+        if (a.message_count != b.message_count) {
+          return a.message_count > b.message_count;
+        }
+        if (a.tag != b.tag) return a.tag < b.tag;
+        if (a.gender != b.gender) return a.gender < b.gender;
+        if (a.age_group != b.age_group) return a.age_group < b.age_group;
+        if (a.month != b.month) return a.month < b.month;
+        return a.country < b.country;
+      },
+      100);
+  return rows;
+}
+
+std::vector<Bi3Row> RunBi3(const Graph& graph, const Bi3Params& params,
+                           util::ThreadPool& pool) {
+  int32_t y2 = params.year, m2 = params.month + 1;
+  if (m2 > 12) {
+    m2 = 1;
+    ++y2;
+  }
+  int32_t y3 = y2, m3 = m2 + 1;
+  if (m3 > 12) {
+    m3 = 1;
+    ++y3;
+  }
+  const core::DateTime t1 =
+      core::DateTimeFromCivil(params.year, params.month, 1);
+  const core::DateTime t2 = core::DateTimeFromCivil(y2, m2, 1);
+  const core::DateTime t3 = core::DateTimeFromCivil(y3, m3, 1);
+  const Graph::MessageRangeView range = graph.MessageRange(t1, t3);
+  const size_t num_tags = graph.NumTags();
+
+  struct State {
+    std::vector<int64_t> count1, count2;
+  };
+  std::vector<int64_t> count1(num_tags, 0), count2(num_tags, 0);
+  Aggregate(
+      pool, range.size(),
+      [num_tags] {
+        return State{std::vector<int64_t>(num_tags, 0),
+                     std::vector<int64_t>(num_tags, 0)};
+      },
+      [&](State& s, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = range[i];
+          std::vector<int64_t>& counts =
+              graph.MessageCreationDate(msg) < t2 ? s.count1 : s.count2;
+          graph.ForEachMessageTag(msg, [&](uint32_t tag) { ++counts[tag]; });
+        }
+      },
+      [&](State& s) {
+        for (size_t t = 0; t < num_tags; ++t) {
+          count1[t] += s.count1[t];
+          count2[t] += s.count2[t];
+        }
+      });
+
+  std::vector<Bi3Row> rows;
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    if (count1[t] == 0 && count2[t] == 0) continue;
+    Bi3Row row;
+    row.tag = graph.TagAt(t).name;
+    row.count_month1 = count1[t];
+    row.count_month2 = count2[t];
+    row.diff = std::llabs(count1[t] - count2[t]);
+    rows.push_back(std::move(row));
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi3Row& a, const Bi3Row& b) {
+        if (a.diff != b.diff) return a.diff > b.diff;
+        return a.tag < b.tag;
+      },
+      100);
+  return rows;
+}
+
+std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params,
+                           util::ThreadPool& pool) {
+  std::vector<Bi6Row> rows;
+  const uint32_t tag = graph.TagByName(params.tag);
+  if (tag == storage::kNoIdx) return rows;
+
+  // Materialize the tag's message list so the morsel loop has a flat domain.
+  std::vector<uint32_t> domain;
+  graph.TagPosts().ForEach(tag, [&](uint32_t post) {
+    domain.push_back(Graph::MessageOfPost(post));
+  });
+  graph.TagComments().ForEach(tag, [&](uint32_t comment) {
+    domain.push_back(Graph::MessageOfComment(comment));
+  });
+
+  struct Agg {
+    int64_t messages = 0;
+    int64_t replies = 0;
+    int64_t likes = 0;
+  };
+  using AggMap = std::unordered_map<uint32_t, Agg>;
+  AggMap by_person;
+  Aggregate(
+      pool, domain.size(), [] { return AggMap{}; },
+      [&](AggMap& local, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = domain[i];
+          Agg& a = local[graph.MessageCreator(msg)];
+          ++a.messages;
+          a.likes += internal::MessageLikeCount(graph, msg);
+          a.replies +=
+              Graph::IsPost(msg)
+                  ? static_cast<int64_t>(graph.PostReplies().Degree(msg))
+                  : static_cast<int64_t>(graph.CommentReplies().Degree(
+                        Graph::AsComment(msg)));
+        }
+      },
+      [&](AggMap& local) {
+        for (const auto& [person, a] : local) {
+          Agg& target = by_person[person];
+          target.messages += a.messages;
+          target.replies += a.replies;
+          target.likes += a.likes;
+        }
+      },
+      1024);
+
+  rows.reserve(by_person.size());
+  for (const auto& [person, a] : by_person) {
+    Bi6Row row;
+    row.person_id = graph.PersonAt(person).id;
+    row.reply_count = a.replies;
+    row.like_count = a.likes;
+    row.message_count = a.messages;
+    row.score = a.messages + 2 * a.replies + 10 * a.likes;
+    rows.push_back(row);
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi6Row& a, const Bi6Row& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.person_id < b.person_id;
+      },
+      100);
+  return rows;
+}
+
+std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params,
+                             util::ThreadPool& pool) {
+  const core::DateTime after =
+      core::DateTimeFromDate(params.date) + core::kMillisPerDay;  // exclusive
+  const Graph::MessageRangeView range =
+      graph.MessageRange(after, kMaxMessageDate);
+
+  // Must match the sequential and naive engines exactly; the creator-name
+  // legs make the k-way merge of the per-executor top-k sets independent of
+  // which executor saw which message.
+  auto better = [](const Bi12Row& a, const Bi12Row& b) {
+    if (a.like_count != b.like_count) return a.like_count > b.like_count;
+    if (a.message_id != b.message_id) return a.message_id < b.message_id;
+    if (a.creation_date != b.creation_date) {
+      return a.creation_date < b.creation_date;
+    }
+    if (a.creator_last_name != b.creator_last_name) {
+      return a.creator_last_name < b.creator_last_name;
+    }
+    return a.creator_first_name < b.creator_first_name;
+  };
+  using Top = engine::TopK<Bi12Row, decltype(better)>;
+  Top top(100, better);
+
+  Aggregate(
+      pool, range.size(), [&better] { return Top(100, better); },
+      [&](Top& local, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = range[i];
+          int64_t likes = internal::MessageLikeCount(graph, msg);
+          if (likes <= params.like_threshold) continue;
+          Bi12Row row;
+          row.message_id = graph.MessageId(msg);
+          row.like_count = likes;
+          row.creation_date = graph.MessageCreationDate(msg);
+          if (!local.WouldAccept(row)) continue;  // CP-1.3 pushdown per slot
+          const core::Person& creator =
+              graph.PersonAt(graph.MessageCreator(msg));
+          row.creator_first_name = creator.first_name;
+          row.creator_last_name = creator.last_name;
+          local.Add(std::move(row));
+        }
+      },
+      [&](Top& local) {
+        for (Bi12Row& row : local.Take()) top.Add(std::move(row));
+      });
+  return top.Take();
+}
+
+std::vector<Bi13Row> RunBi13(const Graph& graph, const Bi13Params& params,
+                             util::ThreadPool& pool) {
+  using internal::CountryIdx;
+  std::vector<Bi13Row> rows;
+  const uint32_t country = CountryIdx(graph, params.country);
+  if (country == storage::kNoIdx) return rows;
+
+  struct MonthKey {
+    int32_t year;
+    int32_t month;
+    bool operator<(const MonthKey& o) const {
+      if (year != o.year) return year > o.year;
+      return month < o.month;
+    }
+  };
+  using GroupMap = std::map<MonthKey, std::unordered_map<uint32_t, int64_t>>;
+  GroupMap groups;
+  Aggregate(
+      pool, graph.NumMessages(), [] { return GroupMap{}; },
+      [&](GroupMap& local, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = MessageAtFlat(graph, i);
+          if (graph.MessageCountry(msg) != country) continue;
+          core::DateTime created = graph.MessageCreationDate(msg);
+          auto& tag_counts =
+              local[{core::Year(created), core::Month(created)}];
+          graph.ForEachMessageTag(msg,
+                                  [&](uint32_t tag) { ++tag_counts[tag]; });
+        }
+      },
+      [&](GroupMap& local) {
+        for (auto& [key, tag_counts] : local) {
+          auto& target = groups[key];  // keeps empty groups too
+          for (const auto& [tag, count] : tag_counts) target[tag] += count;
+        }
+      });
+
+  for (const auto& [key, tag_counts] : groups) {
+    Bi13Row row;
+    row.year = key.year;
+    row.month = key.month;
+    using TagCount = std::pair<std::string, int64_t>;
+    auto better = [](const TagCount& a, const TagCount& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    };
+    engine::TopK<TagCount, decltype(better)> top(5, better);
+    for (const auto& [tag, count] : tag_counts) {
+      top.Add({graph.TagAt(tag).name, count});
+    }
+    row.popular_tags = top.Take();
+    rows.push_back(std::move(row));
+    if (rows.size() == 100) break;
+  }
+  return rows;
+}
+
+std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params,
+                             util::ThreadPool& pool) {
+  const core::DateTime begin_dt = core::DateTimeFromDate(params.begin);
+  const core::DateTime end_dt =
+      core::DateTimeFromDate(params.end) + core::kMillisPerDay;  // inclusive
+  const Graph::MessageRangeView range = graph.MessageRange(begin_dt, end_dt);
+
+  struct Agg {
+    int64_t threads = 0;
+    int64_t messages = 0;
+  };
+  using AggMap = std::unordered_map<uint32_t, Agg>;
+  AggMap by_person;
+
+  // Pass 1 — window posts: each post index appears at most once in the
+  // range, so the bitmap writes are disjoint across morsels (uint8_t, not
+  // vector<bool>: no shared-word bit packing).
+  std::vector<uint8_t> post_in_window(graph.NumPosts(), 0);
+  Aggregate(
+      pool, range.size(), [] { return AggMap{}; },
+      [&](AggMap& local, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = range[i];
+          if (!Graph::IsPost(msg)) continue;
+          post_in_window[Graph::AsPost(msg)] = 1;
+          Agg& a = local[graph.PostCreator(Graph::AsPost(msg))];
+          ++a.threads;
+          ++a.messages;
+        }
+      },
+      [&](AggMap& local) {
+        for (const auto& [person, a] : local) {
+          Agg& target = by_person[person];
+          target.threads += a.threads;
+          target.messages += a.messages;
+        }
+      });
+  // Pass 2 — window comments probe the completed bitmap (read-only now).
+  Aggregate(
+      pool, range.size(), [] { return AggMap{}; },
+      [&](AggMap& local, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = range[i];
+          if (Graph::IsPost(msg)) continue;
+          uint32_t root = graph.CommentRootPost(Graph::AsComment(msg));
+          if (!post_in_window[root]) continue;
+          ++local[graph.PostCreator(root)].messages;
+        }
+      },
+      [&](AggMap& local) {
+        for (const auto& [person, a] : local) {
+          by_person[person].messages += a.messages;
+        }
+      });
+
+  std::vector<Bi14Row> rows;
+  rows.reserve(by_person.size());
+  for (const auto& [person, a] : by_person) {
+    const core::Person& rec = graph.PersonAt(person);
+    rows.push_back(
+        {rec.id, rec.first_name, rec.last_name, a.threads, a.messages});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi14Row& a, const Bi14Row& b) {
+        if (a.message_count != b.message_count) {
+          return a.message_count > b.message_count;
+        }
+        return a.person_id < b.person_id;
+      },
+      100);
+  return rows;
+}
+
+std::vector<Bi17Row> RunBi17(const Graph& graph, const Bi17Params& params,
+                             util::ThreadPool& pool) {
+  using internal::CountryIdx;
+  using internal::PersonsOfCountry;
+  const uint32_t country = CountryIdx(graph, params.country);
+  if (country == storage::kNoIdx) return {{0}};
+  const std::vector<bool> local = PersonsOfCountry(graph, country);
+  const size_t num_persons = graph.NumPersons();
+
+  // Partitioning by the lowest triangle vertex keeps every {a<b<c} counted
+  // exactly once; each executor carries its own marked-neighbour bitmap.
+  struct State {
+    std::vector<uint8_t> marked;
+    int64_t triangles = 0;
+  };
+  int64_t triangles = 0;
+  Aggregate(
+      pool, num_persons,
+      [num_persons] { return State{std::vector<uint8_t>(num_persons, 0), 0}; },
+      [&](State& s, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t a = static_cast<uint32_t>(i);
+          if (!local[a]) continue;
+          std::vector<uint32_t> bs;
+          graph.Knows().ForEach(a, [&](uint32_t b) {
+            if (b > a && local[b]) {
+              s.marked[b] = 1;
+              bs.push_back(b);
+            }
+          });
+          for (uint32_t b : bs) {
+            graph.Knows().ForEach(b, [&](uint32_t c) {
+              if (c > b && s.marked[c]) ++s.triangles;
+            });
+          }
+          for (uint32_t b : bs) s.marked[b] = 0;
+        }
+      },
+      [&](State& s) { triangles += s.triangles; }, kExpandMorselSize);
+  return {{triangles}};
+}
+
 std::vector<Bi20Row> RunBi20(const Graph& graph, const Bi20Params& params,
                              util::ThreadPool& pool) {
-  // One independent rollup per class; keep input order, then sort like the
-  // sequential engine.
-  std::vector<Bi20Row> rows(params.tag_classes.size());
-  std::vector<bool> valid(params.tag_classes.size(), false);
-  pool.ParallelFor(params.tag_classes.size(), [&](size_t i) {
-    const std::string& class_name = params.tag_classes[i];
-    if (graph.TagClassByName(class_name) == storage::kNoIdx) return;
+  // The outer UNWIND stays sequential; each class rollup is itself a
+  // morsel-parallel message scan, so a single-class parameter list still
+  // uses the whole pool.
+  std::vector<Bi20Row> rows;
+  rows.reserve(params.tag_classes.size());
+  for (const std::string& class_name : params.tag_classes) {
+    if (graph.TagClassByName(class_name) == storage::kNoIdx) continue;
     std::vector<bool> tags =
         internal::TagsOfClass(graph, class_name, /*transitive=*/true);
     int64_t count = 0;
-    graph.ForEachMessage([&](uint32_t msg) {
-      bool match = false;
-      graph.ForEachMessageTag(msg, [&](uint32_t tag) {
-        if (tags[tag]) match = true;
-      });
-      if (match) ++count;
-    });
-    rows[i] = {class_name, count};
-    valid[i] = true;
-  });
-  std::vector<Bi20Row> out;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (valid[i]) out.push_back(std::move(rows[i]));
+    Aggregate(
+        pool, graph.NumMessages(), [] { return int64_t{0}; },
+        [&](int64_t& local, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t msg = MessageAtFlat(graph, i);
+            bool match = false;
+            graph.ForEachMessageTag(msg, [&](uint32_t tag) {
+              if (tags[tag]) match = true;
+            });
+            if (match) ++local;  // distinct messages, not tag occurrences
+          }
+        },
+        [&](int64_t& local) { count += local; });
+    rows.push_back({class_name, count});
   }
   engine::SortAndLimit(
-      out,
+      rows,
       [](const Bi20Row& a, const Bi20Row& b) {
         if (a.message_count != b.message_count) {
           return a.message_count > b.message_count;
@@ -130,7 +587,122 @@ std::vector<Bi20Row> RunBi20(const Graph& graph, const Bi20Params& params,
         return a.tag_class < b.tag_class;
       },
       100);
-  return out;
+  return rows;
+}
+
+std::vector<Bi23Row> RunBi23(const Graph& graph, const Bi23Params& params,
+                             util::ThreadPool& pool) {
+  using internal::CountryIdx;
+  std::vector<Bi23Row> rows;
+  const uint32_t home = CountryIdx(graph, params.country);
+  if (home == storage::kNoIdx) return rows;
+
+  using CountMap = std::unordered_map<uint64_t, int64_t>;
+  CountMap counts;
+  Aggregate(
+      pool, graph.NumMessages(), [] { return CountMap{}; },
+      [&](CountMap& local, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = MessageAtFlat(graph, i);
+          uint32_t creator = graph.MessageCreator(msg);
+          if (graph.PersonCountry(creator) != home) continue;
+          uint32_t dest = graph.MessageCountry(msg);
+          if (dest == home) continue;
+          int32_t month = core::Month(graph.MessageCreationDate(msg));
+          ++local[internal::PairKey(dest, static_cast<uint32_t>(month))];
+        }
+      },
+      [&](CountMap& local) {
+        for (const auto& [key, count] : local) counts[key] += count;
+      });
+
+  rows.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    uint32_t dest = static_cast<uint32_t>(key >> 32);
+    int32_t month = static_cast<int32_t>(static_cast<uint32_t>(key));
+    rows.push_back({count, graph.PlaceAt(dest).name, month});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi23Row& a, const Bi23Row& b) {
+        if (a.message_count != b.message_count) {
+          return a.message_count > b.message_count;
+        }
+        if (a.destination != b.destination) {
+          return a.destination < b.destination;
+        }
+        return a.month < b.month;
+      },
+      100);
+  return rows;
+}
+
+std::vector<Bi24Row> RunBi24(const Graph& graph, const Bi24Params& params,
+                             util::ThreadPool& pool) {
+  using internal::ContinentOfCountry;
+  const std::vector<bool> class_tags =
+      internal::TagsOfClass(graph, params.tag_class, /*transitive=*/false);
+
+  struct Key {
+    int32_t year;
+    int32_t month;
+    uint32_t continent;
+    bool operator<(const Key& o) const {
+      if (year != o.year) return year < o.year;
+      if (month != o.month) return month < o.month;
+      return continent < o.continent;
+    }
+  };
+  struct Agg {
+    int64_t messages = 0;
+    int64_t likes = 0;
+  };
+  using GroupMap = std::map<Key, Agg>;
+  GroupMap groups;
+  Aggregate(
+      pool, graph.NumMessages(), [] { return GroupMap{}; },
+      [&](GroupMap& local, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t msg = MessageAtFlat(graph, i);
+          bool match = false;
+          graph.ForEachMessageTag(msg, [&](uint32_t tag) {
+            if (class_tags[tag]) match = true;
+          });
+          if (!match) continue;
+          core::DateTime created = graph.MessageCreationDate(msg);
+          uint32_t continent =
+              ContinentOfCountry(graph, graph.MessageCountry(msg));
+          Agg& agg =
+              local[{core::Year(created), core::Month(created), continent}];
+          ++agg.messages;
+          agg.likes += internal::MessageLikeCount(graph, msg);
+        }
+      },
+      [&](GroupMap& local) {
+        for (const auto& [key, agg] : local) {
+          Agg& target = groups[key];
+          target.messages += agg.messages;
+          target.likes += agg.likes;
+        }
+      });
+
+  std::vector<Bi24Row> rows;
+  rows.reserve(groups.size());
+  for (const auto& [key, agg] : groups) {
+    rows.push_back({agg.messages, agg.likes, key.year, key.month,
+                    key.continent == storage::kNoIdx
+                        ? std::string()
+                        : graph.PlaceAt(key.continent).name});
+  }
+  engine::SortAndLimit(
+      rows,
+      [](const Bi24Row& a, const Bi24Row& b) {
+        if (a.year != b.year) return a.year < b.year;
+        if (a.month != b.month) return a.month < b.month;
+        return a.continent < b.continent;
+      },
+      100);
+  return rows;
 }
 
 }  // namespace snb::bi::parallel

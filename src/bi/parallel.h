@@ -1,7 +1,19 @@
-// Intra-query parallel variants: choke point CP-1.2 (high-cardinality
-// group-by parallelization through per-thread partial aggregation followed
-// by re-aggregation) demonstrated on the scan-dominated queries BI 1 and
-// BI 20. Results are bit-identical to the sequential engine.
+// Morsel-driven intra-query parallel variants of the scan-dominated BI
+// queries (choke point CP-1.2: high-cardinality group-by parallelized as
+// per-executor partial aggregation followed by a deterministic
+// re-aggregation on the caller).
+//
+// Every variant is built on engine::ParallelAggregate over either the
+// creation-date message index (date-filtered scans, CP-2.2/2.3 pruning
+// included) or a materialized domain (persons of a country, messages of a
+// tag). The ambient bi::CancelToken of the calling thread is re-installed
+// on every executor and polled once per morsel, so deadline enforcement
+// works exactly as in the sequential engine. Results are bit-identical to
+// the sequential engine at any thread count; tests/parallel_test.cc
+// asserts this for every query below against both reference engines.
+//
+// The calling thread always participates in the morsel loop, so these are
+// safe to invoke from a scheduler worker that itself runs on `pool`.
 
 #ifndef SNB_BI_PARALLEL_H_
 #define SNB_BI_PARALLEL_H_
@@ -11,15 +23,58 @@
 
 namespace snb::bi::parallel {
 
-/// BI 1 with the message scan partitioned across the pool; each worker
-/// builds a partial (year, isComment, lengthCategory) aggregation that is
-/// merged on the caller thread (CP-1.2).
+/// BI 1: date-pruned message scan (index range [min, date)), partial
+/// (year, isComment, lengthCategory) maps merged on the caller.
 std::vector<Bi1Row> RunBi1(const Graph& graph, const Bi1Params& params,
                            util::ThreadPool& pool);
 
-/// BI 20 with one task per tag class (independent rollups — embarrassingly
-/// parallel over the UNWIND of the parameter list).
+/// BI 2: persons of the two countries as the parallel domain; per-person
+/// message expansion uses the PersonIsFemale hot column.
+std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params,
+                           util::ThreadPool& pool);
+
+/// BI 3: date-pruned scan of the two-month window [m1, m3); partial
+/// per-tag count columns summed element-wise.
+std::vector<Bi3Row> RunBi3(const Graph& graph, const Bi3Params& params,
+                           util::ThreadPool& pool);
+
+/// BI 6: messages of the parameter tag as the parallel domain; partial
+/// per-person (messages, replies, likes) aggregates.
+std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params,
+                           util::ThreadPool& pool);
+
+/// BI 12: date-pruned scan of (date, ∞); per-executor top-k with the
+/// pushdown filter, k-way merged under the total tie-break order.
+std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params,
+                             util::ThreadPool& pool);
+
+/// BI 13: full message scan; partial (year, month) → tag → count maps.
+std::vector<Bi13Row> RunBi13(const Graph& graph, const Bi13Params& params,
+                             util::ThreadPool& pool);
+
+/// BI 14: two morsel passes over the window [begin, end]: posts fill a
+/// shared thread-root bitmap (disjoint writes) and credit creators, then
+/// comments probe the bitmap.
+std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params,
+                             util::ThreadPool& pool);
+
+/// BI 17: person domain with per-executor marked-neighbour bitmaps; small
+/// morsels because each element is itself a neighbourhood scan.
+std::vector<Bi17Row> RunBi17(const Graph& graph, const Bi17Params& params,
+                             util::ThreadPool& pool);
+
+/// BI 20: per class, a morsel-parallel count over the full message scan
+/// (parallel even for a single-class parameter list, unlike the old
+/// one-task-per-class variant).
 std::vector<Bi20Row> RunBi20(const Graph& graph, const Bi20Params& params,
+                             util::ThreadPool& pool);
+
+/// BI 23: full message scan; partial (destination, month) count maps.
+std::vector<Bi23Row> RunBi23(const Graph& graph, const Bi23Params& params,
+                             util::ThreadPool& pool);
+
+/// BI 24: full message scan; partial (year, month, continent) aggregates.
+std::vector<Bi24Row> RunBi24(const Graph& graph, const Bi24Params& params,
                              util::ThreadPool& pool);
 
 }  // namespace snb::bi::parallel

@@ -511,6 +511,7 @@ DriverReport RunBiWorkloadMultiStream(
   sc.max_in_flight_per_stream = config.bi_max_in_flight_per_stream;
   sc.bindings_per_query = bindings_per_query;
   sc.query_deadline_ms = config.bi_query_deadline_ms;
+  sc.intra_query_parallelism = config.bi_intra_query_parallelism;
   sc.seed = config.seed;
   sched::ScheduleResult run = sched::RunStreams(graph, params, sc);
 

@@ -64,6 +64,11 @@ struct DriverConfig {
 
   /// Per-query cooperative deadline in milliseconds; 0 disables.
   double bi_query_deadline_ms = 0;
+
+  /// Morsel-parallel query variants when the run is a power run (one
+  /// stream, several workers). Throughput runs always use streams-only
+  /// parallelism regardless of this flag; see SchedulerConfig.
+  bool bi_intra_query_parallelism = true;
 };
 
 struct OperationStats {

@@ -1,0 +1,60 @@
+#include "engine/morsel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace snb::engine::internal {
+
+void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
+                const std::function<void(size_t, size_t)>& fn) {
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t active_helpers = 0;
+    std::exception_ptr error;
+  } shared;
+
+  auto run_loop = [&](size_t slot) {
+    for (;;) {
+      if (shared.failed.load(std::memory_order_relaxed)) return;
+      const size_t morsel =
+          shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (morsel >= num_morsels) return;
+      try {
+        fn(morsel, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (!shared.error) shared.error = std::current_exception();
+        shared.failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const size_t helpers = slots - 1;
+  shared.active_helpers = helpers;
+  for (size_t h = 0; h < helpers; ++h) {
+    // Helpers capture the stack frame by reference; the join below keeps it
+    // alive until the last helper signalled completion.
+    pool.Submit([&shared, &run_loop, h] {
+      run_loop(h);
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (--shared.active_helpers == 0) shared.done.notify_all();
+    });
+  }
+
+  // The caller always executes morsels itself: progress is guaranteed even
+  // when every pool worker is busy with other queries (or when the caller
+  // *is* a pool worker), so nesting on a shared pool cannot deadlock.
+  run_loop(slots - 1);
+
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.done.wait(lock, [&shared] { return shared.active_helpers == 0; });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace snb::engine::internal

@@ -53,6 +53,15 @@ ScheduleResult RunStreams(const storage::Graph& graph,
   }
 
   util::ThreadPool pool(workers);
+  // Power runs (one stream, several workers) parallelize *within* the one
+  // running query: the executing worker participates in the morsel loop and
+  // the remaining workers serve as helpers. Throughput runs keep
+  // streams-only parallelism — every worker runs a whole query.
+  util::ThreadPool* intra_pool =
+      (config.intra_query_parallelism && config.num_streams == 1 &&
+       workers > 1)
+          ? &pool
+          : nullptr;
   std::mutex mu;
   const Clock::time_point t0 = Clock::now();
 
@@ -78,7 +87,7 @@ ScheduleResult RunStreams(const storage::Graph& graph,
       token.SetDeadlineAfterMs(config.query_deadline_ms);
     }
     const double start_ms = MsSince(t0);
-    OpOutcome outcome = ExecuteStreamOp(graph, params, op, &token);
+    OpOutcome outcome = ExecuteStreamOp(graph, params, op, &token, intra_pool);
     outcome.latency_ms = MsSince(t0) - start_ms;
 
     std::lock_guard<std::mutex> lock(mu);

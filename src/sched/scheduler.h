@@ -56,6 +56,13 @@ struct SchedulerConfig {
   /// are cooperatively cancelled and recorded, not retried.
   double query_deadline_ms = 0;
 
+  /// Morsel-parallel query variants for power runs. With a single stream and
+  /// more than one worker, the otherwise idle workers execute morsels of the
+  /// one running query; with multiple streams the workers are already
+  /// saturated running whole queries, so intra-query parallelism is never
+  /// engaged there (the pool is never oversubscribed).
+  bool intra_query_parallelism = true;
+
   /// Seed for the per-stream permutations.
   uint64_t seed = 42;
 };

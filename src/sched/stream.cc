@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "bi/bi.h"
+#include "bi/parallel.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -111,8 +112,16 @@ size_t BindingCount(const params::WorkloadParameters& params, int query) {
 
 OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                           const params::WorkloadParameters& params,
-                          const StreamOp& op, const bi::CancelToken* token) {
+                          const StreamOp& op, const bi::CancelToken* token,
+                          util::ThreadPool* intra_pool) {
   bi::ScopedCancelToken scoped(token);
+  // Sequential-or-morsel dispatch: run(g, b) picks the parallel variant iff
+  // an intra-query pool was supplied. Results are bit-identical either way.
+  auto seq_or_par = [intra_pool](auto seq, auto par) {
+    return [intra_pool, seq, par](const storage::Graph& g, const auto& b) {
+      return intra_pool ? par(g, b, *intra_pool) : seq(g, b);
+    };
+  };
   OpOutcome out;
   try {
     // Entry poll: a query admitted past its deadline is abandoned before any
@@ -120,7 +129,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
     bi::PollCancel();
     switch (op.query) {
       case 1:
-        out = RunAndHash(graph, params.bi1, op.binding, bi::RunBi1,
+        out = RunAndHash(graph, params.bi1, op.binding,
+                         seq_or_par(bi::RunBi1, bi::parallel::RunBi1),
                          [](Hasher& h, const bi::Bi1Row& r) {
                            AddFields(h, r.year, r.is_comment,
                                      r.length_category, r.message_count,
@@ -130,14 +140,16 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       case 2:
-        out = RunAndHash(graph, params.bi2, op.binding, bi::RunBi2,
+        out = RunAndHash(graph, params.bi2, op.binding,
+                         seq_or_par(bi::RunBi2, bi::parallel::RunBi2),
                          [](Hasher& h, const bi::Bi2Row& r) {
                            AddFields(h, r.country, r.month, r.gender,
                                      r.age_group, r.tag, r.message_count);
                          });
         break;
       case 3:
-        out = RunAndHash(graph, params.bi3, op.binding, bi::RunBi3,
+        out = RunAndHash(graph, params.bi3, op.binding,
+                         seq_or_par(bi::RunBi3, bi::parallel::RunBi3),
                          [](Hasher& h, const bi::Bi3Row& r) {
                            AddFields(h, r.tag, r.count_month1, r.count_month2,
                                      r.diff);
@@ -159,7 +171,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       case 6:
-        out = RunAndHash(graph, params.bi6, op.binding, bi::RunBi6,
+        out = RunAndHash(graph, params.bi6, op.binding,
+                         seq_or_par(bi::RunBi6, bi::parallel::RunBi6),
                          [](Hasher& h, const bi::Bi6Row& r) {
                            AddFields(h, r.person_id, r.reply_count,
                                      r.like_count, r.message_count, r.score);
@@ -197,7 +210,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       case 12:
-        out = RunAndHash(graph, params.bi12, op.binding, bi::RunBi12,
+        out = RunAndHash(graph, params.bi12, op.binding,
+                         seq_or_par(bi::RunBi12, bi::parallel::RunBi12),
                          [](Hasher& h, const bi::Bi12Row& r) {
                            AddFields(h, r.message_id, r.creation_date,
                                      r.creator_first_name,
@@ -205,13 +219,15 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       case 13:
-        out = RunAndHash(graph, params.bi13, op.binding, bi::RunBi13,
+        out = RunAndHash(graph, params.bi13, op.binding,
+                         seq_or_par(bi::RunBi13, bi::parallel::RunBi13),
                          [](Hasher& h, const bi::Bi13Row& r) {
                            AddFields(h, r.year, r.month, r.popular_tags);
                          });
         break;
       case 14:
-        out = RunAndHash(graph, params.bi14, op.binding, bi::RunBi14,
+        out = RunAndHash(graph, params.bi14, op.binding,
+                         seq_or_par(bi::RunBi14, bi::parallel::RunBi14),
                          [](Hasher& h, const bi::Bi14Row& r) {
                            AddFields(h, r.person_id, r.first_name, r.last_name,
                                      r.thread_count, r.message_count);
@@ -230,7 +246,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       case 17:
-        out = RunAndHash(graph, params.bi17, op.binding, bi::RunBi17,
+        out = RunAndHash(graph, params.bi17, op.binding,
+                         seq_or_par(bi::RunBi17, bi::parallel::RunBi17),
                          [](Hasher& h, const bi::Bi17Row& r) {
                            AddFields(h, r.count);
                          });
@@ -249,7 +266,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       case 20:
-        out = RunAndHash(graph, params.bi20, op.binding, bi::RunBi20,
+        out = RunAndHash(graph, params.bi20, op.binding,
+                         seq_or_par(bi::RunBi20, bi::parallel::RunBi20),
                          [](Hasher& h, const bi::Bi20Row& r) {
                            AddFields(h, r.tag_class, r.message_count);
                          });
@@ -269,14 +287,16 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       case 23:
-        out = RunAndHash(graph, params.bi23, op.binding, bi::RunBi23,
+        out = RunAndHash(graph, params.bi23, op.binding,
+                         seq_or_par(bi::RunBi23, bi::parallel::RunBi23),
                          [](Hasher& h, const bi::Bi23Row& r) {
                            AddFields(h, r.message_count, r.destination,
                                      r.month);
                          });
         break;
       case 24:
-        out = RunAndHash(graph, params.bi24, op.binding, bi::RunBi24,
+        out = RunAndHash(graph, params.bi24, op.binding,
+                         seq_or_par(bi::RunBi24, bi::parallel::RunBi24),
                          [](Hasher& h, const bi::Bi24Row& r) {
                            AddFields(h, r.message_count, r.like_count, r.year,
                                      r.month, r.continent);

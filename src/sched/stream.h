@@ -25,6 +25,7 @@
 #include "bi/cancel.h"
 #include "params/parameter_curation.h"
 #include "storage/graph.h"
+#include "util/thread_pool.h"
 
 namespace snb::sched {
 
@@ -57,9 +58,17 @@ struct OpOutcome {
 /// duration of the call; a query abandoned by the token returns
 /// cancelled = true with rows = 0. latency_ms is left 0 (the scheduler
 /// owns timing).
+///
+/// When `intra_pool` is non-null, the scan-dominated templates with a
+/// morsel-parallel variant (BI 1, 2, 3, 6, 12, 13, 14, 17, 20, 23, 24)
+/// run on that pool; the rest always run sequentially. The scheduler
+/// passes the pool only for power runs (a single stream), never for
+/// throughput runs — the calling thread participates in the morsel loop,
+/// so the pool is never oversubscribed either way.
 OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                           const params::WorkloadParameters& params,
-                          const StreamOp& op, const bi::CancelToken* token);
+                          const StreamOp& op, const bi::CancelToken* token,
+                          util::ThreadPool* intra_pool = nullptr);
 
 /// A stream's full op sequence: every template with bindings
 /// [0, min(bindings_per_query, available)), Fisher–Yates-permuted by

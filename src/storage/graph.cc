@@ -85,10 +85,12 @@ Graph::Graph(core::SocialNetwork net)
   person_creation_.resize(persons_.size());
   person_city_.resize(persons_.size());
   person_country_.resize(persons_.size());
+  person_is_female_.resize(persons_.size());
   {
     std::vector<EdgeInput> country_persons, interests;
     for (size_t i = 0; i < persons_.size(); ++i) {
       person_creation_[i] = persons_[i].creation_date;
+      person_is_female_[i] = persons_[i].gender == "female" ? 1 : 0;
       person_city_[i] = PlaceIdx(persons_[i].city);
       SNB_CHECK_NE(person_city_[i], kNoIdx);
       person_country_[i] = CountryOfPlace(person_city_[i]);
@@ -254,6 +256,9 @@ Graph::Graph(core::SocialNetwork net)
     post_likers_.Build(posts_.size(), std::move(post_likers), true);
     comment_likers_.Build(comments_.size(), std::move(comment_likers), true);
   }
+
+  // ---- Creation-date message index -------------------------------------------
+  message_index_.Build(post_creation_, comment_creation_);
 }
 
 uint32_t Graph::CountryOfPlace(uint32_t place) const {
@@ -289,6 +294,7 @@ uint32_t Graph::AddPerson(const core::Person& person) {
   persons_.push_back(person);
   person_idx_[person.id] = idx;
   person_creation_.push_back(person.creation_date);
+  person_is_female_.push_back(person.gender == "female" ? 1 : 0);
   uint32_t city = PlaceIdx(person.city);
   SNB_CHECK_NE(city, kNoIdx);
   person_city_.push_back(city);
@@ -382,6 +388,7 @@ uint32_t Graph::AddPost(const core::Post& post) {
     post_tags_.Append(idx, tag);
     tag_posts_.Append(tag, idx);
   }
+  message_index_.Append(MessageOfPost(idx), post.creation_date);
   return idx;
 }
 
@@ -419,6 +426,7 @@ uint32_t Graph::AddComment(const core::Comment& comment) {
     comment_tags_.Append(idx, tag);
     tag_comments_.Append(tag, idx);
   }
+  message_index_.Append(MessageOfComment(idx), comment.creation_date);
   return idx;
 }
 

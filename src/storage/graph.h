@@ -26,6 +26,7 @@
 
 #include "core/schema.h"
 #include "storage/adjacency.h"
+#include "storage/message_index.h"
 
 namespace snb::storage {
 
@@ -105,6 +106,56 @@ class Graph {
     for (uint32_t i = 0; i < comments_.size(); ++i) f(MessageOfComment(i));
   }
 
+  /// Visits exactly the messages with creationDate in [start, end), pruned
+  /// through the creation-date index: the sorted base contributes a
+  /// binary-searched slice, the unsorted update tail is zone-map filtered
+  /// (CP-2.2/2.3). Visit order is date order over the base followed by
+  /// arrival order over the tail — callers must be order-insensitive.
+  template <typename F>
+  void ForEachMessageInRange(core::DateTime start, core::DateTime end,
+                             F&& f) const {
+    auto [lo, hi] = message_index_.BaseRange(start, end);
+    for (size_t i = lo; i < hi; ++i) f(message_index_.BaseAt(i));
+    message_index_.ForEachTailInRange(start, end, f);
+  }
+
+  /// Random-access view over exactly the messages with creationDate in
+  /// [start, end): the sorted-base slice followed by the matching tail
+  /// entries (materialized — the tail holds only post-load appends and stays
+  /// small). Indexable concurrently from many threads; the morsel engine
+  /// partitions it.
+  class MessageRangeView {
+   public:
+    size_t size() const { return base_count_ + tail_.size(); }
+    uint32_t operator[](size_t i) const {
+      return i < base_count_ ? index_->BaseAt(base_begin_ + i)
+                             : tail_[i - base_count_];
+    }
+
+   private:
+    friend class Graph;
+    const MessageDateIndex* index_ = nullptr;
+    size_t base_begin_ = 0;
+    size_t base_count_ = 0;
+    std::vector<uint32_t> tail_;
+  };
+
+  MessageRangeView MessageRange(core::DateTime start,
+                                core::DateTime end) const {
+    MessageRangeView view;
+    view.index_ = &message_index_;
+    auto [lo, hi] = message_index_.BaseRange(start, end);
+    view.base_begin_ = lo;
+    view.base_count_ = hi - lo;
+    message_index_.ForEachTailInRange(
+        start, end, [&view](uint32_t msg) { view.tail_.push_back(msg); });
+    return view;
+  }
+
+  /// The underlying creation-date index (zone-map introspection for tests
+  /// and the bench report).
+  const MessageDateIndex& MessageIndex() const { return message_index_; }
+
   core::DateTime MessageCreationDate(uint32_t msg) const {
     return IsPost(msg) ? post_creation_[msg]
                        : comment_creation_[AsComment(msg)];
@@ -155,6 +206,9 @@ class Graph {
   uint32_t PersonCity(uint32_t p) const { return person_city_[p]; }
   /// Country place index of the person (city's parent, precomputed).
   uint32_t PersonCountry(uint32_t p) const { return person_country_[p]; }
+  /// Gender hot column: the BI group-bys only ever need the binary split,
+  /// so scans avoid the per-row string compare against Person::gender.
+  bool PersonIsFemale(uint32_t p) const { return person_is_female_[p] != 0; }
 
   core::DateTime PostCreation(uint32_t i) const { return post_creation_[i]; }
   uint32_t PostCreator(uint32_t i) const { return post_creator_[i]; }
@@ -257,6 +311,7 @@ class Graph {
   // Hot columns.
   std::vector<core::DateTime> person_creation_;
   std::vector<uint32_t> person_city_, person_country_;
+  std::vector<uint8_t> person_is_female_;
   std::vector<core::DateTime> post_creation_;
   std::vector<uint32_t> post_creator_, post_forum_, post_country_;
   std::vector<core::DateTime> comment_creation_;
@@ -277,6 +332,9 @@ class Graph {
   AdjacencyList tag_posts_, tag_comments_, tag_forums_, tag_persons_;
   AdjacencyList country_persons_;
   AdjacencyList tag_class_children_, tag_class_tags_;
+
+  // Creation-date message index: sorted base + zone-mapped update tail.
+  MessageDateIndex message_index_;
 };
 
 }  // namespace snb::storage

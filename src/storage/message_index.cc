@@ -1,0 +1,47 @@
+#include "storage/message_index.h"
+
+#include <numeric>
+
+namespace snb::storage {
+
+namespace {
+
+// Mirrors Graph's message-reference encoding (bit 31 set → comment). Kept
+// local to avoid a header cycle with graph.h.
+constexpr uint32_t kCommentBit = 0x80000000u;
+
+}  // namespace
+
+void MessageDateIndex::Build(const std::vector<core::DateTime>& post_dates,
+                             const std::vector<core::DateTime>& comment_dates) {
+  const size_t n = post_dates.size() + comment_dates.size();
+  base_refs_.resize(n);
+  std::iota(base_refs_.begin(), base_refs_.begin() + post_dates.size(), 0u);
+  for (size_t i = 0; i < comment_dates.size(); ++i) {
+    base_refs_[post_dates.size() + i] =
+        static_cast<uint32_t>(i) | kCommentBit;
+  }
+  auto date_of = [&](uint32_t ref) {
+    return (ref & kCommentBit) == 0 ? post_dates[ref]
+                                    : comment_dates[ref & ~kCommentBit];
+  };
+  std::sort(base_refs_.begin(), base_refs_.end(),
+            [&](uint32_t a, uint32_t b) {
+              core::DateTime da = date_of(a), db = date_of(b);
+              if (da != db) return da < db;
+              return a < b;
+            });
+  base_dates_.resize(n);
+  for (size_t i = 0; i < n; ++i) base_dates_[i] = date_of(base_refs_[i]);
+}
+
+void MessageDateIndex::Append(uint32_t msg, core::DateTime date) {
+  if (tail_refs_.size() % kTailBlock == 0) tail_zones_.emplace_back();
+  tail_refs_.push_back(msg);
+  tail_dates_.push_back(date);
+  Zone& z = tail_zones_.back();
+  z.min = std::min(z.min, date);
+  z.max = std::max(z.max, date);
+}
+
+}  // namespace snb::storage
