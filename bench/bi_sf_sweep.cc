@@ -7,6 +7,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
+#include <memory>
 
 #include "bi/bi.h"
 #include "bi/naive.h"
@@ -27,9 +28,10 @@ double TimeMs(const std::function<void()>& fn) {
       .count();
 }
 
+// Graph is immovable (it owns a mutex), so hold it behind a unique_ptr.
 struct Sized {
   uint64_t persons;
-  Graph graph;
+  std::unique_ptr<Graph> graph;
   WorkloadParameters params;
 };
 
@@ -44,10 +46,10 @@ int main() {
     cfg.num_persons = persons;
     cfg.activity_scale = 0.6;
     datagen::GeneratedData data = datagen::Generate(cfg);
-    Graph graph(std::move(data.network));
+    auto graph = std::make_unique<Graph>(std::move(data.network));
     params::CurationConfig pc;
     pc.per_query = 3;
-    WorkloadParameters params = params::CurateParameters(graph, pc);
+    WorkloadParameters params = params::CurateParameters(*graph, pc);
     sizes.push_back({persons, std::move(graph), std::move(params)});
   }
 
@@ -66,8 +68,8 @@ int main() {
     for (Sized& s : sizes) {                                               \
       double opt = 0, nai = 0;                                             \
       for (const auto& p : s.params.bi##N) {                               \
-        opt += TimeMs([&] { bi::RunBi##N(s.graph, p); });                  \
-        nai += TimeMs([&] { bi::naive::RunBi##N(s.graph, p); });           \
+        opt += TimeMs([&] { bi::RunBi##N(*s.graph, p); });                 \
+        nai += TimeMs([&] { bi::naive::RunBi##N(*s.graph, p); });          \
       }                                                                    \
       double n = static_cast<double>(s.params.bi##N.size());               \
       opt /= n;                                                            \

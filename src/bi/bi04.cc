@@ -1,4 +1,5 @@
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -13,10 +14,12 @@ std::vector<Bi4Row> RunBi4(const Graph& graph, const Bi4Params& params) {
   std::vector<Bi4Row> rows;
   if (country == storage::kNoIdx) return rows;
 
+  CancelPoller poll;
   graph.CountryPersons().ForEach(country, [&](uint32_t moderator) {
     graph.PersonModerates().ForEach(moderator, [&](uint32_t forum) {
       int64_t post_count = 0;
       graph.ForumPosts().ForEach(forum, [&](uint32_t post) {
+        poll.Tick();
         bool has_class_tag = false;
         graph.PostTags().ForEach(post, [&](uint32_t tag) {
           if (class_tags[tag]) has_class_tag = true;

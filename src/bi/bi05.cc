@@ -2,6 +2,7 @@
 #include <unordered_set>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -14,10 +15,13 @@ std::vector<Bi5Row> RunBi5(const Graph& graph, const Bi5Params& params) {
   if (country == storage::kNoIdx) return rows;
 
   // Forum popularity: members living in the country.
+  CancelPoller poll;
   std::unordered_map<uint32_t, int64_t> popularity;
   graph.CountryPersons().ForEach(country, [&](uint32_t person) {
-    graph.PersonForums().ForEach(person,
-                                 [&](uint32_t forum) { ++popularity[forum]; });
+    graph.PersonForums().ForEach(person, [&](uint32_t forum) {
+      poll.Tick();
+      ++popularity[forum];
+    });
   });
 
   struct ForumPop {
@@ -45,6 +49,7 @@ std::vector<Bi5Row> RunBi5(const Graph& graph, const Bi5Params& params) {
   for (uint32_t p : members) post_count[p] = 0;
   for (const ForumPop& f : forums) {
     graph.ForumPosts().ForEach(f.forum, [&](uint32_t post) {
+      poll.Tick();
       uint32_t creator = graph.PostCreator(post);
       auto it = post_count.find(creator);
       if (it != post_count.end()) ++it->second;

@@ -2,12 +2,14 @@
 #include <unordered_set>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
 namespace snb::bi {
 
 std::vector<Bi7Row> RunBi7(const Graph& graph, const Bi7Params& params) {
+  CancelPoller poll;
   std::vector<Bi7Row> rows;
   const uint32_t tag = graph.TagByName(params.tag);
   if (tag == storage::kNoIdx) return rows;
@@ -34,6 +36,7 @@ std::vector<Bi7Row> RunBi7(const Graph& graph, const Bi7Params& params) {
     uint32_t author = graph.MessageCreator(msg);
     auto& likers = likers_of_author[author];
     auto visit = [&](uint32_t liker, core::DateTime) {
+      poll.Tick();
       likers.insert(liker);
     };
     if (Graph::IsPost(msg)) {
@@ -51,7 +54,10 @@ std::vector<Bi7Row> RunBi7(const Graph& graph, const Bi7Params& params) {
   rows.reserve(likers_of_author.size());
   for (const auto& [author, likers] : likers_of_author) {
     int64_t score = 0;
-    for (uint32_t q : likers) score += popularity(q);
+    for (uint32_t q : likers) {
+      poll.Tick();
+      score += popularity(q);
+    }
     rows.push_back({graph.PersonAt(author).id, score});
   }
   engine::SortAndLimit(

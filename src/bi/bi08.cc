@@ -1,6 +1,7 @@
 #include <vector>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -11,9 +12,11 @@ std::vector<Bi8Row> RunBi8(const Graph& graph, const Bi8Params& params) {
   const uint32_t tag = graph.TagByName(params.tag);
   if (tag == storage::kNoIdx) return rows;
 
+  CancelPoller poll;
   std::vector<int64_t> counts(graph.NumTags(), 0);
   graph.TagPosts().ForEach(tag, [&](uint32_t post) {
     graph.PostReplies().ForEach(post, [&](uint32_t comment) {
+      poll.Tick();
       graph.CommentTags().ForEach(comment, [&](uint32_t related) {
         if (related != tag) ++counts[related];
       });

@@ -1,4 +1,5 @@
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -11,14 +12,17 @@ std::vector<Bi9Row> RunBi9(const Graph& graph, const Bi9Params& params) {
   const std::vector<bool> class2 =
       TagsOfClass(graph, params.tag_class2, /*transitive=*/false);
 
+  CancelPoller poll;
   std::vector<Bi9Row> rows;
   for (uint32_t forum = 0; forum < graph.NumForums(); ++forum) {
+    poll.Tick();
     if (static_cast<int64_t>(graph.ForumMembers().Degree(forum)) <=
         params.threshold) {
       continue;
     }
     int64_t count1 = 0, count2 = 0;
     graph.ForumPosts().ForEach(forum, [&](uint32_t post) {
+      poll.Tick();
       bool in1 = false, in2 = false;
       graph.PostTags().ForEach(post, [&](uint32_t tag) {
         if (class1[tag]) in1 = true;

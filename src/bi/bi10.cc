@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -12,9 +13,11 @@ std::vector<Bi10Row> RunBi10(const Graph& graph, const Bi10Params& params) {
   if (tag == storage::kNoIdx) return rows;
   const core::DateTime after = core::DateTimeFromDate(params.date);
 
+  CancelPoller poll;
   std::unordered_map<uint32_t, int64_t> score;
   graph.TagPersons().ForEach(tag, [&](uint32_t p) { score[p] += 100; });
   auto handle = [&](uint32_t msg) {
+    poll.Tick();
     if (graph.MessageCreationDate(msg) > after) {
       ++score[graph.MessageCreator(msg)];
     }
@@ -28,8 +31,10 @@ std::vector<Bi10Row> RunBi10(const Graph& graph, const Bi10Params& params) {
   // friendsScore: scatter each scored person's score to their friends.
   std::unordered_map<uint32_t, int64_t> friends_score;
   for (const auto& [person, s] : score) {
-    graph.Knows().ForEach(person,
-                          [&](uint32_t f) { friends_score[f] += s; });
+    graph.Knows().ForEach(person, [&, s = s](uint32_t f) {
+      poll.Tick();
+      friends_score[f] += s;
+    });
   }
 
   rows.reserve(score.size() + friends_score.size());

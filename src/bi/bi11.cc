@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -18,8 +19,10 @@ std::vector<Bi11Row> RunBi11(const Graph& graph, const Bi11Params& params) {
   };
   std::unordered_map<uint64_t, Agg> groups;  // (person, tag) packed
 
+  CancelPoller poll;
   graph.CountryPersons().ForEach(country, [&](uint32_t person) {
     graph.PersonComments().ForEach(person, [&](uint32_t comment) {
+      poll.Tick();
       uint32_t parent = graph.CommentReplyOf(comment);
       if (!Graph::IsPost(parent)) return;  // direct replies to posts only
       uint32_t post = Graph::AsPost(parent);

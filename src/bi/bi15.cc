@@ -1,4 +1,5 @@
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -17,11 +18,13 @@ std::vector<Bi15Row> RunBi15(const Graph& graph, const Bi15Params& params) {
 
   // Same-country friend counts (shared by the average and the filter —
   // CP-5.3).
+  CancelPoller poll;
   std::vector<int64_t> counts(locals.size(), 0);
   int64_t total = 0;
   for (size_t i = 0; i < locals.size(); ++i) {
     int64_t c = 0;
     graph.Knows().ForEach(locals[i], [&](uint32_t f) {
+      poll.Tick();
       if (graph.PersonCountry(f) == country) ++c;
     });
     counts[i] = c;

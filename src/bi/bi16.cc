@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/bfs.h"
 #include "engine/top_k.h"
@@ -22,14 +23,17 @@ std::vector<Bi16Row> RunBi16(const Graph& graph, const Bi16Params& params) {
   std::vector<int32_t> dist =
       engine::BfsDistances(graph.Knows(), start, params.max_path_distance);
 
+  CancelPoller poll;
   std::unordered_map<uint64_t, int64_t> counts;  // (person, tag) → messages
   for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
+    poll.Tick();
     if (p == start || dist[p] < 1 ||
         dist[p] > params.max_path_distance) {
       continue;
     }
     if (graph.PersonCountry(p) != country) continue;
     auto handle = [&](uint32_t msg) {
+      poll.Tick();
       bool qualifies = false;
       graph.ForEachMessageTag(msg, [&](uint32_t tag) {
         if (class_tags[tag]) qualifies = true;

@@ -2,6 +2,7 @@
 #include <unordered_set>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -46,6 +47,7 @@ std::vector<Bi19Row> RunBi19(const Graph& graph, const Bi19Params& params) {
   };
   std::unordered_map<uint32_t, Agg> by_person;
 
+  CancelPoller poll;
   for (uint32_t person = 0; person < graph.NumPersons(); ++person) {
     if (graph.PersonAt(person).birthday <= params.date) continue;
     if (graph.PersonComments().Degree(person) == 0) continue;
@@ -57,6 +59,7 @@ std::vector<Bi19Row> RunBi19(const Graph& graph, const Bi19Params& params) {
       // Walk the transitive replyOf* chain; every ancestor message counts.
       uint32_t msg = graph.CommentReplyOf(comment);
       while (true) {
+        poll.Tick();
         uint32_t author = graph.MessageCreator(msg);
         if (stranger[author] && author != person &&
             !friends.contains(author)) {

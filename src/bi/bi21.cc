@@ -1,4 +1,5 @@
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -13,11 +14,14 @@ std::vector<Bi21Row> RunBi21(const Graph& graph, const Bi21Params& params) {
 
   // Per-person message counts before endDate (needed for *all* persons:
   // likers from any country can be zombies).
+  CancelPoller poll;
   std::vector<int64_t> messages(graph.NumPersons(), 0);
   for (uint32_t post = 0; post < graph.NumPosts(); ++post) {
+    poll.Tick();
     if (graph.PostCreation(post) < end) ++messages[graph.PostCreator(post)];
   }
   for (uint32_t c = 0; c < graph.NumComments(); ++c) {
+    poll.Tick();
     if (graph.CommentCreation(c) < end) ++messages[graph.CommentCreator(c)];
   }
 
@@ -37,6 +41,7 @@ std::vector<Bi21Row> RunBi21(const Graph& graph, const Bi21Params& params) {
     auto count_likes = [&](const storage::AdjacencyList& likers,
                            uint32_t message) {
       likers.ForEachDated(message, [&](uint32_t liker, core::DateTime) {
+        poll.Tick();
         if (graph.PersonCreation(liker) >= end) return;
         ++total_likes;
         if (zombie[liker]) ++zombie_likes;

@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/top_k.h"
 
@@ -25,7 +26,9 @@ std::vector<Bi22Row> RunBi22(const Graph& graph, const Bi22Params& params) {
   };
 
   // Direct replies: +4 per reply, either direction.
+  CancelPoller poll;
   for (uint32_t comment = 0; comment < graph.NumComments(); ++comment) {
+    poll.Tick();
     uint32_t replier = graph.CommentCreator(comment);
     uint32_t target =
         graph.MessageCreator(graph.CommentReplyOf(comment));
@@ -42,6 +45,7 @@ std::vector<Bi22Row> RunBi22(const Graph& graph, const Bi22Params& params) {
   for (uint32_t a = 0; a < graph.NumPersons(); ++a) {
     if (!in1[a]) continue;
     graph.Knows().ForEach(a, [&](uint32_t b) {
+      poll.Tick();
       if (in2[b] && a != b) score[PairKey(a, b)] += 10;
     });
   }

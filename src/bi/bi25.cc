@@ -2,6 +2,7 @@
 #include <unordered_map>
 
 #include "bi/bi.h"
+#include "bi/cancel.h"
 #include "bi/common.h"
 #include "engine/bfs.h"
 
@@ -16,6 +17,7 @@ std::vector<Bi25Row> RunBi25(const Graph& graph, const Bi25Params& params) {
   const core::DateTime end =
       core::DateTimeFromDate(params.end_date) + core::kMillisPerDay;
 
+  CancelPoller poll;
   std::vector<std::vector<uint32_t>> paths =
       engine::AllShortestPaths(graph.Knows(), p1, p2, /*max_paths=*/10000);
   if (paths.empty()) return rows;
@@ -37,6 +39,7 @@ std::vector<Bi25Row> RunBi25(const Graph& graph, const Bi25Params& params) {
     double w = 0;
     auto scan = [&](uint32_t replier, uint32_t author) {
       graph.PersonComments().ForEach(replier, [&](uint32_t comment) {
+        poll.Tick();
         uint32_t parent = graph.CommentReplyOf(comment);
         if (graph.MessageCreator(parent) != author) return;
         if (!forum_in_window(parent)) return;

@@ -63,8 +63,7 @@ Dictionaries::Dictionaries(uint64_t seed)
     for (size_t i = 0; i < data::kNumContinents; ++i) {
       if (std::string(data::kContinents[i]) == name) return continent_index[i];
     }
-    SNB_CHECK(false);
-    return 0;
+    SNB_UNREACHABLE();
   };
 
   country_place_.resize(data::kNumCountries);
@@ -137,8 +136,7 @@ Dictionaries::Dictionaries(uint64_t seed)
     for (size_t i = 0; i < tag_classes_.size(); ++i) {
       if (tag_classes_[i].name == name) return i;
     }
-    SNB_CHECK(false);
-    return 0;
+    SNB_UNREACHABLE();
   };
   for (size_t i = 0; i < data::kNumTagClasses; ++i) {
     const data::TagClassRow& row = data::kTagClasses[i];

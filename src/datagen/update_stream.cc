@@ -105,8 +105,7 @@ std::vector<std::string> UpdateEventFields(const UpdateEvent& event) {
               core::FormatDateTime(k.creation_date)};
     }
   }
-  SNB_CHECK(false);
-  return {};
+  SNB_UNREACHABLE();
 }
 
 util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,

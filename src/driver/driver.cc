@@ -2,15 +2,35 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "bi/bi.h"
 #include "interactive/interactive.h"
 #include "interactive/updates.h"
 #include "sched/scheduler.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
+#include "validate/validator.h"
+
+// With SNB_CHECK_INVARIANTS defined (cmake -DSNB_CHECK_INVARIANTS=ON), the
+// driver re-validates every representation invariant after phases that
+// mutate the store. A violation aborts with the full per-invariant report —
+// the debug mode for chasing update-path corruption.
+#ifdef SNB_CHECK_INVARIANTS
+#define SNB_VALIDATE_STORE(graph)                                     \
+  do {                                                                \
+    ::snb::validate::ValidationReport snb_vr =                        \
+        ::snb::validate::ValidateGraph(graph);                        \
+    SNB_CHECK_MSG(snb_vr.ok(), snb_vr.ToString().c_str());            \
+  } while (0)
+#else
+#define SNB_VALIDATE_STORE(graph) \
+  do {                            \
+  } while (0)
+#endif
 
 namespace snb::driver {
 
@@ -298,7 +318,7 @@ DriverReport RunInteractiveWorkload(
         break;
       }
       default:
-        SNB_CHECK(false);
+        SNB_UNREACHABLE();
     }
     ++report.complex_reads;
     run_short_read_sequence(person_centric, scheduled_ms);
@@ -348,6 +368,7 @@ DriverReport RunInteractiveWorkload(
       }
     }
   }
+  SNB_VALIDATE_STORE(graph);
 
   report.wall_seconds = MsSince(t0) / 1000.0;
   report.throughput_ops_per_sec =
@@ -444,8 +465,21 @@ DriverReport RunBiWorkloadParallel(const storage::Graph& graph,
     double latency_ms;
     size_t rows;
   };
-  std::vector<Sample> samples;
-  std::mutex mu;
+  // Workers funnel their samples through the annotated sink; direct access
+  // to the vector without the lock is a clang thread-safety error.
+  struct SampleSink {
+    util::Mutex mu;
+    std::vector<Sample> samples SNB_GUARDED_BY(mu);
+    void Add(Sample s) SNB_EXCLUDES(mu) {
+      util::MutexLock lock(mu);
+      samples.push_back(std::move(s));
+    }
+    std::vector<Sample> Take() SNB_EXCLUDES(mu) {
+      util::MutexLock lock(mu);
+      return std::move(samples);
+    }
+  };
+  SampleSink sink;
   const Clock::time_point t0 = Clock::now();
 
   auto submit = [&](const std::string& op, auto&& bindings, auto&& query) {
@@ -455,8 +489,7 @@ DriverReport RunBiWorkloadParallel(const storage::Graph& graph,
         double start = MsSince(t0);
         size_t rows = query(graph, bindings[i]).size();
         double latency = MsSince(t0) - start;
-        std::lock_guard<std::mutex> lock(mu);
-        samples.push_back({op, latency, rows});
+        sink.Add({op, latency, rows});
       });
     }
   };
@@ -488,7 +521,7 @@ DriverReport RunBiWorkloadParallel(const storage::Graph& graph,
   submit("BI 25", params.bi25, bi::RunBi25);
   pool.Wait();
 
-  for (const Sample& s : samples) {
+  for (const Sample& s : sink.Take()) {
     report.per_operation[s.op].Record(s.latency_ms);
     report.results_log.push_back({s.op, 0.0, 0.0, s.latency_ms, s.rows});
     ++report.total_operations;
@@ -584,7 +617,7 @@ DriverReport RunBiReadWriteWorkload(
       case 23: dispatch(params.bi23, bi::RunBi23); break;
       case 24: dispatch(params.bi24, bi::RunBi24); break;
       case 25: dispatch(params.bi25, bi::RunBi25); break;
-      default: SNB_CHECK(false);
+      default: SNB_UNREACHABLE();
     }
     ++report.complex_reads;
   };
@@ -606,6 +639,7 @@ DriverReport RunBiReadWriteWorkload(
       run_next_read();
     }
   }
+  SNB_VALIDATE_STORE(graph);
 
   report.wall_seconds = MsSince(t0) / 1000.0;
   report.throughput_ops_per_sec =

@@ -1,22 +1,33 @@
 #include "engine/morsel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace snb::engine::internal {
 
+namespace {
+
+/// State shared between the calling thread and its pool helpers for one
+/// RunMorsels dispatch. The morsel counter and failure flag are lock-free;
+/// helper accounting and the first captured exception are guarded by `mu`
+/// (annotated, so lock misuse is a compile error under clang).
+struct MorselShared {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  util::Mutex mu;
+  util::CondVar done;
+  size_t active_helpers SNB_GUARDED_BY(mu) = 0;
+  std::exception_ptr error SNB_GUARDED_BY(mu);
+};
+
+}  // namespace
+
 void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
                 const std::function<void(size_t, size_t)>& fn) {
-  struct Shared {
-    std::atomic<size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::mutex mu;
-    std::condition_variable done;
-    size_t active_helpers = 0;
-    std::exception_ptr error;
-  } shared;
+  MorselShared shared;
 
   auto run_loop = [&](size_t slot) {
     for (;;) {
@@ -27,7 +38,7 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
       try {
         fn(morsel, slot);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(shared.mu);
+        util::MutexLock lock(shared.mu);
         if (!shared.error) shared.error = std::current_exception();
         shared.failed.store(true, std::memory_order_relaxed);
         return;
@@ -36,14 +47,17 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
   };
 
   const size_t helpers = slots - 1;
-  shared.active_helpers = helpers;
+  {
+    util::MutexLock lock(shared.mu);
+    shared.active_helpers = helpers;
+  }
   for (size_t h = 0; h < helpers; ++h) {
     // Helpers capture the stack frame by reference; the join below keeps it
     // alive until the last helper signalled completion.
     pool.Submit([&shared, &run_loop, h] {
       run_loop(h);
-      std::lock_guard<std::mutex> lock(shared.mu);
-      if (--shared.active_helpers == 0) shared.done.notify_all();
+      util::MutexLock lock(shared.mu);
+      if (--shared.active_helpers == 0) shared.done.NotifyAll();
     });
   }
 
@@ -52,9 +66,13 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
   // *is* a pool worker), so nesting on a shared pool cannot deadlock.
   run_loop(slots - 1);
 
-  std::unique_lock<std::mutex> lock(shared.mu);
-  shared.done.wait(lock, [&shared] { return shared.active_helpers == 0; });
-  if (shared.error) std::rethrow_exception(shared.error);
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(shared.mu);
+    while (shared.active_helpers != 0) shared.done.Wait(shared.mu);
+    error = shared.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace snb::engine::internal

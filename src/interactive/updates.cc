@@ -45,7 +45,7 @@ void ApplyUpdate(storage::Graph& graph, const UpdateEvent& event) {
       return;
     }
   }
-  SNB_CHECK(false);
+  SNB_UNREACHABLE();
 }
 
 }  // namespace snb::interactive

@@ -1,11 +1,12 @@
 #include "sched/scheduler.h"
 
 #include <chrono>
-#include <functional>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace snb::sched {
@@ -18,80 +19,90 @@ double MsSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// Mutable per-stream scheduling state. The stream's op list is immutable;
-/// `next` and `in_flight` are only touched under the scheduler mutex.
-struct StreamState {
-  explicit StreamState(QueryStream s) : stream(std::move(s)) {
-    result.stream_id = stream.stream_id();
-    result.outcomes.resize(stream.ops().size());
-  }
-
-  QueryStream stream;
+/// Mutable per-stream scheduling state: the admission cursor, the in-flight
+/// count and the accumulating result. Every field is touched only under the
+/// scheduler mutex (annotated on StreamScheduler::progress_); the stream's
+/// immutable op list lives separately in StreamScheduler::streams_ so that
+/// workers can read ops without locking.
+struct StreamProgress {
   size_t next = 0;       // next op index to admit
   size_t in_flight = 0;  // ops currently executing
   StreamResult result;
 };
 
-}  // namespace
-
-ScheduleResult RunStreams(const storage::Graph& graph,
-                          const params::WorkloadParameters& params,
-                          const SchedulerConfig& config) {
-  SNB_CHECK(config.num_streams > 0);
-  SNB_CHECK(config.max_in_flight_per_stream > 0);
-
-  const size_t workers =
-      config.num_workers > 0
-          ? config.num_workers
-          : std::max<size_t>(1, std::thread::hardware_concurrency());
-
-  std::vector<StreamState> states;
-  states.reserve(config.num_streams);
-  for (size_t s = 0; s < config.num_streams; ++s) {
-    states.emplace_back(
-        QueryStream(s, params, config.bindings_per_query, config.seed));
+/// One throughput/power run. The graph is shared read-only; `mu_` guards the
+/// admission state, and clang's thread-safety analysis verifies that every
+/// access to `progress_` holds it.
+class StreamScheduler {
+ public:
+  StreamScheduler(const storage::Graph& graph,
+                  const params::WorkloadParameters& params,
+                  const SchedulerConfig& config)
+      : graph_(graph), params_(params), config_(config) {
+    SNB_CHECK(config.num_streams > 0);
+    SNB_CHECK(config.max_in_flight_per_stream > 0);
+    workers_ = config.num_workers > 0
+                   ? config.num_workers
+                   : std::max<size_t>(1, std::thread::hardware_concurrency());
+    streams_.reserve(config.num_streams);
+    progress_.resize(config.num_streams);
+    for (size_t s = 0; s < config.num_streams; ++s) {
+      streams_.emplace_back(
+          QueryStream(s, params, config.bindings_per_query, config.seed));
+      progress_[s].result.stream_id = s;
+      progress_[s].result.outcomes.resize(streams_[s].ops().size());
+    }
   }
 
-  util::ThreadPool pool(workers);
-  // Power runs (one stream, several workers) parallelize *within* the one
-  // running query: the executing worker participates in the morsel loop and
-  // the remaining workers serve as helpers. Throughput runs keep
-  // streams-only parallelism — every worker runs a whole query.
-  util::ThreadPool* intra_pool =
-      (config.intra_query_parallelism && config.num_streams == 1 &&
-       workers > 1)
-          ? &pool
-          : nullptr;
-  std::mutex mu;
-  const Clock::time_point t0 = Clock::now();
+  ScheduleResult Run() {
+    util::ThreadPool pool(workers_);
+    // Power runs (one stream, several workers) parallelize *within* the one
+    // running query: the executing worker participates in the morsel loop
+    // and the remaining workers serve as helpers. Throughput runs keep
+    // streams-only parallelism — every worker runs a whole query.
+    intra_pool_ = (config_.intra_query_parallelism &&
+                   config_.num_streams == 1 && workers_ > 1)
+                      ? &pool
+                      : nullptr;
+    t0_ = Clock::now();
+    {
+      util::MutexLock lock(mu_);
+      for (size_t s = 0; s < streams_.size(); ++s) Admit(s, pool);
+    }
+    pool.Wait();
+    return Collect();
+  }
 
-  // run_one executes an admitted op on a pool worker; admit (called under
-  // `mu`) tops a stream up to its in-flight bound. A finishing op re-admits
-  // its own stream, so each stream advances as a chain of at most
-  // max_in_flight_per_stream concurrent links.
-  std::function<void(size_t, size_t)> run_one;
-  auto admit = [&](size_t s) {
-    StreamState& st = states[s];
-    while (st.in_flight < config.max_in_flight_per_stream &&
-           st.next < st.stream.ops().size()) {
+ private:
+  /// Tops stream `s` up to its in-flight bound. A finishing op re-admits its
+  /// own stream, so each stream advances as a chain of at most
+  /// max_in_flight_per_stream concurrent links.
+  void Admit(size_t s, util::ThreadPool& pool) SNB_REQUIRES(mu_) {
+    StreamProgress& st = progress_[s];
+    while (st.in_flight < config_.max_in_flight_per_stream &&
+           st.next < streams_[s].ops().size()) {
       size_t index = st.next++;
       ++st.in_flight;
-      pool.Submit([&run_one, s, index] { run_one(s, index); });
+      pool.Submit([this, &pool, s, index] { RunOne(pool, s, index); });
     }
-  };
+  }
 
-  run_one = [&](size_t s, size_t index) {
-    const StreamOp op = states[s].stream.ops()[index];
+  /// Executes one admitted op on a pool worker, then records the outcome and
+  /// re-admits under the lock.
+  void RunOne(util::ThreadPool& pool, size_t s, size_t index)
+      SNB_EXCLUDES(mu_) {
+    const StreamOp op = streams_[s].ops()[index];
     bi::CancelToken token;
-    if (config.query_deadline_ms > 0) {
-      token.SetDeadlineAfterMs(config.query_deadline_ms);
+    if (config_.query_deadline_ms > 0) {
+      token.SetDeadlineAfterMs(config_.query_deadline_ms);
     }
-    const double start_ms = MsSince(t0);
-    OpOutcome outcome = ExecuteStreamOp(graph, params, op, &token, intra_pool);
-    outcome.latency_ms = MsSince(t0) - start_ms;
+    const double start_ms = MsSince(t0_);
+    OpOutcome outcome =
+        ExecuteStreamOp(graph_, params_, op, &token, intra_pool_);
+    outcome.latency_ms = MsSince(t0_) - start_ms;
 
-    std::lock_guard<std::mutex> lock(mu);
-    StreamState& st = states[s];
+    util::MutexLock lock(mu_);
+    StreamProgress& st = progress_[s];
     if (outcome.cancelled) {
       ++st.result.cancelled;
     } else {
@@ -100,30 +111,51 @@ ScheduleResult RunStreams(const storage::Graph& graph,
     }
     st.result.outcomes[index] = outcome;
     --st.in_flight;
-    admit(s);
-  };
-
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    for (size_t s = 0; s < states.size(); ++s) admit(s);
+    Admit(s, pool);
   }
-  pool.Wait();
 
-  ScheduleResult result;
-  result.wall_seconds = MsSince(t0) / 1000.0;
-  result.workers_used = workers;
-  result.streams.reserve(states.size());
-  for (StreamState& st : states) {
-    result.total_completed += st.result.completed;
-    result.total_cancelled += st.result.cancelled;
-    for (const OpOutcome& o : st.result.outcomes) {
-      if (!o.cancelled) {
-        result.per_query[StreamOpName(o.op)].Record(o.latency_ms);
+  /// Merges the per-stream accounting; runs after pool.Wait(), when no
+  /// worker can touch progress_ anymore (the lock is still taken so the
+  /// analysis can prove the access).
+  ScheduleResult Collect() SNB_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    ScheduleResult result;
+    result.wall_seconds = MsSince(t0_) / 1000.0;
+    result.workers_used = workers_;
+    result.streams.reserve(progress_.size());
+    for (StreamProgress& st : progress_) {
+      result.total_completed += st.result.completed;
+      result.total_cancelled += st.result.cancelled;
+      for (const OpOutcome& o : st.result.outcomes) {
+        if (!o.cancelled) {
+          result.per_query[StreamOpName(o.op)].Record(o.latency_ms);
+        }
       }
+      result.streams.push_back(std::move(st.result));
     }
-    result.streams.push_back(std::move(st.result));
+    return result;
   }
-  return result;
+
+  const storage::Graph& graph_;
+  const params::WorkloadParameters& params_;
+  const SchedulerConfig& config_;
+  size_t workers_ = 0;
+  util::ThreadPool* intra_pool_ = nullptr;  // set once before workers start
+  Clock::time_point t0_;
+
+  /// Immutable after construction; read by workers without the lock.
+  std::vector<QueryStream> streams_;
+
+  util::Mutex mu_;
+  std::vector<StreamProgress> progress_ SNB_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+ScheduleResult RunStreams(const storage::Graph& graph,
+                          const params::WorkloadParameters& params,
+                          const SchedulerConfig& config) {
+  return StreamScheduler(graph, params, config).Run();
 }
 
 }  // namespace snb::sched

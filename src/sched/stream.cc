@@ -106,7 +106,7 @@ size_t BindingCount(const params::WorkloadParameters& params, int query) {
     case 23: return params.bi23.size();
     case 24: return params.bi24.size();
     case 25: return params.bi25.size();
-    default: SNB_CHECK(false); return 0;
+    default: SNB_UNREACHABLE();
   }
 }
 
@@ -309,7 +309,7 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                          });
         break;
       default:
-        SNB_CHECK(false);
+        SNB_UNREACHABLE();
     }
   } catch (const bi::QueryCancelled&) {
     out = OpOutcome{};

@@ -32,7 +32,10 @@ class AdjacencyList {
   AdjacencyList() = default;
 
   /// Builds the CSR base from an edge list (consumed). `with_dates` controls
-  /// whether the payload array is materialized.
+  /// whether the payload array is materialized. Each node's base span comes
+  /// out sorted by (target, date) regardless of input order — a store
+  /// invariant the validator checks (`adjacency-sorted`), and what makes
+  /// Base() spans binary-searchable.
   void Build(size_t num_nodes, std::vector<EdgeInput> edges, bool with_dates);
 
   size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
@@ -105,6 +108,8 @@ class AdjacencyList {
   }
 
  private:
+  friend struct TestAccess;  // corruption seeding in tests (test_access.h)
+
   std::vector<uint64_t> offsets_;   // size num_nodes + 1
   std::vector<uint32_t> targets_;
   std::vector<core::DateTime> dates_;  // parallel to targets_, may be empty
@@ -119,6 +124,15 @@ inline void AdjacencyList::Build(size_t num_nodes,
                                  std::vector<EdgeInput> edges,
                                  bool with_dates) {
   with_dates_ = with_dates;
+  // Establish the sorted-base invariant: the counting fill below preserves
+  // input order within each node, so sorting the whole edge list by
+  // (src, dst, date) leaves every base span sorted by (dst, date).
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeInput& a, const EdgeInput& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.date < b.date;
+            });
   offsets_.assign(num_nodes + 1, 0);
   for (const EdgeInput& e : edges) {
     SNB_CHECK_LT(e.src, num_nodes);

@@ -37,9 +37,10 @@ class Graph {
   /// Builds all indexes from a raw network (consumed).
   explicit Graph(core::SocialNetwork net);
 
+  // Non-copyable and non-movable: the message index carries a mutex, and
+  // queries hold references into the tables.
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
-  Graph(Graph&&) = default;
 
   // ---- Entity tables ------------------------------------------------------
 
@@ -284,6 +285,8 @@ class Graph {
                 core::DateTime date);                          // IU 8
 
  private:
+  friend struct TestAccess;  // corruption seeding in tests (test_access.h)
+
   static uint32_t Lookup(const std::unordered_map<core::Id, uint32_t>& map,
                          core::Id id) {
     auto it = map.find(id);

@@ -36,6 +36,7 @@ void MessageDateIndex::Build(const std::vector<core::DateTime>& post_dates,
 }
 
 void MessageDateIndex::Append(uint32_t msg, core::DateTime date) {
+  util::MutexLock lock(append_mu_);
   if (tail_refs_.size() % kTailBlock == 0) tail_zones_.emplace_back();
   tail_refs_.push_back(msg);
   tail_dates_.push_back(date);

@@ -12,6 +12,14 @@
 // in roughly chronological order the zone maps prune the tail nearly as well
 // as sorting would.
 //
+// Concurrency: the tail is written only through Append, which serializes
+// writers on `append_mu_` (annotated, so an unlocked write path is a clang
+// compile error). Readers deliberately do NOT take the lock — the store's
+// single-writer / multi-reader discipline has readers either running against
+// a quiesced store or tolerating an in-progress append not yet being
+// visible; those read paths carry SNB_NO_THREAD_SAFETY_ANALYSIS with this
+// contract spelled out at each site.
+//
 // All ranges are [start, end) over DateTime millis; use kMinMessageDate /
 // kMaxMessageDate for open ends.
 
@@ -26,6 +34,8 @@
 #include <vector>
 
 #include "core/date_time.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace snb::storage {
 
@@ -39,18 +49,29 @@ class MessageDateIndex {
   /// Tail entries covered by one zone-map block.
   static constexpr size_t kTailBlock = 256;
 
+  /// Min/max creation date of one tail block (validator introspection).
+  struct Zone {
+    core::DateTime min = kMaxMessageDate;
+    core::DateTime max = kMinMessageDate;
+  };
+
   /// Builds the sorted base from the hot creation-date columns; entry i of
   /// `post_dates` / `comment_dates` indexes post / comment i. Ties sort by
   /// message ref, so the order is a pure function of the data.
   void Build(const std::vector<core::DateTime>& post_dates,
              const std::vector<core::DateTime>& comment_dates);
 
-  /// Appends one message to the unsorted tail (the IU 6/7 path).
-  void Append(uint32_t msg, core::DateTime date);
+  /// Appends one message to the unsorted tail (the IU 6/7 path). Serializes
+  /// concurrent writers; see the class comment for the reader contract.
+  void Append(uint32_t msg, core::DateTime date) SNB_EXCLUDES(append_mu_);
 
   size_t base_size() const { return base_refs_.size(); }
-  size_t tail_size() const { return tail_refs_.size(); }
-  size_t size() const { return base_refs_.size() + tail_refs_.size(); }
+  // Single-writer/multi-reader contract: tail reads are unlocked by design
+  // (readers observe a prefix of the tail; the writer only appends).
+  size_t tail_size() const SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return tail_refs_.size();
+  }
+  size_t size() const { return base_size() + tail_size(); }
 
   /// Positions [first, second) of the sorted base whose creation date lies
   /// in [start, end).
@@ -65,12 +86,30 @@ class MessageDateIndex {
   uint32_t BaseAt(size_t pos) const { return base_refs_[pos]; }
   core::DateTime BaseDateAt(size_t pos) const { return base_dates_[pos]; }
 
+  // ---- Tail introspection (validator / tests / bench report) ---------------
+  // Unlocked under the same single-writer/multi-reader contract as the scan
+  // paths below.
+
+  uint32_t TailAt(size_t pos) const SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return tail_refs_[pos];
+  }
+  core::DateTime TailDateAt(size_t pos) const SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return tail_dates_[pos];
+  }
+  size_t NumTailBlocks() const SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return tail_zones_.size();
+  }
+  Zone TailZoneAt(size_t block) const SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return tail_zones_[block];
+  }
+
   /// Visits every tail message with creation date in [start, end): blocks
   /// whose zone map misses the window are skipped whole; survivors are
   /// filtered per entry.
+  // Single-writer/multi-reader contract: unlocked tail scan by design.
   template <typename F>
   void ForEachTailInRange(core::DateTime start, core::DateTime end,
-                          F&& f) const {
+                          F&& f) const SNB_NO_THREAD_SAFETY_ANALYSIS {
     for (size_t b = 0; b < tail_zones_.size(); ++b) {
       const Zone& z = tail_zones_[b];
       if (z.max < start || z.min >= end) continue;
@@ -86,7 +125,9 @@ class MessageDateIndex {
   /// every entry of each tail block whose zone map overlaps the window. The
   /// pruning tests and bench report compare this against the full message
   /// count.
-  size_t CandidatesInRange(core::DateTime start, core::DateTime end) const {
+  // Single-writer/multi-reader contract: unlocked tail scan by design.
+  size_t CandidatesInRange(core::DateTime start, core::DateTime end) const
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
     auto [lo, hi] = BaseRange(start, end);
     size_t n = hi - lo;
     for (size_t b = 0; b < tail_zones_.size(); ++b) {
@@ -99,19 +140,19 @@ class MessageDateIndex {
   }
 
  private:
-  struct Zone {
-    core::DateTime min = kMaxMessageDate;
-    core::DateTime max = kMinMessageDate;
-  };
+  friend struct TestAccess;  // corruption seeding in tests (test_access.h)
 
-  // Base: refs sorted by (date, ref) with the parallel date column.
+  // Base: refs sorted by (date, ref) with the parallel date column. Written
+  // only by Build (before the store is shared).
   std::vector<uint32_t> base_refs_;
   std::vector<core::DateTime> base_dates_;
 
-  // Tail: arrival order plus per-kTailBlock zone maps.
-  std::vector<uint32_t> tail_refs_;
-  std::vector<core::DateTime> tail_dates_;
-  std::vector<Zone> tail_zones_;
+  // Tail: arrival order plus per-kTailBlock zone maps. Guarded against
+  // concurrent *writers*; readers are lock-free per the class contract.
+  util::Mutex append_mu_;
+  std::vector<uint32_t> tail_refs_ SNB_GUARDED_BY(append_mu_);
+  std::vector<core::DateTime> tail_dates_ SNB_GUARDED_BY(append_mu_);
+  std::vector<Zone> tail_zones_ SNB_GUARDED_BY(append_mu_);
 };
 
 }  // namespace snb::storage

@@ -1,0 +1,80 @@
+// Test-only backdoor into the storage layer.
+//
+// The validator tests (tests/validate_test.cc) need to *corrupt* a loaded
+// graph — dangle an edge, unsort an adjacency span, tamper a zone map — and
+// assert that the right invariant catches it. The store's public API
+// deliberately cannot express such states, so this header hands tests
+// mutable references into the private representation. Production code must
+// never include it; scripts/lint.sh enforces that it is only included from
+// tests/.
+
+#ifndef SNB_STORAGE_TEST_ACCESS_H_
+#define SNB_STORAGE_TEST_ACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/adjacency.h"
+#include "storage/graph.h"
+#include "storage/message_index.h"
+#include "util/thread_annotations.h"
+
+namespace snb::storage {
+
+struct TestAccess {
+  // ---- Graph tables ---------------------------------------------------------
+
+  static std::vector<core::Person>& Persons(Graph& g) { return g.persons_; }
+  static std::vector<uint8_t>& PersonIsFemale(Graph& g) {
+    return g.person_is_female_;
+  }
+  static std::vector<uint32_t>& PostCreator(Graph& g) {
+    return g.post_creator_;
+  }
+  static std::vector<uint32_t>& CommentCreator(Graph& g) {
+    return g.comment_creator_;
+  }
+  static AdjacencyList& Knows(Graph& g) { return g.knows_; }
+  static AdjacencyList& PersonPosts(Graph& g) { return g.person_posts_; }
+  static AdjacencyList& ForumMembers(Graph& g) { return g.forum_members_; }
+  static MessageDateIndex& MessageIndex(Graph& g) { return g.message_index_; }
+
+  // ---- Adjacency representation --------------------------------------------
+
+  static std::vector<uint32_t>& Targets(AdjacencyList& a) {
+    return a.targets_;
+  }
+  static std::vector<core::DateTime>& Dates(AdjacencyList& a) {
+    return a.dates_;
+  }
+  static std::vector<std::vector<uint32_t>>& Extra(AdjacencyList& a) {
+    return a.extra_;
+  }
+
+  // ---- Message index representation ----------------------------------------
+  // Tests run single-threaded against a quiesced store, so reaching past the
+  // writer mutex is safe here and only here.
+
+  static std::vector<uint32_t>& BaseRefs(MessageDateIndex& idx) {
+    return idx.base_refs_;
+  }
+  static std::vector<core::DateTime>& BaseDates(MessageDateIndex& idx) {
+    return idx.base_dates_;
+  }
+  static std::vector<uint32_t>& TailRefs(MessageDateIndex& idx)
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return idx.tail_refs_;
+  }
+  static std::vector<core::DateTime>& TailDates(MessageDateIndex& idx)
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return idx.tail_dates_;
+  }
+  static std::vector<MessageDateIndex::Zone>& TailZones(MessageDateIndex& idx)
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return idx.tail_zones_;
+  }
+};
+
+}  // namespace snb::storage
+
+#endif  // SNB_STORAGE_TEST_ACCESS_H_

@@ -1,8 +1,10 @@
 // Lightweight invariant-checking macros (CHECK-style, Google conventions).
 //
 // The snb library does not use exceptions: unrecoverable invariant violations
-// abort the process with a diagnostic, recoverable I/O failures travel through
-// snb::util::Status (see status.h).
+// abort the process with a file:line diagnostic, recoverable I/O failures
+// travel through snb::util::Status (see status.h). These macros are the ONE
+// sanctioned way to abort — scripts/lint.sh rejects raw assert()/abort()
+// outside this header so every invariant failure reports the same way.
 
 #ifndef SNB_UTIL_CHECK_H_
 #define SNB_UTIL_CHECK_H_
@@ -13,8 +15,14 @@
 namespace snb::util {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr) {
-  std::fprintf(stderr, "SNB_CHECK failed at %s:%d: %s\n", file, line, expr);
+                                     const char* expr,
+                                     const char* message = nullptr) {
+  if (message != nullptr) {
+    std::fprintf(stderr, "SNB_CHECK failed at %s:%d: %s — %s\n", file, line,
+                 expr, message);
+  } else {
+    std::fprintf(stderr, "SNB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  }
   std::fflush(stderr);
   std::abort();
 }
@@ -31,12 +39,41 @@ namespace snb::util {
     }                                                        \
   } while (0)
 
+/// SNB_CHECK with an explanatory message (a const char* or std::string
+/// c_str(); evaluated only on failure).
+#define SNB_CHECK_MSG(cond, msg)                                \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::snb::util::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                           \
+  } while (0)
+
 #define SNB_CHECK_EQ(a, b) SNB_CHECK((a) == (b))
 #define SNB_CHECK_NE(a, b) SNB_CHECK((a) != (b))
 #define SNB_CHECK_LT(a, b) SNB_CHECK((a) < (b))
 #define SNB_CHECK_LE(a, b) SNB_CHECK((a) <= (b))
 #define SNB_CHECK_GT(a, b) SNB_CHECK((a) > (b))
 #define SNB_CHECK_GE(a, b) SNB_CHECK((a) >= (b))
+
+/// Aborts when a util::Status (or StatusOr's status()) is not ok, printing
+/// its ToString(). For tools and benches where an I/O failure is fatal.
+#define SNB_CHECK_OK(status_expr)                            \
+  do {                                                       \
+    const auto& snb_check_ok_status = (status_expr);         \
+    if (!snb_check_ok_status.ok()) {                         \
+      ::snb::util::CheckFailed(                              \
+          __FILE__, __LINE__, #status_expr,                  \
+          snb_check_ok_status.ToString().c_str());           \
+    }                                                        \
+  } while (0)
+
+/// Marks a branch the program logic rules out (e.g. an exhaustive switch's
+/// default). Replaces the old `SNB_CHECK(false)` idiom with a diagnostic
+/// that says what it means.
+#define SNB_UNREACHABLE()                                             \
+  ::snb::util::CheckFailed(__FILE__, __LINE__, "unreachable branch",  \
+                           "control flow reached code ruled out by "  \
+                           "construction")
 
 /// Checks that are only active in debug builds (hot loops).
 #ifdef NDEBUG

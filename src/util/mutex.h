@@ -1,0 +1,91 @@
+// Capability-annotated synchronization primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable that carry the
+// clang thread-safety attributes (util/thread_annotations.h). libstdc++'s
+// std::mutex has no capability annotations, so locking it directly is
+// invisible to -Wthread-safety; routing every lock through these wrappers is
+// what makes SNB_GUARDED_BY members actually checkable. scripts/lint.sh
+// enforces that raw std::mutex does not appear outside this header.
+//
+// Usage pattern:
+//
+//   util::Mutex mu_;
+//   size_t in_flight_ SNB_GUARDED_BY(mu_) = 0;
+//
+//   void Tick() {
+//     util::MutexLock lock(mu_);
+//     ++in_flight_;                 // OK: lock held
+//   }
+//
+// Condition waits take the Mutex directly (CondVar::Wait requires it held)
+// and use explicit while-loops rather than predicate lambdas: clang's
+// analysis does not propagate capabilities into lambda bodies, so a
+// predicate closure reading guarded members would trip -Werror.
+
+#ifndef SNB_UTIL_MUTEX_H_
+#define SNB_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace snb::util {
+
+class CondVar;
+
+/// An exclusive capability. Prefer MutexLock over manual Lock/Unlock pairs.
+class SNB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SNB_ACQUIRE() { mu_.lock(); }
+  void Unlock() SNB_RELEASE() { mu_.unlock(); }
+  bool TryLock() SNB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock guard for Mutex (the annotated analogue of std::lock_guard).
+class SNB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SNB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SNB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Wait atomically releases the mutex,
+/// blocks, and reacquires before returning — so from the analysis' point of
+/// view the capability is held across the call, which is exactly the
+/// contract the caller's while-loop relies on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) SNB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the re-acquired mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_MUTEX_H_

@@ -16,33 +16,33 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.Wait(mu_);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -52,9 +52,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

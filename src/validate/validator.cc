@@ -1,0 +1,380 @@
+#include "validate/validator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "storage/consistency.h"
+
+namespace snb::validate {
+
+namespace {
+
+using storage::AdjacencyList;
+using storage::Graph;
+using storage::MessageDateIndex;
+
+/// Accumulates violations with a per-invariant cap so a corrupted bulk load
+/// cannot balloon the report.
+class Recorder {
+ public:
+  Recorder(ValidationReport& report, size_t cap)
+      : report_(report), cap_(cap) {}
+
+  void BeginInvariant(const std::string& name) {
+    name_ = name;
+    recorded_ = 0;
+    ++report_.invariants_checked;
+  }
+
+  void Add(const std::string& detail) {
+    if (recorded_ < cap_) {
+      report_.violations.push_back({name_, detail});
+    } else {
+      ++report_.suppressed;
+    }
+    ++recorded_;
+  }
+
+  template <typename... Args>
+  void Addf(Args&&... args) {
+    if (recorded_ >= cap_) {  // cheap path: don't format suppressed entries
+      ++report_.suppressed;
+      ++recorded_;
+      return;
+    }
+    std::ostringstream os;
+    (os << ... << args);
+    Add(os.str());
+  }
+
+ private:
+  ValidationReport& report_;
+  size_t cap_;
+  std::string name_;
+  size_t recorded_ = 0;
+};
+
+/// One relation under test: the list plus its target-domain size and, for
+/// relations whose targets are message references, a flag switching target
+/// validation to the post/comment split domain.
+struct Relation {
+  const char* name;
+  const AdjacencyList* adj;
+  size_t expected_nodes;  // source-domain size
+  size_t target_domain;   // ignored when targets_are_messages
+  bool targets_are_messages = false;
+};
+
+std::vector<Relation> AllRelations(const Graph& g) {
+  const size_t p = g.NumPersons(), f = g.NumForums(), po = g.NumPosts(),
+               c = g.NumComments(), t = g.NumTags(), tc = g.NumTagClasses(),
+               pl = g.NumPlaces();
+  return {
+      {"knows", &g.Knows(), p, p},
+      {"person-posts", &g.PersonPosts(), p, po},
+      {"person-comments", &g.PersonComments(), p, c},
+      {"person-likes", &g.PersonLikes(), p, 0, /*messages=*/true},
+      {"post-likers", &g.PostLikers(), po, p},
+      {"comment-likers", &g.CommentLikers(), c, p},
+      {"forum-members", &g.ForumMembers(), f, p},
+      {"person-forums", &g.PersonForums(), p, f},
+      {"forum-posts", &g.ForumPosts(), f, po},
+      {"person-moderates", &g.PersonModerates(), p, f},
+      {"post-replies", &g.PostReplies(), po, c},
+      {"comment-replies", &g.CommentReplies(), c, c},
+      {"post-tags", &g.PostTags(), po, t},
+      {"comment-tags", &g.CommentTags(), c, t},
+      {"forum-tags", &g.ForumTags(), f, t},
+      {"person-interests", &g.PersonInterests(), p, t},
+      {"tag-posts", &g.TagPosts(), t, po},
+      {"tag-comments", &g.TagComments(), t, c},
+      {"tag-forums", &g.TagForums(), t, f},
+      {"tag-persons", &g.TagPersons(), t, p},
+      {"country-persons", &g.CountryPersons(), pl, p},
+      {"tag-class-children", &g.TagClassChildren(), tc, tc},
+      {"tag-class-tags", &g.TagClassTags(), tc, t},
+  };
+}
+
+bool ValidMessageRef(const Graph& g, uint32_t msg) {
+  return Graph::IsPost(msg) ? msg < g.NumPosts()
+                            : Graph::AsComment(msg) < g.NumComments();
+}
+
+// ---- edge-endpoints ---------------------------------------------------------
+
+void CheckEdgeEndpoints(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("edge-endpoints");
+  for (const Relation& r : AllRelations(g)) {
+    if (r.adj->num_nodes() != r.expected_nodes) {
+      rec.Addf(r.name, ": ", r.adj->num_nodes(), " source nodes, expected ",
+               r.expected_nodes);
+      continue;
+    }
+    for (uint32_t node = 0; node < r.adj->num_nodes(); ++node) {
+      r.adj->ForEach(node, [&](uint32_t target) {
+        const bool ok = r.targets_are_messages
+                            ? ValidMessageRef(g, target)
+                            : target < r.target_domain;
+        if (!ok) {
+          rec.Addf(r.name, ": node ", node, " -> dangling target ", target,
+                   r.targets_are_messages
+                       ? " (invalid message ref)"
+                       : "");
+        }
+      });
+    }
+  }
+}
+
+// ---- message-author ---------------------------------------------------------
+
+void CheckMessageAuthor(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("message-author");
+  for (uint32_t i = 0; i < g.NumPosts(); ++i) {
+    if (g.PostCreator(i) >= g.NumPersons()) {
+      rec.Addf("post ", i, ": creator ", g.PostCreator(i), " >= ",
+               g.NumPersons(), " persons");
+    }
+    if (g.PostForum(i) >= g.NumForums()) {
+      rec.Addf("post ", i, ": container forum ", g.PostForum(i), " >= ",
+               g.NumForums(), " forums");
+    }
+  }
+  for (uint32_t i = 0; i < g.NumComments(); ++i) {
+    if (g.CommentCreator(i) >= g.NumPersons()) {
+      rec.Addf("comment ", i, ": creator ", g.CommentCreator(i), " >= ",
+               g.NumPersons(), " persons");
+    }
+    if (!ValidMessageRef(g, g.CommentReplyOf(i))) {
+      rec.Addf("comment ", i, ": replyOf is an invalid message ref");
+    }
+    if (g.CommentRootPost(i) >= g.NumPosts()) {
+      rec.Addf("comment ", i, ": root post ", g.CommentRootPost(i), " >= ",
+               g.NumPosts(), " posts");
+    }
+  }
+}
+
+// ---- adjacency-sorted / adjacency-dedup -------------------------------------
+
+void CheckAdjacencyOrder(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("adjacency-sorted");
+  for (const Relation& r : AllRelations(g)) {
+    const size_t nodes = std::min<size_t>(r.adj->num_nodes(),
+                                          r.expected_nodes);
+    for (uint32_t node = 0; node < nodes; ++node) {
+      auto base = r.adj->Base(node);
+      for (size_t k = 1; k < base.size(); ++k) {
+        if (base[k - 1] > base[k]) {
+          rec.Addf(r.name, ": node ", node, " base span unsorted at offset ",
+                   k, " (", base[k - 1], " > ", base[k], ")");
+          break;  // one finding per span is enough
+        }
+      }
+    }
+  }
+}
+
+void CheckAdjacencyDedup(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("adjacency-dedup");
+  for (const Relation& r : AllRelations(g)) {
+    const size_t nodes = std::min<size_t>(r.adj->num_nodes(),
+                                          r.expected_nodes);
+    for (uint32_t node = 0; node < nodes; ++node) {
+      // Merged list (base + overflow): every relation is semantically a set.
+      std::vector<uint32_t> all = r.adj->Collect(node);
+      std::sort(all.begin(), all.end());
+      auto dup = std::adjacent_find(all.begin(), all.end());
+      if (dup != all.end()) {
+        rec.Addf(r.name, ": node ", node, " lists neighbour ", *dup,
+                 " more than once");
+      }
+    }
+  }
+}
+
+// ---- message-index-order / zone-map-coverage --------------------------------
+
+void CheckMessageIndex(const Graph& g, Recorder& rec) {
+  const MessageDateIndex& idx = g.MessageIndex();
+
+  rec.BeginInvariant("message-index-order");
+  if (idx.size() != g.NumMessages()) {
+    rec.Addf("index holds ", idx.size(), " entries but the store has ",
+             g.NumMessages(), " messages");
+  }
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(idx.size());
+  for (size_t i = 0; i < idx.base_size(); ++i) {
+    const uint32_t msg = idx.BaseAt(i);
+    if (!ValidMessageRef(g, msg)) {
+      rec.Addf("base[", i, "]: invalid message ref");
+      continue;
+    }
+    if (!seen.insert(msg).second) {
+      rec.Addf("base[", i, "]: message indexed twice");
+    }
+    if (idx.BaseDateAt(i) != g.MessageCreationDate(msg)) {
+      rec.Addf("base[", i, "]: cached date ", idx.BaseDateAt(i),
+               " != message creationDate ", g.MessageCreationDate(msg));
+    }
+    if (i > 0) {
+      const auto prev = std::make_pair(idx.BaseDateAt(i - 1), idx.BaseAt(i - 1));
+      const auto cur = std::make_pair(idx.BaseDateAt(i), msg);
+      if (!(prev < cur)) {
+        rec.Addf("base[", i, "]: (date, ref) order violated: (", prev.first,
+                 ", ", prev.second, ") !< (", cur.first, ", ", cur.second,
+                 ")");
+      }
+    }
+  }
+  for (size_t i = 0; i < idx.tail_size(); ++i) {
+    const uint32_t msg = idx.TailAt(i);
+    if (!ValidMessageRef(g, msg)) {
+      rec.Addf("tail[", i, "]: invalid message ref");
+      continue;
+    }
+    if (!seen.insert(msg).second) {
+      rec.Addf("tail[", i, "]: message indexed twice");
+    }
+    if (idx.TailDateAt(i) != g.MessageCreationDate(msg)) {
+      rec.Addf("tail[", i, "]: cached date ", idx.TailDateAt(i),
+               " != message creationDate ", g.MessageCreationDate(msg));
+    }
+  }
+
+  rec.BeginInvariant("zone-map-coverage");
+  const size_t want_blocks =
+      (idx.tail_size() + MessageDateIndex::kTailBlock - 1) /
+      MessageDateIndex::kTailBlock;
+  if (idx.NumTailBlocks() != want_blocks) {
+    rec.Addf("tail of ", idx.tail_size(), " entries has ",
+             idx.NumTailBlocks(), " zone blocks, expected ", want_blocks);
+    return;  // block geometry is broken; per-block checks would misreport
+  }
+  for (size_t b = 0; b < idx.NumTailBlocks(); ++b) {
+    const MessageDateIndex::Zone z = idx.TailZoneAt(b);
+    const size_t lo = b * MessageDateIndex::kTailBlock;
+    const size_t hi = std::min(lo + MessageDateIndex::kTailBlock,
+                               idx.tail_size());
+    for (size_t i = lo; i < hi; ++i) {
+      const core::DateTime d = idx.TailDateAt(i);
+      if (d < z.min || d > z.max) {
+        rec.Addf("tail block ", b, ": entry ", i, " date ", d,
+                 " outside zone [", z.min, ", ", z.max,
+                 "] — range scans would skip it");
+        break;
+      }
+    }
+  }
+}
+
+// ---- hot-column-gender ------------------------------------------------------
+
+void CheckHotColumnGender(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("hot-column-gender");
+  for (uint32_t p = 0; p < g.NumPersons(); ++p) {
+    const bool from_string = g.PersonAt(p).gender == "female";
+    if (g.PersonIsFemale(p) != from_string) {
+      rec.Addf("person ", p, ": hot column says ",
+               g.PersonIsFemale(p) ? "female" : "not female",
+               " but Person::gender is \"", g.PersonAt(p).gender, "\"");
+    }
+  }
+}
+
+// ---- unique-id --------------------------------------------------------------
+
+template <typename GetId>
+void CheckUniqueIds(Recorder& rec, const char* table, size_t n, GetId&& id) {
+  std::unordered_set<core::Id> seen;
+  seen.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!seen.insert(id(i)).second) {
+      rec.Addf(table, " ", i, ": duplicate external id ", id(i));
+    }
+  }
+}
+
+void CheckUniqueId(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("unique-id");
+  CheckUniqueIds(rec, "person", g.NumPersons(),
+                 [&](uint32_t i) { return g.PersonAt(i).id; });
+  CheckUniqueIds(rec, "forum", g.NumForums(),
+                 [&](uint32_t i) { return g.ForumAt(i).id; });
+  CheckUniqueIds(rec, "post", g.NumPosts(),
+                 [&](uint32_t i) { return g.PostAt(i).id; });
+  CheckUniqueIds(rec, "comment", g.NumComments(),
+                 [&](uint32_t i) { return g.CommentAt(i).id; });
+  CheckUniqueIds(rec, "tag", g.NumTags(),
+                 [&](uint32_t i) { return g.TagAt(i).id; });
+}
+
+// ---- cardinality ------------------------------------------------------------
+
+void CheckCardinality(const Graph& g, const core::ScaleFactorInfo& sf,
+                      Recorder& rec) {
+  rec.BeginInvariant("cardinality");
+  if (g.NumPersons() != sf.num_persons) {
+    rec.Addf("store has ", g.NumPersons(), " persons but SF", sf.name,
+             " (Table 2.12) fixes ", sf.num_persons);
+  }
+  // The datagen never produces an all-quiet network: every SF row implies
+  // forums and message activity. Catch truncated loads.
+  if (sf.num_persons > 0) {
+    if (g.NumForums() == 0) rec.Add("store has persons but zero forums");
+    if (g.NumMessages() == 0) rec.Add("store has persons but zero messages");
+  }
+}
+
+}  // namespace
+
+size_t ValidationReport::CountFor(const std::string& invariant) const {
+  size_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.invariant == invariant) ++n;
+  }
+  return n;
+}
+
+std::string ValidationReport::ToString() const {
+  if (ok()) return "";
+  std::ostringstream os;
+  os << violations.size() << " invariant violation(s)";
+  if (suppressed > 0) os << " (+" << suppressed << " suppressed)";
+  os << ":\n";
+  for (const Violation& v : violations) {
+    os << "  [" << v.invariant << "] " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+ValidationReport ValidateGraph(const storage::Graph& graph,
+                               const ValidatorOptions& options) {
+  ValidationReport report;
+  Recorder rec(report, options.max_violations_per_invariant);
+
+  CheckEdgeEndpoints(graph, rec);
+  CheckMessageAuthor(graph, rec);
+  CheckAdjacencyOrder(graph, rec);
+  CheckAdjacencyDedup(graph, rec);
+  CheckMessageIndex(graph, rec);
+  CheckHotColumnGender(graph, rec);
+  CheckUniqueId(graph, rec);
+  if (options.expect_sf.has_value()) {
+    CheckCardinality(graph, *options.expect_sf, rec);
+  }
+  if (options.run_store_consistency) {
+    rec.BeginInvariant("store-consistency");
+    for (const std::string& problem : storage::CheckGraphConsistency(graph)) {
+      rec.Add(problem);
+    }
+  }
+  return report;
+}
+
+}  // namespace snb::validate

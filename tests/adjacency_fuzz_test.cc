@@ -1,10 +1,11 @@
-// Property-based fuzz test for AdjacencyList against a reference model
-// (std::multimap): random build + append + node-growth sequences must agree
-// on degrees, contents, order (base before overflow, insertion order within
-// each), and payloads.
+// Property-based fuzz test for AdjacencyList against a reference model:
+// random build + append + node-growth sequences must agree on degrees,
+// contents, order (sorted base by (target, date) before overflow in append
+// order), and payloads.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -15,8 +16,8 @@ namespace snb::storage {
 namespace {
 
 struct ReferenceModel {
-  // node → (target, date) in the adjacency's documented order: build
-  // insertion order within a node, then appends in order.
+  // node → (target, date) in the adjacency's documented order: the base
+  // sorted by (target, date), then appends in arrival order.
   std::vector<std::vector<std::pair<uint32_t, core::DateTime>>> lists;
 
   void EnsureNodes(size_t n) {
@@ -46,10 +47,12 @@ TEST_P(AdjacencyFuzzTest, MatchesReferenceModel) {
     }
     AdjacencyList adj;
     adj.Build(nodes, edges, /*with_dates=*/true);
-    // The CSR build groups by src but keeps input order within one src.
+    // The CSR build sorts every node's base span by (target, date) — the
+    // adjacency-sorted invariant the validator checks.
     for (const EdgeInput& e : edges) {
       model.lists[e.src].emplace_back(e.dst, e.date);
     }
+    for (auto& list : model.lists) std::sort(list.begin(), list.end());
 
     // Mutation phase: interleaved appends and node growth.
     size_t ops = static_cast<size_t>(rng.UniformInt(0, 100));

@@ -9,8 +9,10 @@
 
 #include "datagen/datagen.h"
 #include "datagen/serializer.h"
+#include "storage/graph.h"
 #include "storage/loader.h"
 #include "util/csv.h"
+#include "validate/validator.h"
 
 namespace snb::storage {
 namespace {
@@ -42,6 +44,11 @@ TEST_F(LoaderFailureFixture, LoadsCleanDataset) {
   auto result = LoadCsvBasic(dir_);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result.value().persons.size(), 0u);
+  // A graph built from a cleanly loaded dataset must hold every
+  // representation invariant — the loader is the recovery path.
+  Graph graph(std::move(result.value()));
+  validate::ValidationReport vr = validate::ValidateGraph(graph);
+  EXPECT_TRUE(vr.ok()) << vr.ToString();
 }
 
 TEST_F(LoaderFailureFixture, MissingDirectoryFails) {
@@ -100,6 +107,9 @@ TEST_F(LoaderFailureFixture, HeaderOnlyFilesAreValid) {
   auto result = LoadCsvBasic(dir_);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result.value().likes.empty());
+  Graph graph(std::move(result.value()));
+  validate::ValidationReport vr = validate::ValidateGraph(graph);
+  EXPECT_TRUE(vr.ok()) << vr.ToString();
 }
 
 TEST_F(LoaderFailureFixture, FinalLineWithoutNewlineIsRead) {

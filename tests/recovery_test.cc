@@ -16,6 +16,7 @@
 #include "storage/export.h"
 #include "storage/graph.h"
 #include "storage/loader.h"
+#include "validate/validator.h"
 
 namespace snb::storage {
 namespace {
@@ -37,9 +38,11 @@ TEST(ExportTest, RoundTripPreservesEverything) {
   EXPECT_EQ(exported.memberships.size(), original.memberships.size());
   EXPECT_EQ(exported.NumEdges(), original.NumEdges());
 
-  // The re-built graph is consistent and answers queries identically.
+  // The re-built graph passes every representation invariant and answers
+  // queries identically.
   Graph rebuilt(std::move(exported));
-  EXPECT_TRUE(CheckGraphConsistency(rebuilt).empty());
+  validate::ValidationReport vr = validate::ValidateGraph(rebuilt);
+  EXPECT_TRUE(vr.ok()) << vr.ToString();
   bi::Bi1Params probe{core::DateFromCivil(2013, 1, 1)};
   EXPECT_EQ(bi::RunBi1(rebuilt, probe), bi::RunBi1(graph, probe));
 }
@@ -70,7 +73,10 @@ TEST(RecoveryTest, CheckpointAfterUpdatesSurvivesCrash) {
   auto reloaded_or = LoadCsvBasic(dir);
   ASSERT_TRUE(reloaded_or.ok()) << reloaded_or.status().ToString();
   Graph recovered(std::move(reloaded_or.value()));
-  EXPECT_TRUE(CheckGraphConsistency(recovered).empty());
+  {
+    validate::ValidationReport vr = validate::ValidateGraph(recovered);
+    EXPECT_TRUE(vr.ok()) << vr.ToString();
+  }
 
   // The last committed update is in the recovered database (§6.3's check).
   switch (last.kind) {
@@ -132,6 +138,11 @@ TEST(RecoveryTest, CheckpointAfterUpdatesSurvivesCrash) {
   for (size_t i = half; i < data.updates.size(); ++i) {
     interactive::ApplyUpdate(live, data.updates[i]);
     interactive::ApplyUpdate(recovered, data.updates[i]);
+  }
+  {
+    // Update replay on a recovered store must also preserve the invariants.
+    validate::ValidationReport vr = validate::ValidateGraph(recovered);
+    EXPECT_TRUE(vr.ok()) << vr.ToString();
   }
   bi::Bi1Params probe{core::DateFromCivil(2013, 6, 1)};
   EXPECT_EQ(bi::RunBi1(recovered, probe), bi::RunBi1(live, probe));

@@ -1,0 +1,174 @@
+// Corruption-seeding tests for the graph-invariant validator: each test
+// damages a freshly generated store through storage::TestAccess in exactly
+// one way and asserts that the *right* invariant reports it — the validator
+// is only trustworthy if a dangling edge is caught as edge-endpoints, not as
+// a lucky crash somewhere else.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scale_factors.h"
+#include "datagen/datagen.h"
+#include "storage/graph.h"
+#include "storage/test_access.h"
+#include "validate/validator.h"
+
+namespace snb::validate {
+namespace {
+
+using storage::Graph;
+using storage::TestAccess;
+
+std::unique_ptr<Graph> MakeGraph(uint64_t persons = 50) {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = persons;
+  return std::make_unique<Graph>(
+      std::move(datagen::Generate(cfg).network));
+}
+
+/// Options for corruption tests: skip the store-consistency cross-check,
+/// which may index out of bounds on deliberately dangling references. The
+/// targeted invariants must catch the damage on their own.
+ValidatorOptions Lenient() {
+  ValidatorOptions o;
+  o.run_store_consistency = false;
+  return o;
+}
+
+TEST(ValidateTest, CleanGraphPassesAllInvariants) {
+  auto graph = MakeGraph();
+  ValidatorOptions options;  // store-consistency included
+  options.expect_sf = core::ScaleFactorInfo{"test", 0.0, 50, 0, 0};
+  ValidationReport report = ValidateGraph(*graph, options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.invariants_checked, 10u);
+}
+
+TEST(ValidateTest, DanglingEdgeCaughtByEdgeEndpoints) {
+  auto graph = MakeGraph();
+  TestAccess::Knows(*graph).Append(0, 999999);
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("edge-endpoints")) << report.ToString();
+}
+
+TEST(ValidateTest, UnsortedBaseSpanCaughtByAdjacencySorted) {
+  auto graph = MakeGraph();
+  // Find a node whose base span has two distinct neighbours and swap them.
+  storage::AdjacencyList& knows = TestAccess::Knows(*graph);
+  auto& targets = TestAccess::Targets(knows);
+  bool corrupted = false;
+  for (uint32_t node = 0; node < knows.num_nodes() && !corrupted; ++node) {
+    auto base = knows.Base(node);
+    if (base.size() >= 2 && base[0] != base[1]) {
+      size_t off = base.data() - targets.data();
+      std::swap(targets[off], targets[off + 1]);
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "datagen graph too sparse to seed corruption";
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("adjacency-sorted")) << report.ToString();
+}
+
+TEST(ValidateTest, DuplicateNeighbourCaughtByAdjacencyDedup) {
+  auto graph = MakeGraph();
+  storage::AdjacencyList& knows = TestAccess::Knows(*graph);
+  bool corrupted = false;
+  for (uint32_t node = 0; node < knows.num_nodes() && !corrupted; ++node) {
+    auto base = knows.Base(node);
+    if (!base.empty()) {
+      knows.Append(node, base[0]);  // the overflow now repeats a base edge
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("adjacency-dedup")) << report.ToString();
+}
+
+TEST(ValidateTest, SwappedIndexBaseCaughtByMessageIndexOrder) {
+  auto graph = MakeGraph();
+  auto& refs = TestAccess::BaseRefs(TestAccess::MessageIndex(*graph));
+  ASSERT_GE(refs.size(), 2u);
+  std::swap(refs.front(), refs.back());
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("message-index-order")) << report.ToString();
+}
+
+TEST(ValidateTest, StaleZoneMapCaughtByZoneMapCoverage) {
+  auto graph = MakeGraph();
+  // Route one message through the update path so the index grows a tail…
+  core::Post post = graph->PostAt(0);
+  post.id = 1u << 30;  // unique in the micro id space
+  post.tags.clear();
+  graph->AddPost(post);
+  storage::MessageDateIndex& idx = TestAccess::MessageIndex(*graph);
+  ASSERT_EQ(idx.tail_size(), 1u);
+  // …then shrink its zone map so the entry falls outside [min, max].
+  auto& zones = TestAccess::TailZones(idx);
+  ASSERT_EQ(zones.size(), 1u);
+  zones[0].min = zones[0].max = post.creation_date + 1;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("zone-map-coverage")) << report.ToString();
+}
+
+TEST(ValidateTest, HotColumnFlipCaughtByHotColumnGender) {
+  auto graph = MakeGraph();
+  auto& is_female = TestAccess::PersonIsFemale(*graph);
+  ASSERT_FALSE(is_female.empty());
+  is_female[0] ^= 1;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("hot-column-gender")) << report.ToString();
+}
+
+TEST(ValidateTest, DuplicateExternalIdCaughtByUniqueId) {
+  auto graph = MakeGraph();
+  auto& persons = TestAccess::Persons(*graph);
+  ASSERT_GE(persons.size(), 2u);
+  persons[1].id = persons[0].id;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("unique-id")) << report.ToString();
+}
+
+TEST(ValidateTest, WrongPersonCountCaughtByCardinality) {
+  auto graph = MakeGraph(50);
+  ValidatorOptions options = Lenient();
+  // Claim the store is SF1 (Table 2.12 fixes ~11k persons); it is not.
+  options.expect_sf = core::FindScaleFactor("1");
+  ASSERT_TRUE(options.expect_sf.has_value());
+  ValidationReport report = ValidateGraph(*graph, options);
+  EXPECT_TRUE(report.Has("cardinality")) << report.ToString();
+}
+
+TEST(ValidateTest, DanglingCreatorCaughtByMessageAuthor) {
+  auto graph = MakeGraph();
+  auto& creators = TestAccess::PostCreator(*graph);
+  ASSERT_FALSE(creators.empty());
+  creators[0] = 999999;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("message-author")) << report.ToString();
+}
+
+TEST(ValidateTest, ViolationCapCountsSuppressed) {
+  auto graph = MakeGraph();
+  auto& is_female = TestAccess::PersonIsFemale(*graph);
+  for (auto& v : is_female) v ^= 1;  // every person mismatches
+  ValidatorOptions options = Lenient();
+  options.max_violations_per_invariant = 4;
+  ValidationReport report = ValidateGraph(*graph, options);
+  EXPECT_EQ(report.CountFor("hot-column-gender"), 4u);
+  EXPECT_EQ(report.suppressed, graph->NumPersons() - 4);
+}
+
+TEST(ValidateTest, ReportNamesInvariantPerViolation) {
+  auto graph = MakeGraph();
+  TestAccess::Knows(*graph).Append(0, 999999);
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  ASSERT_FALSE(report.ok());
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("[edge-endpoints]"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace snb::validate
