@@ -1,8 +1,8 @@
 // Morsel-parallel speedup report (CP-1.2 / CP-2.2): times every BI query
 // with a morsel-parallel variant sequentially and on 2/4/8-worker pools,
 // plus the zone-map pruning ratio of a one-month index window, and emits
-// the result as BENCH_parallel.json (written to the working directory and
-// echoed to stdout).
+// the result as bench/out/BENCH_parallel.json (gitignored — compare against
+// the committed baseline bench/BENCH_parallel.json) and echoed to stdout.
 //
 // Speedups are a property of the host: on a single-core container every
 // ratio degenerates to ~1× (the report still records the measured values);
@@ -10,7 +10,8 @@
 // approach the worker count until the merge step dominates.
 //
 //   bench_parallel [--persons=2000] [--activity=0.5] [--reps=3]
-//                  [--bindings=1] [--seed=42] [--out=BENCH_parallel.json]
+//                  [--bindings=1] [--seed=42]
+//                  [--out=bench/out/BENCH_parallel.json]
 
 #include <algorithm>
 #include <chrono>
@@ -18,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <thread>
@@ -43,7 +45,7 @@ struct Options {
   size_t reps = 3;
   size_t bindings = 1;
   uint64_t seed = 42;
-  std::string out = "BENCH_parallel.json";
+  std::string out = "bench/out/BENCH_parallel.json";
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -73,7 +75,7 @@ Options ParseOptions(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_parallel [--persons=2000] [--activity=0.5] "
                    "[--reps=3] [--bindings=1] [--seed=42] "
-                   "[--out=BENCH_parallel.json]\n");
+                   "[--out=bench/out/BENCH_parallel.json]\n");
       std::exit(2);
     }
   }
@@ -212,6 +214,11 @@ int main(int argc, char** argv) {
   emit("}\n");
 
   std::fputs(json.c_str(), stdout);
+  std::filesystem::path out_path(opt.out);
+  if (out_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_path.parent_path(), ec);
+  }
   if (std::FILE* f = std::fopen(opt.out.c_str(), "w")) {
     std::fputs(json.c_str(), f);
     std::fclose(f);

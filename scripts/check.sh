@@ -5,9 +5,11 @@
 #   2. dev build      — -Wall -Wextra -Wshadow -Werror (SNB_DEV=ON) + ctest
 #   3. UBSan          — full ctest under -fsanitize=undefined, no recover
 #   4. TSan           — scheduler + morsel tests under -fsanitize=thread
-#   5. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
+#   5. ASan           — fail-point + crash-recovery tests under
+#                       -fsanitize=address
+#   6. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
 #
-# Stages 1–4 run on any GCC machine; stage 5 needs clang and is skipped
+# Stages 1–5 run on any GCC machine; stage 6 needs clang and is skipped
 # with a notice when it is absent — the matrix must stay useful on the
 # GCC-only tier-1 machines. Run from anywhere; builds land in build*/ at
 # the repo root.
@@ -33,6 +35,15 @@ cmake -B "$repo/build-tsan" -S "$repo" -DSNB_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j --target sched_test parallel_test
 "$repo/build-tsan/tests/sched_test"
 "$repo/build-tsan/tests/parallel_test"
+
+echo "== ASan: crash-recovery loop under -fsanitize=address =="
+# The fail-point crash loop forks, _Exit()s children mid-write and replays
+# torn WALs — exactly the code that hides use-after-free and leaks from a
+# plain build. ASan children keep the instrumentation across fork.
+cmake -B "$repo/build-asan" -S "$repo" -DSNB_SANITIZE=address
+cmake --build "$repo/build-asan" -j --target failpoint_test wal_recovery_test
+"$repo/build-asan/tests/failpoint_test"
+"$repo/build-asan/tests/wal_recovery_test"
 
 echo "== thread-safety: clang -Wthread-safety -Werror=thread-safety =="
 if command -v clang++ >/dev/null 2>&1; then

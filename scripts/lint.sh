@@ -79,6 +79,27 @@ hits=$(match_code '(^|[^_[:alnum:]])assert\(|(^|[^_[:alnum:]])abort\(' \
   $(src_files | grep -v '^src/util/check.h$'))
 if [[ -n "$hits" ]]; then fail "raw assert()/abort() outside src/util/check.h" "$hits"; fi
 
+echo "== lint: fail-point sites live in src/, arming lives in tests/ =="
+# The SNB_FAILPOINT macros mark *sites* in production code; tests inject
+# through the arming API instead, so a site macro in tests/, tools/ or
+# bench/ means fault injection leaked out of the product path.
+hits=$(match_code 'SNB_FAILPOINT' \
+  $(find tools bench tests -name '*.cc' -o -name '*.h' | sort))
+if [[ -n "$hits" ]]; then fail "SNB_FAILPOINT site macro outside src/" "$hits"; fi
+# The converse: production code must never arm a point (a shipped binary
+# that injects its own failures is a latent outage); arming is reserved
+# for tests/ and the SNB_FAILPOINTS env handled inside failpoint.cc.
+hits=$(match_code 'failpoint::(Arm|ArmFromSpecString|Disarm|DisarmAll)\b' \
+  $(src_files | grep -v '^src/util/failpoint\.'))
+if [[ -n "$hits" ]]; then fail "fail-point arming API used outside tests/" "$hits"; fi
+
+echo "== lint: WAL file access is confined to storage/wal.cc =="
+# Every reader and writer of the redo log goes through the Wal/ScanWal API;
+# a second code path that opens wal.log by name could break the framing or
+# the torn-tail truncation invariant without any test noticing.
+hits=$(match_code 'wal\.log' $(src_files | grep -v '^src/storage/wal\.cc$'))
+if [[ -n "$hits" ]]; then fail "wal.log path reference outside src/storage/wal.cc" "$hits"; fi
+
 echo "== lint: test_access.h is test-only =="
 # storage::TestAccess pierces every encapsulation boundary by design; an
 # include from src/, tools/ or bench/ would let shipping code mutate

@@ -108,6 +108,17 @@ std::vector<std::string> UpdateEventFields(const UpdateEvent& event) {
   SNB_UNREACHABLE();
 }
 
+std::string FormatUpdateEventLine(const UpdateEvent& event) {
+  std::string line = std::to_string(event.timestamp) + "|" +
+                     std::to_string(event.dependency) + "|" +
+                     std::to_string(static_cast<int>(event.kind));
+  for (const std::string& field : UpdateEventFields(event)) {
+    line.push_back('|');
+    line.append(field);
+  }
+  return line;
+}
+
 util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,
                                 const std::string& dir) {
   std::error_code ec;
@@ -127,13 +138,7 @@ util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,
   }
 
   for (const UpdateEvent& e : updates) {
-    std::string line = std::to_string(e.timestamp) + "|" +
-                       std::to_string(e.dependency) + "|" +
-                       std::to_string(static_cast<int>(e.kind));
-    for (const std::string& field : UpdateEventFields(e)) {
-      line.push_back('|');
-      line.append(field);
-    }
+    std::string line = FormatUpdateEventLine(e);
     line.push_back('\n');
     std::FILE* target =
         e.kind == UpdateKind::kAddPerson ? person_stream : forum_stream;
@@ -169,13 +174,14 @@ std::vector<core::Id> ParseIds(const std::string& field) {
 
 util::Status ParseDateTimeOr(const std::string& text, core::DateTime* out) {
   if (!core::ParseDateTime(text, out)) {
-    return util::Status::CorruptData("bad datetime in update stream: " + text);
+    return util::Status::Corruption("bad datetime in update stream: " + text);
   }
   return util::Status::Ok();
 }
 
-/// Parses one stream line into an UpdateEvent.
-util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
+}  // namespace
+
+util::Status ParseUpdateEventLine(const std::string& line, UpdateEvent* out) {
   std::vector<std::string> f;
   size_t start = 0;
   while (true) {
@@ -187,21 +193,21 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
     f.push_back(line.substr(start, pos - start));
     start = pos + 1;
   }
-  if (f.size() < 4) return util::Status::CorruptData("short stream line");
+  if (f.size() < 4) return util::Status::Corruption("short stream line");
   out->timestamp = std::strtoll(f[0].c_str(), nullptr, 10);
   out->dependency = std::strtoll(f[1].c_str(), nullptr, 10);
   int op = ParseI32(f[2]);
   auto field = [&](size_t i) -> const std::string& { return f[3 + i]; };
   switch (op) {
     case 1: {
-      if (f.size() != 3 + 14) return util::Status::CorruptData("IU1 width");
+      if (f.size() != 3 + 14) return util::Status::Corruption("IU1 width");
       core::Person p;
       p.id = ParseId(field(0));
       p.first_name = field(1);
       p.last_name = field(2);
       p.gender = field(3);
       if (!core::ParseDate(field(4), &p.birthday)) {
-        return util::Status::CorruptData("bad birthday");
+        return util::Status::Corruption("bad birthday");
       }
       SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(5), &p.creation_date));
       p.location_ip = field(6);
@@ -226,7 +232,7 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
     }
     case 2:
     case 3: {
-      if (f.size() != 3 + 3) return util::Status::CorruptData("IU2/3 width");
+      if (f.size() != 3 + 3) return util::Status::Corruption("IU2/3 width");
       core::Like l;
       l.person = ParseId(field(0));
       l.message = ParseId(field(1));
@@ -238,7 +244,7 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
       return util::Status::Ok();
     }
     case 4: {
-      if (f.size() != 3 + 5) return util::Status::CorruptData("IU4 width");
+      if (f.size() != 3 + 5) return util::Status::Corruption("IU4 width");
       core::Forum forum;
       forum.id = ParseId(field(0));
       forum.title = field(1);
@@ -255,7 +261,7 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
       return util::Status::Ok();
     }
     case 5: {
-      if (f.size() != 3 + 3) return util::Status::CorruptData("IU5 width");
+      if (f.size() != 3 + 3) return util::Status::Corruption("IU5 width");
       core::ForumMembership m;
       m.person = ParseId(field(0));
       m.forum = ParseId(field(1));
@@ -265,7 +271,7 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
       return util::Status::Ok();
     }
     case 6: {
-      if (f.size() != 3 + 12) return util::Status::CorruptData("IU6 width");
+      if (f.size() != 3 + 12) return util::Status::Corruption("IU6 width");
       core::Post p;
       p.id = ParseId(field(0));
       p.image_file = field(1);
@@ -284,7 +290,7 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
       return util::Status::Ok();
     }
     case 7: {
-      if (f.size() != 3 + 11) return util::Status::CorruptData("IU7 width");
+      if (f.size() != 3 + 11) return util::Status::Corruption("IU7 width");
       core::Comment c;
       c.id = ParseId(field(0));
       SNB_RETURN_IF_ERROR(ParseDateTimeOr(field(1), &c.creation_date));
@@ -302,7 +308,7 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
       return util::Status::Ok();
     }
     case 8: {
-      if (f.size() != 3 + 3) return util::Status::CorruptData("IU8 width");
+      if (f.size() != 3 + 3) return util::Status::Corruption("IU8 width");
       core::Knows k;
       k.person1 = ParseId(field(0));
       k.person2 = ParseId(field(1));
@@ -312,9 +318,11 @@ util::Status ParseEventLine(const std::string& line, UpdateEvent* out) {
       return util::Status::Ok();
     }
     default:
-      return util::Status::CorruptData("unknown opId " + f[2]);
+      return util::Status::Corruption("unknown opId " + f[2]);
   }
 }
+
+namespace {
 
 util::Status ReadStreamFile(const std::string& path,
                             std::vector<UpdateEvent>* out) {
@@ -330,7 +338,7 @@ util::Status ReadStreamFile(const std::string& path,
     if (buffer.empty() || buffer.back() != '\n') continue;
     buffer.pop_back();
     UpdateEvent event;
-    status = ParseEventLine(buffer, &event);
+    status = ParseUpdateEventLine(buffer, &event);
     if (!status.ok()) break;
     out->push_back(std::move(event));
     buffer.clear();

@@ -20,6 +20,15 @@ namespace snb::datagen {
 /// leading t|t_d|opId triple).
 std::vector<std::string> UpdateEventFields(const UpdateEvent& event);
 
+/// Formats a whole event as one stream line `t|t_d|opId|fields…` (no
+/// trailing newline). Shared by the update-stream files and the WAL's
+/// record payloads, so both speak the same Table 2.18 dialect.
+std::string FormatUpdateEventLine(const UpdateEvent& event);
+
+/// Parses one stream line; inverse of FormatUpdateEventLine (exact for
+/// generated data, which is millisecond-precise).
+util::Status ParseUpdateEventLine(const std::string& line, UpdateEvent* out);
+
 /// Writes both stream files under `dir`.
 util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,
                                 const std::string& dir);

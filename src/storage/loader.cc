@@ -6,6 +6,7 @@
 
 #include "core/date_time.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 
 namespace snb::storage {
 
@@ -28,14 +29,14 @@ StatusOr<CsvTable> Read(const std::string& dir, const std::string& sub,
 
 Status ParseDateField(const std::string& text, core::Date* out) {
   if (!core::ParseDate(text, out)) {
-    return Status::CorruptData("bad date: " + text);
+    return Status::Corruption("bad date: " + text);
   }
   return Status::Ok();
 }
 
 Status ParseDateTimeField(const std::string& text, core::DateTime* out) {
   if (!core::ParseDateTime(text, out)) {
-    return Status::CorruptData("bad datetime: " + text);
+    return Status::Corruption("bad datetime: " + text);
   }
   return Status::Ok();
 }
@@ -43,6 +44,7 @@ Status ParseDateTimeField(const std::string& text, core::DateTime* out) {
 }  // namespace
 
 StatusOr<SocialNetwork> LoadCsvBasic(const std::string& dir) {
+  SNB_FAILPOINT_STATUS("loader.load_csv");
   SocialNetwork net;
 
 #define SNB_LOAD(var, sub, stem)                  \

@@ -1,0 +1,143 @@
+// Write-ahead log for batched refresh (the BI workload's daily insert
+// microbatches, PAPER.md §5, and the LDBC auditing rule that a system must
+// survive a crash mid-refresh and recover to the last committed batch).
+//
+// The WAL is a redo log: a batch's events and its commit marker are durable
+// *before* the batch is applied to the in-memory store, so recovery =
+// checkpoint + replay of every committed batch. File layout:
+//
+//   ┌──────────┐
+//   │ SNBWAL01 │  8-byte magic
+//   ├──────────┴──────────────────────────────────────────────┐
+//   │ record: u32 payload_len │ u32 crc32c(payload) │ payload │  repeated
+//   └─────────────────────────────────────────────────────────┘
+//
+// payload[0] is the record type; the rest depends on it:
+//   kBatchBegin  (1)  i32 LE day    — first record of a daily batch
+//   kEvent       (2)  update-stream text line (datagen::FormatUpdateEventLine)
+//   kBatchCommit (3)  i32 LE day    — the batch's durability point
+//
+// Torn-tail truncation rule (applied by Scan/Recover): the valid prefix of
+// a WAL ends after the last complete, CRC-clean BatchCommit record. A short
+// header, short payload, CRC mismatch, unknown record type, or a batch
+// whose commit marker never made it to disk all invalidate the tail from
+// the enclosing batch's BatchBegin onward — partially logged batches were
+// never promised to anyone.
+//
+// Only this module touches the WAL file (scripts/lint.sh enforces it);
+// recovery.cc and the refresh driver go through these functions.
+
+#ifndef SNB_STORAGE_WAL_H_
+#define SNB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/date_time.h"
+#include "datagen/datagen.h"
+#include "util/status.h"
+
+namespace snb::storage {
+
+/// When the log forces data to stable storage.
+enum class WalSyncPolicy : uint8_t {
+  kNone = 0,      // never fsync (tests, or callers who checkpoint often)
+  kOnCommit = 1,  // fsync once per BatchCommit — the durability contract
+  kEveryRecord = 2,  // fsync after every record (paranoid / slow)
+};
+
+struct WalOptions {
+  WalSyncPolicy sync = WalSyncPolicy::kOnCommit;
+};
+
+/// Path of the WAL inside a store directory (see recovery.h for the store
+/// layout). Centralised so the lint gate can pin every use to this module.
+std::string WalPath(const std::string& store_dir);
+
+/// Append-only writer. One writer per file; not thread-safe (the refresh
+/// driver is the single writer by construction).
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if absent) the log at `path` for appending. A fresh
+  /// file gets the magic; an existing file must start with it.
+  util::Status Open(const std::string& path, WalOptions options = {});
+
+  /// Starts a new batch covering `day`. Batches must not nest.
+  util::Status BatchBegin(core::Date day);
+
+  /// Appends one event of the open batch.
+  util::Status Append(const datagen::UpdateEvent& event);
+
+  /// Commits the open batch: writes the marker and (per policy) fsyncs.
+  /// After this returns OK the batch is durable and recovery will replay it.
+  util::Status BatchCommit(core::Date day);
+
+  /// Abandons the open batch by truncating the file back to where the
+  /// batch began — the retry path after a mid-batch failure, keeping the
+  /// on-disk prefix equal to "every byte belongs to a committed batch or
+  /// to nothing".
+  util::Status AbortBatch();
+
+  util::Status Sync();
+  util::Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return offset_; }
+
+ private:
+  util::Status WriteRecord(uint8_t type, const void* payload, size_t len);
+
+  int fd_ = -1;
+  std::string path_;
+  WalOptions options_;
+  uint64_t offset_ = 0;        // current end-of-file offset
+  uint64_t batch_start_ = 0;   // offset of the open batch's BatchBegin
+  bool in_batch_ = false;
+  /// Bytes past batch_start_ exist that no commit covers (set on
+  /// BatchBegin entry, cleared by a successful commit or an abort) —
+  /// AbortBatch's truncation predicate, which must also cover a torn
+  /// BatchBegin record itself.
+  bool dirty_ = false;
+};
+
+/// One batch as read back from the log.
+struct WalBatch {
+  core::Date day = 0;
+  std::vector<datagen::UpdateEvent> events;
+};
+
+/// Result of scanning a WAL file.
+struct WalScan {
+  /// Fully committed batches, in log order.
+  std::vector<WalBatch> batches;
+  /// End offset of the valid prefix (byte after the last committed batch).
+  uint64_t valid_bytes = 0;
+  /// Size of the file as scanned; total_bytes - valid_bytes is the tail.
+  uint64_t total_bytes = 0;
+  /// True when bytes past valid_bytes exist (torn tail or uncommitted
+  /// batch); `tail_reason` says what was found there.
+  bool torn_tail = false;
+  std::string tail_reason;
+};
+
+/// Reads committed batches up to the first invalid record (bad CRC, short
+/// record, unknown type, unparseable event, batch protocol violation) —
+/// framing is lost there, so that point becomes the tail. A torn tail is
+/// the normal after-crash state and is reported via `torn_tail`, not as an
+/// error; only an unreadable file or bad magic returns a failure Status.
+util::StatusOr<WalScan> ScanWal(const std::string& path);
+
+/// Truncates the log to `valid_bytes` (from a prior ScanWal). Recovery
+/// calls this so a once-recovered log scans clean forever after.
+util::Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace snb::storage
+
+#endif  // SNB_STORAGE_WAL_H_

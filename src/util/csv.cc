@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace snb::util {
 
@@ -15,6 +16,7 @@ CsvWriter::~CsvWriter() {
 Status CsvWriter::Open(const std::string& path,
                        const std::vector<std::string>& header) {
   SNB_CHECK(file_ == nullptr);
+  SNB_FAILPOINT_STATUS("csv.open");
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
     return Status::IoError("cannot open for writing: " + path);
@@ -50,6 +52,7 @@ void CsvWriter::WriteLine(std::string_view line) {
 
 Status CsvWriter::Close() {
   if (file_ == nullptr) return Status::Ok();
+  SNB_FAILPOINT_STATUS("csv.close");
   int rc = std::fclose(file_);
   file_ = nullptr;
   if (rc != 0) return Status::IoError("fclose failed");
@@ -94,7 +97,7 @@ StatusOr<CsvTable> ReadCsv(const std::string& path) {
         auto row = SplitLine(buffer, '|');
         if (row.size() != table.header.size()) {
           std::fclose(f);
-          return Status::CorruptData("row width mismatch in " + path);
+          return Status::Corruption("row width mismatch in " + path);
         }
         table.rows.push_back(std::move(row));
       }
@@ -109,13 +112,13 @@ StatusOr<CsvTable> ReadCsv(const std::string& path) {
     } else {
       auto row = SplitLine(buffer, '|');
       if (row.size() != table.header.size()) {
-        return Status::CorruptData("row width mismatch in " + path);
+        return Status::Corruption("row width mismatch in " + path);
       }
       table.rows.push_back(std::move(row));
     }
   }
   if (table.header.empty()) {
-    return Status::CorruptData("empty CSV file: " + path);
+    return Status::Corruption("empty CSV file: " + path);
   }
   return table;
 }

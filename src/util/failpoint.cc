@@ -1,0 +1,270 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace snb::util::failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_points{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  bool armed = false;
+  Spec spec;
+  size_t hits = 0;        // hits while any point was armed (see header)
+  size_t armed_hits = 0;  // hits since this site was last armed
+  size_t fires = 0;       // firings since this site was last armed
+};
+
+struct Registry {
+  Mutex mu;
+  // std::map: RegisteredSites() comes out sorted for free, and the site
+  // count is tiny (tens), so node churn is irrelevant.
+  std::map<std::string, SiteState> sites SNB_GUARDED_BY(mu);
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all sites
+  return *registry;
+}
+
+/// One-time SNB_FAILPOINTS pickup, piggybacked on the first registration or
+/// arming so env-armed points are live before any site can be hit. An
+/// atomic exchange (not a static initializer) guards it because parsing
+/// itself calls Arm(), which re-enters here — a function-local static would
+/// deadlock on its own init guard.
+void InitFromEnvOnce() {
+  static std::atomic<bool> started{false};
+  if (started.exchange(true)) return;
+  Status st = ArmFromSpecString(nullptr);
+  if (!st.ok()) {
+    std::fprintf(stderr, "SNB_FAILPOINTS ignored: %s\n",
+                 st.ToString().c_str());
+  }
+}
+
+void DisarmLocked(SiteState& state) {
+  if (!state.armed) return;
+  state.armed = false;
+  internal::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool RegisterSite(const char* name) {
+  InitFromEnvOnce();
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  registry.sites.try_emplace(name);
+  return true;
+}
+
+void Arm(const std::string& name, Spec spec) {
+  InitFromEnvOnce();
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  SiteState& state = registry.sites[name];
+  if (!state.armed) {
+    internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.armed = true;
+  state.spec = std::move(spec);
+  state.armed_hits = 0;
+  state.fires = 0;
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  auto it = registry.sites.find(name);
+  if (it != registry.sites.end()) DisarmLocked(it->second);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  for (auto& [name, state] : registry.sites) DisarmLocked(state);
+}
+
+std::vector<std::string> RegisteredSites() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& [name, state] : registry.sites) names.push_back(name);
+  return names;
+}
+
+bool IsArmed(const std::string& name) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  auto it = registry.sites.find(name);
+  return it != registry.sites.end() && it->second.armed;
+}
+
+size_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+int CrashExitCode() { return 86; }
+
+Status Hit(const char* name) {
+  Spec fired;
+  bool fire = false;
+  {
+    Registry& registry = GetRegistry();
+    MutexLock lock(registry.mu);
+    SiteState& state = registry.sites[name];
+    ++state.hits;
+    if (!state.armed) return Status::Ok();
+    ++state.armed_hits;
+    if (state.spec.nth > 0 &&
+        state.armed_hits != static_cast<size_t>(state.spec.nth)) {
+      // Past the one-shot trigger point: restore the zero-cost fast path.
+      if (state.armed_hits > static_cast<size_t>(state.spec.nth)) {
+        DisarmLocked(state);
+      }
+      return Status::Ok();
+    }
+    fire = true;
+    fired = state.spec;
+    ++state.fires;
+    bool exhausted = state.spec.max_fires >= 0 &&
+                     state.fires >= static_cast<size_t>(state.spec.max_fires);
+    if (state.spec.nth > 0 || exhausted) DisarmLocked(state);
+  }
+  if (!fire) return Status::Ok();
+
+  switch (fired.mode) {
+    case Mode::kOff:
+      return Status::Ok();
+    case Mode::kError: {
+      std::string message = fired.message.empty()
+                                ? "injected failure at " + std::string(name)
+                                : fired.message;
+      return Status(fired.error_code, std::move(message));
+    }
+    case Mode::kCrash:
+      // Simulated power loss: no stdio flush, no atexit, no destructors —
+      // whatever reached the kernel is what recovery will find. _Exit is
+      // the point of the crash mode; SNB_CHECK-style abort would run
+      // libc teardown and flush buffers a real power cut never flushes.
+      std::fprintf(stderr, "SNB_FAILPOINT crash at %s\n", name);
+      std::fflush(stderr);
+      std::_Exit(CrashExitCode());
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Parses one `name=mode[:arg][@nth][xCount]` entry.
+Status ParseEntry(const std::string& entry) {
+  size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("fail-point entry without name=mode: '" +
+                                   entry + "'");
+  }
+  std::string name = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+
+  auto all_digits = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+
+  Spec spec;
+  size_t xpos = rest.rfind('x');
+  if (xpos != std::string::npos && all_digits(rest.substr(xpos + 1))) {
+    spec.max_fires = std::atoi(rest.c_str() + xpos + 1);
+    rest.resize(xpos);
+  }
+  size_t apos = rest.rfind('@');
+  if (apos != std::string::npos) {
+    if (!all_digits(rest.substr(apos + 1))) {
+      return Status::InvalidArgument("bad @nth in fail-point entry '" +
+                                     entry + "'");
+    }
+    spec.nth = std::atoi(rest.c_str() + apos + 1);
+    rest.resize(apos);
+  }
+  std::string arg;
+  size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    arg = rest.substr(colon + 1);
+    rest.resize(colon);
+  }
+
+  if (rest == "error") {
+    spec.mode = Mode::kError;
+    if (arg.empty() || arg == "transient") {
+      spec.error_code = StatusCode::kTransient;
+    } else if (arg == "corruption") {
+      spec.error_code = StatusCode::kCorruption;
+    } else if (arg == "io") {
+      spec.error_code = StatusCode::kIoError;
+    } else {
+      return Status::InvalidArgument("unknown error code '" + arg +
+                                     "' in fail-point entry '" + entry + "'");
+    }
+  } else if (rest == "crash") {
+    spec.mode = Mode::kCrash;
+  } else if (rest == "delay") {
+    spec.mode = Mode::kDelay;
+    if (!arg.empty()) {
+      if (!all_digits(arg)) {
+        return Status::InvalidArgument("bad delay ms in fail-point entry '" +
+                                       entry + "'");
+      }
+      spec.delay_ms = std::atoi(arg.c_str());
+    }
+  } else if (rest == "off") {
+    Disarm(name);
+    return Status::Ok();
+  } else {
+    return Status::InvalidArgument("unknown fail-point mode '" + rest +
+                                   "' in entry '" + entry + "'");
+  }
+  Arm(name, std::move(spec));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ArmFromSpecString(const char* spec_string) {
+  const char* text = spec_string;
+  if (text == nullptr) {
+    text = std::getenv("SNB_FAILPOINTS");
+    if (text == nullptr) return Status::Ok();
+  }
+  std::string all(text);
+  size_t start = 0;
+  while (start <= all.size()) {
+    size_t end = all.find(';', start);
+    if (end == std::string::npos) end = all.size();
+    std::string entry = all.substr(start, end - start);
+    if (!entry.empty()) SNB_RETURN_IF_ERROR(ParseEntry(entry));
+    start = end + 1;
+  }
+  return Status::Ok();
+}
+
+}  // namespace snb::util::failpoint

@@ -1,0 +1,150 @@
+// Deterministic fault injection (fail points).
+//
+// A *site* is a named place in production code where a test may inject a
+// failure: SNB_FAILPOINT("wal.append") for void paths (crash/delay modes),
+// SNB_FAILPOINT_STATUS("wal.append") inside Status-returning functions
+// (adds the *error* mode: the injected Status is returned to the caller).
+// Sites are compiled into every build; when no point is armed the macro is
+// a function-local static guard plus one relaxed atomic load and a
+// predictable branch — cheap enough for I/O paths (not for per-tuple query
+// loops, which is why no site lives inside a BI kernel).
+//
+// Arming happens per-test through failpoint::Arm(name, spec) — scripts/
+// lint.sh restricts the arming API to tests/ — or process-wide through the
+// SNB_FAILPOINTS environment variable:
+//
+//   SNB_FAILPOINTS="wal.append=error;refresh.apply=delay:50;wal.commit=crash@3"
+//
+// Grammar per entry: name=mode[:arg][@nth][xCount]
+//   mode  error | crash | delay | off
+//   arg   error: transient (default) | corruption | io — the Status code
+//         delay: milliseconds to sleep (default 10)
+//   @nth  fire only on the nth hit after arming (1-based); default: every
+//         hit from the first on
+//   xN    auto-disarm after N firings (default: unlimited)
+//
+// Modes:
+//   error  Hit() returns the injected Status (SNB_FAILPOINT_STATUS
+//          propagates it; plain SNB_FAILPOINT ignores it)
+//   crash  simulated power loss: the process dies via _Exit(CrashExitCode())
+//          without flushing stdio or running atexit handlers, so partially
+//          written files stay torn exactly as the kernel saw them
+//   delay  sleeps, then continues (races, timeout and backoff testing)
+//
+// The registry remembers every site the process has *executed* (registration
+// is the macro's local static), so a test can rehearse a code path once,
+// enumerate RegisteredSites(), and then loop "crash at every site on this
+// path" — the pattern tests/wal_recovery_test.cc uses for the §6.3-style
+// recovery audit.
+
+#ifndef SNB_UTIL_FAILPOINT_H_
+#define SNB_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snb::util::failpoint {
+
+enum class Mode : uint8_t { kOff = 0, kError, kCrash, kDelay };
+
+/// What an armed point does when hit. Defaults describe the common case:
+/// an unconditional injected transient error.
+struct Spec {
+  Mode mode = Mode::kError;
+
+  /// Status code carried by an injected error (kTransient drives the
+  /// refresh retry loop; kCorruption and kIoError are terminal).
+  StatusCode error_code = StatusCode::kTransient;
+
+  /// Message of the injected Status; empty = "injected failure at <site>".
+  std::string message;
+
+  /// Sleep length for kDelay.
+  int delay_ms = 10;
+
+  /// Fire only on the nth hit after arming (1-based). 0 = every hit.
+  int nth = 0;
+
+  /// Auto-disarm after this many firings; -1 = unlimited.
+  int max_fires = -1;
+};
+
+/// Remembers `name` in the registry. Called by the SNB_FAILPOINT macros via
+/// a function-local static; idempotent and safe to call directly for sites
+/// that need hand-rolled injection logic (see wal.cc's torn-write site).
+bool RegisterSite(const char* name);
+
+/// Arms a point. The site does not need to be registered yet (arming first
+/// and executing later is the normal test order).
+void Arm(const std::string& name, Spec spec);
+
+/// Disarms one point / every point. DisarmAll() is what test fixtures call
+/// in TearDown so armed points never leak across tests.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Parses an SNB_FAILPOINTS-grammar string and arms each entry. With
+/// nullptr, reads the SNB_FAILPOINTS environment variable (no-op when
+/// unset). Returns kInvalidArgument on grammar errors, naming the entry.
+Status ArmFromSpecString(const char* spec_string);
+
+/// Every site name this process has registered, sorted.
+std::vector<std::string> RegisteredSites();
+
+/// True if `name` currently has an armed spec attached.
+bool IsArmed(const std::string& name);
+
+/// Hits observed at `name` since process start. Only counted while at least
+/// one point (any point) is armed — the disarmed fast path skips all
+/// bookkeeping by design.
+size_t HitCount(const std::string& name);
+
+/// Exit status of a kCrash firing; child-process tests assert on it.
+int CrashExitCode();
+
+namespace internal {
+/// Count of currently armed points; the macros' fast-path gate.
+extern std::atomic<int> g_armed_points;
+}  // namespace internal
+
+/// Fast path: false in any process that never armed a point.
+inline bool AnyArmed() {
+  return internal::g_armed_points.load(std::memory_order_relaxed) != 0;
+}
+
+/// Slow path: records the hit and fires the armed spec, if any. Returns the
+/// injected Status in kError mode, Ok otherwise (kCrash does not return).
+Status Hit(const char* name);
+
+}  // namespace snb::util::failpoint
+
+/// Declares a fail-point site on a void path. kError firings are swallowed
+/// (use SNB_FAILPOINT_STATUS where the caller can propagate a Status).
+#define SNB_FAILPOINT(name)                                        \
+  do {                                                             \
+    static const bool snb_fp_reg =                                 \
+        ::snb::util::failpoint::RegisterSite(name);                \
+    (void)snb_fp_reg;                                              \
+    if (::snb::util::failpoint::AnyArmed()) {                      \
+      (void)::snb::util::failpoint::Hit(name);                     \
+    }                                                              \
+  } while (0)
+
+/// Declares a fail-point site inside a util::Status-returning function;
+/// an injected error returns from the enclosing function.
+#define SNB_FAILPOINT_STATUS(name)                                 \
+  do {                                                             \
+    static const bool snb_fp_reg =                                 \
+        ::snb::util::failpoint::RegisterSite(name);                \
+    (void)snb_fp_reg;                                              \
+    if (::snb::util::failpoint::AnyArmed()) {                      \
+      ::snb::util::Status snb_fp_status =                          \
+          ::snb::util::failpoint::Hit(name);                       \
+      if (!snb_fp_status.ok()) return snb_fp_status;               \
+    }                                                              \
+  } while (0)
+
+#endif  // SNB_UTIL_FAILPOINT_H_

@@ -13,13 +13,36 @@
 
 namespace snb::util {
 
+/// Error taxonomy. Callers branch on the code, never on message text:
+///   kInvalidArgument — caller bug; retrying cannot help.
+///   kNotFound        — the named thing does not exist.
+///   kIoError         — the environment failed (open/short write/fsync);
+///                      terminal unless the caller knows better.
+///   kCorruption      — data on disk contradicts its checksum or format;
+///                      terminal, needs recovery from a good copy.
+///   kTransient       — the operation may succeed if simply retried (the
+///                      refresh retry loop keys on exactly this code).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 1,
   kNotFound = 2,
   kIoError = 3,
-  kCorruptData = 4,
+  kCorruption = 4,
+  kTransient = 5,
 };
+
+/// Stable name for log lines and test assertions.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kTransient: return "TRANSIENT";
+  }
+  return "UNKNOWN";
+}
 
 /// Result of an operation that may fail; cheap to copy when OK.
 class Status {
@@ -38,17 +61,24 @@ class Status {
   static Status IoError(std::string m) {
     return Status(StatusCode::kIoError, std::move(m));
   }
-  static Status CorruptData(std::string m) {
-    return Status(StatusCode::kCorruptData, std::move(m));
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Transient(std::string m) {
+    return Status(StatusCode::kTransient, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Retry-loop predicate: true only for errors that a plain retry can fix.
+  bool IsTransient() const { return code_ == StatusCode::kTransient; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
   std::string ToString() const {
     if (ok()) return "OK";
-    return message_;
+    return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace snb::util {
 
@@ -24,6 +25,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  SNB_FAILPOINT("threadpool.submit");
   {
     MutexLock lock(mu_);
     tasks_.push(std::move(task));

@@ -1,0 +1,167 @@
+// Unit tests for the fail-point framework (util/failpoint.h): arming modes,
+// nth-hit triggers, auto-disarm, spec-string grammar, and the crash mode
+// (asserted through a forked child so the test binary survives).
+//
+// Note: the site *macro* is reserved for production code under src/ (the
+// lint gate enforces it); tests exercise sites through the registration and
+// Hit() functions directly, which is also what a hand-rolled site does.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace snb::util::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsInvisible) {
+  RegisterSite("test.unarmed");
+  EXPECT_FALSE(IsArmed("test.unarmed"));
+  EXPECT_TRUE(Hit("test.unarmed").ok());
+}
+
+TEST_F(FailpointTest, ErrorModeInjectsTransientStatusByDefault) {
+  Arm("test.error", Spec{});
+  EXPECT_TRUE(AnyArmed());
+  Status st = Hit("test.error");
+  EXPECT_TRUE(st.IsTransient()) << st.ToString();
+  EXPECT_NE(st.ToString().find("test.error"), std::string::npos)
+      << "default message should name the site: " << st.ToString();
+
+  Disarm("test.error");
+  EXPECT_FALSE(IsArmed("test.error"));
+  EXPECT_TRUE(Hit("test.error").ok());
+}
+
+TEST_F(FailpointTest, ErrorModeCarriesRequestedCodeAndMessage) {
+  Spec spec;
+  spec.error_code = StatusCode::kCorruption;
+  spec.message = "synthetic bitrot";
+  Arm("test.corrupt", spec);
+  Status st = Hit("test.corrupt");
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_EQ(st.message(), "synthetic bitrot");
+}
+
+TEST_F(FailpointTest, NthHitFiresExactlyOnceThenDisarms) {
+  Spec spec;
+  spec.nth = 3;
+  Arm("test.nth", spec);
+  EXPECT_TRUE(Hit("test.nth").ok());   // hit 1
+  EXPECT_TRUE(Hit("test.nth").ok());   // hit 2
+  EXPECT_FALSE(Hit("test.nth").ok());  // hit 3 — fires
+  // Past the trigger the point auto-disarms (one-shot semantics).
+  EXPECT_TRUE(Hit("test.nth").ok());
+  EXPECT_FALSE(IsArmed("test.nth"));
+}
+
+TEST_F(FailpointTest, MaxFiresAutoDisarms) {
+  Spec spec;
+  spec.max_fires = 2;
+  Arm("test.maxfires", spec);
+  EXPECT_FALSE(Hit("test.maxfires").ok());
+  EXPECT_FALSE(Hit("test.maxfires").ok());
+  EXPECT_FALSE(IsArmed("test.maxfires"));
+  EXPECT_TRUE(Hit("test.maxfires").ok());
+}
+
+TEST_F(FailpointTest, RearmingResetsCounters) {
+  Spec spec;
+  spec.max_fires = 1;
+  Arm("test.rearm", spec);
+  EXPECT_FALSE(Hit("test.rearm").ok());
+  EXPECT_TRUE(Hit("test.rearm").ok());
+  Arm("test.rearm", spec);  // fresh fire budget
+  EXPECT_FALSE(Hit("test.rearm").ok());
+}
+
+TEST_F(FailpointTest, DelayModeSleeps) {
+  Spec spec;
+  spec.mode = Mode::kDelay;
+  spec.delay_ms = 30;
+  Arm("test.delay", spec);
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Hit("test.delay").ok());
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FailpointTest, HitCountTracksArmedTraffic) {
+  Arm("test.count", Spec{});
+  size_t before = HitCount("test.count");
+  (void)Hit("test.count");
+  (void)Hit("test.count");
+  EXPECT_EQ(HitCount("test.count"), before + 2);
+}
+
+TEST_F(FailpointTest, RegistrySurfacesExecutedSites) {
+  RegisterSite("test.registry.a");
+  RegisterSite("test.registry.b");
+  RegisterSite("test.registry.a");  // idempotent
+  std::vector<std::string> sites = RegisteredSites();
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.registry.a"), 1);
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.registry.b"), 1);
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultipleEntries) {
+  ASSERT_TRUE(ArmFromSpecString(
+                  "test.s1=error:corruption;test.s2=delay:5;test.s3=error@2x1")
+                  .ok());
+  EXPECT_TRUE(IsArmed("test.s1"));
+  EXPECT_TRUE(IsArmed("test.s2"));
+  EXPECT_TRUE(IsArmed("test.s3"));
+
+  EXPECT_TRUE(Hit("test.s1").IsCorruption());
+  EXPECT_TRUE(Hit("test.s2").ok());  // delay fires but injects nothing
+
+  // @2x1: skips the first hit, fires on the second, then disarms.
+  EXPECT_TRUE(Hit("test.s3").ok());
+  EXPECT_TRUE(Hit("test.s3").IsTransient());
+  EXPECT_FALSE(IsArmed("test.s3"));
+}
+
+TEST_F(FailpointTest, SpecStringOffDisarms) {
+  Arm("test.off", Spec{});
+  ASSERT_TRUE(ArmFromSpecString("test.off=off").ok());
+  EXPECT_FALSE(IsArmed("test.off"));
+}
+
+TEST_F(FailpointTest, SpecStringRejectsGarbage) {
+  EXPECT_FALSE(ArmFromSpecString("justaname").ok());
+  EXPECT_FALSE(ArmFromSpecString("a=bogusmode").ok());
+  EXPECT_FALSE(ArmFromSpecString("a=error:bogus").ok());
+  EXPECT_FALSE(ArmFromSpecString("a=delay:abc").ok());
+  EXPECT_FALSE(ArmFromSpecString("a=error@x").ok());
+  EXPECT_FALSE(IsArmed("a"));
+}
+
+TEST_F(FailpointTest, CrashModeKillsTheProcessWithMarkerExitCode) {
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: arm and walk into the site. Hit() must not return.
+    Spec spec;
+    spec.mode = Mode::kCrash;
+    Arm("test.crash", spec);
+    (void)Hit("test.crash");
+    _exit(1);  // unreachable — failing the parent's assertion if reached
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), CrashExitCode());
+}
+
+}  // namespace
+}  // namespace snb::util::failpoint

@@ -69,7 +69,7 @@ TEST_F(LoaderFailureFixture, RowWidthMismatchFails) {
           "Person.id|Person.id|creationDate\n1|2\n");
   auto result = LoadCsvBasic(dir_);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
 }
 
 TEST_F(LoaderFailureFixture, MalformedDateTimeFails) {
@@ -77,7 +77,7 @@ TEST_F(LoaderFailureFixture, MalformedDateTimeFails) {
           "Person.id|Person.id|creationDate\n1|2|not-a-date\n");
   auto result = LoadCsvBasic(dir_);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
 }
 
 TEST_F(LoaderFailureFixture, MalformedBirthdayFails) {
@@ -88,14 +88,14 @@ TEST_F(LoaderFailureFixture, MalformedBirthdayFails) {
           "Chrome\n");
   auto result = LoadCsvBasic(dir_);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
 }
 
 TEST_F(LoaderFailureFixture, EmptyFileFails) {
   Corrupt("dynamic/post_0_0.csv", "");
   auto result = LoadCsvBasic(dir_);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
 }
 
 TEST_F(LoaderFailureFixture, HeaderOnlyFilesAreValid) {
