@@ -1,0 +1,36 @@
+// Fuzz harness: CSV row parsing (util::ReadCsv).
+//
+// Every Datagen artefact — static tables, update streams, parameter files —
+// flows back into the process through the pipe-separated CSV reader, so its
+// row splitter sees whatever bytes a truncated or hand-edited file holds.
+//
+// Contract: ReadCsv must never crash; it returns a failure Status (missing
+// file, width mismatch, empty header) or a table whose every row matches
+// the header width. Any ASan/UBSan signal or SNB_CHECK is a finding.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_io.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const std::string path = snb::fuzz::ScratchPath("csv");
+  if (!snb::fuzz::WriteInput(path, nullptr, 0, data, size)) return 0;
+  snb::util::StatusOr<snb::util::CsvTable> table = snb::util::ReadCsv(path);
+  if (table.ok()) {
+    const snb::util::CsvTable& t = table.value();
+    SNB_CHECK(!t.header.empty());
+    for (const auto& row : t.rows) {
+      SNB_CHECK_EQ(row.size(), t.header.size());
+      // Multi-valued split/join round-trips structurally for any field that
+      // does not embed the separator ambiguity (empty parts collapse).
+      for (const auto& field : row) {
+        auto parts = snb::util::SplitMultiValued(field);
+        SNB_CHECK_LE(snb::util::JoinMultiValued(parts).size(), field.size());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared plumbing for the fuzz harnesses.
+//
+// The WAL and CSV parsers take file paths, not buffers, so their harnesses
+// spill each input to one per-process scratch file and hand the parser the
+// path. The file is reused (O_TRUNC) across iterations — a fuzz run
+// executes the target millions of times and must not litter /tmp with
+// per-iteration files.
+
+#ifndef SNB_FUZZ_FUZZ_IO_H_
+#define SNB_FUZZ_FUZZ_IO_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace snb::fuzz {
+
+/// Returns a stable per-process scratch path ($TMPDIR or /tmp).
+inline std::string ScratchPath(const char* tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  return dir + "/snb_fuzz_" + tag + "_" + std::to_string(getpid());
+}
+
+/// Overwrites `path` with header (optional) + data. Returns false on I/O
+/// failure (harnesses then skip the input rather than report a finding).
+inline bool WriteInput(const std::string& path, const void* header,
+                       size_t header_len, const uint8_t* data, size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  if (header_len != 0) {
+    ok = std::fwrite(header, 1, header_len, f) == header_len;
+  }
+  if (ok && size != 0) ok = std::fwrite(data, 1, size, f) == size;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace snb::fuzz
+
+#endif  // SNB_FUZZ_FUZZ_IO_H_

@@ -1,0 +1,179 @@
+// Deterministic smoke driver for the fuzz harnesses.
+//
+// The tier-1 machines are GCC-only, so there is no libFuzzer runtime to
+// link; this main() makes every harness a plain binary that doubles as a
+// ctest target. It feeds LLVMFuzzerTestOneInput with
+//
+//   1. every file of the seed corpus (sorted by name — order is part of
+//      the contract, runs are bit-reproducible), then
+//   2. a fixed number of seeded-Rng mutations of those seeds: byte flips,
+//      truncations, insertions, chunk duplications and cross-seed splices,
+//      the classic structure-blind mutation set.
+//
+// Same binary, same corpus, same --seed ⇒ same byte sequences, so a smoke
+// failure in CI replays locally by rerunning the command line. Under clang
+// the real fuzzer build (-fsanitize=fuzzer) links libFuzzer's own main
+// instead of this file.
+//
+// Usage: harness [--corpus=DIR] [--iterations=N] [--seed=S] [--max-len=M]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+std::vector<Input> LoadCorpus(const std::string& dir) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Input> corpus;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    corpus.emplace_back((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  }
+  return corpus;
+}
+
+/// One structure-blind mutation, chosen and parameterized by the Rng.
+void MutateOnce(snb::util::Rng& rng, const std::vector<Input>& corpus,
+                size_t max_len, Input* input) {
+  switch (rng.UniformInt(0, 5)) {
+    case 0:  // flip one byte
+      if (!input->empty()) {
+        (*input)[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(input->size()) - 1))] ^=
+            static_cast<uint8_t>(rng.UniformInt(1, 255));
+      }
+      break;
+    case 1:  // truncate
+      if (!input->empty()) {
+        input->resize(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(input->size()) - 1)));
+      }
+      break;
+    case 2:  // insert a random byte
+      if (input->size() < max_len) {
+        input->insert(
+            input->begin() + static_cast<long>(rng.UniformInt(
+                                 0, static_cast<int64_t>(input->size()))),
+            static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      }
+      break;
+    case 3: {  // duplicate a chunk
+      if (!input->empty() && input->size() < max_len) {
+        size_t begin = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(input->size()) - 1));
+        size_t len = std::min<size_t>(
+            static_cast<size_t>(rng.UniformInt(1, 16)),
+            std::min(input->size() - begin, max_len - input->size()));
+        Input chunk(input->begin() + static_cast<long>(begin),
+                    input->begin() + static_cast<long>(begin + len));
+        input->insert(input->begin() + static_cast<long>(begin),
+                      chunk.begin(), chunk.end());
+      }
+      break;
+    }
+    case 4: {  // splice a prefix of another corpus entry onto a prefix
+      if (!corpus.empty()) {
+        const Input& other = corpus[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(corpus.size()) - 1))];
+        size_t keep = input->empty()
+                          ? 0
+                          : static_cast<size_t>(rng.UniformInt(
+                                0, static_cast<int64_t>(input->size())));
+        size_t take = other.empty()
+                          ? 0
+                          : static_cast<size_t>(rng.UniformInt(
+                                0, static_cast<int64_t>(other.size())));
+        input->resize(keep);
+        input->insert(input->end(), other.begin(),
+                      other.begin() + static_cast<long>(take));
+        if (input->size() > max_len) input->resize(max_len);
+      }
+      break;
+    }
+    default:  // overwrite with random bytes
+      if (!input->empty()) {
+        size_t begin = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(input->size()) - 1));
+        size_t len = std::min<size_t>(
+            static_cast<size_t>(rng.UniformInt(1, 8)),
+            input->size() - begin);
+        for (size_t i = 0; i < len; ++i) {
+          (*input)[begin + i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir;
+  size_t iterations = 2000;
+  uint64_t seed = 20260806;
+  size_t max_len = 1 << 16;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--corpus=", 9) == 0) {
+      corpus_dir = arg + 9;
+    } else if (std::strncmp(arg, "--iterations=", 13) == 0) {
+      iterations = static_cast<size_t>(std::strtoull(arg + 13, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--max-len=", 10) == 0) {
+      max_len = static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--corpus=DIR] [--iterations=N] [--seed=S] "
+                   "[--max-len=M]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Input> corpus;
+  if (!corpus_dir.empty()) corpus = LoadCorpus(corpus_dir);
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  snb::util::Rng rng(seed, uint64_t{0xf022});
+  size_t executed = corpus.size();
+  for (size_t i = 0; i < iterations; ++i) {
+    Input input;
+    if (!corpus.empty()) {
+      input = corpus[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+    }
+    const int mutations = static_cast<int>(rng.UniformInt(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      MutateOnce(rng, corpus, max_len, &input);
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  std::printf("fuzz smoke: %zu inputs (%zu corpus + %zu mutated), seed %llu "
+              "— no crash\n",
+              executed, corpus.size(), iterations,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

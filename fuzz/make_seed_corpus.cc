@@ -1,0 +1,219 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/.
+//
+// Seeds are *valid* (or near-valid) inputs: the mutation engines — libFuzzer
+// or the deterministic smoke driver — explore outward from them, which
+// reaches the deep parser states (committed batches, multi-valued fields,
+// every IU opcode) far faster than from an empty seed. The WAL seeds are
+// produced by the real Wal writer so they track the format; rerun this tool
+// after a format change and commit the new files:
+//
+//   build-fuzz/fuzz/make_seed_corpus fuzz/corpus
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/date_time.h"
+#include "core/schema.h"
+#include "datagen/datagen.h"
+#include "datagen/update_stream.h"
+#include "storage/wal.h"
+#include "util/check.h"
+
+namespace {
+
+using snb::datagen::UpdateEvent;
+using snb::datagen::UpdateKind;
+
+snb::core::DateTime Dt(const std::string& text) {
+  snb::core::DateTime out = 0;
+  SNB_CHECK(snb::core::ParseDateTime(text, &out));
+  return out;
+}
+
+UpdateEvent Event(UpdateKind kind, auto payload) {
+  UpdateEvent e;
+  e.kind = kind;
+  e.timestamp = Dt("2012-06-01T10:00:00.000+0000");
+  e.dependency = Dt("2012-05-30T09:00:00.000+0000");
+  e.payload = std::move(payload);
+  return e;
+}
+
+/// One sample event per IU opcode, every optional field populated.
+std::vector<UpdateEvent> SampleEvents() {
+  std::vector<UpdateEvent> events;
+
+  snb::core::Person p;
+  p.id = 1234;
+  p.first_name = "Jan";
+  p.last_name = "Zak";
+  p.gender = "female";
+  SNB_CHECK(snb::core::ParseDate("1989-02-28", &p.birthday));
+  p.creation_date = Dt("2012-05-31T11:22:33.444+0000");
+  p.location_ip = "31.41.59.26";
+  p.browser_used = "Firefox";
+  p.city = 655;
+  p.emails = {"jan@example.org", "jz@example.org"};
+  p.speaks = {"pl", "en"};
+  p.interests = {10, 20, 30};
+  p.study_at = {{2040, 2008}};
+  p.work_at = {{910, 2011}, {911, 2013}};
+  events.push_back(Event(UpdateKind::kAddPerson, p));
+
+  snb::core::Like like_post;
+  like_post.person = 1234;
+  like_post.message = 777000;
+  like_post.is_post = true;
+  like_post.creation_date = Dt("2012-06-01T10:00:01.000+0000");
+  events.push_back(Event(UpdateKind::kAddLikePost, like_post));
+
+  snb::core::Like like_comment = like_post;
+  like_comment.message = 777001;
+  like_comment.is_post = false;
+  events.push_back(Event(UpdateKind::kAddLikeComment, like_comment));
+
+  snb::core::Forum forum;
+  forum.id = 8800;
+  forum.title = "Wall of Jan Zak";
+  forum.creation_date = Dt("2012-05-31T11:22:34.000+0000");
+  forum.moderator = 1234;
+  forum.tags = {10, 20};
+  forum.kind = snb::core::ForumKind::kWall;
+  events.push_back(Event(UpdateKind::kAddForum, forum));
+
+  snb::core::ForumMembership membership;
+  membership.person = 1234;
+  membership.forum = 8800;
+  membership.join_date = Dt("2012-06-01T09:59:59.999+0000");
+  events.push_back(Event(UpdateKind::kAddMembership, membership));
+
+  snb::core::Post post;
+  post.id = 777002;
+  post.image_file = "";  // content post: exactly one of the two is set
+  post.creation_date = Dt("2012-06-01T10:00:02.000+0000");
+  post.location_ip = "31.41.59.26";
+  post.browser_used = "Firefox";
+  post.language = "en";
+  post.content = "About Heinrich Boll; the river.";
+  post.length = 31;
+  post.creator = 1234;
+  post.forum = 8800;
+  post.country = 55;
+  post.tags = {10};
+  events.push_back(Event(UpdateKind::kAddPost, post));
+
+  snb::core::Comment comment;
+  comment.id = 777003;
+  comment.creation_date = Dt("2012-06-01T10:00:03.000+0000");
+  comment.location_ip = "31.41.59.27";
+  comment.browser_used = "Chrome";
+  comment.content = "maybe";
+  comment.length = 5;
+  comment.creator = 1234;
+  comment.country = 55;
+  comment.reply_of_post = 777002;
+  comment.reply_of_comment = snb::core::kNoId;
+  comment.tags = {};
+  events.push_back(Event(UpdateKind::kAddComment, comment));
+
+  snb::core::Knows knows;
+  knows.person1 = 1234;
+  knows.person2 = 5678;
+  knows.creation_date = Dt("2012-06-01T10:00:04.000+0000");
+  events.push_back(Event(UpdateKind::kAddKnows, knows));
+
+  return events;
+}
+
+void WriteFile(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SNB_CHECK(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  SNB_CHECK(out.good());
+  std::printf("  wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SNB_CHECK(in.good());
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteUpdateEventCorpus(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  const std::vector<UpdateEvent> events = SampleEvents();
+  for (size_t i = 0; i < events.size(); ++i) {
+    WriteFile(dir / ("iu" + std::to_string(i + 1) + ".txt"),
+              snb::datagen::FormatUpdateEventLine(events[i]));
+  }
+  WriteFile(dir / "short.txt", "123|456");
+  WriteFile(dir / "unknown_op.txt", "123|456|99|x|y");
+}
+
+void WriteCsvCorpus(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  WriteFile(dir / "basic.csv", "id|name|value\n1|alpha|10\n2|beta|20\n");
+  WriteFile(dir / "multivalued.csv",
+            "id|emails|speaks\n7|a@x;b@y|en;de;pl\n8||\n");
+  WriteFile(dir / "crlf_no_trailing_newline.csv",
+            "id|name\r\n1|carriage\r\n2|return");
+  WriteFile(dir / "width_mismatch.csv", "a|b|c\n1|2\n");
+  WriteFile(dir / "header_only.csv", "lonely|header\n");
+}
+
+void WriteWalCorpus(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  // Build a real two-batch log with the production writer, then strip the
+  // 8-byte magic (the harness re-adds it).
+  const std::string tmp = (dir / ".scratch.wal").string();
+  {
+    snb::storage::Wal wal;
+    SNB_CHECK(wal.Open(tmp, {snb::storage::WalSyncPolicy::kNone}).ok());
+    const std::vector<UpdateEvent> events = SampleEvents();
+    snb::core::Date day = 15000;
+    size_t half = events.size() / 2;
+    SNB_CHECK(wal.BatchBegin(day).ok());
+    for (size_t i = 0; i < half; ++i) {
+      SNB_CHECK(wal.Append(events[i]).ok());
+    }
+    SNB_CHECK(wal.BatchCommit(day).ok());
+    SNB_CHECK(wal.BatchBegin(day + 1).ok());
+    for (size_t i = half; i < events.size(); ++i) {
+      SNB_CHECK(wal.Append(events[i]).ok());
+    }
+    SNB_CHECK(wal.BatchCommit(day + 1).ok());
+    SNB_CHECK(wal.Close().ok());
+  }
+  std::string bytes = ReadFile(tmp);
+  std::filesystem::remove(tmp);
+  SNB_CHECK_GE(bytes.size(), 8u);
+  const std::string records = bytes.substr(8);
+
+  WriteFile(dir / "two_batches.bin", records);
+  WriteFile(dir / "torn_tail.bin",
+            records.substr(0, records.size() - records.size() / 3));
+  std::string bad_crc = records;
+  bad_crc[bad_crc.size() / 2] ^= 0x5a;
+  WriteFile(dir / "bad_crc.bin", bad_crc);
+  WriteFile(dir / "empty.bin", "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  WriteUpdateEventCorpus(root / "update_event");
+  WriteCsvCorpus(root / "csv");
+  WriteWalCorpus(root / "wal");
+  std::printf("seed corpora written under %s\n", root.c_str());
+  return 0;
+}

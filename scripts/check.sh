@@ -1,24 +1,33 @@
 #!/usr/bin/env bash
 # Tier-1 verification matrix. Stages, in order:
 #
-#   1. lint           — grep conventions + clang-tidy (scripts/lint.sh)
-#   2. dev build      — -Wall -Wextra -Wshadow -Werror (SNB_DEV=ON) + ctest
-#   3. UBSan          — full ctest under -fsanitize=undefined, no recover
-#   4. TSan           — scheduler + morsel tests under -fsanitize=thread
-#   5. ASan           — fail-point + crash-recovery tests under
+#   1. lint           — grep conventions (scripts/lint.sh)
+#   2. tidy           — clang-tidy curated profile (scripts/tidy.sh)
+#   3. dev build      — -Wall -Wextra -Wshadow -Werror (SNB_DEV=ON) + ctest
+#   4. UBSan          — full ctest under -fsanitize=undefined, no recover
+#   5. TSan           — scheduler + morsel tests under -fsanitize=thread
+#   6. ASan           — fail-point + crash-recovery tests under
 #                       -fsanitize=address
-#   6. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
+#   7. deadlock       — full ctest with SNB_DEADLOCK_DETECT=ON: any
+#                       lock-order cycle or blocking-while-locked report
+#                       aborts its test — the no-false-positive gate
+#   8. fuzz smoke     — the three parser fuzz harnesses, fixed-iteration
+#                       deterministic replay under ASan+UBSan
+#   9. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
 #
-# Stages 1–5 run on any GCC machine; stage 6 needs clang and is skipped
-# with a notice when it is absent — the matrix must stay useful on the
-# GCC-only tier-1 machines. Run from anywhere; builds land in build*/ at
-# the repo root.
+# Stages 1 and 3–8 run on any GCC machine; 2 and 9 need clang and are
+# skipped with a notice when it is absent — the matrix must stay useful on
+# the GCC-only tier-1 machines. Run from anywhere; builds land in build*/
+# at the repo root.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== lint: repo conventions + clang-tidy =="
+echo "== lint: repo conventions =="
 "$repo/scripts/lint.sh"
+
+echo "== tidy: clang-tidy curated profile =="
+"$repo/scripts/tidy.sh"
 
 echo "== tier-1: configure + build (SNB_DEV warnings as errors) + ctest =="
 cmake -B "$repo/build" -S "$repo" -DSNB_DEV=ON
@@ -44,6 +53,34 @@ cmake -B "$repo/build-asan" -S "$repo" -DSNB_SANITIZE=address
 cmake --build "$repo/build-asan" -j --target failpoint_test wal_recovery_test
 "$repo/build-asan/tests/failpoint_test"
 "$repo/build-asan/tests/wal_recovery_test"
+
+echo "== deadlock: full ctest with the lock-order analyzer armed =="
+# Every acquisition feeds the lock-order graph and any report _Exit()s the
+# test (kAbort), so a green run IS the proof that the whole suite — the
+# scheduler, morsel, refresh and recovery concurrency included — never
+# acquires two sites in inconsistent order and never blocks on a CondVar
+# with an undeclared mutex held. deadlock_test itself additionally asserts
+# the analyzer *does* fire on intentional inversions (in forked children).
+cmake -B "$repo/build-deadlock" -S "$repo" -DSNB_DEADLOCK_DETECT=ON
+cmake --build "$repo/build-deadlock" -j
+ctest --test-dir "$repo/build-deadlock" --output-on-failure -j
+
+echo "== fuzz smoke: parser harnesses, fixed iterations, ASan+UBSan =="
+# Deterministic replay (seed corpus + seeded mutations, ~30 s total): the
+# harness contract is "any byte string returns a Status, never a crash",
+# and the sanitizers turn silent memory corruption into loud failures.
+# Identical command lines replay identical byte sequences — a CI failure
+# reproduces locally by rerunning the printed invocation.
+cmake -B "$repo/build-fuzz" -S "$repo" -DSNB_FUZZ=ON \
+  -DSNB_SANITIZE=address+undefined
+cmake --build "$repo/build-fuzz" -j \
+  --target fuzz_wal_record_smoke fuzz_csv_row_smoke fuzz_update_event_smoke
+for pair in fuzz_wal_record:wal fuzz_csv_row:csv fuzz_update_event:update_event; do
+  harness="${pair%%:*}"
+  corpus="${pair##*:}"
+  "$repo/build-fuzz/fuzz/${harness}_smoke" \
+    --corpus="$repo/fuzz/corpus/$corpus" --iterations=50000
+done
 
 echo "== thread-safety: clang -Wthread-safety -Werror=thread-safety =="
 if command -v clang++ >/dev/null 2>&1; then

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Repo-specific lint gate: a handful of grep-enforced conventions that have
-# each caught (or would have caught) a real bug in this codebase, plus a
-# clang-tidy stage that is skipped with a notice when the binary is absent —
-# GCC-only tier-1 machines must still get a meaningful, passing run.
+# Repo-specific lint gate: grep-enforced conventions that have each caught
+# (or would have caught) a real bug in this codebase. All stages are plain
+# text scans, so the whole gate runs in under a second on any machine; the
+# semantic clang-tidy pass lives in scripts/tidy.sh.
 #
 # Exit code: 0 when every active stage passes, 1 on any finding.
 set -uo pipefail
@@ -59,6 +59,39 @@ hits=$(match_code 'std::mutex|std::condition_variable|std::lock_guard|std::uniqu
   $(src_files | grep -v '^src/util/mutex.h$'))
 if [[ -n "$hits" ]]; then fail "raw std synchronisation primitive outside src/util/mutex.h" "$hits"; fi
 
+echo "== lint: CondVar stays inside src/util/ =="
+# Every blocking wait loop must live in a util primitive (ThreadPool,
+# BlockingCounter, CondVar::WaitFor) where the spurious-wakeup re-check and
+# the SNB_DEADLOCK_DETECT blocking-while-locked audit can be reviewed in
+# one place. A CondVar in higher layers re-opens the hand-rolled-wait bug
+# class that engine/morsel.cc used to carry. src/analysis/ is exempt: the
+# deadlock analyzer audits CondVar waits and names them in its reports.
+hits=$(match_code '\bCondVar\b' \
+  $(src_files | grep -v -e '^src/util/' -e '^src/analysis/'))
+if [[ -n "$hits" ]]; then fail "util::CondVar used outside src/util/" "$hits"; fi
+
+echo "== lint: no tracked file names beginning with a dash =="
+# A file called "--persons=50" (a misquoted flag once landed at the repo
+# root exactly like this) is a foot-gun: it is argument-injection bait for
+# every tool that globs the tree, and plain "rm" cannot delete it. Reject
+# any tracked path whose basename starts with "-".
+hits=$(git ls-files | grep -E '(^|/)-' || true)
+if [[ -n "$hits" ]]; then fail "tracked file name begins with '-'" "$hits"; fi
+
+echo "== lint: fuzz harnesses drive public Status-returning parsers =="
+# Each harness must exercise a real public entry point (ScanWal / ReadCsv /
+# ParseUpdateEventLine) — fuzzing a private helper tests code no production
+# caller reaches, and including a .cc or internal:: symbol would silently
+# decouple the harness from the shipped parser.
+for f in fuzz/fuzz_*.cc; do
+  [[ "$f" == "fuzz/fuzz_smoke_main.cc" ]] && continue
+  if ! grep -qE 'ScanWal|ReadCsv|ParseUpdateEventLine' "$f"; then
+    fail "fuzz harness drives no public parser entry point:" "$f"
+  fi
+  hits=$(match_code '#include *"[^"]*\.cc"|\binternal::' "$f")
+  if [[ -n "$hits" ]]; then fail "fuzz harness reaches past the public API" "$hits"; fi
+done
+
 echo "== lint: BI queries must poll for cancellation =="
 # Every BI kernel runs under the scheduler's per-query deadline; a query
 # with no CancelPoller in its hot loop can stall a whole stream past its
@@ -106,19 +139,6 @@ echo "== lint: test_access.h is test-only =="
 # guarded internals without locks.
 hits=$(grep -rn '#include.*test_access\.h' src tools bench 2>/dev/null || true)
 if [[ -n "$hits" ]]; then fail "test_access.h included outside tests/" "$hits"; fi
-
-echo "== lint: clang-tidy (curated profile in .clang-tidy) =="
-if command -v clang-tidy >/dev/null 2>&1; then
-  if [[ ! -f build/compile_commands.json ]]; then
-    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  fi
-  tidy_out=$(clang-tidy -p build --quiet $(find src tools -name '*.cc') 2>/dev/null)
-  if echo "$tidy_out" | grep -qE 'warning:|error:'; then
-    fail "clang-tidy findings:" "$(echo "$tidy_out" | grep -E 'warning:|error:' | head -40)"
-  fi
-else
-  echo "   SKIPPED: clang-tidy not installed on this machine (grep stages above still ran)"
-fi
 
 echo
 if [[ "$failures" -eq 0 ]]; then

@@ -1,0 +1,407 @@
+#include "analysis/lock_graph.h"
+
+#include <execinfo.h>
+#include <pthread.h>
+#include <sched.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace snb::analysis {
+
+namespace {
+
+constexpr int kDeadlockExitCode = 87;
+constexpr int kMaxFrames = 24;
+
+/// One recorded acquisition context: the backtrace captured when an edge
+/// (or report) was first created. Raw addresses; symbolized only when a
+/// report is actually printed.
+struct Backtrace {
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+Backtrace CaptureBacktrace() {
+  Backtrace bt;
+  bt.depth = backtrace(bt.frames, kMaxFrames);
+  return bt;
+}
+
+struct Edge {
+  SiteId to = -1;
+  Backtrace first_seen;          // stack of the acquisition that created it
+  unsigned long first_thread = 0;  // pthread_self() of that acquisition
+};
+
+struct Node {
+  std::string name;
+  std::string file;
+  int line = 0;
+  int level = kNoLevel;
+  const LockSiteInfo* key = nullptr;  // dedup handle for named sites
+  std::vector<Edge> out;
+};
+
+/// The analyzer's own critical sections use a spinlock, not util::Mutex:
+/// the instrumentation must never recurse into itself, and the sections
+/// are tiny (graph lookups over dozens of nodes).
+class SpinLock {
+ public:
+  void lock() {
+    // Yield instead of burning the quantum: detection builds run on the
+    // 1-core CI container, where a pure spin would stall the lock holder.
+    while (flag_.test_and_set(std::memory_order_acquire)) sched_yield();
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+struct SpinLockGuard {
+  explicit SpinLockGuard(SpinLock& l) : lock(l) { lock.lock(); }
+  ~SpinLockGuard() { lock.unlock(); }
+  SpinLock& lock;
+};
+
+struct AllowedWaitPair {
+  std::string held;
+  std::string wait;
+};
+
+/// All mutable global state, behind one spinlock. Leaked on purpose
+/// (never destroyed) so instrumented mutexes in static objects can run
+/// during process teardown.
+struct GlobalState {
+  SpinLock mu;
+  std::vector<Node> nodes;
+  std::vector<AllowedWaitPair> allowed_waits;
+  std::atomic<size_t> report_count{0};
+  std::atomic<int> report_mode{static_cast<int>(ReportMode::kAbort)};
+};
+
+GlobalState& State() {
+  static GlobalState* state = new GlobalState();
+  return *state;
+}
+
+/// One entry of the calling thread's held-lock stack, in acquisition order.
+struct HeldLock {
+  MutexDebug* instance = nullptr;
+  SiteId site = -1;
+};
+
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+/// Registers (or looks up) the node for `mu`, assigning its SiteId on first
+/// acquisition. Named mutexes dedup on the static LockSiteInfo pointer so
+/// every instance born at one source line shares a node; anonymous mutexes
+/// get a fresh per-instance node (sound: it can only miss cross-instance
+/// cycles, never invent one).
+SiteId EnsureSite(MutexDebug* mu) {
+  SiteId id = mu->site.load(std::memory_order_acquire);
+  if (id >= 0) return id;
+
+  GlobalState& st = State();
+  SpinLockGuard guard(st.mu);
+  // Re-check under the lock: another thread may have registered this
+  // instance (or this instance's named site) concurrently.
+  id = mu->site.load(std::memory_order_relaxed);
+  if (id >= 0) return id;
+
+  if (mu->static_site != nullptr) {
+    for (size_t i = 0; i < st.nodes.size(); ++i) {
+      if (st.nodes[i].key == mu->static_site) {
+        mu->site.store(static_cast<SiteId>(i), std::memory_order_release);
+        return static_cast<SiteId>(i);
+      }
+    }
+  }
+
+  Node node;
+  if (mu->static_site != nullptr) {
+    node.name = mu->static_site->name;
+    node.file = mu->static_site->file;
+    node.line = mu->static_site->line;
+    node.level = mu->static_site->level;
+    node.key = mu->static_site;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "<anonymous-mutex-%zu>",
+                  st.nodes.size());
+    node.name = buf;
+    node.file = "<unknown>";
+  }
+  st.nodes.push_back(std::move(node));
+  id = static_cast<SiteId>(st.nodes.size() - 1);
+  mu->site.store(id, std::memory_order_release);
+  return id;
+}
+
+void PrintBacktrace(const Backtrace& bt) {
+  char** symbols = backtrace_symbols(bt.frames, bt.depth);
+  for (int i = 0; i < bt.depth; ++i) {
+    std::fprintf(stderr, "      #%d %s\n", i,
+                 symbols != nullptr ? symbols[i] : "<?>");
+  }
+  std::free(symbols);
+}
+
+const char* NodeDesc(const Node& n, char* buf, size_t buf_size) {
+  std::snprintf(buf, buf_size, "%s (%s:%d)", n.name.c_str(), n.file.c_str(),
+                n.line);
+  return buf;
+}
+
+/// Finishes a report that the caller already printed the body of: counts
+/// it and, in abort mode, kills the process with the marker exit code.
+/// `st.mu` must be held by the caller; released before _Exit so the exit
+/// path cannot wedge another thread spinning on the analyzer lock.
+void FinishReport() {
+  GlobalState& st = State();
+  st.report_count.fetch_add(1, std::memory_order_relaxed);
+  std::fflush(stderr);
+  if (static_cast<ReportMode>(st.report_mode.load(
+          std::memory_order_relaxed)) == ReportMode::kAbort) {
+    st.mu.unlock();
+    std::_Exit(kDeadlockExitCode);
+  }
+}
+
+/// DFS over the edge set: is `target` reachable from `start`? Fills
+/// `parent` for path reconstruction. Caller holds st.mu.
+bool Reaches(const std::vector<Node>& nodes, SiteId start, SiteId target,
+             std::vector<SiteId>* parent) {
+  parent->assign(nodes.size(), -1);
+  std::vector<char> visited(nodes.size(), 0);
+  std::vector<SiteId> stack{start};
+  visited[static_cast<size_t>(start)] = 1;
+  while (!stack.empty()) {
+    SiteId cur = stack.back();
+    stack.pop_back();
+    if (cur == target) return true;
+    for (const Edge& e : nodes[static_cast<size_t>(cur)].out) {
+      if (!visited[static_cast<size_t>(e.to)]) {
+        visited[static_cast<size_t>(e.to)] = 1;
+        (*parent)[static_cast<size_t>(e.to)] = cur;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return false;
+}
+
+const Edge* FindEdge(const Node& from, SiteId to) {
+  for (const Edge& e : from.out) {
+    if (e.to == to) return &e;
+  }
+  return nullptr;
+}
+
+/// Reports the cycle closed by the would-be edge held_site → new_site.
+/// Caller holds st.mu and verified Reaches(new_site, held_site).
+void ReportCycle(SiteId held_site, SiteId new_site,
+                 const std::vector<SiteId>& parent,
+                 const Backtrace& current_bt) {
+  GlobalState& st = State();
+  char a[256], b[256];
+  std::fprintf(stderr,
+               "\n== SNB_DEADLOCK_DETECT: potential deadlock: lock-order "
+               "cycle ==\n");
+  std::fprintf(
+      stderr, "  acquiring %s while holding %s, but the reverse order is "
+              "already on record:\n",
+      NodeDesc(st.nodes[static_cast<size_t>(new_site)], a, sizeof(a)),
+      NodeDesc(st.nodes[static_cast<size_t>(held_site)], b, sizeof(b)));
+
+  // Walk held_site back to new_site along the recorded path, printing each
+  // edge with the backtrace captured when it was first inserted.
+  std::vector<SiteId> path;  // new_site ... held_site in forward order
+  for (SiteId cur = held_site; cur != -1; cur = parent[static_cast<size_t>(cur)]) {
+    path.push_back(cur);
+    if (cur == new_site) break;
+  }
+  for (size_t i = path.size(); i-- > 1;) {
+    SiteId from = path[i];
+    SiteId to = path[i - 1];
+    const Edge* e = FindEdge(st.nodes[static_cast<size_t>(from)], to);
+    std::fprintf(stderr, "    recorded edge %s -> %s (thread %lu):\n",
+                 NodeDesc(st.nodes[static_cast<size_t>(from)], a, sizeof(a)),
+                 NodeDesc(st.nodes[static_cast<size_t>(to)], b, sizeof(b)),
+                 e != nullptr ? e->first_thread : 0UL);
+    if (e != nullptr) PrintBacktrace(e->first_seen);
+  }
+  std::fprintf(stderr, "    new edge %s -> %s (this thread, %lu):\n",
+               NodeDesc(st.nodes[static_cast<size_t>(held_site)], a,
+                        sizeof(a)),
+               NodeDesc(st.nodes[static_cast<size_t>(new_site)], b,
+                        sizeof(b)),
+               (unsigned long)pthread_self());
+  PrintBacktrace(current_bt);
+  FinishReport();
+}
+
+}  // namespace
+
+void OnLockAttempt(MutexDebug* mu) {
+  std::vector<HeldLock>& held = HeldStack();
+  SiteId site = EnsureSite(mu);
+
+  for (const HeldLock& h : held) {
+    if (h.instance == mu) {
+      GlobalState& st = State();
+      Backtrace bt = CaptureBacktrace();
+      SpinLockGuard guard(st.mu);
+      char a[256];
+      std::fprintf(stderr,
+                   "\n== SNB_DEADLOCK_DETECT: self-deadlock: recursive "
+                   "acquisition of %s ==\n",
+                   NodeDesc(st.nodes[static_cast<size_t>(site)], a,
+                            sizeof(a)));
+      PrintBacktrace(bt);
+      FinishReport();
+      return;  // count mode: skip edge bookkeeping, the lock would hang
+    }
+  }
+  if (held.empty()) return;
+
+  Backtrace bt = CaptureBacktrace();
+  GlobalState& st = State();
+  SpinLockGuard guard(st.mu);
+  const Node& acquiring = st.nodes[static_cast<size_t>(site)];
+  for (const HeldLock& h : held) {
+    if (h.site == site) continue;  // same-site instance nesting: allowed
+    Node& holder = st.nodes[static_cast<size_t>(h.site)];
+
+    // Declared lock levels must go strictly upward.
+    if (holder.level != kNoLevel && acquiring.level != kNoLevel &&
+        acquiring.level <= holder.level) {
+      char a[256], b[256];
+      std::fprintf(stderr,
+                   "\n== SNB_DEADLOCK_DETECT: lock level order violation: "
+                   "acquiring %s (level %d) while holding %s (level %d) "
+                   "==\n",
+                   NodeDesc(acquiring, a, sizeof(a)), acquiring.level,
+                   NodeDesc(holder, b, sizeof(b)), holder.level);
+      PrintBacktrace(bt);
+      FinishReport();
+      continue;
+    }
+
+    if (FindEdge(holder, site) != nullptr) continue;  // known-good edge
+
+    // New edge h.site → site. If site already reaches h.site, inserting it
+    // would close a cycle: report instead of inserting, so one ordering
+    // bug yields one report per offending pair rather than cascading.
+    std::vector<SiteId> parent;
+    if (Reaches(st.nodes, site, h.site, &parent)) {
+      ReportCycle(h.site, site, parent, bt);
+      continue;
+    }
+    Edge e;
+    e.to = site;
+    e.first_seen = bt;
+    e.first_thread = (unsigned long)pthread_self();
+    holder.out.push_back(std::move(e));
+  }
+}
+
+void OnLocked(MutexDebug* mu) {
+  HeldStack().push_back({mu, EnsureSite(mu)});
+}
+
+void OnTryLocked(MutexDebug* mu) {
+  HeldStack().push_back({mu, EnsureSite(mu)});
+}
+
+void OnUnlock(MutexDebug* mu) {
+  std::vector<HeldLock>& held = HeldStack();
+  // Unlock order may differ from acquisition order (MutexLock scopes can
+  // interleave with manual Lock/Unlock); erase the matching entry wherever
+  // it sits.
+  for (size_t i = held.size(); i-- > 0;) {
+    if (held[i].instance == mu) {
+      held.erase(held.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+void OnCondVarWait(MutexDebug* mu) {
+  std::vector<HeldLock>& held = HeldStack();
+  if (held.size() <= 1) return;  // only the waited mutex (or none) held
+  SiteId wait_site = EnsureSite(mu);
+
+  Backtrace bt = CaptureBacktrace();
+  GlobalState& st = State();
+  SpinLockGuard guard(st.mu);
+  const Node& waited = st.nodes[static_cast<size_t>(wait_site)];
+  for (const HeldLock& h : held) {
+    if (h.instance == mu) continue;
+    const Node& holder = st.nodes[static_cast<size_t>(h.site)];
+
+    // Escape hatch 1: declared lock levels — a strictly lower-level mutex
+    // may be held across a wait on a higher-level one.
+    if (holder.level != kNoLevel && waited.level != kNoLevel &&
+        holder.level < waited.level) {
+      continue;
+    }
+    // Escape hatch 2: the explicit pair allowlist.
+    bool allowed = false;
+    for (const AllowedWaitPair& p : st.allowed_waits) {
+      if (p.held == holder.name && p.wait == waited.name) {
+        allowed = true;
+        break;
+      }
+    }
+    if (allowed) continue;
+
+    char a[256], b[256];
+    std::fprintf(stderr,
+                 "\n== SNB_DEADLOCK_DETECT: blocking-while-locked: "
+                 "CondVar wait on %s while holding %s ==\n",
+                 NodeDesc(waited, a, sizeof(a)),
+                 NodeDesc(holder, b, sizeof(b)));
+    PrintBacktrace(bt);
+    FinishReport();
+  }
+}
+
+void AllowWaitWhileHolding(const char* held_site, const char* wait_site) {
+  GlobalState& st = State();
+  SpinLockGuard guard(st.mu);
+  st.allowed_waits.push_back({held_site, wait_site});
+}
+
+void SetReportMode(ReportMode mode) {
+  State().report_mode.store(static_cast<int>(mode),
+                            std::memory_order_relaxed);
+}
+
+size_t ReportCount() {
+  return State().report_count.load(std::memory_order_relaxed);
+}
+
+int DeadlockExitCode() { return kDeadlockExitCode; }
+
+size_t HeldLockCountForTest() { return HeldStack().size(); }
+
+void ResetForTest() {
+  GlobalState& st = State();
+  SpinLockGuard guard(st.mu);
+  // Keep the node table — long-lived mutexes (e.g. ThreadPool::Default)
+  // cache their SiteId and would index a cleared table out of bounds.
+  for (Node& n : st.nodes) n.out.clear();
+  st.allowed_waits.clear();
+  st.report_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace snb::analysis

@@ -1,0 +1,118 @@
+// In-process lock-order analysis (the SNB_DEADLOCK_DETECT runtime).
+//
+// The clang thread-safety annotations (PR 3) prove that guarded data is
+// only touched under its mutex, and TSan (PR 1) catches races on
+// interleavings that actually execute. Neither catches a *potential
+// deadlock*: two code paths that acquire the same pair of mutexes in
+// opposite orders are a time bomb even when the fatal interleaving never
+// fires in CI. This module closes that gap in the spirit of absl::Mutex's
+// deadlock graph:
+//
+//   * Every util::Mutex belongs to a *site* — its creation file:line,
+//     declared with SNB_LOCK_SITE("name") (anonymous mutexes get a lazily
+//     assigned per-instance site on first lock). Sites are graph nodes.
+//   * Each acquisition records edges held-site → acquired-site into one
+//     global graph. Inserting a new edge runs a DFS cycle check; a cycle
+//     means some pair of threads *could* deadlock, and the report carries
+//     the acquisition backtrace of every edge on the cycle — the two (or
+//     more) call stacks a human needs to pick the canonical order.
+//   * Acquisitions are checked BEFORE blocking on the underlying mutex,
+//     so a true A→B / B→A inversion is reported even on the execution
+//     that would otherwise hang.
+//   * CondVar::Wait / WaitFor audit blocking-while-locked: waiting on a
+//     condition variable while holding any mutex *other than the one
+//     being waited on* stalls every thread that needs the held lock for
+//     as long as the predicate stays false. The audit reports such waits
+//     unless the held/waited pair is explicitly declared safe, either by
+//     lock levels (held.level < waited.level, see lock_site.h) or by the
+//     AllowWaitWhileHolding pair allowlist.
+//
+// Same-site nesting: two *different instances* born at the same site may
+// nest silently (per-element locks in a container legitimately do this and
+// address-order cycles across instances are out of scope); re-acquiring
+// the *same instance* is reported as a self-deadlock.
+//
+// Reporting: kAbort (default) prints the report and _Exit(DeadlockExitCode())
+// — tests assert it through a forked child, and any report during the
+// detection-enabled ctest run fails that suite, which is the repo's
+// no-false-positive gate. kCount prints but only increments ReportCount(),
+// for in-process assertions.
+//
+// The implementation deliberately depends on nothing above the C runtime
+// (its own critical sections use a std::atomic_flag spinlock, NOT
+// util::Mutex) so instrumenting every mutex in the repo cannot recurse
+// into the analyzer. Overhead when SNB_DEADLOCK_DETECT is not defined:
+// zero — util/mutex.h compiles the hooks out entirely.
+
+#ifndef SNB_ANALYSIS_LOCK_GRAPH_H_
+#define SNB_ANALYSIS_LOCK_GRAPH_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "analysis/lock_site.h"
+
+namespace snb::analysis {
+
+/// Graph node id. Negative = not yet assigned.
+using SiteId = int;
+
+/// Debug state embedded in every util::Mutex in SNB_DEADLOCK_DETECT builds.
+/// `static_site` is set at construction (nullptr for anonymous mutexes);
+/// `site` is the lazily assigned node id, filled on first acquisition.
+struct MutexDebug {
+  const LockSiteInfo* static_site = nullptr;
+  std::atomic<SiteId> site{-1};
+};
+
+/// Called before blocking on Mutex::Lock: records held→acquired edges,
+/// runs the cycle check, enforces declared lock levels and reports
+/// same-instance re-acquisition.
+void OnLockAttempt(MutexDebug* mu);
+
+/// Called after the underlying lock succeeded: pushes the mutex onto the
+/// calling thread's held stack.
+void OnLocked(MutexDebug* mu);
+
+/// TryLock success: pushes onto the held stack but records no ordering
+/// edges — a try-lock cannot block, hence cannot deadlock, but everything
+/// acquired while it is held still orders against it.
+void OnTryLocked(MutexDebug* mu);
+
+/// Called before Mutex::Unlock: pops the mutex from the held stack.
+void OnUnlock(MutexDebug* mu);
+
+/// Blocking-while-locked audit for CondVar::Wait/WaitFor on `mu` (which
+/// the caller holds, per the CondVar contract). Reports if any *other*
+/// held mutex is not declared safe via levels or the pair allowlist.
+void OnCondVarWait(MutexDebug* mu);
+
+/// Declares that waiting on a CondVar bound to site `wait_site` while
+/// holding site `held_site` is intended (both are SNB_LOCK_SITE names).
+/// The declared-pair allowlist complements lock levels for one-off cases.
+void AllowWaitWhileHolding(const char* held_site, const char* wait_site);
+
+enum class ReportMode {
+  kAbort,  // print the report, then _Exit(DeadlockExitCode())
+  kCount,  // print the report, increment ReportCount(), continue
+};
+
+void SetReportMode(ReportMode mode);
+
+/// Number of reports issued since start / the last ResetForTest().
+size_t ReportCount();
+
+/// Exit code used by kAbort (distinct from the fail-point crash code so a
+/// forked test can tell "analyzer fired" from "fail point fired").
+int DeadlockExitCode();
+
+/// Number of mutexes the calling thread currently holds (test hook).
+size_t HeldLockCountForTest();
+
+/// Clears the graph, the allowlist and the report counter. Only safe while
+/// no other thread is inside a mutex operation; for tests.
+void ResetForTest();
+
+}  // namespace snb::analysis
+
+#endif  // SNB_ANALYSIS_LOCK_GRAPH_H_

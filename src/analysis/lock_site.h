@@ -1,0 +1,39 @@
+// Static identity of a lock-creation site.
+//
+// Every util::Mutex can be constructed with a pointer to one of these
+// (via the SNB_LOCK_SITE / SNB_LOCK_SITE_LEVEL macros in util/mutex.h);
+// all mutexes born at the same source line share the site, so the
+// lock-order graph reasons about *classes* of locks ("the scheduler's
+// admission mutex") rather than individual instances. The struct is
+// defined unconditionally — in builds without SNB_DEADLOCK_DETECT the
+// constructor argument is ignored and the struct costs nothing.
+//
+// This header is the only part of src/analysis/ that util/mutex.h needs
+// in every build; the graph itself (lock_graph.h) is included from the
+// instrumented paths only.
+
+#ifndef SNB_ANALYSIS_LOCK_SITE_H_
+#define SNB_ANALYSIS_LOCK_SITE_H_
+
+namespace snb::analysis {
+
+/// Sites without a declared level are exempt from level-order checking
+/// (the lock-order *graph* still covers them); see lock_graph.h.
+inline constexpr int kNoLevel = -1;
+
+struct LockSiteInfo {
+  const char* name;  // stable human-readable id, e.g. "sched.stream_mu"
+  const char* file;
+  int line;
+  /// Optional lock level: when both the held and the acquired site carry a
+  /// level, acquisitions must go strictly upward (held < acquired), and a
+  /// CondVar wait with another mutex held is permitted only when the held
+  /// site's level is strictly below the waited mutex's level. This is the
+  /// declared-ordering escape hatch for known-good nestings such as
+  /// scheduler → thread pool.
+  int level;
+};
+
+}  // namespace snb::analysis
+
+#endif  // SNB_ANALYSIS_LOCK_SITE_H_

@@ -468,7 +468,7 @@ DriverReport RunBiWorkloadParallel(const storage::Graph& graph,
   // Workers funnel their samples through the annotated sink; direct access
   // to the vector without the lock is a clang thread-safety error.
   struct SampleSink {
-    util::Mutex mu;
+    util::Mutex mu{SNB_LOCK_SITE("driver.sample_sink.mu")};
     std::vector<Sample> samples SNB_GUARDED_BY(mu);
     void Add(Sample s) SNB_EXCLUDES(mu) {
       util::MutexLock lock(mu);

@@ -70,7 +70,7 @@ class GraphHandle {
   }
 
  private:
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{SNB_LOCK_SITE("driver.graph_handle.mu")};
   std::shared_ptr<const storage::Graph> graph_ SNB_GUARDED_BY(mu_);
 };
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 
+#include "util/latch.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -12,14 +13,17 @@ namespace {
 
 /// State shared between the calling thread and its pool helpers for one
 /// RunMorsels dispatch. The morsel counter and failure flag are lock-free;
-/// helper accounting and the first captured exception are guarded by `mu`
-/// (annotated, so lock misuse is a compile error under clang).
+/// the first captured exception is guarded by `mu` (annotated, so lock
+/// misuse is a compile error under clang). Helper completion goes through
+/// a util::BlockingCounter — the blocking wait itself lives in util/, per
+/// the lint rule that CondVar never appears outside it.
 struct MorselShared {
+  explicit MorselShared(size_t helpers) : done(helpers) {}
+
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
-  util::Mutex mu;
-  util::CondVar done;
-  size_t active_helpers SNB_GUARDED_BY(mu) = 0;
+  util::Mutex mu{SNB_LOCK_SITE("engine.morsel.error_mu")};
+  util::BlockingCounter done;
   std::exception_ptr error SNB_GUARDED_BY(mu);
 };
 
@@ -27,7 +31,8 @@ struct MorselShared {
 
 void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
                 const std::function<void(size_t, size_t)>& fn) {
-  MorselShared shared;
+  const size_t helpers = slots - 1;
+  MorselShared shared(helpers);
 
   auto run_loop = [&](size_t slot) {
     for (;;) {
@@ -46,18 +51,12 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
     }
   };
 
-  const size_t helpers = slots - 1;
-  {
-    util::MutexLock lock(shared.mu);
-    shared.active_helpers = helpers;
-  }
   for (size_t h = 0; h < helpers; ++h) {
     // Helpers capture the stack frame by reference; the join below keeps it
     // alive until the last helper signalled completion.
     pool.Submit([&shared, &run_loop, h] {
       run_loop(h);
-      util::MutexLock lock(shared.mu);
-      if (--shared.active_helpers == 0) shared.done.NotifyAll();
+      shared.done.DecrementCount();
     });
   }
 
@@ -66,10 +65,10 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
   // *is* a pool worker), so nesting on a shared pool cannot deadlock.
   run_loop(slots - 1);
 
+  shared.done.Wait();
   std::exception_ptr error;
   {
     util::MutexLock lock(shared.mu);
-    while (shared.active_helpers != 0) shared.done.Wait(shared.mu);
     error = shared.error;
   }
   if (error) std::rethrow_exception(error);

@@ -146,7 +146,12 @@ class StreamScheduler {
   /// Immutable after construction; read by workers without the lock.
   std::vector<QueryStream> streams_;
 
-  util::Mutex mu_;
+  /// Level 10: held across pool.Submit() in Admit(), i.e. ordered strictly
+  /// below the level-20 thread-pool queue lock — the one deliberate
+  /// holding-one-while-taking-the-other pattern in the repo, declared so
+  /// the deadlock analyzer treats it as a checked invariant rather than an
+  /// incidental edge.
+  util::Mutex mu_{SNB_LOCK_LEVEL("sched.stream_mu", 10)};
   std::vector<StreamProgress> progress_ SNB_GUARDED_BY(mu_);
 };
 

@@ -149,7 +149,7 @@ class MessageDateIndex {
 
   // Tail: arrival order plus per-kTailBlock zone maps. Guarded against
   // concurrent *writers*; readers are lock-free per the class contract.
-  util::Mutex append_mu_;
+  util::Mutex append_mu_{SNB_LOCK_SITE("storage.message_index.append_mu")};
   std::vector<uint32_t> tail_refs_ SNB_GUARDED_BY(append_mu_);
   std::vector<core::DateTime> tail_dates_ SNB_GUARDED_BY(append_mu_);
   std::vector<Zone> tail_zones_ SNB_GUARDED_BY(append_mu_);

@@ -57,7 +57,10 @@ class ThreadPool {
   void WorkerLoop() SNB_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  /// Level 20: the pool queue lock is the declared *upper* end of the
+  /// scheduler → pool ordering (sched/scheduler.cc holds its level-10
+  /// admission mutex while Submit() takes this one).
+  Mutex mu_{SNB_LOCK_LEVEL("util.thread_pool.mu", 20)};
   std::queue<std::function<void()>> tasks_ SNB_GUARDED_BY(mu_);
   CondVar task_ready_;
   CondVar all_done_;

@@ -1,0 +1,366 @@
+// Tests for the lock-order deadlock analyzer (src/analysis/lock_graph.h).
+//
+// The analyzer's whole point is reporting *potential* deadlocks without the
+// fatal interleaving ever executing, so the positive tests construct
+// A→B / B→A inversions that run to completion — single-threaded or with the
+// two threads serialized — and assert the report fires anyway. Abort-mode
+// behaviour (print + _Exit(DeadlockExitCode())) is asserted through forked
+// children, the same pattern failpoint_test uses for crash mode. The
+// negative tests run the repo's real concurrency machinery (thread pool
+// fan-out, morsel execution, GraphHandle swaps under readers) and assert
+// zero reports — the in-binary shadow of the SNB_DEADLOCK_DETECT=ON ctest
+// run that scripts/check.sh uses as the full no-false-positive gate.
+//
+// Everything is compiled out without SNB_DEADLOCK_DETECT; the suite then
+// only covers the always-on primitives (CondVar::WaitFor semantics).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/morsel.h"
+#include "util/latch.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+#ifdef SNB_DEADLOCK_DETECT
+#include "analysis/lock_graph.h"
+#endif
+
+namespace snb {
+namespace {
+
+using util::CondVar;
+using util::Mutex;
+using util::MutexLock;
+
+TEST(CondVarTest, WaitForTimesOutWhenNeverNotified) {
+  Mutex mu{SNB_LOCK_SITE("test.waitfor_timeout.mu")};
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitFor(mu, std::chrono::milliseconds(5)));
+}
+
+TEST(CondVarTest, WaitForReturnsTrueOnNotifyAndCallerRechecksPredicate) {
+  Mutex mu{SNB_LOCK_SITE("test.waitfor_notify.mu")};
+  CondVar cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(mu);
+    // The contract: loop until the predicate holds, re-checking after
+    // every return — spurious wakeups and timeouts are both absorbed.
+    while (!ready) {
+      cv.WaitFor(mu, std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(ready);
+  }
+  notifier.join();
+}
+
+#ifdef SNB_DEADLOCK_DETECT
+
+class DeadlockDetectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    analysis::ResetForTest();
+    analysis::SetReportMode(analysis::ReportMode::kCount);
+  }
+  void TearDown() override {
+    analysis::SetReportMode(analysis::ReportMode::kAbort);
+    analysis::ResetForTest();
+  }
+};
+
+TEST_F(DeadlockDetectTest, ReportsLockOrderCycleWithoutDeadlocking) {
+  Mutex a{SNB_LOCK_SITE("test.cycle.a")};
+  Mutex b{SNB_LOCK_SITE("test.cycle.b")};
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // records a → b
+  }
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // would record b → a: closes the cycle
+  }
+  EXPECT_EQ(analysis::ReportCount(), 1u);
+}
+
+TEST_F(DeadlockDetectTest, ReportsCycleAcrossTwoSerializedThreads) {
+  Mutex a{SNB_LOCK_SITE("test.cycle2.a")};
+  Mutex b{SNB_LOCK_SITE("test.cycle2.b")};
+  // The threads never overlap (t1 joins before t2 starts), so this run
+  // cannot deadlock — the analyzer must still see the inverted order.
+  std::thread t1([&] {
+    MutexLock la(a);
+    MutexLock lb(b);
+  });
+  t1.join();
+  std::thread t2([&] {
+    MutexLock lb(b);
+    MutexLock la(a);
+  });
+  t2.join();
+  EXPECT_EQ(analysis::ReportCount(), 1u);
+}
+
+TEST_F(DeadlockDetectTest, ReportsLongerCycleThroughIntermediateSite) {
+  Mutex a{SNB_LOCK_SITE("test.cycle3.a")};
+  Mutex b{SNB_LOCK_SITE("test.cycle3.b")};
+  Mutex c{SNB_LOCK_SITE("test.cycle3.c")};
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // a → b
+  }
+  {
+    MutexLock lb(b);
+    MutexLock lc(c);  // b → c
+  }
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+  {
+    MutexLock lc(c);
+    MutexLock la(a);  // c → a closes a → b → c → a
+  }
+  EXPECT_EQ(analysis::ReportCount(), 1u);
+}
+
+TEST_F(DeadlockDetectTest, ConsistentOrderAcrossManyThreadsIsSilent) {
+  Mutex a{SNB_LOCK_SITE("test.order.a")};
+  Mutex b{SNB_LOCK_SITE("test.order.b")};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        MutexLock la(a);
+        MutexLock lb(b);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+}
+
+TEST_F(DeadlockDetectTest, SameSiteDifferentInstancesMayNest) {
+  // Per-element locks born at one site legitimately nest (the graph keys
+  // on sites, so this must not self-loop into a report).
+  static const analysis::LockSiteInfo* site =
+      SNB_LOCK_SITE("test.same_site.mu");
+  Mutex m1{site}, m2{site};
+  MutexLock l1(m1);
+  MutexLock l2(m2);
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+}
+
+TEST_F(DeadlockDetectTest, TryLockRecordsNoEdgeButOrdersLaterLocks) {
+  Mutex a{SNB_LOCK_SITE("test.trylock.a")};
+  Mutex b{SNB_LOCK_SITE("test.trylock.b")};
+  {
+    MutexLock la(a);
+    ASSERT_TRUE(b.TryLock());  // no a → b edge (try-lock cannot block)
+    b.Unlock();
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // b → a — no cycle, the try-lock left no reverse edge
+  }
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+  {
+    ASSERT_TRUE(a.TryLock());
+    MutexLock lb(b);  // a held (via try-lock) → b: NOW records a → b
+    a.Unlock();
+  }
+  EXPECT_EQ(analysis::ReportCount(), 1u);  // cycle with the earlier b → a
+}
+
+TEST_F(DeadlockDetectTest, LevelViolationReported) {
+  Mutex low{SNB_LOCK_LEVEL("test.level.low", 10)};
+  Mutex high{SNB_LOCK_LEVEL("test.level.high", 20)};
+  {
+    MutexLock l1(low);
+    MutexLock l2(high);  // upward: fine
+  }
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+  {
+    MutexLock l2(high);
+    MutexLock l1(low);  // downward: level violation (and a cycle) — both
+                        // fire, one report each
+  }
+  EXPECT_GE(analysis::ReportCount(), 1u);
+}
+
+TEST_F(DeadlockDetectTest, CondVarWaitWhileHoldingUnrelatedMutexReported) {
+  Mutex held{SNB_LOCK_SITE("test.bwl.held")};
+  Mutex waited{SNB_LOCK_SITE("test.bwl.waited")};
+  CondVar cv;
+  MutexLock lh(held);
+  MutexLock lw(waited);
+  cv.WaitFor(waited, std::chrono::milliseconds(1));  // audit fires
+  EXPECT_EQ(analysis::ReportCount(), 1u);
+}
+
+TEST_F(DeadlockDetectTest, CondVarWaitAllowedByDeclaredLevels) {
+  // The scheduler → pool escape hatch: holding a strictly lower level
+  // across a wait on a higher level is a declared, audited ordering.
+  Mutex held{SNB_LOCK_LEVEL("test.bwl_level.held", 1)};
+  Mutex waited{SNB_LOCK_LEVEL("test.bwl_level.waited", 2)};
+  CondVar cv;
+  MutexLock lh(held);
+  MutexLock lw(waited);
+  cv.WaitFor(waited, std::chrono::milliseconds(1));
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+}
+
+TEST_F(DeadlockDetectTest, CondVarWaitAllowedByPairAllowlist) {
+  Mutex held{SNB_LOCK_SITE("test.bwl_allow.held")};
+  Mutex waited{SNB_LOCK_SITE("test.bwl_allow.waited")};
+  analysis::AllowWaitWhileHolding("test.bwl_allow.held",
+                                  "test.bwl_allow.waited");
+  CondVar cv;
+  MutexLock lh(held);
+  MutexLock lw(waited);
+  cv.WaitFor(waited, std::chrono::milliseconds(1));
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+}
+
+TEST_F(DeadlockDetectTest, HeldStackTracksAcquisitionAndRelease) {
+  Mutex a{SNB_LOCK_SITE("test.stack.a")};
+  EXPECT_EQ(analysis::HeldLockCountForTest(), 0u);
+  {
+    MutexLock la(a);
+    EXPECT_EQ(analysis::HeldLockCountForTest(), 1u);
+  }
+  EXPECT_EQ(analysis::HeldLockCountForTest(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Abort-mode reports, asserted through forked children (the production
+// default: a report kills the process with the marker exit code).
+// ---------------------------------------------------------------------------
+
+/// Forks, runs `child` (which should end with the analyzer killing the
+/// process), and expects the deadlock exit code plus `expect_stderr` in the
+/// child's captured stderr.
+template <typename Fn>
+void ExpectChildReports(const char* expect_stderr, Fn child) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    close(fds[0]);
+    dup2(fds[1], 2);  // capture the report
+    close(fds[1]);
+    analysis::SetReportMode(analysis::ReportMode::kAbort);
+    child();
+    _exit(1);  // unreachable if the analyzer fired — fails the parent
+  }
+  close(fds[1]);
+  std::string err;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+    err.append(buf, static_cast<size_t>(n));
+  }
+  close(fds[0]);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus)) << err;
+  EXPECT_EQ(WEXITSTATUS(wstatus), analysis::DeadlockExitCode()) << err;
+  EXPECT_NE(err.find(expect_stderr), std::string::npos) << err;
+}
+
+TEST_F(DeadlockDetectTest, AbortModeKillsProcessOnCycleAcrossTwoThreads) {
+  ExpectChildReports("lock-order cycle", [] {
+    Mutex a{SNB_LOCK_SITE("test.fork_cycle.a")};
+    Mutex b{SNB_LOCK_SITE("test.fork_cycle.b")};
+    std::thread t1([&] {
+      MutexLock la(a);
+      MutexLock lb(b);
+    });
+    t1.join();
+    // Second thread inverts the order; the report fires on edge insertion,
+    // before this thread could ever block on `a`.
+    std::thread t2([&] {
+      MutexLock lb(b);
+      MutexLock la(a);
+    });
+    t2.join();
+  });
+}
+
+TEST_F(DeadlockDetectTest, AbortModeKillsProcessOnRecursiveAcquisition) {
+  ExpectChildReports("self-deadlock", [] {
+    Mutex a{SNB_LOCK_SITE("test.fork_recursive.a")};
+    a.Lock();
+    a.Lock();  // reported (and aborted) before the hang
+  });
+}
+
+TEST_F(DeadlockDetectTest, AbortModeKillsProcessOnBlockingWhileLocked) {
+  ExpectChildReports("blocking-while-locked", [] {
+    Mutex held{SNB_LOCK_SITE("test.fork_bwl.held")};
+    Mutex waited{SNB_LOCK_SITE("test.fork_bwl.waited")};
+    CondVar cv;
+    MutexLock lh(held);
+    MutexLock lw(waited);
+    cv.WaitFor(waited, std::chrono::milliseconds(1));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// No-false-positive runs over the real concurrency machinery. The full
+// gate is `ctest` in a SNB_DEADLOCK_DETECT=ON build (scripts/check.sh);
+// these in-binary versions pin the three riskiest patterns directly.
+// ---------------------------------------------------------------------------
+
+TEST_F(DeadlockDetectTest, ThreadPoolFanOutIsSilent) {
+  util::ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(1000, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i % 7), std::memory_order_relaxed);
+  });
+  // Nested submits from workers (the scheduler's admission pattern).
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&pool, &sum] {
+      pool.Submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+}
+
+TEST_F(DeadlockDetectTest, MorselExecutionOnSharedPoolIsSilent) {
+  util::ThreadPool pool(4);
+  std::vector<int> per_slot(4, 0);
+  engine::internal::RunMorsels(pool, 64, 4, [&](size_t, size_t slot) {
+    ++per_slot[slot];
+  });
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+}
+
+TEST_F(DeadlockDetectTest, BlockingCounterFanInIsSilent) {
+  util::ThreadPool pool(4);
+  util::BlockingCounter done(8);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] { done.DecrementCount(); });
+  }
+  done.Wait();
+  pool.Wait();
+  EXPECT_EQ(analysis::ReportCount(), 0u);
+}
+
+#endif  // SNB_DEADLOCK_DETECT
+
+}  // namespace
+}  // namespace snb
