@@ -1,106 +1,193 @@
-// Storage-layer benchmarks: CSV load, graph build, export, consistency
-// check, and raw adjacency scan bandwidth.
+// Columnar-storage density benchmark: generates two scale points with the
+// bounded-memory streaming datagen, loads each into the compressed graph
+// store, and reports the headline densities the compression work is judged
+// by — bytes/edge and bytes/message against the seed layout's raw
+// equivalent — plus load time and a peak-RSS proxy (Linux VmHWM).
+//
+// Writes bench/out/BENCH_storage.json (gitignored — compare against the
+// committed baseline bench/BENCH_storage.json) and echoes it to stdout.
+//
+// Usage: bench_storage [--sf1=400] [--sf2=800] [--seed=42]
+//                      [--out=bench/out/BENCH_storage.json]
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <string>
+#include <vector>
 
-#include "datagen/datagen.h"
-#include "util/check.h"
-#include "datagen/serializer.h"
-#include "storage/consistency.h"
-#include "storage/export.h"
+#include "datagen/streaming.h"
 #include "storage/graph.h"
 #include "storage/loader.h"
+#include "util/check.h"
 
-namespace snb::bench {
 namespace {
 
-const std::string& DatasetDir() {
-  static std::string* dir = [] {
-    datagen::DatagenConfig cfg;
-    cfg.num_persons = 800;
-    cfg.activity_scale = 0.6;
-    datagen::GeneratedData data = datagen::Generate(cfg);
-    auto* d = new std::string("/tmp/snb_bench_storage");
-    std::filesystem::remove_all(*d);
-    SNB_CHECK(datagen::WriteCsvBasic(data.network, *d).ok());
-    return d;
-  }();
-  return *dir;
+using namespace snb;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  uint64_t sf1 = 400;
+  uint64_t sf2 = 800;
+  uint64_t seed = 42;
+  std::string out = "bench/out/BENCH_storage.json";
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
 }
 
-void BM_LoadCsvBasic(benchmark::State& state) {
-  const std::string& dir = DatasetDir();
-  for (auto _ : state) {
-    auto result = storage::LoadCsvBasic(dir);
-    SNB_CHECK(result.ok());
-    benchmark::DoNotOptimize(result.value().persons.size());
-  }
-}
-BENCHMARK(BM_LoadCsvBasic)->Unit(benchmark::kMillisecond);
-
-storage::Graph& BenchGraph() {
-  static storage::Graph* graph = [] {
-    auto result = storage::LoadCsvBasic(DatasetDir());
-    SNB_CHECK(result.ok());
-    return new storage::Graph(std::move(result.value()));
-  }();
-  return *graph;
-}
-
-void BM_ConsistencyCheck(benchmark::State& state) {
-  storage::Graph& graph = BenchGraph();
-  for (auto _ : state) {
-    auto issues = storage::CheckGraphConsistency(graph);
-    SNB_CHECK(issues.empty());
-    benchmark::DoNotOptimize(issues);
-  }
-}
-BENCHMARK(BM_ConsistencyCheck)->Unit(benchmark::kMillisecond);
-
-void BM_ExportNetwork(benchmark::State& state) {
-  storage::Graph& graph = BenchGraph();
-  for (auto _ : state) {
-    core::SocialNetwork net = storage::ExportNetwork(graph);
-    benchmark::DoNotOptimize(net.persons.size());
-  }
-}
-BENCHMARK(BM_ExportNetwork)->Unit(benchmark::kMillisecond);
-
-void BM_KnowsScanBandwidth(benchmark::State& state) {
-  storage::Graph& graph = BenchGraph();
-  size_t edges = graph.Knows().num_edges();
-  for (auto _ : state) {
-    uint64_t acc = 0;
-    for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
-      graph.Knows().ForEach(p, [&](uint32_t q) { acc += q; });
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--sf1", &v)) {
+      opt.sf1 = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--sf2", &v)) {
+      opt.sf2 = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--out", &v)) {
+      opt.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_storage [--sf1=N] [--sf2=N] [--seed=N] "
+                   "[--out=bench/out/BENCH_storage.json]\n");
+      std::exit(2);
     }
-    benchmark::DoNotOptimize(acc);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(edges));
+  return opt;
 }
-BENCHMARK(BM_KnowsScanBandwidth);
 
-void BM_MessageColumnScan(benchmark::State& state) {
-  storage::Graph& graph = BenchGraph();
-  for (auto _ : state) {
-    int64_t count = 0;
-    graph.ForEachMessage([&](uint32_t msg) {
-      if (graph.MessageCreationDate(msg) >
-          core::DateTimeFromCivil(2011, 6, 1)) {
-        ++count;
-      }
-    });
-    benchmark::DoNotOptimize(count);
+/// Peak resident set size in KiB from /proc/self/status, 0 if unavailable.
+size_t VmHwmKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(graph.NumMessages()));
+  std::fclose(f);
+  return kb;
 }
-BENCHMARK(BM_MessageColumnScan);
+
+struct ScalePoint {
+  uint64_t persons = 0;
+  datagen::StreamingStats datagen;
+  double datagen_ms = 0;
+  double load_ms = 0;
+  storage::columnar::MemoryBreakdown memory;
+  size_t vm_hwm_kb = 0;
+};
+
+ScalePoint RunScale(uint64_t persons, uint64_t seed) {
+  ScalePoint sp;
+  sp.persons = persons;
+
+  std::string dir = "/tmp/snb_bench_storage_" + std::to_string(persons);
+  std::filesystem::remove_all(dir);
+  datagen::StreamingOptions options;
+  options.datagen.seed = seed;
+  options.datagen.num_persons = persons;
+  options.out_dir = dir;
+  options.spill_dir = dir + "/.spill";
+  options.memory_budget_bytes = size_t{64} << 20;
+
+  std::fprintf(stderr, "generating %" PRIu64 " persons (streaming)...\n",
+               persons);
+  Clock::time_point t0 = Clock::now();
+  SNB_CHECK_OK(datagen::GenerateStreaming(options, &sp.datagen));
+  sp.datagen_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  std::fprintf(stderr, "loading...\n");
+  t0 = Clock::now();
+  auto loaded = storage::LoadCsvBasic(dir);
+  SNB_CHECK(loaded.ok());
+  storage::Graph graph(std::move(loaded.value()));
+  sp.load_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  sp.memory = graph.Memory();
+  sp.vm_hwm_kb = VmHwmKb();
+  std::filesystem::remove_all(dir);
+  return sp;
+}
 
 }  // namespace
-}  // namespace snb::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Options opt = ParseOptions(argc, argv);
+
+  std::vector<ScalePoint> points;
+  points.push_back(RunScale(opt.sf1, opt.seed));
+  points.push_back(RunScale(opt.sf2, opt.seed));
+
+  std::string json;
+  auto emit = [&json](const char* fmt, auto... args) {
+    char line[512];
+    std::snprintf(line, sizeof(line), fmt, args...);
+    json += line;
+  };
+
+  emit("{\n");
+  emit("  \"benchmark\": \"columnar_storage\",\n");
+  emit("  \"seed\": %" PRIu64 ",\n", opt.seed);
+  emit("  \"scale_points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& sp = points[i];
+    const auto& mb = sp.memory;
+    emit("    {\n");
+    emit("      \"persons\": %" PRIu64 ",\n", sp.persons);
+    emit("      \"posts\": %zu,\n", sp.datagen.posts);
+    emit("      \"comments\": %zu,\n", sp.datagen.comments);
+    emit("      \"datagen_ms\": %.1f,\n", sp.datagen_ms);
+    emit("      \"datagen_spill_runs\": %zu,\n", sp.datagen.spill_runs);
+    emit("      \"load_ms\": %.1f,\n", sp.load_ms);
+    emit("      \"num_edges\": %zu,\n", mb.num_edges);
+    emit("      \"num_messages\": %zu,\n", mb.num_messages);
+    emit("      \"bytes_per_edge\": %.2f,\n", mb.BytesPerEdge());
+    emit("      \"raw_bytes_per_edge\": %.2f,\n", mb.RawBytesPerEdge());
+    emit("      \"edge_compression\": %.2f,\n",
+         mb.BytesPerEdge() > 0 ? mb.RawBytesPerEdge() / mb.BytesPerEdge()
+                               : 0.0);
+    emit("      \"bytes_per_message\": %.2f,\n", mb.BytesPerMessage());
+    emit("      \"raw_bytes_per_message\": %.2f,\n", mb.RawBytesPerMessage());
+    emit("      \"total_bytes\": %zu,\n", mb.total_bytes());
+    emit("      \"total_raw_bytes\": %zu,\n", mb.total_raw_bytes());
+    emit("      \"peak_rss_proxy_kb\": %zu,\n", sp.vm_hwm_kb);
+    emit("      \"families\": [\n");
+    for (size_t j = 0; j < mb.families.size(); ++j) {
+      const auto& f = mb.families[j];
+      emit("        {\"name\": \"%s\", \"bytes\": %zu, \"raw_bytes\": %zu, "
+           "\"items\": %zu}%s\n",
+           f.name.c_str(), f.bytes, f.raw_bytes, f.items,
+           j + 1 < mb.families.size() ? "," : "");
+    }
+    emit("      ]\n");
+    emit("    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  emit("  ]\n");
+  emit("}\n");
+
+  std::fputs(json.c_str(), stdout);
+  std::filesystem::create_directories(
+      std::filesystem::path(opt.out).parent_path());
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", opt.out.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 //
 //   build-fuzz/fuzz/make_seed_corpus fuzz/corpus
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -20,6 +21,7 @@
 #include "core/schema.h"
 #include "datagen/datagen.h"
 #include "datagen/update_stream.h"
+#include "storage/columnar/column_block.h"
 #include "storage/wal.h"
 #include "util/check.h"
 
@@ -203,6 +205,45 @@ void WriteWalCorpus(const std::filesystem::path& dir) {
   WriteFile(dir / "empty.bin", "");
 }
 
+void WriteColumnBlockCorpus(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  using snb::storage::columnar::ColumnBlock;
+
+  // Valid blocks from both encoders, spanning the width extremes the
+  // decoder's strictness re-derives (0-bit constant runs up to wide FOR).
+  std::vector<uint64_t> dates;
+  for (uint64_t i = 0; i < 300; ++i) {
+    dates.push_back(1'300'000'000'000 + i * 61'000);
+  }
+  std::string delta_sorted;
+  ColumnBlock::EncodeDelta(dates).SerializeTo(&delta_sorted);
+  WriteFile(dir / "delta_sorted.bin", delta_sorted);
+
+  std::vector<uint64_t> refs = {9, 2, 7, 2, 40, 11, 3, 3, 0, 25};
+  std::string for_small;
+  ColumnBlock::EncodeFor(refs).SerializeTo(&for_small);
+  WriteFile(dir / "for_small.bin", for_small);
+
+  std::vector<uint64_t> constant(64, 0xfeedface);
+  std::string for_constant;
+  ColumnBlock::EncodeFor(constant).SerializeTo(&for_constant);
+  WriteFile(dir / "for_constant_zero_bits.bin", for_constant);
+
+  std::vector<uint64_t> wide = {0, UINT64_MAX, 1, UINT64_MAX / 3};
+  std::string for_wide;
+  ColumnBlock::EncodeFor(wide).SerializeTo(&for_wide);
+  WriteFile(dir / "for_wide.bin", for_wide);
+
+  // Near-valid mutants: a truncated payload and a corrupted zone byte, the
+  // two damage classes the strict decoder must reject (not crash on).
+  WriteFile(dir / "truncated.bin",
+            delta_sorted.substr(0, delta_sorted.size() / 2));
+  std::string bad = for_small;
+  bad[bad.size() / 2] ^= 0x5a;
+  WriteFile(dir / "flipped_byte.bin", bad);
+  WriteFile(dir / "empty.bin", "");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +255,7 @@ int main(int argc, char** argv) {
   WriteUpdateEventCorpus(root / "update_event");
   WriteCsvCorpus(root / "csv");
   WriteWalCorpus(root / "wal");
+  WriteColumnBlockCorpus(root / "column_block");
   std::printf("seed corpora written under %s\n", root.c_str());
   return 0;
 }

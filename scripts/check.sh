@@ -11,11 +11,14 @@
 #   7. deadlock       — full ctest with SNB_DEADLOCK_DETECT=ON: any
 #                       lock-order cycle or blocking-while-locked report
 #                       aborts its test — the no-false-positive gate
-#   8. fuzz smoke     — the three parser fuzz harnesses, fixed-iteration
+#   8. fuzz smoke     — the parser/decoder fuzz harnesses, fixed-iteration
 #                       deterministic replay under ASan+UBSan
-#   9. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
+#   9. scale smoke    — streaming datagen at 10× the bench scale under a
+#                       bounded sorter budget, loaded, validated, and held
+#                       to the bytes/edge compression budget
+#  10. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
 #
-# Stages 1 and 3–8 run on any GCC machine; 2 and 9 need clang and are
+# Stages 1 and 3–9 run on any GCC machine; 2 and 10 need clang and are
 # skipped with a notice when it is absent — the matrix must stay useful on
 # the GCC-only tier-1 machines. Run from anywhere; builds land in build*/
 # at the repo root.
@@ -74,13 +77,28 @@ echo "== fuzz smoke: parser harnesses, fixed iterations, ASan+UBSan =="
 cmake -B "$repo/build-fuzz" -S "$repo" -DSNB_FUZZ=ON \
   -DSNB_SANITIZE=address+undefined
 cmake --build "$repo/build-fuzz" -j \
-  --target fuzz_wal_record_smoke fuzz_csv_row_smoke fuzz_update_event_smoke
-for pair in fuzz_wal_record:wal fuzz_csv_row:csv fuzz_update_event:update_event; do
+  --target fuzz_wal_record_smoke fuzz_csv_row_smoke fuzz_update_event_smoke \
+           fuzz_column_block_smoke
+for pair in fuzz_wal_record:wal fuzz_csv_row:csv fuzz_update_event:update_event \
+            fuzz_column_block:column_block; do
   harness="${pair%%:*}"
   corpus="${pair##*:}"
   "$repo/build-fuzz/fuzz/${harness}_smoke" \
     --corpus="$repo/fuzz/corpus/$corpus" --iterations=50000
 done
+
+echo "== scale smoke: streaming datagen at 10x the bench scale =="
+# bench/BENCH_storage.json baselines at 800 persons; this stage generates
+# 8000 with a 64 MiB sorter budget (spills are expected and part of the
+# point), loads the result into the compressed store, holds it to the
+# bytes/edge ceiling (baseline is ~4.4 against a raw ~11; 6.0 is the
+# regression gate), and runs the full graph-invariant validator on it.
+scale_dir="$repo/build/scale-smoke-out"
+rm -rf "$scale_dir"
+"$repo/build/tools/snb_datagen" "$scale_dir" --persons 8000 --budget-mb 64 \
+  --max-bytes-per-edge 6.0
+"$repo/build/tools/snb_validate" --load "$scale_dir"
+rm -rf "$scale_dir"
 
 echo "== thread-safety: clang -Wthread-safety -Werror=thread-safety =="
 if command -v clang++ >/dev/null 2>&1; then

@@ -80,12 +80,12 @@ if [[ -n "$hits" ]]; then fail "tracked file name begins with '-'" "$hits"; fi
 
 echo "== lint: fuzz harnesses drive public Status-returning parsers =="
 # Each harness must exercise a real public entry point (ScanWal / ReadCsv /
-# ParseUpdateEventLine) — fuzzing a private helper tests code no production
-# caller reaches, and including a .cc or internal:: symbol would silently
-# decouple the harness from the shipped parser.
+# ParseUpdateEventLine / DecodeColumnBlock) — fuzzing a private helper tests
+# code no production caller reaches, and including a .cc or internal::
+# symbol would silently decouple the harness from the shipped parser.
 for f in fuzz/fuzz_*.cc; do
   [[ "$f" == "fuzz/fuzz_smoke_main.cc" ]] && continue
-  if ! grep -qE 'ScanWal|ReadCsv|ParseUpdateEventLine' "$f"; then
+  if ! grep -qE 'ScanWal|ReadCsv|ParseUpdateEventLine|DecodeColumnBlock' "$f"; then
     fail "fuzz harness drives no public parser entry point:" "$f"
   fi
   hits=$(match_code '#include *"[^"]*\.cc"|\binternal::' "$f")

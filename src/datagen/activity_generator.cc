@@ -29,12 +29,6 @@ int32_t SampleContentLength(util::Rng& rng) {
   return static_cast<int32_t>(rng.UniformInt(500, 2000));
 }
 
-struct ForumState {
-  // Parallel to ActivityData::forums: members and their join dates
-  // (moderator is *not* included; spec allows moderator posts regardless).
-  std::vector<std::vector<std::pair<uint32_t, core::DateTime>>> members;
-};
-
 /// Samples a message country: usually home, occasionally travelling.
 core::Id MessageCountry(util::Rng& rng, const Dictionaries& dicts,
                         size_t home_country) {
@@ -43,14 +37,36 @@ core::Id MessageCountry(util::Rng& rng, const Dictionaries& dicts,
   return dicts.places()[dicts.CountryPlace(c)].id;
 }
 
+/// Collects the full message stream into an ActivityData (the in-memory
+/// Generate() path).
+class VectorSink final : public MessageSink {
+ public:
+  explicit VectorSink(ActivityData& out) : out_(out) {}
+
+  void OnPost(uint32_t post_index, const core::Post& post) override {
+    SNB_DCHECK(post_index == out_.posts.size());
+    out_.posts.push_back(post);
+  }
+  void OnComment(uint32_t comment_index, const core::Comment& comment,
+                 core::DateTime /*parent_date*/) override {
+    SNB_DCHECK(comment_index == out_.comments.size());
+    out_.comments.push_back(comment);
+  }
+  void OnLike(const core::Like& like,
+              core::DateTime /*message_date*/) override {
+    out_.likes.push_back(like);
+  }
+
+ private:
+  ActivityData& out_;
+};
+
 }  // namespace
 
-ActivityData GenerateActivity(const DatagenConfig& config,
-                              const Dictionaries& dicts,
-                              const std::vector<PersonDraft>& drafts,
-                              const FlashmobSchedule& flashmobs) {
-  ActivityData out;
-  ForumState state;
+ForumPhase GenerateForums(const DatagenConfig& config,
+                          const Dictionaries& dicts,
+                          const std::vector<PersonDraft>& drafts) {
+  ForumPhase out;
   const size_t n = drafts.size();
   const core::DateTime sim_end = config.SimulationEnd();
   const double mean_degree =
@@ -65,22 +81,17 @@ ActivityData GenerateActivity(const DatagenConfig& config,
     }
   }
 
-  // Per-person forums they may post into: (forum index, earliest post time).
-  std::vector<std::vector<std::pair<uint32_t, core::DateTime>>> postable(n);
-  // Per-person album list (image posts only).
-  std::vector<std::vector<uint32_t>> albums_of(n);
+  out.postable.resize(n);
+  out.albums_of.resize(n);
 
   auto add_member = [&](uint32_t forum, uint32_t person,
                         core::DateTime join) {
     out.memberships.push_back(
         {static_cast<core::Id>(forum), static_cast<core::Id>(person), join});
-    state.members[forum].emplace_back(person, join);
-    postable[person].emplace_back(forum, join);
+    out.members[forum].emplace_back(person, join);
+    out.postable[person].emplace_back(forum, join);
   };
 
-  // ---------------------------------------------------------------------
-  // Phase A: forums + memberships.
-  // ---------------------------------------------------------------------
   for (size_t p = 0; p < n; ++p) {
     util::Rng rng(config.seed, kStreamForums, p);
     const PersonDraft& d = drafts[p];
@@ -103,10 +114,10 @@ ActivityData GenerateActivity(const DatagenConfig& config,
       }
       uint32_t wall_idx = static_cast<uint32_t>(out.forums.size());
       out.forums.push_back(std::move(wall));
-      state.members.emplace_back();
+      out.members.emplace_back();
       // The owner can always post (as moderator).
-      postable[p].emplace_back(wall_idx,
-                               out.forums[wall_idx].creation_date);
+      out.postable[p].emplace_back(wall_idx,
+                                   out.forums[wall_idx].creation_date);
       // Friends join the wall when the friendship forms.
       for (size_t f = 0; f < d.friends.size(); ++f) {
         core::DateTime join = std::max(d.friend_dates[f],
@@ -131,8 +142,8 @@ ActivityData GenerateActivity(const DatagenConfig& config,
               0, static_cast<int64_t>(person.interests.size()) - 1))]);
       uint32_t album_idx = static_cast<uint32_t>(out.forums.size());
       out.forums.push_back(std::move(album));
-      state.members.emplace_back();
-      albums_of[p].push_back(album_idx);
+      out.members.emplace_back();
+      out.albums_of[p].push_back(album_idx);
     }
 
     // Interest groups: activity scales with connectivity.
@@ -161,8 +172,8 @@ ActivityData GenerateActivity(const DatagenConfig& config,
       uint32_t group_idx = static_cast<uint32_t>(out.forums.size());
       core::DateTime group_created = group.creation_date;
       out.forums.push_back(std::move(group));
-      state.members.emplace_back();
-      postable[p].emplace_back(group_idx, group_created);
+      out.members.emplace_back();
+      out.postable[p].emplace_back(group_idx, group_created);
 
       std::unordered_set<uint32_t> joined{static_cast<uint32_t>(p)};
       auto try_join = [&](uint32_t member, core::DateTime earliest) {
@@ -199,10 +210,25 @@ ActivityData GenerateActivity(const DatagenConfig& config,
       }
     }
   }
+  return out;
+}
 
-  // ---------------------------------------------------------------------
-  // Phase B: posts.
-  // ---------------------------------------------------------------------
+void GenerateMessages(const DatagenConfig& config, const Dictionaries& dicts,
+                      const std::vector<PersonDraft>& drafts,
+                      const FlashmobSchedule& flashmobs,
+                      const ForumPhase& fp, MessageSink& sink) {
+  const size_t n = drafts.size();
+  const core::DateTime sim_end = config.SimulationEnd();
+  const double comment_mean = 2.6 * config.activity_scale;
+  const double post_like_mean = 2.2 * config.activity_scale;
+  const double comment_like_mean = 0.6 * config.activity_scale;
+
+  // Generation indices. Posts draw their thread RNG from their own index, so
+  // running the thread directly after its post assigns the same indices as
+  // the all-posts-then-all-threads order did.
+  uint32_t post_counter = 0;
+  uint32_t comment_counter = 0;
+
   for (size_t p = 0; p < n; ++p) {
     util::Rng rng(config.seed, kStreamPosts, p);
     const PersonDraft& d = drafts[p];
@@ -224,13 +250,13 @@ ActivityData GenerateActivity(const DatagenConfig& config,
       bool image_post = false;
       uint32_t forum_idx;
       core::DateTime earliest;
-      if (kind_u < 0.15 && !albums_of[p].empty()) {
-        forum_idx = albums_of[p][static_cast<size_t>(rng.UniformInt(
-            0, static_cast<int64_t>(albums_of[p].size()) - 1))];
-        earliest = out.forums[forum_idx].creation_date;
+      if (kind_u < 0.15 && !fp.albums_of[p].empty()) {
+        forum_idx = fp.albums_of[p][static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(fp.albums_of[p].size()) - 1))];
+        earliest = fp.forums[forum_idx].creation_date;
         image_post = true;
       } else {
-        const auto& options = postable[p];
+        const auto& options = fp.postable[p];
         // options[0] is always the own wall; later entries are groups and
         // walls of friends joined.
         size_t pick = 0;
@@ -242,7 +268,7 @@ ActivityData GenerateActivity(const DatagenConfig& config,
         earliest = options[pick].second;
       }
       post.forum = static_cast<core::Id>(forum_idx);
-      const core::Forum& forum = out.forums[forum_idx];
+      const core::Forum& forum = fp.forums[forum_idx];
 
       // Topic: forum tag most of the time, enriched via the tag matrix.
       size_t topic;
@@ -284,127 +310,135 @@ ActivityData GenerateActivity(const DatagenConfig& config,
         post.length = SampleContentLength(rng);
         post.content = dicts.MakeText(rng, topic, post.length);
       }
-      out.posts.push_back(std::move(post));
-    }
-  }
+      const uint32_t post_idx = post_counter++;
+      sink.OnPost(post_idx, post);
 
-  // ---------------------------------------------------------------------
-  // Phase C: comment threads and likes per post.
-  // ---------------------------------------------------------------------
-  const double comment_mean = 2.6 * config.activity_scale;
-  const double post_like_mean = 2.2 * config.activity_scale;
-  const double comment_like_mean = 0.6 * config.activity_scale;
+      // --- The post's comment thread and likes (its own RNG stream) ------
+      util::Rng trng(config.seed, kStreamThreads, post_idx);
+      const uint32_t creator = static_cast<uint32_t>(p);
 
-  for (size_t post_idx = 0; post_idx < out.posts.size(); ++post_idx) {
-    util::Rng rng(config.seed, kStreamThreads, post_idx);
-    const core::Post& post = out.posts[post_idx];
-    const uint32_t creator = static_cast<uint32_t>(post.creator);
-    const uint32_t forum_idx = static_cast<uint32_t>(post.forum);
+      // Participant pool: the post creator's friends plus forum members.
+      std::vector<uint32_t> pool;
+      pool.reserve(d.friends.size() + fp.members[forum_idx].size());
+      for (uint32_t f : d.friends) pool.push_back(f);
+      for (const auto& [member, join] : fp.members[forum_idx]) {
+        if (member != creator) pool.push_back(member);
+      }
 
-    // Participant pool: the post creator's friends plus forum members who
-    // joined before the relevant moment (approximated by membership date
-    // filtering below).
-    std::vector<uint32_t> pool;
-    pool.reserve(drafts[creator].friends.size() +
-                 state.members[forum_idx].size());
-    for (uint32_t f : drafts[creator].friends) pool.push_back(f);
-    for (const auto& [member, join] : state.members[forum_idx]) {
-      if (member != creator) pool.push_back(member);
-    }
+      // Comments (none under image albums — photo streams get likes only).
+      bool is_album = forum.kind == core::ForumKind::kAlbum;
+      if (!pool.empty() && !is_album && comment_mean > 0) {
+        int num_comments = static_cast<int>(
+            trng.Geometric(1.0 / (1.0 + comment_mean)));
+        core::DateTime clock = post.creation_date;
+        std::vector<uint32_t> thread;  // comment gen indices of this thread
+        std::vector<core::DateTime> thread_dates;
+        std::vector<uint32_t> thread_creators;
+        for (int c = 0; c < num_comments; ++c) {
+          double u = trng.NextDouble();
+          if (u <= 0.0) u = 0x1.0p-53;
+          clock += static_cast<core::DateTime>(
+              -std::log(u) * 6.0 * core::kMillisPerHour) + 1;
+          if (clock >= sim_end) break;
+          uint32_t commenter = pool[static_cast<size_t>(
+              trng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+          if (drafts[commenter].record.creation_date > clock) continue;
 
-    // Comments (none under image albums — photo streams get likes only).
-    bool is_album =
-        out.forums[forum_idx].kind == core::ForumKind::kAlbum;
-    if (!pool.empty() && !is_album && comment_mean > 0) {
-      int num_comments = static_cast<int>(
-          rng.Geometric(1.0 / (1.0 + comment_mean)));
-      core::DateTime clock = post.creation_date;
-      std::vector<uint32_t> thread;  // comment indices of this thread
-      for (int c = 0; c < num_comments; ++c) {
-        double u = rng.NextDouble();
-        if (u <= 0.0) u = 0x1.0p-53;
-        clock += static_cast<core::DateTime>(
-            -std::log(u) * 6.0 * core::kMillisPerHour) + 1;
-        if (clock >= sim_end) break;
-        uint32_t commenter = pool[static_cast<size_t>(
-            rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
-        if (drafts[commenter].record.creation_date > clock) continue;
-
-        core::Comment comment;
-        comment.creator = static_cast<core::Id>(commenter);
-        comment.creation_date = clock;
-        if (thread.empty() || rng.Bernoulli(0.55)) {
-          comment.reply_of_post = static_cast<core::Id>(post_idx);
-        } else {
-          comment.reply_of_comment = static_cast<core::Id>(
-              thread[static_cast<size_t>(rng.UniformInt(
-                  0, static_cast<int64_t>(thread.size()) - 1))]);
+          core::Comment comment;
+          comment.creator = static_cast<core::Id>(commenter);
+          comment.creation_date = clock;
+          core::DateTime parent_date;
+          if (thread.empty() || trng.Bernoulli(0.55)) {
+            comment.reply_of_post = static_cast<core::Id>(post_idx);
+            parent_date = post.creation_date;
+          } else {
+            size_t parent = static_cast<size_t>(trng.UniformInt(
+                0, static_cast<int64_t>(thread.size()) - 1));
+            comment.reply_of_comment = static_cast<core::Id>(thread[parent]);
+            parent_date = thread_dates[parent];
+          }
+          comment.browser_used = drafts[commenter].record.browser_used;
+          comment.location_ip = drafts[commenter].record.location_ip;
+          comment.country =
+              MessageCountry(trng, dicts, drafts[commenter].country);
+          comment.length = SampleContentLength(trng);
+          size_t topic2 = post.tags.empty()
+                              ? drafts[commenter].main_interest
+                              : static_cast<size_t>(post.tags[0]);
+          comment.content = dicts.MakeText(trng, topic2, comment.length);
+          if (trng.Bernoulli(0.3)) {
+            comment.tags.push_back(dicts.tags()[topic2].id);
+            for (size_t extra : dicts.SampleCorrelatedTags(
+                     trng, topic2, trng.Bernoulli(0.3) ? 1 : 0)) {
+              comment.tags.push_back(dicts.tags()[extra].id);
+            }
+          }
+          const uint32_t comment_idx = comment_counter++;
+          thread.push_back(comment_idx);
+          thread_dates.push_back(comment.creation_date);
+          thread_creators.push_back(commenter);
+          sink.OnComment(comment_idx, comment, parent_date);
         }
-        comment.browser_used = drafts[commenter].record.browser_used;
-        comment.location_ip = drafts[commenter].record.location_ip;
-        comment.country =
-            MessageCountry(rng, dicts, drafts[commenter].country);
-        comment.length = SampleContentLength(rng);
-        size_t topic = post.tags.empty()
-                           ? drafts[commenter].main_interest
-                           : static_cast<size_t>(post.tags[0]);
-        comment.content = dicts.MakeText(rng, topic, comment.length);
-        if (rng.Bernoulli(0.3)) {
-          comment.tags.push_back(dicts.tags()[topic].id);
-          for (size_t extra : dicts.SampleCorrelatedTags(
-                   rng, topic, rng.Bernoulli(0.3) ? 1 : 0)) {
-            comment.tags.push_back(dicts.tags()[extra].id);
+
+        // Likes on this thread's comments.
+        for (size_t t = 0; t < thread.size(); ++t) {
+          int num_likes = static_cast<int>(
+              trng.Geometric(1.0 / (1.0 + comment_like_mean)));
+          if (num_likes <= 0) continue;
+          std::unordered_set<uint32_t> likers;
+          for (int l = 0; l < num_likes && l < 32; ++l) {
+            uint32_t liker = pool[static_cast<size_t>(
+                trng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+            if (liker == thread_creators[t] || likers.contains(liker)) {
+              continue;
+            }
+            core::DateTime when =
+                std::max(thread_dates[t],
+                         drafts[liker].record.creation_date) +
+                trng.UniformInt(1, 2 * core::kMillisPerDay);
+            if (when >= sim_end) continue;
+            likers.insert(liker);
+            sink.OnLike({static_cast<core::Id>(liker),
+                         static_cast<core::Id>(thread[t]), false, when},
+                        thread_dates[t]);
           }
         }
-        thread.push_back(static_cast<uint32_t>(out.comments.size()));
-        out.comments.push_back(std::move(comment));
       }
 
-      // Likes on this thread's comments.
-      for (uint32_t comment_idx : thread) {
+      // Likes on the post itself.
+      if (!pool.empty() && post_like_mean > 0) {
         int num_likes = static_cast<int>(
-            rng.Geometric(1.0 / (1.0 + comment_like_mean)));
-        if (num_likes <= 0) continue;
+            trng.Geometric(1.0 / (1.0 + post_like_mean)));
         std::unordered_set<uint32_t> likers;
-        const core::Comment& comment = out.comments[comment_idx];
-        for (int l = 0; l < num_likes && l < 32; ++l) {
+        for (int l = 0; l < num_likes && l < 64; ++l) {
           uint32_t liker = pool[static_cast<size_t>(
-              rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
-          if (liker == comment.creator || likers.contains(liker)) continue;
+              trng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+          if (liker == creator || likers.contains(liker)) continue;
           core::DateTime when =
-              std::max(comment.creation_date,
+              std::max(post.creation_date,
                        drafts[liker].record.creation_date) +
-              rng.UniformInt(1, 2 * core::kMillisPerDay);
+              trng.UniformInt(1, 2 * core::kMillisPerDay);
           if (when >= sim_end) continue;
           likers.insert(liker);
-          out.likes.push_back({static_cast<core::Id>(liker),
-                               static_cast<core::Id>(comment_idx), false,
-                               when});
+          sink.OnLike({static_cast<core::Id>(liker),
+                       static_cast<core::Id>(post_idx), true, when},
+                      post.creation_date);
         }
       }
     }
-
-    // Likes on the post itself.
-    if (!pool.empty() && post_like_mean > 0) {
-      int num_likes = static_cast<int>(
-          rng.Geometric(1.0 / (1.0 + post_like_mean)));
-      std::unordered_set<uint32_t> likers;
-      for (int l = 0; l < num_likes && l < 64; ++l) {
-        uint32_t liker = pool[static_cast<size_t>(
-            rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
-        if (liker == creator || likers.contains(liker)) continue;
-        core::DateTime when =
-            std::max(post.creation_date,
-                     drafts[liker].record.creation_date) +
-            rng.UniformInt(1, 2 * core::kMillisPerDay);
-        if (when >= sim_end) continue;
-        likers.insert(liker);
-        out.likes.push_back({static_cast<core::Id>(liker),
-                             static_cast<core::Id>(post_idx), true, when});
-      }
-    }
   }
+}
 
+ActivityData GenerateActivity(const DatagenConfig& config,
+                              const Dictionaries& dicts,
+                              const std::vector<PersonDraft>& drafts,
+                              const FlashmobSchedule& flashmobs) {
+  ActivityData out;
+  ForumPhase fp = GenerateForums(config, dicts, drafts);
+  VectorSink sink(out);
+  GenerateMessages(config, dicts, drafts, flashmobs, fp, sink);
+  out.forums = std::move(fp.forums);
+  out.memberships = std::move(fp.memberships);
   return out;
 }
 

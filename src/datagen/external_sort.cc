@@ -1,0 +1,261 @@
+#include "datagen/external_sort.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <queue>
+
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace snb::datagen {
+
+namespace {
+
+// Per-record spill overhead: 3×8-byte keys + 4-byte payload length.
+constexpr size_t kRecordHeaderBytes = 28;
+// Approximate in-memory cost of a buffered Record beyond its payload.
+constexpr size_t kRecordMemoryBytes = sizeof(uint64_t) * 3 + 32;
+
+bool RecordLess(uint64_t ak1, uint64_t ak2, uint64_t aseq, uint64_t bk1,
+                uint64_t bk2, uint64_t bseq) {
+  if (ak1 != bk1) return ak1 < bk1;
+  if (ak2 != bk2) return ak2 < bk2;
+  return aseq < bseq;
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Streaming reader over one completed spill file.
+class SpillReader {
+ public:
+  explicit SpillReader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")), path_(path) {}
+  ~SpillReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Reads the next record; false at a clean end of file.
+  util::StatusOr<bool> Next(uint64_t* k1, uint64_t* k2, uint64_t* seq,
+                            std::string* payload) {
+    uint8_t header[kRecordHeaderBytes];
+    size_t got = std::fread(header, 1, sizeof(header), file_);
+    if (got == 0 && std::feof(file_)) return false;
+    if (got != sizeof(header)) {
+      return util::Status::Corruption("torn spill record in " + path_);
+    }
+    auto u64 = [&](size_t at) {
+      uint64_t v = 0;
+      for (int i = 7; i >= 0; --i) v = (v << 8) | header[at + i];
+      return v;
+    };
+    *k1 = u64(0);
+    *k2 = u64(8);
+    *seq = u64(16);
+    uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) len = (len << 8) | header[24 + i];
+    payload->resize(len);
+    if (len != 0 && std::fread(payload->data(), 1, len, file_) != len) {
+      return util::Status::Corruption("torn spill payload in " + path_);
+    }
+    return true;
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Options options)
+    : options_(std::move(options)) {
+  SNB_CHECK(!options_.spill_dir.empty());
+  if (options_.memory_budget_bytes < 1u << 16) {
+    options_.memory_budget_bytes = 1u << 16;  // floor: one sane run
+  }
+}
+
+ExternalSorter::~ExternalSorter() {
+  std::error_code ec;
+  for (const std::string& path : runs_) {
+    std::filesystem::remove(path, ec);
+  }
+}
+
+util::Status ExternalSorter::Add(uint64_t key1, uint64_t key2,
+                                 std::string_view payload) {
+  SNB_CHECK(!merged_);
+  if (broken_) return util::Status::IoError("sorter broken by earlier spill");
+  run_.push_back(Record{key1, key2, next_seq_++, std::string(payload)});
+  run_bytes_ += kRecordMemoryBytes + payload.size();
+  ++added_;
+  if (run_bytes_ >= options_.memory_budget_bytes) {
+    util::Status s = SpillRun();
+    if (!s.ok()) {
+      broken_ = true;
+      return s;
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ExternalSorter::SpillRun() {
+  if (run_.empty()) return util::Status::Ok();
+  std::sort(run_.begin(), run_.end(), [](const Record& a, const Record& b) {
+    return RecordLess(a.key1, a.key2, a.seq, b.key1, b.key2, b.seq);
+  });
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.spill_dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create spill dir " +
+                                 options_.spill_dir);
+  }
+  const std::string final_path = options_.spill_dir + "/" + options_.tag +
+                                 "." + std::to_string(runs_.size()) + ".spill";
+  const std::string tmp_path = final_path + ".tmp";
+
+  SNB_FAILPOINT_STATUS("datagen.spill.open");
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open spill file " + tmp_path);
+  }
+  std::string buf;
+  for (const Record& r : run_) {
+    buf.clear();
+    PutU64(buf, r.key1);
+    PutU64(buf, r.key2);
+    PutU64(buf, r.seq);
+    uint32_t len = static_cast<uint32_t>(r.payload.size());
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>(len >> (8 * i)));
+    buf.append(r.payload);
+    SNB_FAILPOINT("datagen.spill.write");
+    if (std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+      std::fclose(f);
+      std::filesystem::remove(tmp_path, ec);
+      return util::Status::IoError("short write to spill file " + tmp_path);
+    }
+  }
+  SNB_FAILPOINT_STATUS("datagen.spill.finish");
+  if (std::fclose(f) != 0) {
+    std::filesystem::remove(tmp_path, ec);
+    return util::Status::IoError("fclose failed for spill file " + tmp_path);
+  }
+  // The rename publishes the run: a crash before this point leaves only a
+  // .tmp that RemoveOrphanSpills reclaims.
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return util::Status::IoError("cannot publish spill file " + final_path);
+  }
+  runs_.push_back(final_path);
+  ++spilled_runs_;
+  run_.clear();
+  run_bytes_ = 0;
+  return util::Status::Ok();
+}
+
+util::Status ExternalSorter::Merge(
+    const std::function<void(uint64_t, uint64_t, std::string_view)>& emit) {
+  SNB_CHECK(!merged_);
+  merged_ = true;
+  if (broken_) return util::Status::IoError("sorter broken by earlier spill");
+
+  // The final (possibly only) run stays in memory and merges alongside the
+  // spilled ones.
+  std::sort(run_.begin(), run_.end(), [](const Record& a, const Record& b) {
+    return RecordLess(a.key1, a.key2, a.seq, b.key1, b.key2, b.seq);
+  });
+  if (runs_.empty()) {
+    for (const Record& r : run_) emit(r.key1, r.key2, r.payload);
+    run_.clear();
+    run_bytes_ = 0;
+    return util::Status::Ok();
+  }
+
+  struct Cursor {
+    uint64_t k1 = 0, k2 = 0, seq = 0;
+    std::string payload;
+    size_t source;  // index into readers, or SIZE_MAX for the in-memory run
+  };
+  auto cursor_greater = [](const Cursor& a, const Cursor& b) {
+    return RecordLess(b.k1, b.k2, b.seq, a.k1, a.k2, a.seq);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cursor_greater)>
+      heap(cursor_greater);
+
+  std::vector<std::unique_ptr<SpillReader>> readers;
+  readers.reserve(runs_.size());
+  for (const std::string& path : runs_) {
+    readers.push_back(std::make_unique<SpillReader>(path));
+    if (!readers.back()->ok()) {
+      return util::Status::IoError("cannot reopen spill file " + path);
+    }
+    Cursor c;
+    c.source = readers.size() - 1;
+    auto more = readers.back()->Next(&c.k1, &c.k2, &c.seq, &c.payload);
+    SNB_RETURN_IF_ERROR(more.status());
+    if (more.value()) heap.push(std::move(c));
+  }
+  size_t mem_pos = 0;
+  auto push_mem = [&]() {
+    if (mem_pos >= run_.size()) return;
+    const Record& r = run_[mem_pos++];
+    heap.push(Cursor{r.key1, r.key2, r.seq, r.payload, SIZE_MAX});
+  };
+  push_mem();
+
+  while (!heap.empty()) {
+    Cursor top = heap.top();
+    heap.pop();
+    emit(top.k1, top.k2, top.payload);
+    if (top.source == SIZE_MAX) {
+      push_mem();
+    } else {
+      Cursor c;
+      c.source = top.source;
+      auto more = readers[top.source]->Next(&c.k1, &c.k2, &c.seq, &c.payload);
+      SNB_RETURN_IF_ERROR(more.status());
+      if (more.value()) heap.push(std::move(c));
+    }
+  }
+  run_.clear();
+  run_bytes_ = 0;
+  // A completed merge owns its runs: close the readers, then reclaim the
+  // files (the destructor is only the failure-path fallback).
+  readers.clear();
+  std::error_code rm_ec;
+  for (const std::string& path : runs_) {
+    std::filesystem::remove(path, rm_ec);
+  }
+  runs_.clear();
+  return util::Status::Ok();
+}
+
+util::Status ExternalSorter::RemoveOrphanSpills(const std::string& dir,
+                                                size_t* removed) {
+  if (removed != nullptr) *removed = 0;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return util::Status::Ok();
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool spill = name.size() > 6 && name.ends_with(".spill");
+    const bool torn = name.size() > 10 && name.ends_with(".spill.tmp");
+    if (!spill && !torn) continue;
+    std::error_code rm_ec;
+    if (std::filesystem::remove(entry.path(), rm_ec) && removed != nullptr) {
+      ++*removed;
+    }
+  }
+  if (ec) return util::Status::IoError("cannot scan spill dir " + dir);
+  return util::Status::Ok();
+}
+
+}  // namespace snb::datagen

@@ -1,0 +1,92 @@
+// Spill-backed stable external merge sort, the bounded-memory workhorse of
+// the streaming datagen (spec §2.3.3's MapReduce shuffle, rebuilt as a
+// single-machine run-sort-merge): records accumulate in an in-memory run
+// until the configured budget is exceeded, the run is sorted and spilled to
+// a file under `spill_dir`, and Merge() streams all runs back in
+// (key1, key2, insertion-order) order.
+//
+// Records are a fixed (uint64_t, uint64_t) key pair plus an arbitrary byte
+// payload — wide enough for "(date, generation index)" id-assignment sorts,
+// "(new id, 0) → CSV line" emission sorts, and "(timestamp, kind·2⁵⁶ + seq)
+// → stream line" update-event sorts without per-use-case formats.
+//
+// Crash safety: spill files are written as `<tag>.<n>.spill.tmp` and renamed
+// to `.spill` only when complete, so a crash mid-spill leaves a `.tmp` that
+// RemoveOrphanSpills() deletes on the next run; the destructor removes this
+// sorter's own files. Fail-point sites `datagen.spill.open`,
+// `datagen.spill.write` and `datagen.spill.finish` let tests inject errors
+// or simulated power loss at each stage.
+
+#ifndef SNB_DATAGEN_EXTERNAL_SORT_H_
+#define SNB_DATAGEN_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snb::datagen {
+
+class ExternalSorter {
+ public:
+  struct Options {
+    std::string spill_dir;                     // must exist or be creatable
+    std::string tag = "sort";                  // spill-file name prefix
+    size_t memory_budget_bytes = 32u << 20;    // per-sorter in-memory run cap
+  };
+
+  explicit ExternalSorter(Options options);
+  ~ExternalSorter();  // removes this sorter's spill files
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Adds one record. Returns an error when a spill write fails (after which
+  /// the sorter is unusable).
+  util::Status Add(uint64_t key1, uint64_t key2, std::string_view payload);
+  util::Status Add(uint64_t key1, uint64_t key2) {
+    return Add(key1, key2, std::string_view());
+  }
+
+  /// Streams every record in ascending (key1, key2, insertion-order). Can be
+  /// called once; the sorter is drained afterwards.
+  util::Status Merge(
+      const std::function<void(uint64_t key1, uint64_t key2,
+                               std::string_view payload)>& emit);
+
+  size_t size() const { return added_; }
+  size_t spill_runs() const { return spilled_runs_; }
+  size_t buffered_bytes() const { return run_bytes_; }
+
+  /// Deletes every `*.spill` / `*.spill.tmp` file under `dir` — orphans of a
+  /// crashed earlier run. Reports how many were removed. Missing `dir` is ok.
+  static util::Status RemoveOrphanSpills(const std::string& dir,
+                                         size_t* removed = nullptr);
+
+ private:
+  struct Record {
+    uint64_t key1;
+    uint64_t key2;
+    uint64_t seq;
+    std::string payload;
+  };
+
+  util::Status SpillRun();
+
+  Options options_;
+  std::vector<Record> run_;
+  std::vector<std::string> runs_;  // live spill-file paths
+  size_t spilled_runs_ = 0;        // lifetime spill count (survives Merge)
+  size_t run_bytes_ = 0;
+  size_t added_ = 0;
+  uint64_t next_seq_ = 0;
+  bool merged_ = false;
+  bool broken_ = false;  // a spill failed; further use is an error
+};
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_EXTERNAL_SORT_H_

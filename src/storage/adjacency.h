@@ -1,90 +1,137 @@
-// Appendable CSR adjacency.
+// Appendable adjacency over the compressed columnar CSR.
 //
-// The bulk-loaded part of every relation is stored as a compressed sparse
-// row structure (offset array + target array, optionally a parallel payload
-// array of DateTimes) for scan locality — choke point CP-3.2/3.3. Inserts
-// arriving through the update workload land in per-node overflow vectors;
-// iteration walks base then overflow, so readers see a single merged list.
+// The bulk-loaded part of every relation lives in a columnar::CompressedCsr
+// (FOR-packed offset/target/date columns with per-block zone metadata — see
+// storage/columnar/csr.h) for scan locality and density — choke points
+// CP-3.2/3.3. Inserts arriving through the update workload land in a
+// chunked overflow arena: one append-only entry pool threaded into
+// per-node insertion-ordered chains, replacing the seed's per-vertex
+// vector-of-vectors (24 B of header per node per relation before the first
+// element). Iteration walks base then overflow, so readers see a single
+// merged list, and appends never move an existing entry — the store's
+// single-writer / multi-reader contract.
 
 #ifndef SNB_STORAGE_ADJACENCY_H_
 #define SNB_STORAGE_ADJACENCY_H_
 
-#include <algorithm>
 #include <cstdint>
-#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/date_time.h"
+#include "storage/columnar/csr.h"
 #include "util/check.h"
 
 namespace snb::storage {
 
 /// One directed edge with an optional DateTime payload, used at build time.
-struct EdgeInput {
-  uint32_t src;
-  uint32_t dst;
-  core::DateTime date = 0;
-};
+using EdgeInput = columnar::EdgeInput;
 
 class AdjacencyList {
  public:
   AdjacencyList() = default;
 
   /// Builds the CSR base from an edge list (consumed). `with_dates` controls
-  /// whether the payload array is materialized. Each node's base span comes
+  /// whether the payload column is materialized. Each node's base span comes
   /// out sorted by (target, date) regardless of input order — a store
   /// invariant the validator checks (`adjacency-sorted`), and what makes
-  /// Base() spans binary-searchable.
-  void Build(size_t num_nodes, std::vector<EdgeInput> edges, bool with_dates);
+  /// base spans binary-searchable.
+  void Build(size_t num_nodes, std::vector<EdgeInput> edges, bool with_dates) {
+    with_dates_ = with_dates;
+    num_nodes_ = num_nodes;
+    csr_.Build(num_nodes, std::move(edges), with_dates);
+  }
 
-  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
-  size_t num_edges() const { return targets_.size() + num_extra_edges_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return csr_.num_edges() + overflow_.size(); }
+  size_t num_base_edges() const { return csr_.num_edges(); }
+  size_t num_overflow_edges() const { return overflow_.size(); }
 
   /// Grows the node space (new nodes start with no edges).
-  void AddNodes(size_t count);
+  void AddNodes(size_t count) { num_nodes_ += count; }
 
   /// Appends one edge (update path).
-  void Append(uint32_t src, uint32_t dst, core::DateTime date = 0);
+  void Append(uint32_t src, uint32_t dst, core::DateTime date = 0) {
+    SNB_CHECK_LT(src, num_nodes_);
+    if (head_.size() < num_nodes_) {
+      head_.resize(num_nodes_, kNilEntry);
+      tail_.resize(num_nodes_, kNilEntry);
+    }
+    const uint32_t entry = static_cast<uint32_t>(overflow_.size());
+    SNB_CHECK_LT(entry, kNilEntry);
+    overflow_.push_back(OverflowEntry{dst, kNilEntry, date});
+    if (head_[src] == kNilEntry) {
+      head_[src] = entry;
+    } else {
+      overflow_[tail_[src]].next = entry;
+    }
+    tail_[src] = entry;
+  }
 
   size_t Degree(uint32_t node) const {
-    SNB_DCHECK(node < num_nodes());
-    size_t d = offsets_[node + 1] - offsets_[node];
-    if (node < extra_.size()) d += extra_[node].size();
+    SNB_DCHECK(node < num_nodes_);
+    size_t d = BaseDegree(node);
+    if (node < head_.size()) {
+      for (uint32_t e = head_[node]; e != kNilEntry; e = overflow_[e].next) {
+        ++d;
+      }
+    }
     return d;
   }
 
-  /// Base (bulk-loaded) neighbours only — a contiguous span.
-  std::span<const uint32_t> Base(uint32_t node) const {
-    SNB_DCHECK(node < num_nodes());
-    return {targets_.data() + offsets_[node],
-            targets_.data() + offsets_[node + 1]};
+  /// Size of the bulk-loaded (sorted) part of `node`'s list.
+  size_t BaseDegree(uint32_t node) const {
+    SNB_DCHECK(node < num_nodes_);
+    if (node >= csr_.num_nodes()) return 0;  // node added after bulk load
+    return csr_.EdgeEnd(node) - csr_.EdgeBegin(node);
+  }
+
+  /// Visits only the bulk-loaded (sorted) neighbours: f(target). The
+  /// validator's adjacency-sorted invariant is over exactly this sequence.
+  template <typename F>
+  void ForEachBase(uint32_t node, F&& f) const {
+    SNB_DCHECK(node < num_nodes_);
+    if (node >= csr_.num_nodes()) return;
+    const uint64_t end = csr_.EdgeEnd(node);
+    for (uint64_t k = csr_.EdgeBegin(node); k < end; ++k) {
+      f(csr_.TargetAt(k));
+    }
+  }
+
+  /// Materializes the sorted base span (validator / tests).
+  std::vector<uint32_t> BaseCollect(uint32_t node) const {
+    std::vector<uint32_t> out;
+    out.reserve(BaseDegree(node));
+    ForEachBase(node, [&out](uint32_t t) { out.push_back(t); });
+    return out;
   }
 
   /// Visits every neighbour: f(target).
   template <typename F>
   void ForEach(uint32_t node, F&& f) const {
-    SNB_DCHECK(node < num_nodes());
-    for (size_t k = offsets_[node]; k < offsets_[node + 1]; ++k) {
-      f(targets_[k]);
-    }
-    if (node < extra_.size()) {
-      for (uint32_t t : extra_[node]) f(t);
+    ForEachBase(node, f);
+    if (node < head_.size()) {
+      for (uint32_t e = head_[node]; e != kNilEntry; e = overflow_[e].next) {
+        f(overflow_[e].target);
+      }
     }
   }
 
   /// Visits every neighbour with its payload: f(target, date).
   template <typename F>
   void ForEachDated(uint32_t node, F&& f) const {
-    SNB_DCHECK(node < num_nodes());
-    SNB_DCHECK(!dates_.empty() || targets_.empty());
-    for (size_t k = offsets_[node]; k < offsets_[node + 1]; ++k) {
-      f(targets_[k], dates_[k]);
+    SNB_DCHECK(node < num_nodes_);
+    SNB_DCHECK(with_dates_ || csr_.num_edges() == 0);
+    if (node < csr_.num_nodes()) {
+      const uint64_t end = csr_.EdgeEnd(node);
+      for (uint64_t k = csr_.EdgeBegin(node); k < end; ++k) {
+        f(csr_.TargetAt(k), csr_.DateAt(k));
+      }
     }
-    if (node < extra_.size()) {
-      const auto& ex = extra_[node];
-      const auto& exd = extra_dates_[node];
-      for (size_t k = 0; k < ex.size(); ++k) f(ex[k], exd[k]);
+    if (node < head_.size()) {
+      for (uint32_t e = head_[node]; e != kNilEntry; e = overflow_[e].next) {
+        f(overflow_[e].target, overflow_[e].date);
+      }
     }
   }
 
@@ -107,65 +154,46 @@ class AdjacencyList {
     return found;
   }
 
+  /// The packed base columns (memory accounting, block-zone validation).
+  const columnar::CompressedCsr& csr() const { return csr_; }
+
+  /// Heap bytes actually held: packed base columns + overflow arena.
+  size_t ByteSize() const {
+    return csr_.ByteSize() + overflow_.capacity() * sizeof(OverflowEntry) +
+           (head_.capacity() + tail_.capacity()) * sizeof(uint32_t);
+  }
+
+  /// Seed-layout bytes for the same content: raw CSR arrays plus per-vertex
+  /// overflow vectors (two 24 B vector headers per node once any overflow
+  /// exists, 4 B target + 8 B date per overflow edge).
+  size_t RawByteSize() const {
+    size_t raw = csr_.RawByteSize();
+    if (!overflow_.empty()) {
+      raw += num_nodes_ * 2 * 24;
+      raw += overflow_.size() *
+             (sizeof(uint32_t) + (with_dates_ ? sizeof(core::DateTime) : 0));
+    }
+    return raw;
+  }
+
  private:
   friend struct TestAccess;  // corruption seeding in tests (test_access.h)
 
-  std::vector<uint64_t> offsets_;   // size num_nodes + 1
-  std::vector<uint32_t> targets_;
-  std::vector<core::DateTime> dates_;  // parallel to targets_, may be empty
+  static constexpr uint32_t kNilEntry = UINT32_MAX;
 
-  std::vector<std::vector<uint32_t>> extra_;
-  std::vector<std::vector<core::DateTime>> extra_dates_;
-  size_t num_extra_edges_ = 0;
+  /// One overflow edge; `next` threads the per-node chain in append order.
+  struct OverflowEntry {
+    uint32_t target;
+    uint32_t next;
+    core::DateTime date;
+  };
+
+  columnar::CompressedCsr csr_;
+  std::vector<OverflowEntry> overflow_;  // chunk-grown append-only arena
+  std::vector<uint32_t> head_, tail_;    // per-node chain ends, lazily sized
+  size_t num_nodes_ = 0;
   bool with_dates_ = false;
 };
-
-inline void AdjacencyList::Build(size_t num_nodes,
-                                 std::vector<EdgeInput> edges,
-                                 bool with_dates) {
-  with_dates_ = with_dates;
-  // Establish the sorted-base invariant: the counting fill below preserves
-  // input order within each node, so sorting the whole edge list by
-  // (src, dst, date) leaves every base span sorted by (dst, date).
-  std::sort(edges.begin(), edges.end(),
-            [](const EdgeInput& a, const EdgeInput& b) {
-              if (a.src != b.src) return a.src < b.src;
-              if (a.dst != b.dst) return a.dst < b.dst;
-              return a.date < b.date;
-            });
-  offsets_.assign(num_nodes + 1, 0);
-  for (const EdgeInput& e : edges) {
-    SNB_CHECK_LT(e.src, num_nodes);
-    ++offsets_[e.src + 1];
-  }
-  for (size_t i = 1; i <= num_nodes; ++i) offsets_[i] += offsets_[i - 1];
-  targets_.resize(edges.size());
-  if (with_dates) dates_.resize(edges.size());
-  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const EdgeInput& e : edges) {
-    uint64_t pos = cursor[e.src]++;
-    targets_[pos] = e.dst;
-    if (with_dates) dates_[pos] = e.date;
-  }
-}
-
-inline void AdjacencyList::AddNodes(size_t count) {
-  uint64_t last = offsets_.empty() ? 0 : offsets_.back();
-  if (offsets_.empty()) offsets_.push_back(0);
-  for (size_t i = 0; i < count; ++i) offsets_.push_back(last);
-}
-
-inline void AdjacencyList::Append(uint32_t src, uint32_t dst,
-                                  core::DateTime date) {
-  SNB_CHECK_LT(src, num_nodes());
-  if (extra_.size() < num_nodes()) {
-    extra_.resize(num_nodes());
-    extra_dates_.resize(num_nodes());
-  }
-  extra_[src].push_back(dst);
-  extra_dates_[src].push_back(date);
-  ++num_extra_edges_;
-}
 
 }  // namespace snb::storage
 

@@ -1,0 +1,41 @@
+#include "storage/columnar/csr.h"
+
+#include <algorithm>
+
+namespace snb::storage::columnar {
+
+void CompressedCsr::Build(size_t num_nodes, std::vector<EdgeInput> edges,
+                          bool with_dates) {
+  num_nodes_ = num_nodes;
+  num_edges_ = edges.size();
+  with_dates_ = with_dates;
+  // Establish the sorted-base invariant (same contract as the raw CSR).
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeInput& a, const EdgeInput& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.date < b.date;
+            });
+  std::vector<uint64_t> offsets(num_nodes + 1, 0);
+  for (const EdgeInput& e : edges) {
+    SNB_CHECK_LT(e.src, num_nodes);
+    ++offsets[e.src + 1];
+  }
+  for (size_t i = 1; i <= num_nodes; ++i) offsets[i] += offsets[i - 1];
+  offsets_ = ZonedColumn::BuildFor(offsets);
+
+  std::vector<uint64_t> column(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) column[i] = edges[i].dst;
+  targets_ = ZonedColumn::BuildFor(column);
+
+  if (with_dates) {
+    for (size_t i = 0; i < edges.size(); ++i) {
+      column[i] = static_cast<uint64_t>(edges[i].date);
+    }
+    dates_ = ZonedColumn::BuildFor(column);
+  } else {
+    dates_ = ZonedColumn();
+  }
+}
+
+}  // namespace snb::storage::columnar

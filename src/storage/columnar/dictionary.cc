@@ -1,0 +1,48 @@
+#include "storage/columnar/dictionary.h"
+
+#include "util/check.h"
+
+namespace snb::storage::columnar {
+
+uint32_t Dictionary::GetOrAdd(std::string_view value) {
+  util::MutexLock lock(mu_);
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const uint32_t code = static_cast<uint32_t>(values_.size());
+  SNB_CHECK_LT(code, kNoCode);
+  values_.emplace_back(value);
+  // The key views the deque-owned string: deque growth never moves
+  // elements, so the view stays valid for the dictionary's lifetime.
+  index_.emplace(std::string_view(values_.back()), code);
+  return code;
+}
+
+uint32_t Dictionary::Find(std::string_view value) const {
+  util::MutexLock lock(mu_);
+  auto it = index_.find(value);
+  return it == index_.end() ? kNoCode : it->second;
+}
+
+const std::string& Dictionary::Decode(uint32_t code) const {
+  util::MutexLock lock(mu_);
+  SNB_CHECK_LT(code, values_.size());
+  return values_[code];
+}
+
+size_t Dictionary::size() const {
+  util::MutexLock lock(mu_);
+  return values_.size();
+}
+
+size_t Dictionary::ByteSize() const {
+  util::MutexLock lock(mu_);
+  size_t bytes = 0;
+  for (const std::string& s : values_) {
+    bytes += sizeof(std::string) + s.capacity();
+  }
+  bytes += index_.size() *
+           (sizeof(std::string_view) + sizeof(uint32_t) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace snb::storage::columnar

@@ -1,0 +1,66 @@
+// Shared dictionary encoder for low-cardinality strings.
+//
+// The store sees the same few dozen distinct strings millions of times:
+// genders, browsers, country names, tag names, content-length classes.
+// The dictionary maps each distinct string to a stable dense uint32 code —
+// codes are assigned in first-seen order and never change or move, so a
+// code column written at load time stays valid across every later append
+// (the IU update path only ever adds codes). Decode is O(1): codes index a
+// deque whose element addresses are stable under growth, so readers hold
+// `const std::string&` across concurrent GetOrAdd calls.
+//
+// Concurrency matches the store's single-writer / multi-reader contract:
+// GetOrAdd serializes writers on an annotated mutex; Decode/size take the
+// same lock (they are off the query hot path — engines scan code columns,
+// not strings) so the structure is safe even if a reader races the writer.
+
+#ifndef SNB_STORAGE_COLUMNAR_DICTIONARY_H_
+#define SNB_STORAGE_COLUMNAR_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace snb::storage::columnar {
+
+class Dictionary {
+ public:
+  static constexpr uint32_t kNoCode = UINT32_MAX;
+
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Returns the code for `value`, assigning the next dense code on first
+  /// sight. Codes are stable for the lifetime of the dictionary.
+  uint32_t GetOrAdd(std::string_view value) SNB_EXCLUDES(mu_);
+
+  /// Code for `value` if present, kNoCode otherwise (no insertion).
+  uint32_t Find(std::string_view value) const SNB_EXCLUDES(mu_);
+
+  /// The string for `code`; the reference is stable (deque storage) and
+  /// remains valid across later GetOrAdd calls. `code` must be in range.
+  const std::string& Decode(uint32_t code) const SNB_EXCLUDES(mu_);
+
+  /// Number of distinct values == smallest invalid code. The validator's
+  /// dictionary-code-in-range invariant checks every code column against
+  /// this bound.
+  size_t size() const SNB_EXCLUDES(mu_);
+
+  /// Heap bytes held (strings + hash index), for MemoryBreakdown.
+  size_t ByteSize() const SNB_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_{SNB_LOCK_SITE("storage.columnar.dictionary.mu")};
+  std::deque<std::string> values_ SNB_GUARDED_BY(mu_);
+  std::unordered_map<std::string_view, uint32_t> index_ SNB_GUARDED_BY(mu_);
+};
+
+}  // namespace snb::storage::columnar
+
+#endif  // SNB_STORAGE_COLUMNAR_DICTIONARY_H_

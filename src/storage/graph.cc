@@ -40,11 +40,15 @@ Graph::Graph(core::SocialNetwork net)
   place_idx_ = IndexById(places_);
   organisation_idx_ = IndexById(organisations_);
 
+  place_name_code_.resize(places_.size());
   for (size_t i = 0; i < places_.size(); ++i) {
     place_by_name_[places_[i].name] = static_cast<uint32_t>(i);
+    place_name_code_[i] = dict_.GetOrAdd(places_[i].name);
   }
+  tag_name_code_.resize(tags_.size());
   for (size_t i = 0; i < tags_.size(); ++i) {
     tag_by_name_[tags_[i].name] = static_cast<uint32_t>(i);
+    tag_name_code_[i] = dict_.GetOrAdd(tags_[i].name);
   }
   for (size_t i = 0; i < tag_classes_.size(); ++i) {
     tag_class_by_name_[tag_classes_[i].name] = static_cast<uint32_t>(i);
@@ -88,9 +92,13 @@ Graph::Graph(core::SocialNetwork net)
   person_is_female_.resize(persons_.size());
   {
     std::vector<EdgeInput> country_persons, interests;
+    person_gender_code_.resize(persons_.size());
+    person_browser_code_.resize(persons_.size());
     for (size_t i = 0; i < persons_.size(); ++i) {
       person_creation_[i] = persons_[i].creation_date;
       person_is_female_[i] = persons_[i].gender == "female" ? 1 : 0;
+      person_gender_code_[i] = dict_.GetOrAdd(persons_[i].gender);
+      person_browser_code_[i] = dict_.GetOrAdd(persons_[i].browser_used);
       person_city_[i] = PlaceIdx(persons_[i].city);
       SNB_CHECK_NE(person_city_[i], kNoIdx);
       person_country_[i] = CountryOfPlace(person_city_[i]);
@@ -162,9 +170,13 @@ Graph::Graph(core::SocialNetwork net)
   post_country_.resize(posts_.size());
   {
     std::vector<EdgeInput> person_posts, forum_posts, ptags, tag_posts;
+    post_browser_code_.resize(posts_.size());
+    post_length_class_code_.resize(posts_.size());
     for (size_t i = 0; i < posts_.size(); ++i) {
       const core::Post& p = posts_[i];
       post_creation_[i] = p.creation_date;
+      post_browser_code_[i] = dict_.GetOrAdd(p.browser_used);
+      post_length_class_code_[i] = dict_.GetOrAdd(LengthClassName(p.length));
       post_creator_[i] = PersonIdx(p.creator);
       post_forum_[i] = ForumIdx(p.forum);
       post_country_[i] = PlaceIdx(p.country);
@@ -193,9 +205,14 @@ Graph::Graph(core::SocialNetwork net)
   {
     std::vector<EdgeInput> person_comments, post_replies, comment_replies,
         ctags, tag_comments;
+    comment_browser_code_.resize(comments_.size());
+    comment_length_class_code_.resize(comments_.size());
     for (size_t i = 0; i < comments_.size(); ++i) {
       const core::Comment& c = comments_[i];
       comment_creation_[i] = c.creation_date;
+      comment_browser_code_[i] = dict_.GetOrAdd(c.browser_used);
+      comment_length_class_code_[i] =
+          dict_.GetOrAdd(LengthClassName(c.length));
       comment_creator_[i] = PersonIdx(c.creator);
       comment_country_[i] = PlaceIdx(c.country);
       SNB_CHECK_NE(comment_creator_[i], kNoIdx);
@@ -261,6 +278,107 @@ Graph::Graph(core::SocialNetwork net)
   message_index_.Build(post_creation_, comment_creation_);
 }
 
+columnar::MemoryBreakdown Graph::Memory() const {
+  columnar::MemoryBreakdown mb;
+
+  const std::pair<const char*, const AdjacencyList*> relations[] = {
+      {"adj/knows", &knows_},
+      {"adj/person-posts", &person_posts_},
+      {"adj/person-comments", &person_comments_},
+      {"adj/person-likes", &person_likes_},
+      {"adj/post-likers", &post_likers_},
+      {"adj/comment-likers", &comment_likers_},
+      {"adj/forum-members", &forum_members_},
+      {"adj/person-forums", &person_forums_},
+      {"adj/forum-posts", &forum_posts_},
+      {"adj/person-moderates", &person_moderates_},
+      {"adj/post-replies", &post_replies_},
+      {"adj/comment-replies", &comment_replies_},
+      {"adj/post-tags", &post_tags_},
+      {"adj/comment-tags", &comment_tags_},
+      {"adj/forum-tags", &forum_tags_},
+      {"adj/person-interests", &person_interests_},
+      {"adj/tag-posts", &tag_posts_},
+      {"adj/tag-comments", &tag_comments_},
+      {"adj/tag-forums", &tag_forums_},
+      {"adj/tag-persons", &tag_persons_},
+      {"adj/country-persons", &country_persons_},
+      {"adj/tag-class-children", &tag_class_children_},
+      {"adj/tag-class-tags", &tag_class_tags_},
+  };
+  for (const auto& [name, adj] : relations) {
+    columnar::MemoryFamily f;
+    f.name = name;
+    f.bytes = adj->ByteSize();
+    f.raw_bytes = adj->RawByteSize();
+    f.items = adj->num_edges();
+    mb.edge_bytes += f.bytes;
+    mb.edge_raw_bytes += f.raw_bytes;
+    mb.num_edges += f.items;
+    mb.families.push_back(std::move(f));
+  }
+
+  {
+    columnar::MemoryFamily f;
+    f.name = "index/message-date";
+    f.bytes = message_index_.ByteSize();
+    f.raw_bytes = message_index_.RawByteSize();
+    f.items = message_index_.size();
+    mb.message_bytes += f.bytes;
+    mb.message_raw_bytes += f.raw_bytes;
+    mb.families.push_back(std::move(f));
+  }
+  {
+    // Per-message hot columns: same flat layout in both representations.
+    columnar::MemoryFamily f;
+    f.name = "cols/message";
+    auto vec_bytes = [](const auto& v) {
+      return v.capacity() * sizeof(v[0]);
+    };
+    f.bytes = vec_bytes(post_creation_) + vec_bytes(post_creator_) +
+              vec_bytes(post_forum_) + vec_bytes(post_country_) +
+              vec_bytes(comment_creation_) + vec_bytes(comment_creator_) +
+              vec_bytes(comment_country_) + vec_bytes(comment_reply_of_) +
+              vec_bytes(comment_root_post_);
+    f.raw_bytes = f.bytes;
+    f.items = NumMessages();
+    mb.message_bytes += f.bytes;
+    mb.message_raw_bytes += f.raw_bytes;
+    mb.families.push_back(std::move(f));
+  }
+  mb.num_messages = NumMessages();
+
+  {
+    columnar::MemoryFamily f;
+    f.name = "dict";
+    f.bytes = dict_.ByteSize();
+    // Raw equivalent: the strings stay inline in the entity structs either
+    // way (SSO); the dictionary itself is pure addition, so raw is zero.
+    f.raw_bytes = 0;
+    f.items = dict_.size();
+    mb.families.push_back(std::move(f));
+  }
+  {
+    columnar::MemoryFamily f;
+    f.name = "cols/codes";
+    auto vec_bytes = [](const std::vector<uint32_t>& v) {
+      return v.capacity() * sizeof(uint32_t);
+    };
+    f.bytes = vec_bytes(person_gender_code_) +
+              vec_bytes(person_browser_code_) + vec_bytes(post_browser_code_) +
+              vec_bytes(comment_browser_code_) +
+              vec_bytes(post_length_class_code_) +
+              vec_bytes(comment_length_class_code_) +
+              vec_bytes(tag_name_code_) + vec_bytes(place_name_code_);
+    f.raw_bytes = 0;  // pure addition over the seed layout
+    f.items = persons_.size() * 2 + posts_.size() * 2 + comments_.size() * 2 +
+              tags_.size() + places_.size();
+    mb.families.push_back(std::move(f));
+  }
+
+  return mb;
+}
+
 uint32_t Graph::CountryOfPlace(uint32_t place) const {
   // Walks city → country; a country maps to itself.
   if (places_[place].type == core::PlaceType::kCountry) return place;
@@ -295,6 +413,8 @@ uint32_t Graph::AddPerson(const core::Person& person) {
   person_idx_[person.id] = idx;
   person_creation_.push_back(person.creation_date);
   person_is_female_.push_back(person.gender == "female" ? 1 : 0);
+  person_gender_code_.push_back(dict_.GetOrAdd(person.gender));
+  person_browser_code_.push_back(dict_.GetOrAdd(person.browser_used));
   uint32_t city = PlaceIdx(person.city);
   SNB_CHECK_NE(city, kNoIdx);
   person_city_.push_back(city);
@@ -370,6 +490,9 @@ uint32_t Graph::AddPost(const core::Post& post) {
   posts_.push_back(post);
   post_idx_[post.id] = idx;
   post_creation_.push_back(post.creation_date);
+  post_browser_code_.push_back(dict_.GetOrAdd(post.browser_used));
+  post_length_class_code_.push_back(
+      dict_.GetOrAdd(LengthClassName(post.length)));
   uint32_t creator = PersonIdx(post.creator);
   uint32_t forum = ForumIdx(post.forum);
   uint32_t country = PlaceIdx(post.country);
@@ -398,6 +521,9 @@ uint32_t Graph::AddComment(const core::Comment& comment) {
   comments_.push_back(comment);
   comment_idx_[comment.id] = idx;
   comment_creation_.push_back(comment.creation_date);
+  comment_browser_code_.push_back(dict_.GetOrAdd(comment.browser_used));
+  comment_length_class_code_.push_back(
+      dict_.GetOrAdd(LengthClassName(comment.length)));
   uint32_t creator = PersonIdx(comment.creator);
   uint32_t country = PlaceIdx(comment.country);
   SNB_CHECK(creator != kNoIdx && country != kNoIdx);

@@ -26,6 +26,8 @@
 
 #include "core/schema.h"
 #include "storage/adjacency.h"
+#include "storage/columnar/dictionary.h"
+#include "storage/columnar/memory.h"
 #include "storage/message_index.h"
 
 namespace snb::storage {
@@ -200,6 +202,47 @@ class Graph {
 
   // ---- Hot columns ----------------------------------------------------------
 
+  // ---- Dictionary-encoded columns -------------------------------------------
+  // One dictionary shared across every low-cardinality string family
+  // (genders, browsers, place names, tag names, content-length classes):
+  // stable dense uint32 codes assigned at load, O(1) decode, appended to —
+  // never reassigned — by the IU update path. The validator's
+  // dictionary-code-in-range invariant checks every code column below
+  // against Dict().size().
+
+  const columnar::Dictionary& Dict() const { return dict_; }
+
+  uint32_t PersonGenderCode(uint32_t p) const {
+    return person_gender_code_[p];
+  }
+  uint32_t PersonBrowserCode(uint32_t p) const {
+    return person_browser_code_[p];
+  }
+  uint32_t TagNameCode(uint32_t t) const { return tag_name_code_[t]; }
+  uint32_t PlaceNameCode(uint32_t pl) const { return place_name_code_[pl]; }
+  uint32_t MessageBrowserCode(uint32_t msg) const {
+    return IsPost(msg) ? post_browser_code_[msg]
+                       : comment_browser_code_[AsComment(msg)];
+  }
+  uint32_t MessageLengthClassCode(uint32_t msg) const {
+    return IsPost(msg) ? post_length_class_code_[msg]
+                       : comment_length_class_code_[AsComment(msg)];
+  }
+
+  /// Content-length class of a message (BI queries group by the spec's
+  /// short/medium/long split rather than raw lengths).
+  static const char* LengthClassName(int32_t length) {
+    if (length <= 0) return "len:empty";
+    if (length < 40) return "len:short";
+    if (length < 160) return "len:medium";
+    return "len:long";
+  }
+
+  /// Per-family heap accounting for the columnar store: bytes held vs the
+  /// seed layout's bytes for the same content, plus bytes/edge and
+  /// bytes/message (see storage/columnar/memory.h).
+  columnar::MemoryBreakdown Memory() const;
+
   core::DateTime PersonCreation(uint32_t p) const {
     return person_creation_[p];
   }
@@ -323,6 +366,13 @@ class Graph {
   std::vector<uint32_t> comment_root_post_;  // post index
   std::vector<uint32_t> place_part_of_;
   std::vector<uint32_t> tag_class_parent_, tag_class_of_tag_;
+
+  // Shared dictionary + code columns (low-cardinality string families).
+  columnar::Dictionary dict_;
+  std::vector<uint32_t> person_gender_code_, person_browser_code_;
+  std::vector<uint32_t> post_browser_code_, comment_browser_code_;
+  std::vector<uint32_t> post_length_class_code_, comment_length_class_code_;
+  std::vector<uint32_t> tag_name_code_, place_name_code_;
 
   // Adjacency.
   AdjacencyList knows_;

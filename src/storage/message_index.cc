@@ -31,8 +31,9 @@ void MessageDateIndex::Build(const std::vector<core::DateTime>& post_dates,
               if (da != db) return da < db;
               return a < b;
             });
-  base_dates_.resize(n);
-  for (size_t i = 0; i < n; ++i) base_dates_[i] = date_of(base_refs_[i]);
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = DateKey(date_of(base_refs_[i]));
+  base_dates_ = columnar::ZonedColumn::BuildDelta(keys);
 }
 
 void MessageDateIndex::Append(uint32_t msg, core::DateTime date) {

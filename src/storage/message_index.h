@@ -3,14 +3,21 @@
 // The BI workload is scan-dominated and most of its scans carry a creation-
 // date window (choke points CP-2.2/CP-2.3: scan pruning through sorted data
 // and zone maps). This index keeps every *bulk-loaded* message reference in
-// one array sorted by (creationDate, ref), so a date window reduces to a
-// binary-searched contiguous slice. Messages appended later by the update
-// workload (IU 6/7) land in an *unsorted tail* in arrival order — appends
-// never reshuffle the base, so concurrently running readers of the base stay
-// valid (the store's single-writer / multi-reader contract). The tail
-// carries per-block min/max creation-date zone maps; since IU streams arrive
-// in roughly chronological order the zone maps prune the tail nearly as well
-// as sorting would.
+// one array sorted by (creationDate, ref); the parallel date column is
+// delta + bit-packed into zoned column blocks (storage/columnar) — sorted
+// dates have tiny deltas, so the 8 B/entry seed column compresses ~8×, and
+// a date window reduces to a zone-searched block plus an in-block scan.
+// Refs stay a plain uint32 array: the comment bit (bit 31) scatters them
+// across the full 32-bit range, so packing would buy nothing, and
+// MessageRangeView random-probes them from every morsel worker.
+//
+// Messages appended later by the update workload (IU 6/7) land in an
+// *unsorted tail* in arrival order — appends never reshuffle the base, so
+// concurrently running readers of the base stay valid (the store's
+// single-writer / multi-reader contract). The tail carries per-block
+// min/max creation-date zone maps; since IU streams arrive in roughly
+// chronological order the zone maps prune the tail nearly as well as
+// sorting would.
 //
 // Concurrency: the tail is written only through Append, which serializes
 // writers on `append_mu_` (annotated, so an unlocked write path is a clang
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "core/date_time.h"
+#include "storage/columnar/column_block.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -55,6 +63,17 @@ class MessageDateIndex {
     core::DateTime max = kMinMessageDate;
   };
 
+  /// Order-preserving bijection DateTime → uint64: flip the sign bit so
+  /// signed order becomes unsigned order, which is what the delta blocks
+  /// sort and zone-search in. Exposed so the validator can interpret the
+  /// base-date column's zone metadata.
+  static uint64_t DateKey(core::DateTime d) {
+    return static_cast<uint64_t>(d) ^ (1ull << 63);
+  }
+  static core::DateTime DateOfKey(uint64_t key) {
+    return static_cast<core::DateTime>(key ^ (1ull << 63));
+  }
+
   /// Builds the sorted base from the hot creation-date columns; entry i of
   /// `post_dates` / `comment_dates` indexes post / comment i. Ties sort by
   /// message ref, so the order is a pure function of the data.
@@ -74,17 +93,40 @@ class MessageDateIndex {
   size_t size() const { return base_size() + tail_size(); }
 
   /// Positions [first, second) of the sorted base whose creation date lies
-  /// in [start, end).
+  /// in [start, end). Zone-searched through the compressed date column.
   std::pair<size_t, size_t> BaseRange(core::DateTime start,
                                       core::DateTime end) const {
-    auto lo = std::lower_bound(base_dates_.begin(), base_dates_.end(), start);
-    auto hi = std::lower_bound(lo, base_dates_.end(), end);
-    return {static_cast<size_t>(lo - base_dates_.begin()),
-            static_cast<size_t>(hi - base_dates_.begin())};
+    return {base_dates_.LowerBound(DateKey(start)),
+            base_dates_.LowerBound(DateKey(end))};
   }
 
   uint32_t BaseAt(size_t pos) const { return base_refs_[pos]; }
-  core::DateTime BaseDateAt(size_t pos) const { return base_dates_[pos]; }
+
+  /// Date of one base entry. Routes through the delta blocks, so a point
+  /// probe costs an in-block prefix sum — use ForEachBase for full walks.
+  core::DateTime BaseDateAt(size_t pos) const {
+    return DateOfKey(base_dates_.At(pos));
+  }
+
+  /// Visits every base entry in index order: f(pos, ref, date). Decodes the
+  /// date column blockwise (sequential cost, unlike per-entry BaseDateAt).
+  template <typename F>
+  void ForEachBase(F&& f) const {
+    std::vector<uint64_t> keys;
+    keys.reserve(columnar::ColumnBlock::kMaxValues);
+    size_t pos = 0;
+    for (size_t b = 0; b < base_dates_.num_blocks(); ++b) {
+      keys.clear();
+      base_dates_.block(b).DecodeAll(&keys);
+      for (uint64_t key : keys) {
+        f(pos, base_refs_[pos], DateOfKey(key));
+        ++pos;
+      }
+    }
+  }
+
+  /// The compressed base-date column (block-zone validation, accounting).
+  const columnar::ZonedColumn& BaseDateColumn() const { return base_dates_; }
 
   // ---- Tail introspection (validator / tests / bench report) ---------------
   // Unlocked under the same single-writer/multi-reader contract as the scan
@@ -139,13 +181,28 @@ class MessageDateIndex {
     return n;
   }
 
+  /// Heap bytes actually held (memory accounting).
+  size_t ByteSize() const SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return base_refs_.capacity() * sizeof(uint32_t) + base_dates_.ByteSize() +
+           tail_refs_.capacity() * sizeof(uint32_t) +
+           tail_dates_.capacity() * sizeof(core::DateTime) +
+           tail_zones_.capacity() * sizeof(Zone);
+  }
+
+  /// Seed-layout bytes for the same content: 4 B ref + 8 B date per entry
+  /// (base and tail) plus the tail zone maps.
+  size_t RawByteSize() const SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return size() * (sizeof(uint32_t) + sizeof(core::DateTime)) +
+           tail_zones_.size() * sizeof(Zone);
+  }
+
  private:
   friend struct TestAccess;  // corruption seeding in tests (test_access.h)
 
-  // Base: refs sorted by (date, ref) with the parallel date column. Written
-  // only by Build (before the store is shared).
+  // Base: refs sorted by (date, ref); the date column is delta + bit-packed
+  // in DateKey space. Written only by Build (before the store is shared).
   std::vector<uint32_t> base_refs_;
-  std::vector<core::DateTime> base_dates_;
+  columnar::ZonedColumn base_dates_;
 
   // Tail: arrival order plus per-kTailBlock zone maps. Guarded against
   // concurrent *writers*; readers are lock-free per the class contract.

@@ -31,6 +31,12 @@ struct TestAccess {
   static std::vector<uint32_t>& PostCreator(Graph& g) {
     return g.post_creator_;
   }
+  static std::vector<uint32_t>& PersonGenderCode(Graph& g) {
+    return g.person_gender_code_;
+  }
+  static std::vector<uint32_t>& TagNameCode(Graph& g) {
+    return g.tag_name_code_;
+  }
   static std::vector<uint32_t>& CommentCreator(Graph& g) {
     return g.comment_creator_;
   }
@@ -41,15 +47,12 @@ struct TestAccess {
 
   // ---- Adjacency representation --------------------------------------------
 
-  static std::vector<uint32_t>& Targets(AdjacencyList& a) {
-    return a.targets_;
-  }
-  static std::vector<core::DateTime>& Dates(AdjacencyList& a) {
-    return a.dates_;
-  }
-  static std::vector<std::vector<uint32_t>>& Extra(AdjacencyList& a) {
-    return a.extra_;
-  }
+  /// The packed base columns. Tests corrupt them through the ZonedColumn /
+  /// ColumnBlock *ForTest hooks: SetValueForTest rewrites one packed slot
+  /// in place (zone metadata untouched), CorruptZoneForTest tampers a
+  /// block's min/max — each the precise damage one invariant exists to
+  /// catch.
+  static columnar::CompressedCsr& Csr(AdjacencyList& a) { return a.csr_; }
 
   // ---- Message index representation ----------------------------------------
   // Tests run single-threaded against a quiesced store, so reaching past the
@@ -58,7 +61,7 @@ struct TestAccess {
   static std::vector<uint32_t>& BaseRefs(MessageDateIndex& idx) {
     return idx.base_refs_;
   }
-  static std::vector<core::DateTime>& BaseDates(MessageDateIndex& idx) {
+  static columnar::ZonedColumn& BaseDateColumn(MessageDateIndex& idx) {
     return idx.base_dates_;
   }
   static std::vector<uint32_t>& TailRefs(MessageDateIndex& idx)

@@ -75,10 +75,13 @@ namespace snb::util {
                            "control flow reached code ruled out by "  \
                            "construction")
 
-/// Checks that are only active in debug builds (hot loops).
+/// Checks that are only active in debug builds (hot loops). The disabled
+/// form still names `cond` in a never-taken branch so variables used only
+/// in DCHECKs don't become unused-warnings in release builds.
 #ifdef NDEBUG
-#define SNB_DCHECK(cond) \
-  do {                   \
+#define SNB_DCHECK(cond)    \
+  do {                      \
+    if (false) (void)(cond); \
   } while (0)
 #else
 #define SNB_DCHECK(cond) SNB_CHECK(cond)

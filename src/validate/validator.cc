@@ -167,14 +167,18 @@ void CheckAdjacencyOrder(const Graph& g, Recorder& rec) {
     const size_t nodes = std::min<size_t>(r.adj->num_nodes(),
                                           r.expected_nodes);
     for (uint32_t node = 0; node < nodes; ++node) {
-      auto base = r.adj->Base(node);
-      for (size_t k = 1; k < base.size(); ++k) {
-        if (base[k - 1] > base[k]) {
+      uint32_t prev = 0;
+      size_t k = 0;
+      bool reported = false;
+      r.adj->ForEachBase(node, [&](uint32_t target) {
+        if (k > 0 && prev > target && !reported) {
           rec.Addf(r.name, ": node ", node, " base span unsorted at offset ",
-                   k, " (", base[k - 1], " > ", base[k], ")");
-          break;  // one finding per span is enough
+                   k, " (", prev, " > ", target, ")");
+          reported = true;  // one finding per span is enough
         }
-      }
+        prev = target;
+        ++k;
+      });
     }
   }
 }
@@ -209,29 +213,26 @@ void CheckMessageIndex(const Graph& g, Recorder& rec) {
   }
   std::unordered_set<uint32_t> seen;
   seen.reserve(idx.size());
-  for (size_t i = 0; i < idx.base_size(); ++i) {
-    const uint32_t msg = idx.BaseAt(i);
+  std::pair<core::DateTime, uint32_t> prev;
+  idx.ForEachBase([&](size_t i, uint32_t msg, core::DateTime date) {
     if (!ValidMessageRef(g, msg)) {
       rec.Addf("base[", i, "]: invalid message ref");
-      continue;
+      return;
     }
     if (!seen.insert(msg).second) {
       rec.Addf("base[", i, "]: message indexed twice");
     }
-    if (idx.BaseDateAt(i) != g.MessageCreationDate(msg)) {
-      rec.Addf("base[", i, "]: cached date ", idx.BaseDateAt(i),
+    if (date != g.MessageCreationDate(msg)) {
+      rec.Addf("base[", i, "]: cached date ", date,
                " != message creationDate ", g.MessageCreationDate(msg));
     }
-    if (i > 0) {
-      const auto prev = std::make_pair(idx.BaseDateAt(i - 1), idx.BaseAt(i - 1));
-      const auto cur = std::make_pair(idx.BaseDateAt(i), msg);
-      if (!(prev < cur)) {
-        rec.Addf("base[", i, "]: (date, ref) order violated: (", prev.first,
-                 ", ", prev.second, ") !< (", cur.first, ", ", cur.second,
-                 ")");
-      }
+    const auto cur = std::make_pair(date, msg);
+    if (i > 0 && !(prev < cur)) {
+      rec.Addf("base[", i, "]: (date, ref) order violated: (", prev.first,
+               ", ", prev.second, ") !< (", cur.first, ", ", cur.second, ")");
     }
-  }
+    prev = cur;
+  });
   for (size_t i = 0; i < idx.tail_size(); ++i) {
     const uint32_t msg = idx.TailAt(i);
     if (!ValidMessageRef(g, msg)) {
@@ -271,6 +272,88 @@ void CheckMessageIndex(const Graph& g, Recorder& rec) {
       }
     }
   }
+}
+
+// ---- dictionary-code-in-range -----------------------------------------------
+
+void CheckDictionaryCodes(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("dictionary-code-in-range");
+  const size_t bound = g.Dict().size();
+  struct CodeColumn {
+    const char* name;
+    size_t rows;
+    uint32_t (Graph::*code)(uint32_t) const;
+  };
+  const CodeColumn columns[] = {
+      {"person-gender", g.NumPersons(), &Graph::PersonGenderCode},
+      {"person-browser", g.NumPersons(), &Graph::PersonBrowserCode},
+      {"tag-name", g.NumTags(), &Graph::TagNameCode},
+      {"place-name", g.NumPlaces(), &Graph::PlaceNameCode},
+  };
+  for (const CodeColumn& col : columns) {
+    for (uint32_t i = 0; i < col.rows; ++i) {
+      const uint32_t code = (g.*col.code)(i);
+      if (code >= bound) {
+        rec.Addf(col.name, "[", i, "]: code ", code, " >= dictionary size ",
+                 bound);
+      }
+    }
+  }
+  // Message code columns go through the ref-based accessors so posts and
+  // comments are both covered.
+  for (uint32_t i = 0; i < g.NumPosts(); ++i) {
+    const uint32_t m = Graph::MessageOfPost(i);
+    if (g.MessageBrowserCode(m) >= bound ||
+        g.MessageLengthClassCode(m) >= bound) {
+      rec.Addf("post[", i, "]: browser/length-class code >= dictionary size ",
+               bound);
+    }
+  }
+  for (uint32_t i = 0; i < g.NumComments(); ++i) {
+    const uint32_t m = Graph::MessageOfComment(i);
+    if (g.MessageBrowserCode(m) >= bound ||
+        g.MessageLengthClassCode(m) >= bound) {
+      rec.Addf("comment[", i,
+               "]: browser/length-class code >= dictionary size ", bound);
+    }
+  }
+}
+
+// ---- block-zone-covers-contents ---------------------------------------------
+
+void CheckColumnZones(const snb::storage::columnar::ZonedColumn& col,
+                      const char* what, Recorder& rec,
+                      std::vector<uint64_t>& scratch) {
+  for (size_t b = 0; b < col.num_blocks(); ++b) {
+    scratch.clear();
+    col.block(b).DecodeAll(&scratch);
+    const auto [mn, mx] = std::minmax_element(scratch.begin(), scratch.end());
+    if (*mn != col.block(b).zone_min() || *mx != col.block(b).zone_max()) {
+      rec.Addf(what, ": block ", b, " zone [", col.block(b).zone_min(), ", ",
+               col.block(b).zone_max(), "] != contents [", *mn, ", ", *mx,
+               "] — zone pruning would mis-skip");
+    }
+  }
+}
+
+void CheckBlockZones(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("block-zone-covers-contents");
+  std::vector<uint64_t> scratch;
+  scratch.reserve(snb::storage::columnar::ColumnBlock::kMaxValues);
+  std::string label;
+  for (const Relation& r : AllRelations(g)) {
+    const auto& csr = r.adj->csr();
+    label = std::string(r.name) + ".targets";
+    CheckColumnZones(csr.targets(), label.c_str(), rec, scratch);
+    label = std::string(r.name) + ".offsets";
+    CheckColumnZones(csr.offsets(), label.c_str(), rec, scratch);
+    if (csr.with_dates()) {
+      label = std::string(r.name) + ".dates";
+      CheckColumnZones(csr.dates(), label.c_str(), rec, scratch);
+    }
+  }
+  CheckColumnZones(g.MessageIndex().BaseDateColumn(), "message-index.dates",
+                   rec, scratch);
 }
 
 // ---- hot-column-gender ------------------------------------------------------
@@ -363,6 +446,8 @@ ValidationReport ValidateGraph(const storage::Graph& graph,
   CheckAdjacencyOrder(graph, rec);
   CheckAdjacencyDedup(graph, rec);
   CheckMessageIndex(graph, rec);
+  CheckDictionaryCodes(graph, rec);
+  CheckBlockZones(graph, rec);
   CheckHotColumnGender(graph, rec);
   CheckUniqueId(graph, rec);
   if (options.expect_sf.has_value()) {

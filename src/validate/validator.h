@@ -15,6 +15,12 @@
 //   message-index-order  the date index base is sorted by (date, ref) and
 //                        base+tail cover every message exactly once
 //   zone-map-coverage    every tail zone map bounds its block's dates
+//   dictionary-code-in-range
+//                        every dictionary code column stays below the
+//                        shared dictionary's size
+//   block-zone-covers-contents
+//                        every columnar block's min/max zone metadata
+//                        exactly bounds its decoded contents
 //   hot-column-gender    PersonIsFemale agrees with the gender string
 //   unique-id            external ids are unique per entity table
 //   cardinality          entity counts match the claimed scale factor

@@ -1,0 +1,274 @@
+// Unit tests for the columnar storage subsystem: bit-packing, the shared
+// dictionary, encoded column blocks (round-trip, zone metadata, the strict
+// Status-returning decoder), zoned columns, the compressed CSR, and the
+// Graph memory-accounting API.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "storage/adjacency.h"
+#include "storage/columnar/bitpack.h"
+#include "storage/columnar/column_block.h"
+#include "storage/columnar/csr.h"
+#include "storage/columnar/dictionary.h"
+#include "storage/graph.h"
+
+namespace snb::storage::columnar {
+namespace {
+
+TEST(BitpackTest, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 0u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+  EXPECT_EQ(BitWidth(UINT64_MAX), 64u);
+}
+
+TEST(BitpackTest, RoundTripAllWidths) {
+  std::mt19937_64 rng(7);
+  for (unsigned bits = 0; bits <= 64; ++bits) {
+    const uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+    std::vector<uint64_t> values(137);
+    for (uint64_t& v : values) v = rng() & mask;
+    PackedArray packed(values, bits);
+    ASSERT_EQ(packed.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(packed.At(i), values[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(BitpackTest, SetRewritesOneSlot) {
+  std::vector<uint64_t> values = {3, 5, 7, 1, 6};
+  PackedArray packed(values, 3);
+  packed.Set(2, 0);
+  EXPECT_EQ(packed.At(1), 5u);
+  EXPECT_EQ(packed.At(2), 0u);
+  EXPECT_EQ(packed.At(3), 1u);
+}
+
+TEST(DictionaryTest, StableDenseCodes) {
+  Dictionary dict;
+  const uint32_t female = dict.GetOrAdd("female");
+  const uint32_t male = dict.GetOrAdd("male");
+  EXPECT_EQ(female, 0u);
+  EXPECT_EQ(male, 1u);
+  EXPECT_EQ(dict.GetOrAdd("female"), female);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Decode(female), "female");
+  EXPECT_EQ(dict.Decode(male), "male");
+  EXPECT_EQ(dict.Find("male"), male);
+  EXPECT_EQ(dict.Find("absent"), Dictionary::kNoCode);
+}
+
+TEST(DictionaryTest, DecodedReferenceStaysValidAcrossGrowth) {
+  Dictionary dict;
+  const uint32_t code = dict.GetOrAdd("Chrome");
+  const std::string& ref = dict.Decode(code);
+  for (int i = 0; i < 1000; ++i) dict.GetOrAdd("browser" + std::to_string(i));
+  EXPECT_EQ(ref, "Chrome");  // deque storage: no reallocation moves
+}
+
+std::vector<uint64_t> RandomSorted(size_t n, uint64_t base, uint64_t step,
+                                   uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> v(n);
+  uint64_t cur = base;
+  for (size_t i = 0; i < n; ++i) {
+    cur += rng() % step;
+    v[i] = cur;
+  }
+  return v;
+}
+
+TEST(ColumnBlockTest, ForRoundTripAndZones) {
+  std::mt19937_64 rng(11);
+  std::vector<uint64_t> values(500);
+  for (uint64_t& v : values) v = 1'000'000 + rng() % 5000;
+  ColumnBlock block = ColumnBlock::EncodeFor(values);
+  ASSERT_EQ(block.size(), values.size());
+  uint64_t mn = UINT64_MAX, mx = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(block.At(i), values[i]);
+    mn = std::min(mn, values[i]);
+    mx = std::max(mx, values[i]);
+  }
+  EXPECT_EQ(block.zone_min(), mn);
+  EXPECT_EQ(block.zone_max(), mx);
+  EXPECT_LE(block.bits(), 13u);  // range 5000 → ≤ 13 bits, not 64
+}
+
+TEST(ColumnBlockTest, DeltaRoundTrip) {
+  auto values = RandomSorted(777, 1'288'834'974'657ull, 90'000, 13);
+  ColumnBlock block = ColumnBlock::EncodeDelta(values);
+  std::vector<uint64_t> decoded;
+  block.DecodeAll(&decoded);
+  EXPECT_EQ(decoded, values);
+  EXPECT_EQ(block.zone_min(), values.front());
+  EXPECT_EQ(block.zone_max(), values.back());
+  EXPECT_LE(block.bits(), 17u);  // deltas < 90'000, not 41-bit absolutes
+}
+
+TEST(ColumnBlockTest, SerializeDecodeFixedPoint) {
+  for (bool delta : {false, true}) {
+    auto values = RandomSorted(300, 500, 1000, delta ? 2 : 3);
+    ColumnBlock block = delta ? ColumnBlock::EncodeDelta(values)
+                              : ColumnBlock::EncodeFor(values);
+    std::string bytes;
+    block.SerializeTo(&bytes);
+    ColumnBlock back;
+    size_t consumed = 0;
+    util::Status s = DecodeColumnBlock(
+        {reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()}, &back,
+        &consumed);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(consumed, bytes.size());
+    std::vector<uint64_t> decoded;
+    back.DecodeAll(&decoded);
+    EXPECT_EQ(decoded, values);
+    // Fixed point: re-serializing the decoded block yields the same bytes.
+    std::string again;
+    back.SerializeTo(&again);
+    EXPECT_EQ(again, bytes);
+  }
+}
+
+TEST(ColumnBlockTest, DecoderRejectsDamageWithStatus) {
+  auto values = RandomSorted(64, 10, 50, 5);
+  ColumnBlock block = ColumnBlock::EncodeDelta(values);
+  std::string bytes;
+  block.SerializeTo(&bytes);
+  // Truncations at every length must fail cleanly.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ColumnBlock out;
+    util::Status s = DecodeColumnBlock(
+        {reinterpret_cast<const uint8_t*>(bytes.data()), len}, &out, nullptr);
+    EXPECT_FALSE(s.ok()) << "truncation to " << len << " accepted";
+  }
+  // Single-byte flips must either fail or decode to the identical block
+  // (flips in the padding bits of the last word can be unreachable).
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x40);
+    ColumnBlock out;
+    util::Status s = DecodeColumnBlock(
+        {reinterpret_cast<const uint8_t*>(damaged.data()), damaged.size()},
+        &out, nullptr);
+    if (s.ok()) {
+      std::string round;
+      out.SerializeTo(&round);
+      EXPECT_EQ(round, damaged) << "byte " << i
+                                << ": accepted bytes that do not round-trip";
+    }
+  }
+}
+
+TEST(ZonedColumnTest, AtAcrossBlocks) {
+  std::mt19937_64 rng(17);
+  std::vector<uint64_t> values(3 * ColumnBlock::kMaxValues + 321);
+  for (uint64_t& v : values) v = rng() % 100'000;
+  ZonedColumn col = ZonedColumn::BuildFor(values);
+  ASSERT_EQ(col.size(), values.size());
+  for (size_t i = 0; i < values.size(); i += 7) {
+    ASSERT_EQ(col.At(i), values[i]);
+  }
+  EXPECT_EQ(col.num_blocks(), 4u);
+}
+
+TEST(ZonedColumnTest, LowerBoundMatchesStdLowerBound) {
+  auto values = RandomSorted(5 * ColumnBlock::kMaxValues + 11, 0, 37, 23);
+  ZonedColumn col = ZonedColumn::BuildDelta(values);
+  std::mt19937_64 rng(29);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t probe = rng() % (values.back() + 100);
+    const size_t want = static_cast<size_t>(
+        std::lower_bound(values.begin(), values.end(), probe) -
+        values.begin());
+    ASSERT_EQ(col.LowerBound(probe), want) << "probe=" << probe;
+  }
+  EXPECT_EQ(col.LowerBound(values.back() + 1), values.size());
+  EXPECT_EQ(col.LowerBound(0), 0u);
+}
+
+TEST(CompressedCsrTest, MatchesReferenceAdjacency) {
+  std::mt19937_64 rng(31);
+  const size_t nodes = 300;
+  std::vector<EdgeInput> edges;
+  for (int i = 0; i < 5000; ++i) {
+    edges.push_back({static_cast<uint32_t>(rng() % nodes),
+                     static_cast<uint32_t>(rng() % nodes),
+                     static_cast<core::DateTime>(1'000'000 + rng() % 99'999)});
+  }
+  // Reference: sort the same way and bucket per node.
+  auto ref_edges = edges;
+  std::sort(ref_edges.begin(), ref_edges.end(),
+            [](const EdgeInput& a, const EdgeInput& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.date < b.date;
+            });
+  CompressedCsr csr;
+  csr.Build(nodes, edges, /*with_dates=*/true);
+  ASSERT_EQ(csr.num_edges(), ref_edges.size());
+  size_t k = 0;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint64_t e = csr.EdgeBegin(n); e < csr.EdgeEnd(n); ++e, ++k) {
+      ASSERT_EQ(ref_edges[k].src, n);
+      ASSERT_EQ(csr.TargetAt(e), ref_edges[k].dst);
+      ASSERT_EQ(csr.DateAt(e), ref_edges[k].date);
+    }
+  }
+  EXPECT_EQ(k, ref_edges.size());
+  EXPECT_LT(csr.ByteSize(), csr.RawByteSize());
+}
+
+TEST(AdjacencyTest, OverflowArenaPreservesAppendOrder) {
+  AdjacencyList adj;
+  adj.Build(4, {{0, 3, 10}, {0, 1, 11}, {2, 2, 12}}, /*with_dates=*/true);
+  adj.Append(0, 9, 100);
+  adj.Append(2, 8, 101);
+  adj.Append(0, 7, 102);
+  adj.AddNodes(1);  // node 4 exists only post-load
+  adj.Append(4, 6, 103);
+  EXPECT_EQ(adj.num_nodes(), 5u);
+  EXPECT_EQ(adj.num_edges(), 7u);
+  EXPECT_EQ(adj.Degree(0), 4u);
+  EXPECT_EQ(adj.Degree(4), 1u);
+  std::vector<std::pair<uint32_t, core::DateTime>> seen;
+  adj.ForEachDated(0, [&](uint32_t t, core::DateTime d) {
+    seen.push_back({t, d});
+  });
+  // Base sorted by target, then overflow in append order.
+  const std::vector<std::pair<uint32_t, core::DateTime>> want = {
+      {1, 11}, {3, 10}, {9, 100}, {7, 102}};
+  EXPECT_EQ(seen, want);
+  EXPECT_TRUE(adj.Contains(4, 6));
+  EXPECT_FALSE(adj.Contains(1, 6));
+}
+
+TEST(GraphMemoryTest, CompressedStoreBeatsSeedLayout) {
+  datagen::DatagenConfig cfg;
+  cfg.num_persons = 300;
+  Graph graph(std::move(datagen::Generate(cfg).network));
+  const MemoryBreakdown mb = graph.Memory();
+  ASSERT_GT(mb.num_edges, 0u);
+  ASSERT_GT(mb.num_messages, 0u);
+  EXPECT_GT(mb.BytesPerEdge(), 0.0);
+  // The headline claim BENCH_storage.json tracks: packed columns beat the
+  // raw arrays. The ≥2× criterion is asserted at bench scale; here we
+  // require a strict win even at a tiny SF.
+  EXPECT_LT(mb.BytesPerEdge(), mb.RawBytesPerEdge());
+  EXPECT_LT(mb.BytesPerMessage(), mb.RawBytesPerMessage());
+  EXPECT_FALSE(mb.ToString().empty());
+  // Dictionary holds the shared low-cardinality families.
+  EXPECT_GT(graph.Dict().size(), 0u);
+  EXPECT_LT(graph.Dict().size(), 2000u);
+}
+
+}  // namespace
+}  // namespace snb::storage::columnar

@@ -1,0 +1,295 @@
+// Streaming-datagen oracle: GenerateStreaming must emit byte-identical
+// CsvBasic files and update streams to the in-memory pipeline
+// (WriteCsvBasic(Generate(cfg)) + WriteUpdateStreams), for every sorter
+// budget — tiny budgets force external-merge spills without changing a byte.
+// Also covers the ExternalSorter contract and crash-safety of the spill
+// protocol (a crash mid-spill leaves only files RemoveOrphanSpills reclaims).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "datagen/external_sort.h"
+#include "datagen/serializer.h"
+#include "datagen/streaming.h"
+#include "datagen/update_stream.h"
+#include "gtest/gtest.h"
+#include "util/failpoint.h"
+
+namespace snb::datagen {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path MakeTempDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("snb_streaming_" + tag + "_" + std::to_string(getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::set<std::string> RelativeFiles(const fs::path& root) {
+  std::set<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file()) {
+      files.insert(fs::relative(entry.path(), root).string());
+    }
+  }
+  return files;
+}
+
+/// Asserts the two directories hold the same file set with identical bytes.
+void ExpectDirsIdentical(const fs::path& expected, const fs::path& actual) {
+  std::set<std::string> exp_files = RelativeFiles(expected);
+  std::set<std::string> act_files = RelativeFiles(actual);
+  EXPECT_EQ(exp_files, act_files);
+  for (const std::string& rel : exp_files) {
+    if (!act_files.contains(rel)) continue;
+    EXPECT_EQ(ReadFile(expected / rel), ReadFile(actual / rel))
+        << "file differs: " << rel;
+  }
+}
+
+DatagenConfig SmallConfig() {
+  DatagenConfig config;
+  config.num_persons = 400;
+  return config;
+}
+
+size_t CountSpillFiles(const fs::path& dir) {
+  size_t count = 0;
+  if (!fs::exists(dir)) return 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.ends_with(".spill") || name.ends_with(".spill.tmp")) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// ExternalSorter
+// ---------------------------------------------------------------------------
+
+TEST(ExternalSorterTest, MatchesStableSortAndSpills) {
+  fs::path spill = MakeTempDir("sorter");
+  struct Rec {
+    uint64_t k1, k2;
+    std::string payload;
+  };
+  std::vector<Rec> input;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    // Narrow key range forces ties, exercising the stable (k1, k2, seq)
+    // tiebreak across spilled runs.
+    input.push_back({rng() % 50, rng() % 4,
+                     "payload-" + std::to_string(i) +
+                         std::string(i % 17, 'x')});
+  }
+
+  ExternalSorter sorter({spill.string(), "unit", /*budget=*/1});
+  for (const Rec& r : input) {
+    ASSERT_TRUE(sorter.Add(r.k1, r.k2, r.payload).ok());
+  }
+  EXPECT_GT(sorter.spill_runs(), 1u);
+  EXPECT_EQ(sorter.size(), input.size());
+
+  std::vector<size_t> reference(input.size());
+  for (size_t i = 0; i < input.size(); ++i) reference[i] = i;
+  std::stable_sort(reference.begin(), reference.end(),
+                   [&input](size_t a, size_t b) {
+                     if (input[a].k1 != input[b].k1) {
+                       return input[a].k1 < input[b].k1;
+                     }
+                     return input[a].k2 < input[b].k2;
+                   });
+
+  size_t pos = 0;
+  ASSERT_TRUE(sorter
+                  .Merge([&](uint64_t k1, uint64_t k2,
+                             std::string_view payload) {
+                    ASSERT_LT(pos, reference.size());
+                    const Rec& want = input[reference[pos]];
+                    EXPECT_EQ(k1, want.k1);
+                    EXPECT_EQ(k2, want.k2);
+                    EXPECT_EQ(payload, want.payload);
+                    ++pos;
+                  })
+                  .ok());
+  EXPECT_EQ(pos, input.size());
+  EXPECT_EQ(CountSpillFiles(spill), 0u) << "merge must remove its runs";
+  fs::remove_all(spill);
+}
+
+TEST(ExternalSorterTest, RemoveOrphanSpillsReclaimsOnlySpillFiles) {
+  fs::path dir = MakeTempDir("orphans");
+  std::ofstream(dir / "knows-pass1.0.spill") << "stale";
+  std::ofstream(dir / "census-post.3.spill.tmp") << "torn";
+  std::ofstream(dir / "keep.txt") << "keep";
+  size_t removed = 0;
+  ASSERT_TRUE(
+      ExternalSorter::RemoveOrphanSpills(dir.string(), &removed).ok());
+  EXPECT_EQ(removed, 2u);
+  EXPECT_FALSE(fs::exists(dir / "knows-pass1.0.spill"));
+  EXPECT_FALSE(fs::exists(dir / "census-post.3.spill.tmp"));
+  EXPECT_TRUE(fs::exists(dir / "keep.txt"));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity oracle
+// ---------------------------------------------------------------------------
+
+TEST(StreamingDatagenTest, ByteIdenticalToInMemoryPipeline) {
+  DatagenConfig config = SmallConfig();
+
+  fs::path ref_dir = MakeTempDir("ref");
+  GeneratedData data = Generate(config);
+  ASSERT_TRUE(WriteCsvBasic(data.network, ref_dir.string()).ok());
+  ASSERT_TRUE(WriteUpdateStreams(data.updates, ref_dir.string()).ok());
+
+  // Tiny budget: every sorter gets the 64 KiB floor, forcing spill runs.
+  {
+    fs::path out_dir = MakeTempDir("out_small");
+    fs::path spill_dir = MakeTempDir("spill_small");
+    StreamingOptions options;
+    options.datagen = config;
+    options.out_dir = out_dir.string();
+    options.spill_dir = spill_dir.string();
+    options.memory_budget_bytes = 1;
+    StreamingStats stats;
+    ASSERT_TRUE(GenerateStreaming(options, &stats).ok());
+
+    EXPECT_GT(stats.spill_runs, 0u) << "budget floor must force spilling";
+    EXPECT_EQ(stats.split_time, data.split_time);
+    EXPECT_EQ(stats.persons, data.total_persons);
+    EXPECT_EQ(stats.knows, data.total_knows);
+    EXPECT_EQ(stats.forums, data.total_forums);
+    EXPECT_EQ(stats.posts, data.total_posts);
+    EXPECT_EQ(stats.comments, data.total_comments);
+    EXPECT_EQ(stats.likes, data.total_likes);
+    EXPECT_EQ(stats.memberships, data.total_memberships);
+    EXPECT_EQ(stats.update_events, data.updates.size());
+
+    ExpectDirsIdentical(ref_dir, out_dir);
+    EXPECT_EQ(CountSpillFiles(spill_dir), 0u)
+        << "successful run must leave no spill files";
+    fs::remove_all(out_dir);
+    fs::remove_all(spill_dir);
+  }
+
+  // Huge budget: everything stays in memory — still the same bytes.
+  {
+    fs::path out_dir = MakeTempDir("out_big");
+    fs::path spill_dir = MakeTempDir("spill_big");
+    StreamingOptions options;
+    options.datagen = config;
+    options.out_dir = out_dir.string();
+    options.spill_dir = spill_dir.string();
+    options.memory_budget_bytes = size_t{4} << 30;
+    StreamingStats stats;
+    ASSERT_TRUE(GenerateStreaming(options, &stats).ok());
+    EXPECT_EQ(stats.spill_runs, 0u);
+    ExpectDirsIdentical(ref_dir, out_dir);
+    fs::remove_all(out_dir);
+    fs::remove_all(spill_dir);
+  }
+
+  fs::remove_all(ref_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety of the spill protocol
+// ---------------------------------------------------------------------------
+
+class StreamingCrashTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::failpoint::DisarmAll(); }
+};
+
+TEST_F(StreamingCrashTest, CrashMidSpillNeverAccumulatesOrphans) {
+  DatagenConfig config = SmallConfig();
+  fs::path out_dir = MakeTempDir("crash_out");
+  fs::path spill_dir = MakeTempDir("crash_spill");
+
+  StreamingOptions options;
+  options.datagen = config;
+  options.out_dir = out_dir.string();
+  options.spill_dir = spill_dir.string();
+  options.memory_budget_bytes = 1;  // spill early and often
+
+  const char* kSites[] = {"datagen.spill.open", "datagen.spill.write",
+                          "datagen.spill.finish"};
+  // Crash-loop: kill the generator at every spill site twice over; each
+  // restart must reclaim whatever the previous corpse left behind, so
+  // orphans never accumulate across the loop.
+  for (int round = 0; round < 2; ++round) {
+    for (const char* site : kSites) {
+      pid_t pid = fork();
+      ASSERT_GE(pid, 0) << "fork failed";
+      if (pid == 0) {
+        util::failpoint::Spec spec;
+        spec.mode = util::failpoint::Mode::kCrash;
+        // Vary the firing hit so different rounds die at different depths.
+        spec.nth = 1 + round * 3;
+        util::failpoint::Arm(site, spec);
+        StreamingStats child_stats;
+        (void)GenerateStreaming(options, &child_stats);
+        _Exit(0);  // reached only if the armed site never fired
+      }
+      int wstatus = 0;
+      ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+      ASSERT_TRUE(WIFEXITED(wstatus));
+      int code = WEXITSTATUS(wstatus);
+      ASSERT_TRUE(code == util::failpoint::CrashExitCode() || code == 0)
+          << "site " << site << " exited with " << code;
+      // Anything the crash left behind must be reclaimable — only spill
+      // protocol files, never live output handles.
+      size_t leftovers = CountSpillFiles(spill_dir);
+      size_t removed = 0;
+      ASSERT_TRUE(
+          ExternalSorter::RemoveOrphanSpills(spill_dir.string(), &removed)
+              .ok());
+      EXPECT_EQ(removed, leftovers);
+      EXPECT_EQ(CountSpillFiles(spill_dir), 0u);
+    }
+  }
+
+  // After the crash loop, a clean run succeeds and is still byte-identical.
+  fs::remove_all(out_dir);
+  fs::create_directories(out_dir);
+  StreamingStats stats;
+  ASSERT_TRUE(GenerateStreaming(options, &stats).ok());
+  EXPECT_EQ(CountSpillFiles(spill_dir), 0u);
+
+  fs::path ref_dir = MakeTempDir("crash_ref");
+  GeneratedData data = Generate(config);
+  ASSERT_TRUE(WriteCsvBasic(data.network, ref_dir.string()).ok());
+  ASSERT_TRUE(WriteUpdateStreams(data.updates, ref_dir.string()).ok());
+  ExpectDirsIdentical(ref_dir, out_dir);
+
+  fs::remove_all(out_dir);
+  fs::remove_all(spill_dir);
+  fs::remove_all(ref_dir);
+}
+
+}  // namespace
+}  // namespace snb::datagen

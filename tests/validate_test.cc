@@ -42,7 +42,7 @@ TEST(ValidateTest, CleanGraphPassesAllInvariants) {
   options.expect_sf = core::ScaleFactorInfo{"test", 0.0, 50, 0, 0};
   ValidationReport report = ValidateGraph(*graph, options);
   EXPECT_TRUE(report.ok()) << report.ToString();
-  EXPECT_EQ(report.invariants_checked, 10u);
+  EXPECT_EQ(report.invariants_checked, 12u);
 }
 
 TEST(ValidateTest, DanglingEdgeCaughtByEdgeEndpoints) {
@@ -54,15 +54,20 @@ TEST(ValidateTest, DanglingEdgeCaughtByEdgeEndpoints) {
 
 TEST(ValidateTest, UnsortedBaseSpanCaughtByAdjacencySorted) {
   auto graph = MakeGraph();
-  // Find a node whose base span has two distinct neighbours and swap them.
+  // Find a node whose base span has two distinct neighbours and swap them
+  // inside the packed target column (zone metadata is untouched — a swap
+  // is a permutation, so only the sort order is damaged).
   storage::AdjacencyList& knows = TestAccess::Knows(*graph);
-  auto& targets = TestAccess::Targets(knows);
+  auto& targets = TestAccess::Csr(knows).mutable_targets();
   bool corrupted = false;
   for (uint32_t node = 0; node < knows.num_nodes() && !corrupted; ++node) {
-    auto base = knows.Base(node);
-    if (base.size() >= 2 && base[0] != base[1]) {
-      size_t off = base.data() - targets.data();
-      std::swap(targets[off], targets[off + 1]);
+    if (knows.BaseDegree(node) < 2) continue;
+    const uint64_t k = TestAccess::Csr(knows).EdgeBegin(node);
+    const uint64_t a = targets.At(k), b = targets.At(k + 1);
+    // Stay within one block so the packed rewrite is exact.
+    if (a != b && k / 1024 == (k + 1) / 1024) {
+      targets.SetValueForTest(k, b);
+      targets.SetValueForTest(k + 1, a);
       corrupted = true;
     }
   }
@@ -76,7 +81,7 @@ TEST(ValidateTest, DuplicateNeighbourCaughtByAdjacencyDedup) {
   storage::AdjacencyList& knows = TestAccess::Knows(*graph);
   bool corrupted = false;
   for (uint32_t node = 0; node < knows.num_nodes() && !corrupted; ++node) {
-    auto base = knows.Base(node);
+    auto base = knows.BaseCollect(node);
     if (!base.empty()) {
       knows.Append(node, base[0]);  // the overflow now repeats a base edge
       corrupted = true;
@@ -111,6 +116,38 @@ TEST(ValidateTest, StaleZoneMapCaughtByZoneMapCoverage) {
   zones[0].min = zones[0].max = post.creation_date + 1;
   ValidationReport report = ValidateGraph(*graph, Lenient());
   EXPECT_TRUE(report.Has("zone-map-coverage")) << report.ToString();
+}
+
+TEST(ValidateTest, OutOfRangeCodeCaughtByDictionaryCodeInRange) {
+  auto graph = MakeGraph();
+  auto& codes = TestAccess::PersonGenderCode(*graph);
+  ASSERT_FALSE(codes.empty());
+  codes[0] = static_cast<uint32_t>(graph->Dict().size()) + 7;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("dictionary-code-in-range")) << report.ToString();
+}
+
+TEST(ValidateTest, StaleBlockZoneCaughtByBlockZoneCoversContents) {
+  auto graph = MakeGraph();
+  // Shrink the zone of the first knows target block so its contents fall
+  // outside [min, max] — the payload itself is untouched.
+  storage::AdjacencyList& knows = TestAccess::Knows(*graph);
+  auto& targets = TestAccess::Csr(knows).mutable_targets();
+  ASSERT_GT(targets.num_blocks(), 0u);
+  auto& block = targets.mutable_block(0);
+  block.CorruptZoneForTest(block.zone_min() + 1, block.zone_max());
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("block-zone-covers-contents")) << report.ToString();
+}
+
+TEST(ValidateTest, TamperedIndexDateZoneCaughtByBlockZoneCoversContents) {
+  auto graph = MakeGraph();
+  auto& dates = TestAccess::BaseDateColumn(TestAccess::MessageIndex(*graph));
+  ASSERT_GT(dates.num_blocks(), 0u);
+  auto& block = dates.mutable_block(0);
+  block.CorruptZoneForTest(block.zone_min(), block.zone_max() + 1);
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("block-zone-covers-contents")) << report.ToString();
 }
 
 TEST(ValidateTest, HotColumnFlipCaughtByHotColumnGender) {
