@@ -104,6 +104,30 @@ for f in src/bi/bi[0-9][0-9].cc; do
 done
 if [[ -n "$missing" ]]; then fail "BI query file without a cancellation poll:" $missing; fi
 
+echo "== lint: top-k BI kernels consult the shared bound =="
+# Every top-k pushdown query (CP-1.3) must prune through engine::BoundRef —
+# a kernel that sorts first and prunes never silently regresses to the
+# sort-everything plan the pushdown work exists to beat. BI 2/3/6/12/14 are
+# the top-100 kernels; parallel.cc carries their morsel variants.
+missing=""
+for f in src/bi/bi02.cc src/bi/bi03.cc src/bi/bi06.cc src/bi/bi12.cc \
+         src/bi/bi14.cc src/bi/parallel.cc; do
+  if ! grep -qE 'BoundRef|CannotPlace' "$f"; then
+    missing="$missing $f"
+  fi
+done
+if [[ -n "$missing" ]]; then fail "top-k BI kernel without BoundRef pushdown:" $missing; fi
+
+echo "== lint: raw std::atomic banned in query code =="
+# Cross-slot state in src/bi/ goes through the sanctioned engine/ helpers
+# (BoundRef's monotone CAS-max, ScanStats' relaxed counters) whose memory-
+# order story is reviewed in one place. A raw std::atomic in a kernel
+# re-opens the torn-publish bug class; cancel.h/cancel.cc own the one
+# pre-existing exception (the cooperative cancel flag).
+hits=$(match_code 'std::atomic' \
+  $(find src/bi -name '*.cc' -o -name '*.h' | sort | grep -v -e '^src/bi/cancel\.h$' -e '^src/bi/cancel\.cc$'))
+if [[ -n "$hits" ]]; then fail "raw std::atomic in src/bi/ outside cancel.h/cancel.cc" "$hits"; fi
+
 echo "== lint: assert()/abort() bypass util/check.h =="
 # SNB_CHECK* print the failing expression, file:line and a message before
 # aborting, and SNB_DCHECK compiles out in release; raw assert/abort lose

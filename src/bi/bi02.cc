@@ -3,6 +3,7 @@
 #include "bi/bi.h"
 #include "bi/cancel.h"
 #include "bi/common.h"
+#include "engine/bound.h"
 #include "engine/top_k.h"
 
 namespace snb::bi {
@@ -32,9 +33,17 @@ std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params) {
   CancelPoller poll(256);  // per-person work is a message expansion
   auto scan_person_messages = [&](uint32_t person, uint32_t country) {
     poll.Tick();
+    // Person-granularity date-zone pruning (CP-2.3): a person whose message
+    // dates all miss the window contributes nothing — skip the expansion
+    // before touching either adjacency list.
+    if (!graph.PersonHasMessagesIn(person, start, end)) {
+      storage::CountBlocksSkippedDate(1);
+      return;
+    }
     bool female = graph.PersonIsFemale(person);
     int32_t age_group = age_group_of(person);
     auto handle = [&](uint32_t msg) {
+      storage::CountRowsDecoded(1);
       core::DateTime created = graph.MessageCreationDate(msg);
       if (created < start || created >= end) return;
       int32_t month = core::Month(created);
@@ -58,31 +67,53 @@ std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params) {
     });
   }
 
-  std::vector<Bi2Row> rows;
+  // Top-k finisher over integer-keyed candidates: the CP-1.3 bound on the
+  // message count drops losing groups before any name string is built (the
+  // tie-break legs dereference tag/place names lazily, and only the final
+  // ≤100 rows materialize strings). The comparator mirrors the row
+  // comparator exactly: "female" < "male", so female-first is the bool leg.
+  struct Cand {
+    Bi2Key key;
+    int64_t count;
+  };
+  auto better = [&graph](const Cand& a, const Cand& b) {
+    if (a.count != b.count) return a.count > b.count;
+    const std::string& ta = graph.TagAt(a.key.tag).name;
+    const std::string& tb = graph.TagAt(b.key.tag).name;
+    if (ta != tb) return ta < tb;
+    if (a.key.gender_female != b.key.gender_female) {
+      return a.key.gender_female;
+    }
+    if (a.key.age_group != b.key.age_group) {
+      return a.key.age_group < b.key.age_group;
+    }
+    if (a.key.month != b.key.month) return a.key.month < b.key.month;
+    return graph.PlaceAt(a.key.country).name <
+           graph.PlaceAt(b.key.country).name;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.count; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (const auto& [key, count] : counts) {
     if (count <= params.threshold) continue;
+    if (bound.CannotPlace(count)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    if (top.Add({key, count})) top.PublishBound(bound, key_of);
+  }
+
+  std::vector<Bi2Row> rows;
+  for (const Cand& c : top.Take()) {
     Bi2Row row;
-    row.country = graph.PlaceAt(key.country).name;
-    row.month = key.month;
-    row.gender = key.gender_female ? "female" : "male";
-    row.age_group = key.age_group;
-    row.tag = graph.TagAt(key.tag).name;
-    row.message_count = count;
+    row.country = graph.PlaceAt(c.key.country).name;
+    row.month = c.key.month;
+    row.gender = c.key.gender_female ? "female" : "male";
+    row.age_group = c.key.age_group;
+    row.tag = graph.TagAt(c.key.tag).name;
+    row.message_count = c.count;
     rows.push_back(std::move(row));
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi2Row& a, const Bi2Row& b) {
-        if (a.message_count != b.message_count) {
-          return a.message_count > b.message_count;
-        }
-        if (a.tag != b.tag) return a.tag < b.tag;
-        if (a.gender != b.gender) return a.gender < b.gender;
-        if (a.age_group != b.age_group) return a.age_group < b.age_group;
-        if (a.month != b.month) return a.month < b.month;
-        return a.country < b.country;
-      },
-      100);
   return rows;
 }
 

@@ -3,6 +3,7 @@
 #include "bi/bi.h"
 #include "bi/cancel.h"
 #include "bi/common.h"
+#include "engine/bound.h"
 #include "engine/top_k.h"
 
 namespace snb::bi {
@@ -35,23 +36,43 @@ std::vector<Bi3Row> RunBi3(const Graph& graph, const Bi3Params& params) {
     graph.ForEachMessageTag(msg, [&](uint32_t tag) { ++counts[tag]; });
   });
 
-  std::vector<Bi3Row> rows;
+  // Top-k finisher over integer candidates: the CP-1.3 bound on |diff|
+  // drops losing tags before their name string is dereferenced; only the
+  // final ≤100 rows materialize strings.
+  struct Cand {
+    uint32_t tag;
+    int64_t count1;
+    int64_t count2;
+    int64_t diff;
+  };
+  auto better = [&graph](const Cand& a, const Cand& b) {
+    if (a.diff != b.diff) return a.diff > b.diff;
+    return graph.TagAt(a.tag).name < graph.TagAt(b.tag).name;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.diff; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (uint32_t t = 0; t < graph.NumTags(); ++t) {
     if (count1[t] == 0 && count2[t] == 0) continue;
+    const int64_t diff = std::llabs(count1[t] - count2[t]);
+    if (bound.CannotPlace(diff)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    if (top.Add({t, count1[t], count2[t], diff})) {
+      top.PublishBound(bound, key_of);
+    }
+  }
+
+  std::vector<Bi3Row> rows;
+  for (const Cand& c : top.Take()) {
     Bi3Row row;
-    row.tag = graph.TagAt(t).name;
-    row.count_month1 = count1[t];
-    row.count_month2 = count2[t];
-    row.diff = std::llabs(count1[t] - count2[t]);
+    row.tag = graph.TagAt(c.tag).name;
+    row.count_month1 = c.count1;
+    row.count_month2 = c.count2;
+    row.diff = c.diff;
     rows.push_back(std::move(row));
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi3Row& a, const Bi3Row& b) {
-        if (a.diff != b.diff) return a.diff > b.diff;
-        return a.tag < b.tag;
-      },
-      100);
   return rows;
 }
 

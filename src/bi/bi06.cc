@@ -3,6 +3,7 @@
 #include "bi/bi.h"
 #include "bi/cancel.h"
 #include "bi/common.h"
+#include "engine/bound.h"
 #include "engine/top_k.h"
 
 namespace snb::bi {
@@ -36,23 +37,44 @@ std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params) {
     handle(Graph::MessageOfComment(comment));
   });
 
-  rows.reserve(by_person.size());
+  // Top-k finisher with CP-1.3 bound pushdown: the score is computable from
+  // the aggregate alone, so a person strictly below the k-th score is
+  // dropped before their Person record (and external id) is dereferenced.
+  // Score ties always fall through to the person-id tie-break, keeping the
+  // result bit-identical to the sort-everything oracle.
+  struct Cand {
+    core::Id person_id;
+    int64_t replies;
+    int64_t likes;
+    int64_t messages;
+    int64_t score;
+  };
+  auto better = [](const Cand& a, const Cand& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.person_id < b.person_id;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.score; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (const auto& [person, a] : by_person) {
+    const int64_t score = a.messages + 2 * a.replies + 10 * a.likes;
+    if (bound.CannotPlace(score)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    Cand c{graph.PersonAt(person).id, a.replies, a.likes, a.messages, score};
+    if (top.Add(c)) top.PublishBound(bound, key_of);
+  }
+
+  for (const Cand& c : top.Take()) {
     Bi6Row row;
-    row.person_id = graph.PersonAt(person).id;
-    row.reply_count = a.replies;
-    row.like_count = a.likes;
-    row.message_count = a.messages;
-    row.score = a.messages + 2 * a.replies + 10 * a.likes;
+    row.person_id = c.person_id;
+    row.reply_count = c.replies;
+    row.like_count = c.likes;
+    row.message_count = c.messages;
+    row.score = c.score;
     rows.push_back(row);
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi6Row& a, const Bi6Row& b) {
-        if (a.score != b.score) return a.score > b.score;
-        return a.person_id < b.person_id;
-      },
-      100);
   return rows;
 }
 

@@ -1,6 +1,7 @@
 #include "bi/bi.h"
 #include "bi/cancel.h"
 #include "bi/common.h"
+#include "engine/bound.h"
 #include "engine/top_k.h"
 
 namespace snb::bi {
@@ -28,14 +29,31 @@ std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params) {
   };
   engine::TopK<Bi12Row, decltype(better)> top(100, better);
 
+  // CP-1.3 bound pushdown: the k-th like count, published once the heap is
+  // full, prunes whole zone-mapped blocks (block max ≤ threshold, or
+  // strictly below the bound) and individual candidates before any id or
+  // name is dereferenced. Ties on the bound always pass through to the full
+  // comparator, so the result is bit-identical to the oracle.
+  engine::BoundRef bound;
+  auto key_of = [](const Bi12Row& r) { return r.like_count; };
+
   // Index range scan over [date+1, ∞) instead of a full scan with a
   // per-message date filter.
   CancelPoller poll;
-  graph.ForEachMessageInRange(
-      after, storage::kMaxMessageDate, [&](uint32_t msg) {
+  graph.ForEachMessageInRangeBounded(
+      after, storage::kMaxMessageDate,
+      [&](int64_t block_max_likes) {
+        return block_max_likes <= params.like_threshold ||
+               bound.CannotPlace(block_max_likes);
+      },
+      [&](uint32_t msg) {
         poll.Tick();
         int64_t likes = internal::MessageLikeCount(graph, msg);
         if (likes <= params.like_threshold) return;
+        if (bound.CannotPlace(likes)) {
+          storage::CountRowsSkippedBound(1);
+          return;
+        }
         Bi12Row row;
         row.message_id = graph.MessageId(msg);
         row.like_count = likes;
@@ -45,7 +63,7 @@ std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params) {
             graph.PersonAt(graph.MessageCreator(msg));
         row.creator_first_name = creator.first_name;
         row.creator_last_name = creator.last_name;
-        top.Add(std::move(row));
+        if (top.Add(std::move(row))) top.PublishBound(bound, key_of);
       });
   return top.Take();
 }

@@ -3,6 +3,7 @@
 #include "bi/bi.h"
 #include "bi/cancel.h"
 #include "bi/common.h"
+#include "engine/bound.h"
 #include "engine/top_k.h"
 
 namespace snb::bi {
@@ -43,22 +44,38 @@ std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params) {
     ++by_person[graph.PostCreator(root)].messages;
   });
 
-  std::vector<Bi14Row> rows;
-  rows.reserve(by_person.size());
+  // Top-k finisher with CP-1.3 bound pushdown: the message count alone
+  // decides all but ties, so a person strictly below the k-th count is
+  // dropped before their Person record is touched; names materialize only
+  // for the final ≤100 rows.
+  struct Cand {
+    uint32_t person;
+    core::Id person_id;
+    int64_t threads;
+    int64_t messages;
+  };
+  auto better = [](const Cand& a, const Cand& b) {
+    if (a.messages != b.messages) return a.messages > b.messages;
+    return a.person_id < b.person_id;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.messages; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (const auto& [person, a] : by_person) {
-    const core::Person& rec = graph.PersonAt(person);
-    rows.push_back(
-        {rec.id, rec.first_name, rec.last_name, a.threads, a.messages});
+    if (bound.CannotPlace(a.messages)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    Cand c{person, graph.PersonAt(person).id, a.threads, a.messages};
+    if (top.Add(c)) top.PublishBound(bound, key_of);
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi14Row& a, const Bi14Row& b) {
-        if (a.message_count != b.message_count) {
-          return a.message_count > b.message_count;
-        }
-        return a.person_id < b.person_id;
-      },
-      100);
+
+  std::vector<Bi14Row> rows;
+  for (const Cand& c : top.Take()) {
+    const core::Person& rec = graph.PersonAt(c.person);
+    rows.push_back(
+        {rec.id, rec.first_name, rec.last_name, c.threads, c.messages});
+  }
   return rows;
 }
 

@@ -11,35 +11,43 @@ namespace snb::bi {
 std::vector<Bi18Row> RunBi18(const Graph& graph, const Bi18Params& params) {
   const core::DateTime after = core::DateTimeFromDate(params.date);
 
-  auto language_ok = [&](const std::string& lang) {
-    return std::find(params.languages.begin(), params.languages.end(),
-                     lang) != params.languages.end();
+  // Dictionary-encode the language filter once: an absent language maps to
+  // kNoCode, which no stored message carries, so it simply never matches.
+  std::vector<uint32_t> language_codes;
+  language_codes.reserve(params.languages.size());
+  for (const std::string& lang : params.languages) {
+    language_codes.push_back(graph.Dict().Find(lang));
+  }
+  auto language_ok = [&](uint32_t code) {
+    return std::find(language_codes.begin(), language_codes.end(), code) !=
+           language_codes.end();
   };
 
-  // messageCount per person over qualifying messages.
+  // messageCount per person over qualifying messages. creationDate > date
+  // ⇔ the index range [date+1, ∞): the scan prunes everything older
+  // through the sorted base + tail zone maps (CP-2.2/2.3) instead of
+  // filtering full table scans, and the language check probes the
+  // dictionary-code hot columns (the comment side reads the materialized
+  // thread-root language — a 2-hop endpoint column) rather than comparing
+  // strings.
   CancelPoller poll;
   std::vector<int64_t> message_count(graph.NumPersons(), 0);
-  for (uint32_t post = 0; post < graph.NumPosts(); ++post) {
-    poll.Tick();
-    const core::Post& p = graph.PostAt(post);
-    if (p.content.empty()) continue;
-    if (p.length >= params.length_threshold) continue;
-    if (p.creation_date <= after) continue;
-    if (!language_ok(p.language)) continue;
-    ++message_count[graph.PostCreator(post)];
-  }
-  for (uint32_t comment = 0; comment < graph.NumComments(); ++comment) {
-    poll.Tick();
-    const core::Comment& c = graph.CommentAt(comment);
-    if (c.content.empty()) continue;
-    if (c.length >= params.length_threshold) continue;
-    if (c.creation_date <= after) continue;
-    // A comment's language is the language of its thread's root post.
-    if (!language_ok(graph.PostAt(graph.CommentRootPost(comment)).language)) {
-      continue;
-    }
-    ++message_count[graph.CommentCreator(comment)];
-  }
+  graph.ForEachMessageInRange(
+      after + 1, storage::kMaxMessageDate, [&](uint32_t msg) {
+        poll.Tick();
+        if (graph.MessageLength(msg) >= params.length_threshold) return;
+        if (Graph::IsPost(msg)) {
+          if (!graph.MessageHasContent(msg)) return;  // image posts
+          if (!language_ok(graph.PostLanguageCode(msg))) return;
+          ++message_count[graph.PostCreator(msg)];
+        } else {
+          const uint32_t comment = Graph::AsComment(msg);
+          if (graph.CommentAt(comment).content.empty()) return;
+          // A comment's language is the language of its thread's root post.
+          if (!language_ok(graph.CommentRootLanguageCode(comment))) return;
+          ++message_count[graph.CommentCreator(comment)];
+        }
+      });
 
   // Histogram: persons per messageCount value — including zero.
   std::unordered_map<int64_t, int64_t> histogram;

@@ -71,12 +71,9 @@ inline int64_t MessageLikeCount(const Graph& graph, uint32_t msg) {
 }
 
 /// Forum of a message: a post's container, a comment's thread-root's
-/// container.
+/// container — one probe of the materialized endpoint column either way.
 inline uint32_t ForumOfMessage(const Graph& graph, uint32_t msg) {
-  uint32_t post = Graph::IsPost(msg)
-                      ? Graph::AsPost(msg)
-                      : graph.CommentRootPost(Graph::AsComment(msg));
-  return graph.PostForum(post);
+  return graph.MessageForum(msg);
 }
 
 /// Packs an ordered person pair into a hash key.

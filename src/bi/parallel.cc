@@ -8,8 +8,10 @@
 
 #include "bi/cancel.h"
 #include "bi/common.h"
+#include "engine/bound.h"
 #include "engine/morsel.h"
 #include "engine/top_k.h"
+#include "storage/scan_stats.h"
 
 namespace snb::bi::parallel {
 
@@ -23,19 +25,23 @@ using storage::kMinMessageDate;
 constexpr size_t kExpandMorselSize = 256;
 
 /// engine::ParallelAggregate with the calling thread's ambient CancelToken
-/// re-installed on every executor and polled once per morsel. The engine
-/// layer cannot depend on bi/cancel.h (bi links against engine), so the
-/// bridge lives here: a deadline fired mid-query surfaces as QueryCancelled
-/// on the calling thread after all executors joined.
+/// and ScanStats sink re-installed on every executor, the token polled once
+/// per morsel. The engine layer cannot depend on bi/cancel.h or ambient
+/// storage sinks (bi links against engine), so the bridge lives here: a
+/// deadline fired mid-query surfaces as QueryCancelled on the calling thread
+/// after all executors joined, and every slot's zone-skip/bound-skip counts
+/// land in the caller's (atomic) ScanStats.
 template <typename Init, typename Body, typename Merge>
 void Aggregate(util::ThreadPool& pool, size_t n, Init&& init, Body&& body,
                Merge&& merge,
                size_t morsel_size = engine::kDefaultMorselSize) {
   const CancelToken* token = CurrentCancelToken();
+  storage::ScanStats* stats = storage::CurrentScanStats();
   engine::ParallelAggregate(
       pool, n, std::forward<Init>(init),
       [&](auto& state, size_t begin, size_t end) {
         ScopedCancelToken guard(token);
+        storage::ScopedScanStats stats_guard(stats);
         PollCancel();
         body(state, begin, end);
       },
@@ -147,9 +153,17 @@ std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params,
       [&](CountMap& local, size_t begin, size_t domain_end) {
         for (size_t i = begin; i < domain_end; ++i) {
           const auto [person, country] = domain[i];
+          // Person-granularity date-zone pruning (CP-2.3), mirroring the
+          // sequential engine: skip the whole expansion when the creator's
+          // message-date zone misses the window.
+          if (!graph.PersonHasMessagesIn(person, start, end)) {
+            storage::CountBlocksSkippedDate(1);
+            continue;
+          }
           const bool female = graph.PersonIsFemale(person);
           const int32_t age_group = age_group_of(person);
           auto handle = [&](uint32_t msg) {
+            storage::CountRowsDecoded(1);
             core::DateTime created = graph.MessageCreationDate(msg);
             if (created < start || created >= end) return;
             int32_t month = core::Month(created);
@@ -170,31 +184,51 @@ std::vector<Bi2Row> RunBi2(const Graph& graph, const Bi2Params& params,
       },
       kExpandMorselSize);
 
-  std::vector<Bi2Row> rows;
+  // Bound finisher, identical to the sequential engine: the CP-1.3 bound on
+  // the message count drops losing groups before any name string is built.
+  // "female" < "male", so female-first is the bool comparator leg.
+  struct Cand {
+    Bi2Key key;
+    int64_t count;
+  };
+  auto better = [&graph](const Cand& a, const Cand& b) {
+    if (a.count != b.count) return a.count > b.count;
+    const std::string& ta = graph.TagAt(a.key.tag).name;
+    const std::string& tb = graph.TagAt(b.key.tag).name;
+    if (ta != tb) return ta < tb;
+    if (a.key.gender_female != b.key.gender_female) {
+      return a.key.gender_female;
+    }
+    if (a.key.age_group != b.key.age_group) {
+      return a.key.age_group < b.key.age_group;
+    }
+    if (a.key.month != b.key.month) return a.key.month < b.key.month;
+    return graph.PlaceAt(a.key.country).name <
+           graph.PlaceAt(b.key.country).name;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.count; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (const auto& [key, count] : counts) {
     if (count <= params.threshold) continue;
+    if (bound.CannotPlace(count)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    if (top.Add({key, count})) top.PublishBound(bound, key_of);
+  }
+
+  std::vector<Bi2Row> rows;
+  for (const Cand& c : top.Take()) {
     Bi2Row row;
-    row.country = graph.PlaceAt(key.country).name;
-    row.month = key.month;
-    row.gender = key.gender_female ? "female" : "male";
-    row.age_group = key.age_group;
-    row.tag = graph.TagAt(key.tag).name;
-    row.message_count = count;
+    row.country = graph.PlaceAt(c.key.country).name;
+    row.month = c.key.month;
+    row.gender = c.key.gender_female ? "female" : "male";
+    row.age_group = c.key.age_group;
+    row.tag = graph.TagAt(c.key.tag).name;
+    row.message_count = c.count;
     rows.push_back(std::move(row));
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi2Row& a, const Bi2Row& b) {
-        if (a.message_count != b.message_count) {
-          return a.message_count > b.message_count;
-        }
-        if (a.tag != b.tag) return a.tag < b.tag;
-        if (a.gender != b.gender) return a.gender < b.gender;
-        if (a.age_group != b.age_group) return a.age_group < b.age_group;
-        if (a.month != b.month) return a.month < b.month;
-        return a.country < b.country;
-      },
-      100);
   return rows;
 }
 
@@ -242,23 +276,42 @@ std::vector<Bi3Row> RunBi3(const Graph& graph, const Bi3Params& params,
         }
       });
 
-  std::vector<Bi3Row> rows;
+  // Bound finisher, identical to the sequential engine: the CP-1.3 bound on
+  // |diff| drops losing tags before their name string is dereferenced.
+  struct Cand {
+    uint32_t tag;
+    int64_t count1;
+    int64_t count2;
+    int64_t diff;
+  };
+  auto better = [&graph](const Cand& a, const Cand& b) {
+    if (a.diff != b.diff) return a.diff > b.diff;
+    return graph.TagAt(a.tag).name < graph.TagAt(b.tag).name;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.diff; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (uint32_t t = 0; t < num_tags; ++t) {
     if (count1[t] == 0 && count2[t] == 0) continue;
+    const int64_t diff = std::llabs(count1[t] - count2[t]);
+    if (bound.CannotPlace(diff)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    if (top.Add({t, count1[t], count2[t], diff})) {
+      top.PublishBound(bound, key_of);
+    }
+  }
+
+  std::vector<Bi3Row> rows;
+  for (const Cand& c : top.Take()) {
     Bi3Row row;
-    row.tag = graph.TagAt(t).name;
-    row.count_month1 = count1[t];
-    row.count_month2 = count2[t];
-    row.diff = std::llabs(count1[t] - count2[t]);
+    row.tag = graph.TagAt(c.tag).name;
+    row.count_month1 = c.count1;
+    row.count_month2 = c.count2;
+    row.diff = c.diff;
     rows.push_back(std::move(row));
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi3Row& a, const Bi3Row& b) {
-        if (a.diff != b.diff) return a.diff > b.diff;
-        return a.tag < b.tag;
-      },
-      100);
   return rows;
 }
 
@@ -309,23 +362,41 @@ std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params,
       },
       1024);
 
-  rows.reserve(by_person.size());
+  // Bound finisher, identical to the sequential engine: a person strictly
+  // below the k-th score is dropped before their Person record is touched.
+  struct Cand {
+    core::Id person_id;
+    int64_t replies;
+    int64_t likes;
+    int64_t messages;
+    int64_t score;
+  };
+  auto better = [](const Cand& a, const Cand& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.person_id < b.person_id;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.score; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (const auto& [person, a] : by_person) {
+    const int64_t score = a.messages + 2 * a.replies + 10 * a.likes;
+    if (bound.CannotPlace(score)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    Cand c{graph.PersonAt(person).id, a.replies, a.likes, a.messages, score};
+    if (top.Add(c)) top.PublishBound(bound, key_of);
+  }
+
+  for (const Cand& c : top.Take()) {
     Bi6Row row;
-    row.person_id = graph.PersonAt(person).id;
-    row.reply_count = a.replies;
-    row.like_count = a.likes;
-    row.message_count = a.messages;
-    row.score = a.messages + 2 * a.replies + 10 * a.likes;
+    row.person_id = c.person_id;
+    row.reply_count = c.replies;
+    row.like_count = c.likes;
+    row.message_count = c.messages;
+    row.score = c.score;
     rows.push_back(row);
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi6Row& a, const Bi6Row& b) {
-        if (a.score != b.score) return a.score > b.score;
-        return a.person_id < b.person_id;
-      },
-      100);
   return rows;
 }
 
@@ -353,23 +424,51 @@ std::vector<Bi12Row> RunBi12(const Graph& graph, const Bi12Params& params,
   using Top = engine::TopK<Bi12Row, decltype(better)>;
   Top top(100, better);
 
+  // Shared CP-1.3 bound: every slot that fills its private top-100 publishes
+  // its k-th like count, and every slot prunes against the tightest published
+  // value. Safe under any interleaving — a candidate strictly below some
+  // slot's full-heap k-th cannot enter the merged top-100, and a stale read
+  // only loosens the bound (less pruning, never a wrong result). Ties run
+  // the full comparator, keeping the merge bit-identical to sequential.
+  engine::BoundRef bound;
+  auto key_of = [](const Bi12Row& r) { return r.like_count; };
+
   Aggregate(
       pool, range.size(), [&better] { return Top(100, better); },
       [&](Top& local, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const uint32_t msg = range[i];
-          int64_t likes = internal::MessageLikeCount(graph, msg);
-          if (likes <= params.like_threshold) continue;
-          Bi12Row row;
-          row.message_id = graph.MessageId(msg);
-          row.like_count = likes;
-          row.creation_date = graph.MessageCreationDate(msg);
-          if (!local.WouldAccept(row)) continue;  // CP-1.3 pushdown per slot
-          const core::Person& creator =
-              graph.PersonAt(graph.MessageCreator(msg));
-          row.creator_first_name = creator.first_name;
-          row.creator_last_name = creator.last_name;
-          local.Add(std::move(row));
+        for (size_t i = begin; i < end;) {
+          // Block-at-a-time pruning: test the zone's like-count max against
+          // the threshold and the shared bound before decoding any row in
+          // it. Tail positions report INT64_MAX and never zone-skip (the
+          // tail was already date-filtered at view construction).
+          const size_t zone_end = std::min(end, range.ZoneEnd(i));
+          const int64_t zone_max = range.BoundZoneMax(i);
+          if (zone_max <= params.like_threshold ||
+              bound.CannotPlace(zone_max)) {
+            storage::CountBlocksSkippedBound(1);
+            i = zone_end;
+            continue;
+          }
+          for (; i < zone_end; ++i) {
+            const uint32_t msg = range[i];
+            if (i < range.base_count()) storage::CountRowsDecoded(1);
+            int64_t likes = internal::MessageLikeCount(graph, msg);
+            if (likes <= params.like_threshold) continue;
+            if (bound.CannotPlace(likes)) {  // strictly below a full k-th
+              storage::CountRowsSkippedBound(1);
+              continue;
+            }
+            Bi12Row row;
+            row.message_id = graph.MessageId(msg);
+            row.like_count = likes;
+            row.creation_date = graph.MessageCreationDate(msg);
+            if (!local.WouldAccept(row)) continue;  // slot-local pushdown
+            const core::Person& creator =
+                graph.PersonAt(graph.MessageCreator(msg));
+            row.creator_first_name = creator.first_name;
+            row.creator_last_name = creator.last_name;
+            if (local.Add(std::move(row))) local.PublishBound(bound, key_of);
+          }
         }
       },
       [&](Top& local) {
@@ -490,22 +589,37 @@ std::vector<Bi14Row> RunBi14(const Graph& graph, const Bi14Params& params,
         }
       });
 
-  std::vector<Bi14Row> rows;
-  rows.reserve(by_person.size());
+  // Bound finisher, identical to the sequential engine: the message count
+  // decides all but ties, so losers drop before their Person record is
+  // touched and names materialize only for the final ≤100 rows.
+  struct Cand {
+    uint32_t person;
+    core::Id person_id;
+    int64_t threads;
+    int64_t messages;
+  };
+  auto better = [](const Cand& a, const Cand& b) {
+    if (a.messages != b.messages) return a.messages > b.messages;
+    return a.person_id < b.person_id;
+  };
+  engine::BoundRef bound;
+  auto key_of = [](const Cand& c) { return c.messages; };
+  engine::TopK<Cand, decltype(better)> top(100, better);
   for (const auto& [person, a] : by_person) {
-    const core::Person& rec = graph.PersonAt(person);
-    rows.push_back(
-        {rec.id, rec.first_name, rec.last_name, a.threads, a.messages});
+    if (bound.CannotPlace(a.messages)) {
+      storage::CountRowsSkippedBound(1);
+      continue;
+    }
+    Cand c{person, graph.PersonAt(person).id, a.threads, a.messages};
+    if (top.Add(c)) top.PublishBound(bound, key_of);
   }
-  engine::SortAndLimit(
-      rows,
-      [](const Bi14Row& a, const Bi14Row& b) {
-        if (a.message_count != b.message_count) {
-          return a.message_count > b.message_count;
-        }
-        return a.person_id < b.person_id;
-      },
-      100);
+
+  std::vector<Bi14Row> rows;
+  for (const Cand& c : top.Take()) {
+    const core::Person& rec = graph.PersonAt(c.person);
+    rows.push_back(
+        {rec.id, rec.first_name, rec.last_name, c.threads, c.messages});
+  }
   return rows;
 }
 

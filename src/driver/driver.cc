@@ -544,7 +544,7 @@ DriverReport RunBiWorkloadMultiStream(
   sc.max_in_flight_per_stream = config.bi_max_in_flight_per_stream;
   sc.bindings_per_query = bindings_per_query;
   sc.query_deadline_ms = config.bi_query_deadline_ms;
-  sc.intra_query_parallelism = config.bi_intra_query_parallelism;
+  sc.dispatch = config.bi_dispatch;
   sc.seed = config.seed;
   sched::ScheduleResult run = sched::RunStreams(graph, params, sc);
 
@@ -552,6 +552,8 @@ DriverReport RunBiWorkloadMultiStream(
   report.wall_seconds = run.wall_seconds;
   report.complex_reads = run.total_completed;
   report.cancelled_reads = run.total_cancelled;
+  report.bi_morsel_chosen = run.morsel_chosen;
+  report.bi_morsel_refused = run.morsel_refused;
   for (const sched::StreamResult& stream : run.streams) {
     for (const sched::OpOutcome& o : stream.outcomes) {
       if (o.cancelled) continue;

@@ -23,6 +23,7 @@
 #include "datagen/datagen.h"
 #include "params/parameter_curation.h"
 #include "sched/histogram.h"
+#include "sched/scheduler.h"
 #include "storage/graph.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -65,10 +66,11 @@ struct DriverConfig {
   /// Per-query cooperative deadline in milliseconds; 0 disables.
   double bi_query_deadline_ms = 0;
 
-  /// Morsel-parallel query variants when the run is a power run (one
-  /// stream, several workers). Throughput runs always use streams-only
-  /// parallelism regardless of this flag; see SchedulerConfig.
-  bool bi_intra_query_parallelism = true;
+  /// Engine choice for power runs (one stream, several workers):
+  /// kSequential never fans out, kMorsel always does, kAdaptive lets the
+  /// calibrated cost model refuse fan-out per query. Throughput runs always
+  /// use streams-only parallelism regardless; see SchedulerConfig.
+  sched::DispatchPolicy bi_dispatch = sched::DispatchPolicy::kAdaptive;
 };
 
 struct OperationStats {
@@ -118,6 +120,11 @@ struct DriverReport {
   /// Fraction of operations with actual_start - scheduled_start < 1 s
   /// (spec §6.2 requires ≥ 95 %). Always 1.0 in as-fast-as-possible mode.
   double on_time_fraction = 1.0;
+  /// Adaptive-dispatch tally (BI multi-stream power runs only; 0 elsewhere):
+  /// morsel-capable queries the cost model fanned out vs kept sequential.
+  size_t bi_morsel_chosen = 0;
+  size_t bi_morsel_refused = 0;
+
   /// Per operation type ("IC 1".."IC 14", "IS 1".."IS 7", "IU 1".."IU 8").
   std::map<std::string, OperationStats> per_operation;
 

@@ -1,0 +1,68 @@
+// Shared top-k bound for pushdown scans — choke point CP-1.3.
+//
+// A BoundRef carries the primary sort key of the k-th (worst retained)
+// element of a TopK, published once the heap is full. Scans consult it
+// *before* dereferencing vertices or strings: a candidate whose primary key
+// is strictly worse than the bound cannot enter the result, whatever its
+// tie-break columns say, so the row (or a whole zone-mapped block whose max
+// key is strictly worse) is skipped unseen.
+//
+// The key convention is "bigger is better": every bound-pushdown BI query
+// orders by a descending integer first (like count, message count, score,
+// popularity difference), so the primary key is stored as that integer and
+// CannotPlace(key) is `key < bound`. Ties (key == bound) are never pruned —
+// they still run the full tie-break comparator, which keeps the pushdown
+// engines bit-identical to the sort-everything oracle.
+//
+// Thread safety: the bound is a single relaxed atomic that only ever
+// tightens (monotone non-decreasing via CAS-max). Morsel slots publish
+// their private heap's bound here so late morsels start pre-pruned; a racy
+// stale read is always a *looser* bound, which is merely less pruning,
+// never a wrong result. This is the one sanctioned cross-slot atomic for
+// query code — scripts/lint.sh bans raw std::atomic in src/bi/.
+
+#ifndef SNB_ENGINE_BOUND_H_
+#define SNB_ENGINE_BOUND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace snb::engine {
+
+class BoundRef {
+ public:
+  /// Sentinel meaning "no bound yet" (heap not full anywhere): compares
+  /// below every real key, so CannotPlace is false until a publish.
+  static constexpr int64_t kUnset = std::numeric_limits<int64_t>::min();
+
+  BoundRef() = default;
+  BoundRef(const BoundRef&) = delete;
+  BoundRef& operator=(const BoundRef&) = delete;
+
+  /// Raises the bound to `kth` if it is tighter than the current one.
+  /// CAS-max keeps the bound monotone under concurrent publishes.
+  void Tighten(int64_t kth) noexcept {
+    int64_t cur = key_.load(std::memory_order_relaxed);
+    while (kth > cur &&
+           !key_.compare_exchange_weak(cur, kth, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Get() const noexcept {
+    return key_.load(std::memory_order_relaxed);
+  }
+
+  /// True when a candidate with primary key `key` is strictly worse than
+  /// the k-th retained element everywhere — it cannot enter any top-k, so
+  /// the scan may skip it before dereferencing anything. Equal keys return
+  /// false: they must still run the tie-break comparator.
+  bool CannotPlace(int64_t key) const noexcept { return key < Get(); }
+
+ private:
+  std::atomic<int64_t> key_{kUnset};
+};
+
+}  // namespace snb::engine
+
+#endif  // SNB_ENGINE_BOUND_H_

@@ -1,0 +1,78 @@
+#include "engine/dispatch.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "engine/morsel.h"
+
+namespace snb::engine {
+
+namespace {
+
+/// Entries the calibration walk touches at most: enough to average out
+/// clock granularity, small enough to be free next to any real query.
+constexpr size_t kCalibrationEntries = 1 << 18;
+
+}  // namespace
+
+DispatchModel::DispatchModel(size_t workers, unsigned hardware_threads)
+    : workers_(workers), hardware_threads_(hardware_threads) {}
+
+void DispatchModel::Calibrate(const storage::Graph& graph) {
+  const storage::MessageDateIndex& index = graph.MessageIndex();
+  const size_t n = std::min(index.base_size(), kCalibrationEntries);
+  if (n == 0) return;  // keep the default until there is data to time
+  const auto t0 = std::chrono::steady_clock::now();
+  // The representative unit of scan work: decode a ref, touch a hot column.
+  uint64_t checksum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t ref = index.BaseAt(i);
+    checksum += ref + static_cast<uint64_t>(graph.MessageCreator(ref));
+  }
+  const double elapsed_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - t0)
+          .count() +
+      static_cast<double>(checksum & 1);  // keep the walk observable
+  // Clamp against clock jitter: the model only needs the order of
+  // magnitude, and a wild outlier here would mis-dispatch every query.
+  ns_per_element_ =
+      std::clamp(elapsed_ns / static_cast<double>(n), 0.1, 1000.0);
+}
+
+DispatchDecision DispatchModel::Decide(int query, size_t elements,
+                                       size_t morsel_size) const {
+  DispatchDecision d;
+  d.query = query;
+  d.elements = elements;
+  d.num_morsels =
+      morsel_size == 0 ? 0 : (elements + morsel_size - 1) / morsel_size;
+
+  // Smaller morsels mark per-element work that is itself a scan (adjacency
+  // expansion); scale the cost estimate accordingly.
+  const double weight =
+      morsel_size == 0
+          ? 1.0
+          : static_cast<double>(kDefaultMorselSize) /
+                static_cast<double>(morsel_size);
+  const double t_seq =
+      static_cast<double>(elements) * ns_per_element_ * weight;
+  const size_t overlap = std::min(workers_ + 1, size_t{hardware_threads_});
+  if (overlap >= 2) {
+    const double t_par = t_seq / static_cast<double>(overlap) +
+                         kFanoutOverheadNs * static_cast<double>(workers_);
+    d.predicted_speedup = t_par > 0.0 ? t_seq / t_par : 1.0;
+  } else {
+    d.predicted_speedup = 0.0;  // no second core: parallelism can only lose
+  }
+
+  const bool above_floor =
+      d.num_morsels >= internal::GlobalMorselTuning().min_morsels_for_fanout;
+  d.choice = (overlap >= 2 && above_floor &&
+              d.predicted_speedup >= kMinPredictedSpeedup)
+                 ? DispatchChoice::kMorsel
+                 : DispatchChoice::kSequential;
+  return d;
+}
+
+}  // namespace snb::engine

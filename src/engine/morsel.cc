@@ -2,14 +2,37 @@
 
 #include <atomic>
 #include <exception>
+#include <numeric>
+#include <vector>
 
 #include "util/latch.h"
 #include "util/mutex.h"
+#include "util/rng.h"
 #include "util/thread_annotations.h"
 
 namespace snb::engine::internal {
 
+MorselTuning& GlobalMorselTuning() {
+  static MorselTuning tuning;
+  return tuning;
+}
+
 namespace {
+
+/// Seeded Fisher–Yates permutation of [0, n) — the bound-race test harness
+/// uses it to issue morsels in shuffled order so shared-bound publications
+/// interleave differently run to run (yet deterministically per seed).
+std::vector<size_t> ShuffledOrder(size_t n, uint64_t seed) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  util::Rng rng(seed, 0x6d6f7273656cull);  // stream tag: "morsel"
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
 
 /// State shared between the calling thread and its pool helpers for one
 /// RunMorsels dispatch. The morsel counter and failure flag are lock-free;
@@ -34,12 +57,20 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
   const size_t helpers = slots - 1;
   MorselShared shared(helpers);
 
+  // Test-only issue-order shuffle (see MorselTuning): counter ticket →
+  // permuted morsel index. Results are order-insensitive by the merge
+  // contract, so only the *interleaving* changes.
+  const uint64_t shuffle_seed = GlobalMorselTuning().shuffle_seed;
+  std::vector<size_t> order;
+  if (shuffle_seed != 0) order = ShuffledOrder(num_morsels, shuffle_seed);
+
   auto run_loop = [&](size_t slot) {
     for (;;) {
       if (shared.failed.load(std::memory_order_relaxed)) return;
-      const size_t morsel =
+      const size_t ticket =
           shared.next.fetch_add(1, std::memory_order_relaxed);
-      if (morsel >= num_morsels) return;
+      if (ticket >= num_morsels) return;
+      const size_t morsel = order.empty() ? ticket : order[ticket];
       try {
         fn(morsel, slot);
       } catch (...) {

@@ -44,7 +44,25 @@ namespace snb::engine {
 /// should pass something far smaller.
 constexpr size_t kDefaultMorselSize = 8192;
 
+/// Minimum-work floor: inputs shorter than this many morsels never fan out
+/// (slots collapses to 1 and the caller runs everything inline). Fan-out
+/// costs two pool handoffs plus a join per helper; a query with a handful
+/// of morsels pays that overhead for no overlap — the measured BI 17
+/// regression (≈0.2× at 1200 persons) was exactly this shape.
+constexpr size_t kMinMorselsForFanout = 8;
+
 namespace internal {
+
+/// Dispatch knobs, process-global. Tests override them: the TSan morsel
+/// suite drops the fan-out floor to 1 so tiny fixtures still exercise the
+/// parallel machinery, and the bound-race tests set `shuffle_seed` to
+/// permute morsel issue order and hit different bound interleavings.
+struct MorselTuning {
+  size_t min_morsels_for_fanout = kMinMorselsForFanout;
+  uint64_t shuffle_seed = 0;  // 0 = natural order
+};
+
+MorselTuning& GlobalMorselTuning();
 
 /// Runs fn(morsel_index, slot) for every morsel in [0, num_morsels) on
 /// `slots` executors: slots-1 pool helpers plus the calling thread (which
@@ -52,6 +70,13 @@ namespace internal {
 /// first exception any morsel raised.
 void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
                 const std::function<void(size_t, size_t)>& fn);
+
+/// Executor count for `num_morsels` morsels on `pool`, honouring the
+/// minimum-work floor.
+inline size_t SlotsFor(util::ThreadPool& pool, size_t num_morsels) {
+  if (num_morsels < GlobalMorselTuning().min_morsels_for_fanout) return 1;
+  return std::min(pool.num_threads() + 1, num_morsels);
+}
 
 }  // namespace internal
 
@@ -67,7 +92,7 @@ void ParallelAggregate(util::ThreadPool& pool, size_t n, Init&& init,
   using State = std::decay_t<std::invoke_result_t<Init&>>;
   if (n == 0) return;
   const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
-  const size_t slots = std::min(pool.num_threads() + 1, num_morsels);
+  const size_t slots = internal::SlotsFor(pool, num_morsels);
   std::vector<std::optional<State>> states(slots);
   internal::RunMorsels(pool, num_morsels, slots,
                        [&](size_t morsel, size_t slot) {
@@ -89,7 +114,7 @@ void ParallelScan(util::ThreadPool& pool, size_t n, Body&& body,
                   size_t morsel_size = kDefaultMorselSize) {
   if (n == 0) return;
   const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
-  const size_t slots = std::min(pool.num_threads() + 1, num_morsels);
+  const size_t slots = internal::SlotsFor(pool, num_morsels);
   internal::RunMorsels(pool, num_morsels, slots,
                        [&](size_t morsel, size_t) {
                          const size_t begin = morsel * morsel_size;

@@ -11,8 +11,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "engine/bound.h"
 #include "util/check.h"
 
 namespace snb::engine {
@@ -45,6 +47,22 @@ class TopK {
     heap_.back() = std::move(item);
     std::push_heap(heap_.begin(), heap_.end(), ranks_before_);
     return true;
+  }
+
+  /// The worst retained element (the k-th when full). Only meaningful while
+  /// size() > 0.
+  const T& worst() const {
+    SNB_DCHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Publishes this heap's k-th primary sort key to a shared BoundRef once
+  /// the heap is full. `key_of(row)` extracts the descending integer key
+  /// (bigger = better). Call after a successful Add — the scan-side
+  /// CannotPlace check then prunes strictly-worse candidates unseen.
+  template <typename KeyOf>
+  void PublishBound(BoundRef& bound, KeyOf&& key_of) const {
+    if (full()) bound.Tighten(key_of(heap_.front()));
   }
 
   /// Returns the k best, ordered best-first; the container is consumed.

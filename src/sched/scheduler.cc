@@ -1,6 +1,7 @@
 #include "sched/scheduler.h"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -60,10 +61,18 @@ class StreamScheduler {
     // running query: the executing worker participates in the morsel loop
     // and the remaining workers serve as helpers. Throughput runs keep
     // streams-only parallelism — every worker runs a whole query.
-    intra_pool_ = (config_.intra_query_parallelism &&
+    intra_pool_ = (config_.dispatch != DispatchPolicy::kSequential &&
                    config_.num_streams == 1 && workers_ > 1)
                       ? &pool
                       : nullptr;
+    // Adaptive dispatch: calibrate the cost model once per run (the graph
+    // is immutable for the run's duration — one epoch), then let it arbitrate
+    // every morsel-capable query. kMorsel keeps the old unconditional fan-out.
+    if (intra_pool_ && config_.dispatch == DispatchPolicy::kAdaptive) {
+      dispatch_model_.emplace(workers_ - 1,
+                              std::thread::hardware_concurrency());
+      dispatch_model_->Calibrate(graph_);
+    }
     t0_ = Clock::now();
     {
       util::MutexLock lock(mu_);
@@ -98,7 +107,8 @@ class StreamScheduler {
     }
     const double start_ms = MsSince(t0_);
     OpOutcome outcome =
-        ExecuteStreamOp(graph_, params_, op, &token, intra_pool_);
+        ExecuteStreamOp(graph_, params_, op, &token, intra_pool_,
+                        dispatch_model_ ? &*dispatch_model_ : nullptr);
     outcome.latency_ms = MsSince(t0_) - start_ms;
 
     util::MutexLock lock(mu_);
@@ -130,6 +140,14 @@ class StreamScheduler {
         if (!o.cancelled) {
           result.per_query[StreamOpName(o.op)].Record(o.latency_ms);
         }
+        if (o.dispatch_considered) {
+          result.dispatch_decisions.push_back(o.dispatch);
+          if (o.dispatch.choice == engine::DispatchChoice::kMorsel) {
+            ++result.morsel_chosen;
+          } else {
+            ++result.morsel_refused;
+          }
+        }
       }
       result.streams.push_back(std::move(st.result));
     }
@@ -141,6 +159,9 @@ class StreamScheduler {
   const SchedulerConfig& config_;
   size_t workers_ = 0;
   util::ThreadPool* intra_pool_ = nullptr;  // set once before workers start
+  /// Engaged for adaptive power runs; calibrated once before admission and
+  /// read-only afterwards, so workers consult it without locking.
+  std::optional<engine::DispatchModel> dispatch_model_;
   Clock::time_point t0_;
 
   /// Immutable after construction; read by workers without the lock.

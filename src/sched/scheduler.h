@@ -29,12 +29,21 @@
 #include <string>
 #include <vector>
 
+#include "engine/dispatch.h"
 #include "params/parameter_curation.h"
 #include "sched/histogram.h"
 #include "sched/stream.h"
 #include "storage/graph.h"
 
 namespace snb::sched {
+
+/// How power runs pick between the sequential and morsel engines for the
+/// templates that have both.
+enum class DispatchPolicy : uint8_t {
+  kSequential,  ///< never fan out (the old intra_query_parallelism = false)
+  kMorsel,      ///< always fan out when a pool is available (the old = true)
+  kAdaptive,    ///< engine::DispatchModel decides per query from a cost model
+};
 
 struct SchedulerConfig {
   /// Number of concurrent query streams (1 = the power run).
@@ -56,12 +65,14 @@ struct SchedulerConfig {
   /// are cooperatively cancelled and recorded, not retried.
   double query_deadline_ms = 0;
 
-  /// Morsel-parallel query variants for power runs. With a single stream and
-  /// more than one worker, the otherwise idle workers execute morsels of the
-  /// one running query; with multiple streams the workers are already
-  /// saturated running whole queries, so intra-query parallelism is never
-  /// engaged there (the pool is never oversubscribed).
-  bool intra_query_parallelism = true;
+  /// Engine choice for power runs. With a single stream and more than one
+  /// worker, the otherwise idle workers can execute morsels of the one
+  /// running query; with multiple streams the workers are already saturated
+  /// running whole queries, so intra-query parallelism is never engaged
+  /// there (the pool is never oversubscribed). kAdaptive calibrates an
+  /// engine::DispatchModel once per run and refuses fan-out for queries the
+  /// cost model predicts would not gain from it.
+  DispatchPolicy dispatch = DispatchPolicy::kAdaptive;
 
   /// Seed for the per-stream permutations.
   uint64_t seed = 42;
@@ -87,6 +98,13 @@ struct ScheduleResult {
   size_t total_completed = 0;
   size_t total_cancelled = 0;
   size_t workers_used = 0;
+
+  /// Every cost-model decision taken (adaptive power runs only), in stream
+  /// issue order, plus the tally — the run report logs these so refused
+  /// fan-outs are visible rather than silent.
+  std::vector<engine::DispatchDecision> dispatch_decisions;
+  size_t morsel_chosen = 0;
+  size_t morsel_refused = 0;
 
   /// Completed queries per wall-clock hour across all streams.
   double QueriesPerHour() const {

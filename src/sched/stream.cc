@@ -6,6 +6,7 @@
 
 #include "bi/bi.h"
 #include "bi/parallel.h"
+#include "engine/morsel.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -113,14 +114,37 @@ size_t BindingCount(const params::WorkloadParameters& params, int query) {
 OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                           const params::WorkloadParameters& params,
                           const StreamOp& op, const bi::CancelToken* token,
-                          util::ThreadPool* intra_pool) {
+                          util::ThreadPool* intra_pool,
+                          const engine::DispatchModel* dispatch) {
   bi::ScopedCancelToken scoped(token);
+  bool considered = false;
+  engine::DispatchDecision decision;
   // Sequential-or-morsel dispatch: run(g, b) picks the parallel variant iff
-  // an intra-query pool was supplied. Results are bit-identical either way.
-  auto seq_or_par = [intra_pool](auto seq, auto par) {
-    return [intra_pool, seq, par](const storage::Graph& g, const auto& b) {
-      return intra_pool ? par(g, b, *intra_pool) : seq(g, b);
+  // an intra-query pool was supplied and — when a cost model arbitrates —
+  // the predicted speedup clears its margin. `estimate(g, b)` prices the
+  // query's scan from zone-map candidate counts (already maintained by the
+  // index, so pricing is ~free); `morsel_size` is the variant's actual
+  // morsel size, which the model reads as per-element weight. Results are
+  // bit-identical whichever engine runs.
+  auto seq_or_par = [&](auto estimate, size_t morsel_size, auto seq,
+                        auto par) {
+    return [&, estimate, morsel_size, seq, par](const storage::Graph& g,
+                                                const auto& b) {
+      if (!intra_pool) return seq(g, b);
+      considered = true;
+      if (!dispatch) {  // unconditional policy: always fan out
+        decision = {op.query, 0, 0, 0.0, engine::DispatchChoice::kMorsel};
+        return par(g, b, *intra_pool);
+      }
+      decision = dispatch->Decide(op.query, estimate(g, b), morsel_size);
+      return decision.choice == engine::DispatchChoice::kMorsel
+                 ? par(g, b, *intra_pool)
+                 : seq(g, b);
     };
+  };
+  // Scan-size estimators for the morsel-capable templates.
+  auto all_messages = [](const storage::Graph& g, const auto&) {
+    return g.NumMessages();
   };
   OpOutcome out;
   try {
@@ -130,7 +154,15 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
     switch (op.query) {
       case 1:
         out = RunAndHash(graph, params.bi1, op.binding,
-                         seq_or_par(bi::RunBi1, bi::parallel::RunBi1),
+                         seq_or_par(
+                             [](const storage::Graph& g,
+                                const bi::Bi1Params& b) {
+                               return g.MessageIndex().CandidatesInRange(
+                                   storage::kMinMessageDate,
+                                   core::DateTimeFromDate(b.date));
+                             },
+                             engine::kDefaultMorselSize, bi::RunBi1,
+                             bi::parallel::RunBi1),
                          [](Hasher& h, const bi::Bi1Row& r) {
                            AddFields(h, r.year, r.is_comment,
                                      r.length_category, r.message_count,
@@ -141,7 +173,22 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 2:
         out = RunAndHash(graph, params.bi2, op.binding,
-                         seq_or_par(bi::RunBi2, bi::parallel::RunBi2),
+                         seq_or_par(
+                             [](const storage::Graph& g,
+                                const bi::Bi2Params& b) {
+                               size_t n = 0;
+                               uint32_t c1 = g.PlaceByName(b.country1);
+                               uint32_t c2 = g.PlaceByName(b.country2);
+                               if (c1 != storage::kNoIdx) {
+                                 n += g.CountryPersons().Degree(c1);
+                               }
+                               if (c2 != storage::kNoIdx && c2 != c1) {
+                                 n += g.CountryPersons().Degree(c2);
+                               }
+                               return n;
+                             },
+                             /*morsel_size=*/256, bi::RunBi2,
+                             bi::parallel::RunBi2),
                          [](Hasher& h, const bi::Bi2Row& r) {
                            AddFields(h, r.country, r.month, r.gender,
                                      r.age_group, r.tag, r.message_count);
@@ -149,7 +196,20 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 3:
         out = RunAndHash(graph, params.bi3, op.binding,
-                         seq_or_par(bi::RunBi3, bi::parallel::RunBi3),
+                         seq_or_par(
+                             [](const storage::Graph& g,
+                                const bi::Bi3Params& b) {
+                               int32_t y = b.year, m = b.month + 2;
+                               while (m > 12) {
+                                 m -= 12;
+                                 ++y;
+                               }
+                               return g.MessageIndex().CandidatesInRange(
+                                   core::DateTimeFromCivil(b.year, b.month, 1),
+                                   core::DateTimeFromCivil(y, m, 1));
+                             },
+                             engine::kDefaultMorselSize, bi::RunBi3,
+                             bi::parallel::RunBi3),
                          [](Hasher& h, const bi::Bi3Row& r) {
                            AddFields(h, r.tag, r.count_month1, r.count_month2,
                                      r.diff);
@@ -172,7 +232,16 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 6:
         out = RunAndHash(graph, params.bi6, op.binding,
-                         seq_or_par(bi::RunBi6, bi::parallel::RunBi6),
+                         seq_or_par(
+                             [](const storage::Graph& g,
+                                const bi::Bi6Params& b) -> size_t {
+                               uint32_t tag = g.TagByName(b.tag);
+                               if (tag == storage::kNoIdx) return 0;
+                               return g.TagPosts().Degree(tag) +
+                                      g.TagComments().Degree(tag);
+                             },
+                             /*morsel_size=*/1024, bi::RunBi6,
+                             bi::parallel::RunBi6),
                          [](Hasher& h, const bi::Bi6Row& r) {
                            AddFields(h, r.person_id, r.reply_count,
                                      r.like_count, r.message_count, r.score);
@@ -211,7 +280,16 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 12:
         out = RunAndHash(graph, params.bi12, op.binding,
-                         seq_or_par(bi::RunBi12, bi::parallel::RunBi12),
+                         seq_or_par(
+                             [](const storage::Graph& g,
+                                const bi::Bi12Params& b) {
+                               return g.MessageIndex().CandidatesInRange(
+                                   core::DateTimeFromDate(b.date) +
+                                       core::kMillisPerDay,
+                                   storage::kMaxMessageDate);
+                             },
+                             engine::kDefaultMorselSize, bi::RunBi12,
+                             bi::parallel::RunBi12),
                          [](Hasher& h, const bi::Bi12Row& r) {
                            AddFields(h, r.message_id, r.creation_date,
                                      r.creator_first_name,
@@ -220,14 +298,24 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 13:
         out = RunAndHash(graph, params.bi13, op.binding,
-                         seq_or_par(bi::RunBi13, bi::parallel::RunBi13),
+                         seq_or_par(all_messages, engine::kDefaultMorselSize,
+                                    bi::RunBi13, bi::parallel::RunBi13),
                          [](Hasher& h, const bi::Bi13Row& r) {
                            AddFields(h, r.year, r.month, r.popular_tags);
                          });
         break;
       case 14:
         out = RunAndHash(graph, params.bi14, op.binding,
-                         seq_or_par(bi::RunBi14, bi::parallel::RunBi14),
+                         seq_or_par(
+                             [](const storage::Graph& g,
+                                const bi::Bi14Params& b) {
+                               return g.MessageIndex().CandidatesInRange(
+                                   core::DateTimeFromDate(b.begin),
+                                   core::DateTimeFromDate(b.end) +
+                                       core::kMillisPerDay);
+                             },
+                             engine::kDefaultMorselSize, bi::RunBi14,
+                             bi::parallel::RunBi14),
                          [](Hasher& h, const bi::Bi14Row& r) {
                            AddFields(h, r.person_id, r.first_name, r.last_name,
                                      r.thread_count, r.message_count);
@@ -247,7 +335,13 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 17:
         out = RunAndHash(graph, params.bi17, op.binding,
-                         seq_or_par(bi::RunBi17, bi::parallel::RunBi17),
+                         seq_or_par(
+                             [](const storage::Graph& g,
+                                const bi::Bi17Params&) {
+                               return g.NumPersons();
+                             },
+                             /*morsel_size=*/256, bi::RunBi17,
+                             bi::parallel::RunBi17),
                          [](Hasher& h, const bi::Bi17Row& r) {
                            AddFields(h, r.count);
                          });
@@ -267,7 +361,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 20:
         out = RunAndHash(graph, params.bi20, op.binding,
-                         seq_or_par(bi::RunBi20, bi::parallel::RunBi20),
+                         seq_or_par(all_messages, engine::kDefaultMorselSize,
+                                    bi::RunBi20, bi::parallel::RunBi20),
                          [](Hasher& h, const bi::Bi20Row& r) {
                            AddFields(h, r.tag_class, r.message_count);
                          });
@@ -288,7 +383,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 23:
         out = RunAndHash(graph, params.bi23, op.binding,
-                         seq_or_par(bi::RunBi23, bi::parallel::RunBi23),
+                         seq_or_par(all_messages, engine::kDefaultMorselSize,
+                                    bi::RunBi23, bi::parallel::RunBi23),
                          [](Hasher& h, const bi::Bi23Row& r) {
                            AddFields(h, r.message_count, r.destination,
                                      r.month);
@@ -296,7 +392,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
         break;
       case 24:
         out = RunAndHash(graph, params.bi24, op.binding,
-                         seq_or_par(bi::RunBi24, bi::parallel::RunBi24),
+                         seq_or_par(all_messages, engine::kDefaultMorselSize,
+                                    bi::RunBi24, bi::parallel::RunBi24),
                          [](Hasher& h, const bi::Bi24Row& r) {
                            AddFields(h, r.message_count, r.like_count, r.year,
                                      r.month, r.continent);
@@ -316,6 +413,8 @@ OpOutcome ExecuteStreamOp(const storage::Graph& graph,
     out.cancelled = true;
   }
   out.op = op;
+  out.dispatch_considered = considered;
+  if (considered) out.dispatch = decision;
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bi/cancel.h"
+#include "engine/dispatch.h"
 #include "params/parameter_curation.h"
 #include "storage/graph.h"
 #include "util/thread_pool.h"
@@ -51,6 +52,11 @@ struct OpOutcome {
   uint64_t fingerprint = 0;
   double latency_ms = 0;
   bool cancelled = false;
+  /// Set when an intra-query pool was offered and the template has a morsel
+  /// variant: the cost-model verdict that picked the engine (always kMorsel
+  /// when no model was supplied — the unconditional policy).
+  bool dispatch_considered = false;
+  engine::DispatchDecision dispatch;
 };
 
 /// Runs one operation against the (shared, read-only) graph. When `token`
@@ -61,14 +67,18 @@ struct OpOutcome {
 ///
 /// When `intra_pool` is non-null, the scan-dominated templates with a
 /// morsel-parallel variant (BI 1, 2, 3, 6, 12, 13, 14, 17, 20, 23, 24)
-/// run on that pool; the rest always run sequentially. The scheduler
+/// may run on that pool; the rest always run sequentially. The scheduler
 /// passes the pool only for power runs (a single stream), never for
 /// throughput runs — the calling thread participates in the morsel loop,
-/// so the pool is never oversubscribed either way.
+/// so the pool is never oversubscribed either way. When `dispatch` is also
+/// non-null, its cost model arbitrates per query: the morsel variant runs
+/// only when the predicted speedup clears the model's margin (CP-1.2 work
+/// sizing); a null model means fan out unconditionally.
 OpOutcome ExecuteStreamOp(const storage::Graph& graph,
                           const params::WorkloadParameters& params,
                           const StreamOp& op, const bi::CancelToken* token,
-                          util::ThreadPool* intra_pool = nullptr);
+                          util::ThreadPool* intra_pool = nullptr,
+                          const engine::DispatchModel* dispatch = nullptr);
 
 /// A stream's full op sequence: every template with bindings
 /// [0, min(bindings_per_query, available)), Fisher–Yates-permuted by

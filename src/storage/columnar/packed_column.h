@@ -1,0 +1,80 @@
+// Appendable bit-packed uint32 column: the storage for hot endpoint
+// materialization (message → forum and friends).
+//
+// The TuGraph SNB plugins' fastest trick is materializing the endpoint a
+// query re-derives through a second edge list directly onto the message, so
+// the hot loop is one column probe instead of a pointer chase. Those
+// columns are dense uint32 code/offset values, so the bulk-loaded prefix
+// bit-packs at the width of the largest loaded value (FOR with base 0 —
+// O(1) At, no prefix sums), while IU appends land in a plain uint32
+// overflow vector. At(i) routes on the prefix length; the overflow stays
+// tiny relative to the load (refresh batches are ~1% of the store), so the
+// packed savings dominate.
+
+#ifndef SNB_STORAGE_COLUMNAR_PACKED_COLUMN_H_
+#define SNB_STORAGE_COLUMNAR_PACKED_COLUMN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/columnar/bitpack.h"
+#include "util/check.h"
+
+namespace snb::storage::columnar {
+
+class AppendableU32Column {
+ public:
+  AppendableU32Column() = default;
+
+  /// Bulk-loads `values` as the packed immutable base.
+  explicit AppendableU32Column(std::span<const uint32_t> values) {
+    unsigned bits = 0;
+    std::vector<uint64_t> wide(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      wide[i] = values[i];
+      bits = std::max(bits, BitWidth(values[i]));
+    }
+    base_ = PackedArray(wide, bits);
+  }
+
+  size_t size() const { return base_.size() + tail_.size(); }
+  bool empty() const { return size() == 0; }
+
+  uint32_t At(size_t i) const {
+    SNB_DCHECK(i < size());
+    if (i < base_.size()) return static_cast<uint32_t>(base_.At(i));
+    return tail_[i - base_.size()];
+  }
+
+  /// IU append; the value goes to the plain overflow tail (a value wider
+  /// than the packed base width must not silently truncate).
+  void Append(uint32_t v) { tail_.push_back(v); }
+
+  /// Heap bytes held (memory-accounting API).
+  size_t ByteSize() const {
+    return base_.ByteSize() + tail_.capacity() * sizeof(uint32_t);
+  }
+
+  /// Test-only corruption hook: overwrites slot `i` (routing to the packed
+  /// base or the overflow tail) — the damage the hot-endpoint validator
+  /// invariant exists to catch. The value must fit the base width.
+  void SetForTest(size_t i, uint32_t v) {
+    if (i < base_.size()) {
+      SNB_CHECK(BitWidth(v) <= base_.bits());
+      base_.Set(i, v);
+    } else {
+      tail_[i - base_.size()] = v;
+    }
+  }
+
+ private:
+  PackedArray base_;            // packed bulk-loaded prefix
+  std::vector<uint32_t> tail_;  // IU overflow appends
+};
+
+}  // namespace snb::storage::columnar
+
+#endif  // SNB_STORAGE_COLUMNAR_PACKED_COLUMN_H_

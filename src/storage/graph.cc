@@ -1,5 +1,6 @@
 #include "storage/graph.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -168,20 +169,30 @@ Graph::Graph(core::SocialNetwork net)
   post_creator_.resize(posts_.size());
   post_forum_.resize(posts_.size());
   post_country_.resize(posts_.size());
+  // Per-person message-date zones start at the empty sentinel (min above
+  // max), so persons without messages overlap no window.
+  person_msg_date_min_.assign(persons_.size(), kMaxMessageDate);
+  person_msg_date_max_.assign(persons_.size(), kMinMessageDate);
   {
     std::vector<EdgeInput> person_posts, forum_posts, ptags, tag_posts;
     post_browser_code_.resize(posts_.size());
     post_length_class_code_.resize(posts_.size());
+    post_language_code_.resize(posts_.size());
     for (size_t i = 0; i < posts_.size(); ++i) {
       const core::Post& p = posts_[i];
       post_creation_[i] = p.creation_date;
       post_browser_code_[i] = dict_.GetOrAdd(p.browser_used);
       post_length_class_code_[i] = dict_.GetOrAdd(LengthClassName(p.length));
+      post_language_code_[i] = dict_.GetOrAdd(p.language);
       post_creator_[i] = PersonIdx(p.creator);
       post_forum_[i] = ForumIdx(p.forum);
       post_country_[i] = PlaceIdx(p.country);
       SNB_CHECK_NE(post_creator_[i], kNoIdx);
       SNB_CHECK_NE(post_forum_[i], kNoIdx);
+      person_msg_date_min_[post_creator_[i]] =
+          std::min(person_msg_date_min_[post_creator_[i]], p.creation_date);
+      person_msg_date_max_[post_creator_[i]] =
+          std::max(person_msg_date_max_[post_creator_[i]], p.creation_date);
       person_posts.push_back({post_creator_[i], static_cast<uint32_t>(i)});
       forum_posts.push_back({post_forum_[i], static_cast<uint32_t>(i)});
       for (core::Id t : p.tags) {
@@ -207,6 +218,7 @@ Graph::Graph(core::SocialNetwork net)
         ctags, tag_comments;
     comment_browser_code_.resize(comments_.size());
     comment_length_class_code_.resize(comments_.size());
+    comment_root_language_code_.resize(comments_.size());
     for (size_t i = 0; i < comments_.size(); ++i) {
       const core::Comment& c = comments_[i];
       comment_creation_[i] = c.creation_date;
@@ -216,6 +228,10 @@ Graph::Graph(core::SocialNetwork net)
       comment_creator_[i] = PersonIdx(c.creator);
       comment_country_[i] = PlaceIdx(c.country);
       SNB_CHECK_NE(comment_creator_[i], kNoIdx);
+      person_msg_date_min_[comment_creator_[i]] =
+          std::min(person_msg_date_min_[comment_creator_[i]], c.creation_date);
+      person_msg_date_max_[comment_creator_[i]] =
+          std::max(person_msg_date_max_[comment_creator_[i]], c.creation_date);
       person_comments.push_back(
           {comment_creator_[i], static_cast<uint32_t>(i)});
       if (c.reply_of_post != core::kNoId) {
@@ -234,6 +250,8 @@ Graph::Graph(core::SocialNetwork net)
         comment_root_post_[i] = comment_root_post_[parent];
         comment_replies.push_back({parent, static_cast<uint32_t>(i)});
       }
+      comment_root_language_code_[i] =
+          post_language_code_[comment_root_post_[i]];
       for (core::Id t : c.tags) {
         uint32_t tag = TagIdx(t);
         ctags.push_back({static_cast<uint32_t>(i), tag});
@@ -247,6 +265,16 @@ Graph::Graph(core::SocialNetwork net)
                            false);
     comment_tags_.Build(comments_.size(), std::move(ctags), false);
     tag_comments_.Build(tags_.size(), std::move(tag_comments), false);
+  }
+  {
+    // Materialize the comment → forum 2-hop endpoint (via the thread's root
+    // post) as a bit-packed column: the hot loops of BI 4/5/25-style forum
+    // joins become one probe instead of two dependent loads.
+    std::vector<uint32_t> forums(comments_.size());
+    for (size_t i = 0; i < comments_.size(); ++i) {
+      forums[i] = post_forum_[comment_root_post_[i]];
+    }
+    comment_forum_ = columnar::AppendableU32Column(forums);
   }
 
   // ---- Likes -----------------------------------------------------------------
@@ -276,6 +304,13 @@ Graph::Graph(core::SocialNetwork net)
 
   // ---- Creation-date message index -------------------------------------------
   message_index_.Build(post_creation_, comment_creation_);
+  // Like-count zones over the sorted base, from the bulk-loaded like
+  // degrees (the update path maintains them through NoteLike).
+  message_index_.BuildLikeZones([this](uint32_t ref) -> uint32_t {
+    return static_cast<uint32_t>(
+        IsPost(ref) ? post_likers_.Degree(ref)
+                    : comment_likers_.Degree(AsComment(ref)));
+  });
 }
 
 columnar::MemoryBreakdown Graph::Memory() const {
@@ -369,10 +404,31 @@ columnar::MemoryBreakdown Graph::Memory() const {
               vec_bytes(comment_browser_code_) +
               vec_bytes(post_length_class_code_) +
               vec_bytes(comment_length_class_code_) +
-              vec_bytes(tag_name_code_) + vec_bytes(place_name_code_);
+              vec_bytes(tag_name_code_) + vec_bytes(place_name_code_) +
+              vec_bytes(post_language_code_) +
+              vec_bytes(comment_root_language_code_);
     f.raw_bytes = 0;  // pure addition over the seed layout
-    f.items = persons_.size() * 2 + posts_.size() * 2 + comments_.size() * 2 +
+    f.items = persons_.size() * 2 + posts_.size() * 3 + comments_.size() * 3 +
               tags_.size() + places_.size();
+    mb.families.push_back(std::move(f));
+  }
+  {
+    // Materialized 2-hop endpoint: comment → thread's forum, bit-packed.
+    columnar::MemoryFamily f;
+    f.name = "cols/comment-forum";
+    f.bytes = comment_forum_.ByteSize();
+    f.raw_bytes = 0;  // pure addition over the seed layout
+    f.items = comment_forum_.size();
+    mb.families.push_back(std::move(f));
+  }
+  {
+    // Per-person message-date zones (scan pruning at person granularity).
+    columnar::MemoryFamily f;
+    f.name = "cols/person-msg-zones";
+    f.bytes = person_msg_date_min_.capacity() * sizeof(core::DateTime) +
+              person_msg_date_max_.capacity() * sizeof(core::DateTime);
+    f.raw_bytes = 0;  // pure addition over the seed layout
+    f.items = persons_.size();
     mb.families.push_back(std::move(f));
   }
 
@@ -421,6 +477,8 @@ uint32_t Graph::AddPerson(const core::Person& person) {
   uint32_t country = CountryOfPlace(city);
   person_country_.push_back(country);
   country_persons_.Append(country, idx);
+  person_msg_date_min_.push_back(kMaxMessageDate);  // empty zone sentinel
+  person_msg_date_max_.push_back(kMinMessageDate);
 
   knows_.AddNodes(1);
   person_posts_.AddNodes(1);
@@ -442,6 +500,11 @@ void Graph::AddLikePost(core::Id person, core::Id post, core::DateTime date) {
   uint32_t p = PersonIdx(person);
   uint32_t m = PostIdx(post);
   SNB_CHECK(p != kNoIdx && m != kNoIdx);
+  // Raise the like-count zone max *before* the like becomes visible, so a
+  // concurrent bound-pruned scan never sees a degree above its block's zone.
+  message_index_.NoteLike(
+      MessageOfPost(m), post_creation_[m],
+      static_cast<uint32_t>(post_likers_.Degree(m)) + 1);
   person_likes_.Append(p, MessageOfPost(m), date);
   post_likers_.Append(m, p, date);
 }
@@ -451,6 +514,9 @@ void Graph::AddLikeComment(core::Id person, core::Id comment,
   uint32_t p = PersonIdx(person);
   uint32_t m = CommentIdx(comment);
   SNB_CHECK(p != kNoIdx && m != kNoIdx);
+  message_index_.NoteLike(
+      MessageOfComment(m), comment_creation_[m],
+      static_cast<uint32_t>(comment_likers_.Degree(m)) + 1);
   person_likes_.Append(p, MessageOfComment(m), date);
   comment_likers_.Append(m, p, date);
 }
@@ -493,6 +559,7 @@ uint32_t Graph::AddPost(const core::Post& post) {
   post_browser_code_.push_back(dict_.GetOrAdd(post.browser_used));
   post_length_class_code_.push_back(
       dict_.GetOrAdd(LengthClassName(post.length)));
+  post_language_code_.push_back(dict_.GetOrAdd(post.language));
   uint32_t creator = PersonIdx(post.creator);
   uint32_t forum = ForumIdx(post.forum);
   uint32_t country = PlaceIdx(post.country);
@@ -500,6 +567,10 @@ uint32_t Graph::AddPost(const core::Post& post) {
   post_creator_.push_back(creator);
   post_forum_.push_back(forum);
   post_country_.push_back(country);
+  person_msg_date_min_[creator] =
+      std::min(person_msg_date_min_[creator], post.creation_date);
+  person_msg_date_max_[creator] =
+      std::max(person_msg_date_max_[creator], post.creation_date);
   person_posts_.Append(creator, idx);
   forum_posts_.Append(forum, idx);
   post_tags_.AddNodes(1);
@@ -529,6 +600,10 @@ uint32_t Graph::AddComment(const core::Comment& comment) {
   SNB_CHECK(creator != kNoIdx && country != kNoIdx);
   comment_creator_.push_back(creator);
   comment_country_.push_back(country);
+  person_msg_date_min_[creator] =
+      std::min(person_msg_date_min_[creator], comment.creation_date);
+  person_msg_date_max_[creator] =
+      std::max(person_msg_date_max_[creator], comment.creation_date);
   person_comments_.Append(creator, idx);
   comment_tags_.AddNodes(1);
   comment_replies_.AddNodes(1);
@@ -546,6 +621,9 @@ uint32_t Graph::AddComment(const core::Comment& comment) {
     comment_root_post_.push_back(comment_root_post_[parent]);
     comment_replies_.Append(parent, idx);
   }
+  comment_forum_.Append(post_forum_[comment_root_post_.back()]);
+  comment_root_language_code_.push_back(
+      post_language_code_[comment_root_post_.back()]);
   for (core::Id t : comment.tags) {
     uint32_t tag = TagIdx(t);
     SNB_CHECK_NE(tag, kNoIdx);

@@ -20,6 +20,7 @@
 #define SNB_STORAGE_GRAPH_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "storage/adjacency.h"
 #include "storage/columnar/dictionary.h"
 #include "storage/columnar/memory.h"
+#include "storage/columnar/packed_column.h"
 #include "storage/message_index.h"
 
 namespace snb::storage {
@@ -117,9 +119,21 @@ class Graph {
   template <typename F>
   void ForEachMessageInRange(core::DateTime start, core::DateTime end,
                              F&& f) const {
-    auto [lo, hi] = message_index_.BaseRange(start, end);
-    for (size_t i = lo; i < hi; ++i) f(message_index_.BaseAt(i));
+    message_index_.ForEachBaseInRange(start, end, f);
     message_index_.ForEachTailInRange(start, end, f);
+  }
+
+  /// Bound-pushdown range scan (CP-1.3): before a zone-mapped block is
+  /// decoded, `skip` is offered its like-count zone maximum — a true return
+  /// prunes the whole block unseen. `skip(max)` must be monotone: true for
+  /// a block max implies every member message (whose like count is ≤ max)
+  /// would also be rejected, which is what keeps the pushdown engines
+  /// bit-identical to the sort-everything oracle.
+  template <typename SkipFn, typename F>
+  void ForEachMessageInRangeBounded(core::DateTime start, core::DateTime end,
+                                    SkipFn&& skip, F&& f) const {
+    message_index_.ForEachBaseInRangeBounded(start, end, skip, f);
+    message_index_.ForEachTailInRangeBounded(start, end, skip, f);
   }
 
   /// Random-access view over exactly the messages with creationDate in
@@ -133,6 +147,29 @@ class Graph {
     uint32_t operator[](size_t i) const {
       return i < base_count_ ? index_->BaseAt(base_begin_ + i)
                              : tail_[i - base_count_];
+    }
+
+    /// View positions [0, base_count()) come from the sorted base and carry
+    /// aligned like-count zones; the materialized tail follows.
+    size_t base_count() const { return base_count_; }
+
+    /// Upper bound on the like count of every message in the zone holding
+    /// view position `i`. Tail positions return INT64_MAX (the tail was
+    /// already zone-filtered at view construction and has no aligned zones
+    /// in view coordinates), so bound skips never fire there.
+    int64_t BoundZoneMax(size_t i) const {
+      if (i >= base_count_) return std::numeric_limits<int64_t>::max();
+      return static_cast<int64_t>(index_->BaseBlockMaxLikes(
+          (base_begin_ + i) / columnar::ColumnBlock::kMaxValues));
+    }
+
+    /// One past the last view position sharing position `i`'s zone — the
+    /// stride for block-at-a-time bound pruning inside a morsel.
+    size_t ZoneEnd(size_t i) const {
+      if (i >= base_count_) return size();
+      const size_t block = columnar::ColumnBlock::kMaxValues;
+      const size_t abs_end = ((base_begin_ + i) / block + 1) * block;
+      return std::min(base_count_, abs_end - base_begin_);
     }
 
    private:
@@ -254,10 +291,25 @@ class Graph {
   /// so scans avoid the per-row string compare against Person::gender.
   bool PersonIsFemale(uint32_t p) const { return person_is_female_[p] != 0; }
 
+  /// Per-person creation-date zone over the person's own messages: true
+  /// when `p` created at least one message in [start, end). Sentinel zones
+  /// (min = kMaxMessageDate, max = kMinMessageDate) make a person with no
+  /// messages overlap nothing, so scans skip them without touching their
+  /// adjacency (CP-2.3 pruning at person granularity).
+  bool PersonHasMessagesIn(uint32_t p, core::DateTime start,
+                           core::DateTime end) const {
+    return person_msg_date_min_[p] < end && person_msg_date_max_[p] >= start;
+  }
+
   core::DateTime PostCreation(uint32_t i) const { return post_creation_[i]; }
   uint32_t PostCreator(uint32_t i) const { return post_creator_[i]; }
   uint32_t PostForum(uint32_t i) const { return post_forum_[i]; }
   uint32_t PostCountry(uint32_t i) const { return post_country_[i]; }
+  /// Dictionary code of the post's language (kNoCode when the post has no
+  /// language, e.g. image posts).
+  uint32_t PostLanguageCode(uint32_t i) const {
+    return post_language_code_[i];
+  }
 
   core::DateTime CommentCreation(uint32_t i) const {
     return comment_creation_[i];
@@ -268,6 +320,20 @@ class Graph {
   uint32_t CommentReplyOf(uint32_t i) const { return comment_reply_of_[i]; }
   /// Post at the root of the comment's thread (precomputed).
   uint32_t CommentRootPost(uint32_t i) const { return comment_root_post_[i]; }
+  /// Forum containing the comment's thread — the materialized 2-hop
+  /// endpoint (comment → root post → forum), bit-packed so the hot loop is
+  /// one column probe instead of two dependent loads (TuGraph idiom).
+  uint32_t CommentForum(uint32_t i) const { return comment_forum_.At(i); }
+  /// Language code of the comment's thread root post (2-hop endpoint).
+  uint32_t CommentRootLanguageCode(uint32_t i) const {
+    return comment_root_language_code_[i];
+  }
+
+  /// Forum of any message reference: the post's forum, or the containing
+  /// thread's forum for a comment — one probe either way.
+  uint32_t MessageForum(uint32_t msg) const {
+    return IsPost(msg) ? post_forum_[msg] : comment_forum_.At(AsComment(msg));
+  }
 
   /// Parent place index (city→country, country→continent); kNoIdx for
   /// continents.
@@ -373,6 +439,11 @@ class Graph {
   std::vector<uint32_t> post_browser_code_, comment_browser_code_;
   std::vector<uint32_t> post_length_class_code_, comment_length_class_code_;
   std::vector<uint32_t> tag_name_code_, place_name_code_;
+  std::vector<uint32_t> post_language_code_, comment_root_language_code_;
+
+  // Materialized hot endpoints + per-person message-date zones.
+  columnar::AppendableU32Column comment_forum_;  // comment → thread's forum
+  std::vector<core::DateTime> person_msg_date_min_, person_msg_date_max_;
 
   // Adjacency.
   AdjacencyList knows_;

@@ -46,4 +46,29 @@ void MessageDateIndex::Append(uint32_t msg, core::DateTime date) {
   z.max = std::max(z.max, date);
 }
 
+void MessageDateIndex::NoteLike(uint32_t msg, core::DateTime date,
+                                uint32_t likes) {
+  util::MutexLock lock(append_mu_);
+  // Base lookup: entries with one creation date form a contiguous run sorted
+  // by ref (Build's tie-break), so the position is two binary searches.
+  auto [lo, hi] = BaseRange(date, date + 1);
+  auto first = base_refs_.begin() + static_cast<ptrdiff_t>(lo);
+  auto last = base_refs_.begin() + static_cast<ptrdiff_t>(hi);
+  auto it = std::lower_bound(first, last, msg);
+  if (it != last && *it == msg) {
+    const size_t block = static_cast<size_t>(it - base_refs_.begin()) /
+                         columnar::ColumnBlock::kMaxValues;
+    base_like_max_[block] = std::max(base_like_max_[block], likes);
+    return;
+  }
+  // Not bulk-loaded → it lives in the (small) update tail.
+  for (size_t i = 0; i < tail_refs_.size(); ++i) {
+    if (tail_refs_[i] == msg) {
+      Zone& z = tail_zones_[i / kTailBlock];
+      z.max_likes = std::max(z.max_likes, likes);
+      return;
+    }
+  }
+}
+
 }  // namespace snb::storage

@@ -42,6 +42,7 @@
 
 #include "core/date_time.h"
 #include "storage/columnar/column_block.h"
+#include "storage/scan_stats.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -57,10 +58,14 @@ class MessageDateIndex {
   /// Tail entries covered by one zone-map block.
   static constexpr size_t kTailBlock = 256;
 
-  /// Min/max creation date of one tail block (validator introspection).
+  /// Min/max creation date of one tail block (validator introspection), plus
+  /// the block's like-count zone: an upper bound on the like degree of every
+  /// member message, maintained by NoteLike. Top-k bound pushdown (CP-1.3)
+  /// skips whole blocks whose max cannot beat the current k-th bound.
   struct Zone {
     core::DateTime min = kMaxMessageDate;
     core::DateTime max = kMinMessageDate;
+    uint32_t max_likes = 0;
   };
 
   /// Order-preserving bijection DateTime → uint64: flip the sign bit so
@@ -83,6 +88,37 @@ class MessageDateIndex {
   /// Appends one message to the unsorted tail (the IU 6/7 path). Serializes
   /// concurrent writers; see the class comment for the reader contract.
   void Append(uint32_t msg, core::DateTime date) SNB_EXCLUDES(append_mu_);
+
+  /// Builds the per-base-block like-count zones: `like_count_of(ref)` returns
+  /// the current like degree of a message reference. Called once at graph
+  /// build, after the bulk likes are loaded; the tail is empty at that point
+  /// (tail zones start at 0 and are maintained by NoteLike).
+  template <typename LikeCountFn>
+  void BuildLikeZones(LikeCountFn&& like_count_of) SNB_EXCLUDES(append_mu_) {
+    util::MutexLock lock(append_mu_);
+    const size_t kBlock = columnar::ColumnBlock::kMaxValues;
+    base_like_max_.assign(base_dates_.num_blocks(), 0);
+    for (size_t i = 0; i < base_refs_.size(); ++i) {
+      uint32_t& m = base_like_max_[i / kBlock];
+      m = std::max(m, like_count_of(base_refs_[i]));
+    }
+  }
+
+  /// Records that message `msg` (creation date `date`) now has `likes`
+  /// likes, raising its block's like-count zone max so bound pruning stays
+  /// an upper bound (the IU 2/3 path). Degrees only grow, so zones never
+  /// need lowering. The (date, ref)-sorted base makes the position binary-
+  /// searchable; tail entries fall back to a linear scan (the tail is the
+  /// small post-load overflow).
+  void NoteLike(uint32_t msg, core::DateTime date, uint32_t likes)
+      SNB_EXCLUDES(append_mu_);
+
+  /// Like-count zone max of one base block (validator / test introspection).
+  // Single-writer/multi-reader contract: unlocked read by design.
+  uint32_t BaseBlockMaxLikes(size_t block) const
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return base_like_max_[block];
+  }
 
   size_t base_size() const { return base_refs_.size(); }
   // Single-writer/multi-reader contract: tail reads are unlocked by design
@@ -128,6 +164,45 @@ class MessageDateIndex {
   /// The compressed base-date column (block-zone validation, accounting).
   const columnar::ZonedColumn& BaseDateColumn() const { return base_dates_; }
 
+  /// Visits every base entry with creation date in [start, end) in date
+  /// order, counting the zone-searched date pruning into the ambient
+  /// ScanStats sink (blocks the window never touches count as date skips).
+  template <typename F>
+  void ForEachBaseInRange(core::DateTime start, core::DateTime end,
+                          F&& f) const {
+    auto [lo, hi] = BaseRange(start, end);
+    CountBlocksSkippedDate(base_dates_.num_blocks() - TouchedBlocks(lo, hi));
+    CountRowsDecoded(hi - lo);
+    for (size_t i = lo; i < hi; ++i) f(base_refs_[i]);
+  }
+
+  /// Bound-pushdown base scan: like ForEachBaseInRange, but each surviving
+  /// 1024-entry block is first offered to `skip(block_max_likes)` — a true
+  /// return prunes the whole block before any ref is decoded (CP-1.3 over
+  /// the CP-2.2/2.3 zones). `skip` must be monotone in its argument (a
+  /// block max that fails implies every member fails).
+  // Single-writer/multi-reader contract: unlocked zone read by design.
+  template <typename SkipFn, typename F>
+  void ForEachBaseInRangeBounded(core::DateTime start, core::DateTime end,
+                                 SkipFn&& skip, F&& f) const
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
+    const size_t kBlock = columnar::ColumnBlock::kMaxValues;
+    auto [lo, hi] = BaseRange(start, end);
+    CountBlocksSkippedDate(base_dates_.num_blocks() - TouchedBlocks(lo, hi));
+    size_t i = lo;
+    while (i < hi) {
+      const size_t b = i / kBlock;
+      const size_t block_end = std::min(hi, (b + 1) * kBlock);
+      if (skip(static_cast<int64_t>(base_like_max_[b]))) {
+        CountBlocksSkippedBound(1);
+        i = block_end;
+        continue;
+      }
+      CountRowsDecoded(block_end - i);
+      for (; i < block_end; ++i) f(base_refs_[i]);
+    }
+  }
+
   // ---- Tail introspection (validator / tests / bench report) ---------------
   // Unlocked under the same single-writer/multi-reader contract as the scan
   // paths below.
@@ -154,9 +229,39 @@ class MessageDateIndex {
                           F&& f) const SNB_NO_THREAD_SAFETY_ANALYSIS {
     for (size_t b = 0; b < tail_zones_.size(); ++b) {
       const Zone& z = tail_zones_[b];
-      if (z.max < start || z.min >= end) continue;
+      if (z.max < start || z.min >= end) {
+        CountBlocksSkippedDate(1);
+        continue;
+      }
       const size_t lo = b * kTailBlock;
       const size_t hi = std::min(lo + kTailBlock, tail_refs_.size());
+      CountRowsDecoded(hi - lo);
+      for (size_t i = lo; i < hi; ++i) {
+        if (tail_dates_[i] >= start && tail_dates_[i] < end) f(tail_refs_[i]);
+      }
+    }
+  }
+
+  /// Bound-pushdown tail scan: ForEachTailInRange plus a like-count zone
+  /// check per surviving block (same `skip` contract as the base variant).
+  // Single-writer/multi-reader contract: unlocked tail scan by design.
+  template <typename SkipFn, typename F>
+  void ForEachTailInRangeBounded(core::DateTime start, core::DateTime end,
+                                 SkipFn&& skip, F&& f) const
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
+    for (size_t b = 0; b < tail_zones_.size(); ++b) {
+      const Zone& z = tail_zones_[b];
+      if (z.max < start || z.min >= end) {
+        CountBlocksSkippedDate(1);
+        continue;
+      }
+      if (skip(static_cast<int64_t>(z.max_likes))) {
+        CountBlocksSkippedBound(1);
+        continue;
+      }
+      const size_t lo = b * kTailBlock;
+      const size_t hi = std::min(lo + kTailBlock, tail_refs_.size());
+      CountRowsDecoded(hi - lo);
       for (size_t i = lo; i < hi; ++i) {
         if (tail_dates_[i] >= start && tail_dates_[i] < end) f(tail_refs_[i]);
       }
@@ -184,6 +289,7 @@ class MessageDateIndex {
   /// Heap bytes actually held (memory accounting).
   size_t ByteSize() const SNB_NO_THREAD_SAFETY_ANALYSIS {
     return base_refs_.capacity() * sizeof(uint32_t) + base_dates_.ByteSize() +
+           base_like_max_.capacity() * sizeof(uint32_t) +
            tail_refs_.capacity() * sizeof(uint32_t) +
            tail_dates_.capacity() * sizeof(core::DateTime) +
            tail_zones_.capacity() * sizeof(Zone);
@@ -199,10 +305,24 @@ class MessageDateIndex {
  private:
   friend struct TestAccess;  // corruption seeding in tests (test_access.h)
 
+  /// Base-date blocks overlapped by positions [lo, hi).
+  static size_t TouchedBlocks(size_t lo, size_t hi) {
+    if (lo >= hi) return 0;
+    const size_t kBlock = columnar::ColumnBlock::kMaxValues;
+    return (hi + kBlock - 1) / kBlock - lo / kBlock;
+  }
+
   // Base: refs sorted by (date, ref); the date column is delta + bit-packed
   // in DateKey space. Written only by Build (before the store is shared).
   std::vector<uint32_t> base_refs_;
   columnar::ZonedColumn base_dates_;
+
+  // Per-base-block like-count zone maxima (1024-aligned, one per date-column
+  // block). Written by BuildLikeZones/NoteLike under append_mu_; scans read
+  // them unlocked per the single-writer/multi-reader contract (a stale value
+  // is a *looser* bound — less pruning, never a wrong skip, because degrees
+  // only grow and the zone is raised before the like becomes visible).
+  std::vector<uint32_t> base_like_max_;
 
   // Tail: arrival order plus per-kTailBlock zone maps. Guarded against
   // concurrent *writers*; readers are lock-free per the class contract.

@@ -1,0 +1,10 @@
+#include "storage/scan_stats.h"
+
+namespace snb::storage::internal {
+
+ScanStats*& CurrentScanStatsSlot() noexcept {
+  thread_local ScanStats* slot = nullptr;
+  return slot;
+}
+
+}  // namespace snb::storage::internal

@@ -40,6 +40,21 @@ struct TestAccess {
   static std::vector<uint32_t>& CommentCreator(Graph& g) {
     return g.comment_creator_;
   }
+  static columnar::AppendableU32Column& CommentForum(Graph& g) {
+    return g.comment_forum_;
+  }
+  static std::vector<uint32_t>& PostLanguageCode(Graph& g) {
+    return g.post_language_code_;
+  }
+  static std::vector<uint32_t>& CommentRootLanguageCode(Graph& g) {
+    return g.comment_root_language_code_;
+  }
+  static std::vector<core::DateTime>& PersonMsgDateMin(Graph& g) {
+    return g.person_msg_date_min_;
+  }
+  static std::vector<core::DateTime>& PersonMsgDateMax(Graph& g) {
+    return g.person_msg_date_max_;
+  }
   static AdjacencyList& Knows(Graph& g) { return g.knows_; }
   static AdjacencyList& PersonPosts(Graph& g) { return g.person_posts_; }
   static AdjacencyList& ForumMembers(Graph& g) { return g.forum_members_; }
@@ -75,6 +90,10 @@ struct TestAccess {
   static std::vector<MessageDateIndex::Zone>& TailZones(MessageDateIndex& idx)
       SNB_NO_THREAD_SAFETY_ANALYSIS {
     return idx.tail_zones_;
+  }
+  static std::vector<uint32_t>& BaseLikeMax(MessageDateIndex& idx)
+      SNB_NO_THREAD_SAFETY_ANALYSIS {
+    return idx.base_like_max_;
   }
 };
 

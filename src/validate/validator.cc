@@ -356,6 +356,101 @@ void CheckBlockZones(const Graph& g, Recorder& rec) {
                    rec, scratch);
 }
 
+// ---- hot-column-endpoints ---------------------------------------------------
+
+// The pushdown kernels read materialized endpoint columns (comment → thread
+// forum, post/comment-root language codes) instead of chasing the 2-hop
+// pointers at scan time. A stale endpoint silently changes query results, so
+// every entry is re-derived from the pointer chain it caches.
+void CheckHotColumnEndpoints(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("hot-column-endpoints");
+  const size_t dict = g.Dict().size();
+  for (uint32_t i = 0; i < g.NumPosts(); ++i) {
+    const uint32_t code = g.PostLanguageCode(i);
+    if (code >= dict) {
+      rec.Addf("post ", i, ": language code ", code, " >= dictionary size ",
+               dict);
+    } else if (g.Dict().Decode(code) != g.PostAt(i).language) {
+      rec.Addf("post ", i, ": language column decodes to \"",
+               g.Dict().Decode(code), "\" but Post::language is \"",
+               g.PostAt(i).language, "\"");
+    }
+  }
+  for (uint32_t c = 0; c < g.NumComments(); ++c) {
+    const uint32_t root = g.CommentRootPost(c);
+    if (root >= g.NumPosts()) continue;  // message-author reports this
+    if (g.CommentForum(c) != g.PostForum(root)) {
+      rec.Addf("comment ", c, ": forum column ", g.CommentForum(c),
+               " != root post's forum ", g.PostForum(root));
+    }
+    if (g.CommentRootLanguageCode(c) != g.PostLanguageCode(root)) {
+      rec.Addf("comment ", c, ": root-language column ",
+               g.CommentRootLanguageCode(c),
+               " != root post's language code ", g.PostLanguageCode(root));
+    }
+  }
+}
+
+// ---- like-zone-bounds -------------------------------------------------------
+
+// Bound pushdown skips whole index blocks whose like-count zone max cannot
+// beat the current top-k bound, and whole persons whose message-date zone
+// misses the scan window. Either zone understating its contents makes the
+// skip drop real candidates, so each is checked against the raw degrees and
+// dates it summarizes.
+void CheckLikeZoneBounds(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("like-zone-bounds");
+  const MessageDateIndex& idx = g.MessageIndex();
+  const size_t block_values = snb::storage::columnar::ColumnBlock::kMaxValues;
+  auto likes_of = [&](uint32_t msg) -> size_t {
+    return Graph::IsPost(msg)
+               ? g.PostLikers().Degree(msg)
+               : g.CommentLikers().Degree(Graph::AsComment(msg));
+  };
+  auto creator_of = [&](uint32_t msg) -> uint32_t {
+    return Graph::IsPost(msg) ? g.PostCreator(msg)
+                              : g.CommentCreator(Graph::AsComment(msg));
+  };
+  auto check_person_zone = [&](const char* where, size_t i, uint32_t msg,
+                               core::DateTime date) {
+    const uint32_t p = creator_of(msg);
+    if (p >= g.NumPersons()) return;  // message-author reports this
+    if (!g.PersonHasMessagesIn(p, date, date + 1)) {
+      rec.Addf(where, "[", i, "]: creation date ", date,
+               " outside creator ", p,
+               "'s message-date zone — person pruning would skip it");
+    }
+  };
+  idx.ForEachBase([&](size_t i, uint32_t msg, core::DateTime date) {
+    if (!ValidMessageRef(g, msg)) return;  // message-index-order reports this
+    const size_t block = i / block_values;
+    const size_t likes = likes_of(msg);
+    if (likes > idx.BaseBlockMaxLikes(block)) {
+      rec.Addf("base block ", block, ": entry ", i, " has ", likes,
+               " likes > zone max ", idx.BaseBlockMaxLikes(block),
+               " — bound pruning would skip a top-k candidate");
+    }
+    check_person_zone("base", i, msg, date);
+  });
+  for (size_t b = 0; b < idx.NumTailBlocks(); ++b) {
+    const MessageDateIndex::Zone z = idx.TailZoneAt(b);
+    const size_t lo = b * MessageDateIndex::kTailBlock;
+    const size_t hi = std::min(lo + MessageDateIndex::kTailBlock,
+                               idx.tail_size());
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t msg = idx.TailAt(i);
+      if (!ValidMessageRef(g, msg)) continue;
+      const size_t likes = likes_of(msg);
+      if (likes > z.max_likes) {
+        rec.Addf("tail block ", b, ": entry ", i, " has ", likes,
+                 " likes > zone max ", z.max_likes,
+                 " — bound pruning would skip a top-k candidate");
+      }
+      check_person_zone("tail", i, msg, idx.TailDateAt(i));
+    }
+  }
+}
+
 // ---- hot-column-gender ------------------------------------------------------
 
 void CheckHotColumnGender(const Graph& g, Recorder& rec) {
@@ -448,6 +543,8 @@ ValidationReport ValidateGraph(const storage::Graph& graph,
   CheckMessageIndex(graph, rec);
   CheckDictionaryCodes(graph, rec);
   CheckBlockZones(graph, rec);
+  CheckHotColumnEndpoints(graph, rec);
+  CheckLikeZoneBounds(graph, rec);
   CheckHotColumnGender(graph, rec);
   CheckUniqueId(graph, rec);
   if (options.expect_sf.has_value()) {

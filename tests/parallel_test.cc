@@ -16,6 +16,7 @@
 #include "bi/parallel.h"
 #include "datagen/datagen.h"
 #include "driver/driver.h"
+#include "engine/morsel.h"
 #include "params/parameter_curation.h"
 #include "storage/graph.h"
 #include "storage/message_index.h"
@@ -27,6 +28,10 @@ namespace {
 class ParallelFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
+    // Drop the minimum-work fan-out floor: the fixture is deliberately tiny,
+    // and these tests (run under TSan in check.sh) must still drive the
+    // morsel machinery rather than collapse to the inline path.
+    engine::internal::GlobalMorselTuning().min_morsels_for_fanout = 1;
     datagen::DatagenConfig cfg;
     cfg.num_persons = 350;
     cfg.activity_scale = 0.5;
@@ -42,6 +47,7 @@ class ParallelFixture : public ::testing::Test {
     delete pool_;
     delete params_;
     delete graph_;
+    engine::internal::GlobalMorselTuning() = engine::internal::MorselTuning{};
   }
   static const storage::Graph& graph() { return *graph_; }
   static const params::WorkloadParameters& params() { return *params_; }

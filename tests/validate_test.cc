@@ -42,7 +42,7 @@ TEST(ValidateTest, CleanGraphPassesAllInvariants) {
   options.expect_sf = core::ScaleFactorInfo{"test", 0.0, 50, 0, 0};
   ValidationReport report = ValidateGraph(*graph, options);
   EXPECT_TRUE(report.ok()) << report.ToString();
-  EXPECT_EQ(report.invariants_checked, 12u);
+  EXPECT_EQ(report.invariants_checked, 14u);
 }
 
 TEST(ValidateTest, DanglingEdgeCaughtByEdgeEndpoints) {
@@ -148,6 +148,74 @@ TEST(ValidateTest, TamperedIndexDateZoneCaughtByBlockZoneCoversContents) {
   block.CorruptZoneForTest(block.zone_min(), block.zone_max() + 1);
   ValidationReport report = ValidateGraph(*graph, Lenient());
   EXPECT_TRUE(report.Has("block-zone-covers-contents")) << report.ToString();
+}
+
+TEST(ValidateTest, StaleCommentForumCaughtByHotColumnEndpoints) {
+  auto graph = MakeGraph();
+  auto& forums = TestAccess::CommentForum(*graph);
+  bool corrupted = false;
+  for (uint32_t c = 0; c < graph->NumComments() && !corrupted; ++c) {
+    if (graph->CommentForum(c) != 0) {
+      forums.SetForTest(c, 0);  // 0 always fits the packed base width
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "every comment thread lives in forum 0?";
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("hot-column-endpoints")) << report.ToString();
+}
+
+TEST(ValidateTest, BadLanguageCodeCaughtByHotColumnEndpoints) {
+  auto graph = MakeGraph();
+  auto& codes = TestAccess::PostLanguageCode(*graph);
+  ASSERT_FALSE(codes.empty());
+  codes[0] = static_cast<uint32_t>(graph->Dict().size()) + 3;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("hot-column-endpoints")) << report.ToString();
+}
+
+TEST(ValidateTest, StaleRootLanguageCaughtByHotColumnEndpoints) {
+  auto graph = MakeGraph();
+  auto& codes = TestAccess::CommentRootLanguageCode(*graph);
+  ASSERT_FALSE(codes.empty());
+  codes[0] ^= 1u;  // any value differing from the root post's code trips it
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("hot-column-endpoints")) << report.ToString();
+}
+
+TEST(ValidateTest, LoweredLikeZoneCaughtByLikeZoneBounds) {
+  auto graph = MakeGraph();
+  auto& zones = TestAccess::BaseLikeMax(TestAccess::MessageIndex(*graph));
+  bool corrupted = false;
+  for (uint32_t& z : zones) {
+    if (z > 0) {
+      --z;  // the block's most-liked member now exceeds the zone max
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "datagen graph has no likes at all?";
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("like-zone-bounds")) << report.ToString();
+}
+
+TEST(ValidateTest, ShrunkPersonZoneCaughtByLikeZoneBounds) {
+  auto graph = MakeGraph();
+  auto& mins = TestAccess::PersonMsgDateMin(*graph);
+  auto& maxs = TestAccess::PersonMsgDateMax(*graph);
+  bool corrupted = false;
+  for (size_t p = 0; p < mins.size() && !corrupted; ++p) {
+    if (mins[p] <= maxs[p]) {  // person actually has messages
+      // Reset to the "no messages" sentinel: the zone now overlaps nothing,
+      // so person pruning would wrongly skip every message this person made.
+      mins[p] = storage::kMaxMessageDate;
+      maxs[p] = storage::kMinMessageDate;
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no person with messages in the datagen graph?";
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("like-zone-bounds")) << report.ToString();
 }
 
 TEST(ValidateTest, HotColumnFlipCaughtByHotColumnGender) {
