@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification matrix. Stages, in order:
 #
-#   1. lint           — grep conventions (scripts/lint.sh)
+#   1. lint           — snb_lint token-level conventions + git-state gates
+#                       (scripts/lint.sh builds-or-reuses tools/snb_lint)
 #   2. tidy           — clang-tidy curated profile (scripts/tidy.sh)
 #   3. dev build      — -Wall -Wextra -Wshadow -Werror (SNB_DEV=ON) + ctest
 #   4. UBSan          — full ctest under -fsanitize=undefined, no recover
@@ -20,6 +21,10 @@
 #                       oracle, with scan counters asserting the bound/zone
 #                       pruning actually fires on every top-k query
 #  11. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
+#  12. gcc-analyzer   — gcc -fanalyzer over the tree, opt-in via
+#                       SNB_FANALYZER=1 (skipped with a notice otherwise:
+#                       GCC's analyzer is still experimental for C++ and
+#                       too noisy to gate on)
 #
 # Stages 1 and 3–10 run on any GCC machine; 2 and 11 need clang and are
 # skipped with a notice when it is absent — the matrix must stay useful on
@@ -29,7 +34,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== lint: repo conventions =="
+echo "== lint: snb_lint token-level conventions + git-state gates =="
 "$repo/scripts/lint.sh"
 
 echo "== tidy: clang-tidy curated profile =="
@@ -120,6 +125,21 @@ if command -v clang++ >/dev/null 2>&1; then
 else
   echo "   SKIPPED: clang++ not installed on this machine" \
        "(annotations compiled as no-ops by GCC; analysis needs clang)"
+fi
+
+echo "== gcc-analyzer: -fanalyzer interprocedural paths (opt-in) =="
+# GCC's static analyzer explores interprocedural paths the sanitizers only
+# see when a test happens to drive them (double-free, use-after-free, fd
+# leaks). Its C++ support is still explicitly experimental upstream and
+# produces false positives on idiomatic STL code, so the stage is advisory
+# and opt-in: diagnostics print but do not fail the matrix.
+if [[ "${SNB_FANALYZER:-0}" == "1" ]]; then
+  cmake -B "$repo/build-fanalyzer" -S "$repo" \
+    -DCMAKE_CXX_FLAGS="-fanalyzer" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo/build-fanalyzer" -j || true
+else
+  echo "   SKIPPED: set SNB_FANALYZER=1 to run (gcc -fanalyzer is" \
+       "experimental for C++; advisory output only, never a gate)"
 fi
 
 echo "== all active checks passed =="

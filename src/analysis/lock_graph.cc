@@ -114,6 +114,7 @@ SiteId EnsureSite(MutexDebug* mu) {
   SpinLockGuard guard(st.mu);
   // Re-check under the lock: another thread may have registered this
   // instance (or this instance's named site) concurrently.
+  // relaxed: st.mu is held; the registering store also ran under st.mu.
   id = mu->site.load(std::memory_order_relaxed);
   if (id >= 0) return id;
 
@@ -167,10 +168,13 @@ const char* NodeDesc(const Node& n, char* buf, size_t buf_size) {
 /// path cannot wedge another thread spinning on the analyzer lock.
 void FinishReport() {
   GlobalState& st = State();
+  // relaxed: diagnostic counter; readers poll it with no ordering needs.
   st.report_count.fetch_add(1, std::memory_order_relaxed);
   std::fflush(stderr);
-  if (static_cast<ReportMode>(st.report_mode.load(
-          std::memory_order_relaxed)) == ReportMode::kAbort) {
+  // relaxed: report_mode is an isolated flag set before threads start.
+  const auto mode =
+      static_cast<ReportMode>(st.report_mode.load(std::memory_order_relaxed));
+  if (mode == ReportMode::kAbort) {
     st.mu.unlock();
     std::_Exit(kDeadlockExitCode);
   }
@@ -382,11 +386,13 @@ void AllowWaitWhileHolding(const char* held_site, const char* wait_site) {
 }
 
 void SetReportMode(ReportMode mode) {
+  // relaxed: isolated flag; callers set it before exercising any locks.
   State().report_mode.store(static_cast<int>(mode),
                             std::memory_order_relaxed);
 }
 
 size_t ReportCount() {
+  // relaxed: diagnostic counter; tests poll it, nothing orders against it.
   return State().report_count.load(std::memory_order_relaxed);
 }
 
@@ -401,6 +407,7 @@ void ResetForTest() {
   // cache their SiteId and would index a cleared table out of bounds.
   for (Node& n : st.nodes) n.out.clear();
   st.allowed_waits.clear();
+  // relaxed: test-only reset under st.mu; no concurrent reporters remain.
   st.report_count.store(0, std::memory_order_relaxed);
 }
 

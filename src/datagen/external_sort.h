@@ -46,14 +46,14 @@ class ExternalSorter {
 
   /// Adds one record. Returns an error when a spill write fails (after which
   /// the sorter is unusable).
-  util::Status Add(uint64_t key1, uint64_t key2, std::string_view payload);
-  util::Status Add(uint64_t key1, uint64_t key2) {
+  SNB_NODISCARD util::Status Add(uint64_t key1, uint64_t key2, std::string_view payload);
+  SNB_NODISCARD util::Status Add(uint64_t key1, uint64_t key2) {
     return Add(key1, key2, std::string_view());
   }
 
   /// Streams every record in ascending (key1, key2, insertion-order). Can be
   /// called once; the sorter is drained afterwards.
-  util::Status Merge(
+  SNB_NODISCARD util::Status Merge(
       const std::function<void(uint64_t key1, uint64_t key2,
                                std::string_view payload)>& emit);
 
@@ -63,7 +63,7 @@ class ExternalSorter {
 
   /// Deletes every `*.spill` / `*.spill.tmp` file under `dir` — orphans of a
   /// crashed earlier run. Reports how many were removed. Missing `dir` is ok.
-  static util::Status RemoveOrphanSpills(const std::string& dir,
+  SNB_NODISCARD static util::Status RemoveOrphanSpills(const std::string& dir,
                                          size_t* removed = nullptr);
 
  private:

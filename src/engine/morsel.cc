@@ -66,7 +66,11 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
 
   auto run_loop = [&](size_t slot) {
     for (;;) {
+      // relaxed: advisory early-out; the error itself is published under
+      // shared.mu, and the pool join below is the real synchronization.
       if (shared.failed.load(std::memory_order_relaxed)) return;
+      // relaxed: pure ticket counter — fetch_add's atomicity alone
+      // guarantees unique tickets; no payload is published through it.
       const size_t ticket =
           shared.next.fetch_add(1, std::memory_order_relaxed);
       if (ticket >= num_morsels) return;
@@ -76,6 +80,7 @@ void RunMorsels(util::ThreadPool& pool, size_t num_morsels, size_t slots,
       } catch (...) {
         util::MutexLock lock(shared.mu);
         if (!shared.error) shared.error = std::current_exception();
+        // relaxed: flag only hastens shutdown; error is read after join.
         shared.failed.store(true, std::memory_order_relaxed);
         return;
       }

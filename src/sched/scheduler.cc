@@ -157,14 +157,19 @@ class StreamScheduler {
   const storage::Graph& graph_;
   const params::WorkloadParameters& params_;
   const SchedulerConfig& config_;
+  // snb-lint-allow(guarded-by): set once in Run() before worker admission
   size_t workers_ = 0;
-  util::ThreadPool* intra_pool_ = nullptr;  // set once before workers start
+  // snb-lint-allow(guarded-by): set once before workers start
+  util::ThreadPool* intra_pool_ = nullptr;
   /// Engaged for adaptive power runs; calibrated once before admission and
   /// read-only afterwards, so workers consult it without locking.
+  // snb-lint-allow(guarded-by): immutable once workers are admitted
   std::optional<engine::DispatchModel> dispatch_model_;
+  // snb-lint-allow(guarded-by): stamped once at run start, read-only after
   Clock::time_point t0_;
 
   /// Immutable after construction; read by workers without the lock.
+  // snb-lint-allow(guarded-by): immutable after construction
   std::vector<QueryStream> streams_;
 
   /// Level 10: held across pool.Submit() in Admit(), i.e. ordered strictly

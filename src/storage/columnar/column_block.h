@@ -122,7 +122,7 @@ class ColumnBlock {
 /// kCorruption/kInvalidArgument Status — never a crash. Strictness contract:
 /// the payload must round-trip (zone metadata and bit width are re-derived
 /// and compared), so accepted bytes re-serialize to themselves.
-util::Status DecodeColumnBlock(std::span<const uint8_t> bytes,
+SNB_NODISCARD util::Status DecodeColumnBlock(std::span<const uint8_t> bytes,
                                ColumnBlock* out, size_t* consumed);
 
 /// A whole column as a vector of blocks plus routing; built once, immutable.

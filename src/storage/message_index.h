@@ -314,7 +314,9 @@ class MessageDateIndex {
 
   // Base: refs sorted by (date, ref); the date column is delta + bit-packed
   // in DateKey space. Written only by Build (before the store is shared).
+  // snb-lint-allow(guarded-by): written only by Build, before sharing
   std::vector<uint32_t> base_refs_;
+  // snb-lint-allow(guarded-by): written only by Build, before sharing
   columnar::ZonedColumn base_dates_;
 
   // Per-base-block like-count zone maxima (1024-aligned, one per date-column
@@ -322,6 +324,8 @@ class MessageDateIndex {
   // them unlocked per the single-writer/multi-reader contract (a stale value
   // is a *looser* bound — less pruning, never a wrong skip, because degrees
   // only grow and the zone is raised before the like becomes visible).
+  // snb-lint-allow(guarded-by): single-writer under append_mu_; unlocked
+  // readers tolerate staleness (bound is monotone, see above)
   std::vector<uint32_t> base_like_max_;
 
   // Tail: arrival order plus per-kTailBlock zone maps. Guarded against

@@ -49,13 +49,13 @@ namespace snb::storage {
 /// Creates <store_dir> with an initial committed checkpoint of `net` and no
 /// WAL yet. `last_applied_day` seeds the manifest: replay skips batches at
 /// or before it (use the day before the first update for a bulk load).
-util::Status InitStore(const std::string& store_dir,
+SNB_NODISCARD util::Status InitStore(const std::string& store_dir,
                        const core::SocialNetwork& net,
                        core::Date last_applied_day);
 
 /// Writes a new checkpoint of `net` and atomically rotates it in (see the
 /// file comment for the rename dance and its crash windows).
-util::Status WriteCheckpoint(const std::string& store_dir,
+SNB_NODISCARD util::Status WriteCheckpoint(const std::string& store_dir,
                              const core::SocialNetwork& net,
                              core::Date last_applied_day);
 
@@ -91,7 +91,7 @@ class RecoveryManager {
 
   /// Recovers to the last committed batch. Idempotent: recovering an
   /// already-clean store is a no-op load.
-  util::StatusOr<RecoveryResult> Recover(
+  SNB_NODISCARD util::StatusOr<RecoveryResult> Recover(
       const RecoveryOptions& options = {}) const;
 
  private:

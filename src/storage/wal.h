@@ -67,26 +67,26 @@ class Wal {
 
   /// Opens (creating if absent) the log at `path` for appending. A fresh
   /// file gets the magic; an existing file must start with it.
-  util::Status Open(const std::string& path, WalOptions options = {});
+  SNB_NODISCARD util::Status Open(const std::string& path, WalOptions options = {});
 
   /// Starts a new batch covering `day`. Batches must not nest.
-  util::Status BatchBegin(core::Date day);
+  SNB_NODISCARD util::Status BatchBegin(core::Date day);
 
   /// Appends one event of the open batch.
-  util::Status Append(const datagen::UpdateEvent& event);
+  SNB_NODISCARD util::Status Append(const datagen::UpdateEvent& event);
 
   /// Commits the open batch: writes the marker and (per policy) fsyncs.
   /// After this returns OK the batch is durable and recovery will replay it.
-  util::Status BatchCommit(core::Date day);
+  SNB_NODISCARD util::Status BatchCommit(core::Date day);
 
   /// Abandons the open batch by truncating the file back to where the
   /// batch began — the retry path after a mid-batch failure, keeping the
   /// on-disk prefix equal to "every byte belongs to a committed batch or
   /// to nothing".
-  util::Status AbortBatch();
+  SNB_NODISCARD util::Status AbortBatch();
 
-  util::Status Sync();
-  util::Status Close();
+  SNB_NODISCARD util::Status Sync();
+  SNB_NODISCARD util::Status Close();
 
   bool is_open() const { return fd_ >= 0; }
   uint64_t bytes_written() const { return offset_; }
@@ -132,11 +132,11 @@ struct WalScan {
 /// framing is lost there, so that point becomes the tail. A torn tail is
 /// the normal after-crash state and is reported via `torn_tail`, not as an
 /// error; only an unreadable file or bad magic returns a failure Status.
-util::StatusOr<WalScan> ScanWal(const std::string& path);
+SNB_NODISCARD util::StatusOr<WalScan> ScanWal(const std::string& path);
 
 /// Truncates the log to `valid_bytes` (from a prior ScanWal). Recovery
 /// calls this so a once-recovered log scans clean forever after.
-util::Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+SNB_NODISCARD util::Status TruncateWal(const std::string& path, uint64_t valid_bytes);
 
 }  // namespace snb::storage
 

@@ -55,6 +55,8 @@ void InitFromEnvOnce() {
 void DisarmLocked(SiteState& state) {
   if (!state.armed) return;
   state.armed = false;
+  // relaxed: fast-path hint only; arming is published by registry.mu, and
+  // a stale non-zero read just takes the locked slow path once more.
   internal::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -74,6 +76,7 @@ void Arm(const std::string& name, Spec spec) {
   MutexLock lock(registry.mu);
   SiteState& state = registry.sites[name];
   if (!state.armed) {
+    // relaxed: fast-path hint; the spec itself is published by registry.mu.
     internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
   }
   state.armed = true;

@@ -112,6 +112,8 @@ extern std::atomic<int> g_armed_points;
 
 /// Fast path: false in any process that never armed a point.
 inline bool AnyArmed() {
+  // relaxed: hint only — a stale read sends the caller through Hit(),
+  // which re-checks under the registry mutex.
   return internal::g_armed_points.load(std::memory_order_relaxed) != 0;
 }
 

@@ -11,6 +11,15 @@
 
 #include "util/check.h"
 
+/// Applied to the Status/StatusOr class types, so *every* function that
+/// returns one by value is nodiscard without per-declaration annotation.
+/// The compiler gate resolves overloads by type; snb_lint's token-level
+/// unchecked-status check covers the unambiguous names and the rationale
+/// requirement on explicit (void) discards. A macro (not bare
+/// [[nodiscard]]) so a single site documents the policy and future
+/// attribute arguments ("use SNB_RETURN_IF_ERROR") have one home.
+#define SNB_NODISCARD [[nodiscard]]
+
 namespace snb::util {
 
 /// Error taxonomy. Callers branch on the code, never on message text:
@@ -45,7 +54,11 @@ inline const char* StatusCodeName(StatusCode code) {
 }
 
 /// Result of an operation that may fail; cheap to copy when OK.
-class Status {
+/// Class-level nodiscard: discarding any by-value Status is a -Werror
+/// build break under SNB_DEV. Genuinely ignorable results take
+/// `(void)` plus an adjacent `// snb-lint-allow(unchecked-status):`
+/// with the reason — the analyzer rejects a bare (void).
+class SNB_NODISCARD Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -88,7 +101,7 @@ class Status {
 
 /// Either a value or an error Status. Access to the value requires ok().
 template <typename T>
-class StatusOr {
+class SNB_NODISCARD StatusOr {
  public:
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
   StatusOr(Status status) : status_(std::move(status)) {      // NOLINT

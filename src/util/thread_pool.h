@@ -56,6 +56,8 @@ class ThreadPool {
  private:
   void WorkerLoop() SNB_EXCLUDES(mu_);
 
+  // snb-lint-allow(guarded-by): written in the constructor and joined in
+  // the destructor only; never touched while workers run
   std::vector<std::thread> workers_;
   /// Level 20: the pool queue lock is the declared *upper* end of the
   /// scheduler → pool ordering (sched/scheduler.cc holds its level-10

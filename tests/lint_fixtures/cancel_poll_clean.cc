@@ -1,0 +1,13 @@
+// snb-lint-path: src/bi/bi04.cc
+// Fixture: polls inside a ForEach-style lambda — the lambda body IS the
+// hot loop body, which is why lambda scopes count as reachable.
+struct CancelPoller { bool Tick(); };
+template <typename F> void ForEach(int n, F f) { for (int i = 0; i < n; ++i) f(i); }
+int RunBi4(int n, CancelPoller& poll) {
+  int acc = 0;
+  ForEach(n, [&](int i) {
+    if (poll.Tick()) return;
+    acc += i;
+  });
+  return acc;
+}

@@ -1,0 +1,8 @@
+// snb-lint-path: src/bi/bi02.cc
+// Fixture: a BI kernel whose hot loop never polls for cancellation can
+// stall a whole stream past its time budget.
+int RunBi2(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}

@@ -1,0 +1,10 @@
+// snb-lint-path: src/bi/bi03.cc
+// Fixture: the poll exists but sits outside every loop and lambda — it
+// runs once, not per iteration, so cancellation still cannot interrupt.
+struct CancelPoller { bool Tick(); };
+int RunBi3(int n, CancelPoller& poll) {
+  (bool)poll.Tick();
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}

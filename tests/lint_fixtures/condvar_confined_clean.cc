@@ -1,0 +1,5 @@
+// snb-lint-path: src/analysis/audit.cc
+// Fixture: src/analysis/ is exempt — the deadlock analyzer audits CondVar
+// waits and names them in its reports.
+struct CondVar {};
+CondVar MakeOne() { return CondVar{}; }

@@ -1,0 +1,4 @@
+// snb-lint-path: src/engine/waiter.cc
+// Fixture: a CondVar outside src/util/ re-opens the hand-rolled-wait bug.
+struct W { int CondVar; };
+void Wait(W& w) { w.CondVar = 1; }

@@ -1,0 +1,4 @@
+// snb-lint-path: tests/crash_test.cc
+// Fixture: tests inject through the arming API — that is the design.
+namespace failpoint { void Arm(const char* name, int spec); }
+void SetUp() { failpoint::Arm("storage.wal.append", 1); }

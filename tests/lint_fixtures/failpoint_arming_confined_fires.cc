@@ -1,0 +1,5 @@
+// snb-lint-path: src/storage/self_harm.cc
+// Fixture: a shipped binary that arms its own failure injection is a
+// latent outage — arming is reserved for tests.
+namespace failpoint { void Arm(const char* name, int spec); }
+void Boot() { failpoint::Arm("storage.wal.append", 1); }

@@ -1,0 +1,4 @@
+// snb-lint-path: src/storage/wal_write.cc
+// Fixture: sites belong in production code under src/.
+#define SNB_FAILPOINT(name) (void)(name)
+void Write() { SNB_FAILPOINT("storage.wal.append"); }

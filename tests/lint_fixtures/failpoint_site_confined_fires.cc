@@ -1,0 +1,5 @@
+// snb-lint-path: tools/prober.cc
+// Fixture: a site macro outside src/ means fault injection leaked out of
+// the product path.
+#define SNB_FAILPOINT(name) (void)(name)
+void Probe() { SNB_FAILPOINT("tools.probe"); }

@@ -1,0 +1,5 @@
+// snb-lint-path: src/storage/uniq_sites.cc
+// Fixture: every site name is distinct.
+#define SNB_FAILPOINT(name) (void)(name)
+void A() { SNB_FAILPOINT("storage.uniq.a"); }
+void B() { SNB_FAILPOINT("storage.uniq.b"); }

@@ -1,0 +1,6 @@
+// snb-lint-path: src/storage/dup_sites.cc
+// Fixture: two sites sharing a name — crash-at-every-site loops enumerate
+// the registry, and a duplicate name halves the coverage silently.
+#define SNB_FAILPOINT(name) (void)(name)
+void A() { SNB_FAILPOINT("storage.dup.site"); }
+void B() { SNB_FAILPOINT("storage.dup.site"); }

@@ -1,0 +1,4 @@
+// snb-lint-path: fuzz/fuzz_wal_record_ok.cc
+// Fixture: exercises a real public Status-returning parser entry point.
+namespace snb { namespace storage { int ScanWal(const char* p); } }
+int Drive(const char* path) { return snb::storage::ScanWal(path); }

@@ -1,0 +1,7 @@
+// snb-lint-path: fuzz/fuzz_private_helper.cc
+// Fixture: drives no public entry point and reaches past the API.
+#include "storage/wal.cc"
+namespace snb { namespace internal { int Tweak(int x); } }
+int Drive(const unsigned char* data, unsigned long n) {
+  return snb::internal::Tweak(static_cast<int>(n));
+}

@@ -1,0 +1,21 @@
+// snb-lint-path: src/sched/annotated_fields.h
+// Fixture: every mutable field is annotated, const, or carries an allow
+// with its synchronization story; operator=(const Mutex&) = delete below
+// must not read as a Mutex-typed field (that once made util::Mutex flag
+// its own members).
+#define SNB_GUARDED_BY(x)
+struct Mutex {
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+};
+class Pool {
+ public:
+  void Set(int v);
+ private:
+  Mutex mu_;
+  int jobs_ SNB_GUARDED_BY(mu_);
+  const int capacity_ = 8;
+  // snb-lint-allow(guarded-by): immutable after construction
+  int worker_count_ = 0;
+};

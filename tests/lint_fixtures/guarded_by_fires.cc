@@ -1,0 +1,12 @@
+// snb-lint-path: src/sched/bare_fields.h
+// Fixture: a mutex-owning class with an unannotated mutable field.
+#define SNB_GUARDED_BY(x)
+struct Mutex {};
+class Pool {
+ public:
+  void Set(int v);
+ private:
+  Mutex mu_;
+  int jobs_ SNB_GUARDED_BY(mu_);
+  int racy_count_;
+};

@@ -1,0 +1,10 @@
+// snb-lint-path: src/engine/commented_out.cc
+// Fixture: the regression that motivated the analyzer. The old lint gate
+// stripped /* */ only when both ends sat on one line, so the body of this
+// multi-line block comment looked like live code to the greps:
+/*
+std::mutex leftover_mutex;
+assert(leftover);
+std::atomic<int> leftover_count;
+*/
+int Live() { return 1; }

@@ -1,0 +1,8 @@
+// snb-lint-path: src/storage/nested_trap.cc
+// Fixture: C++ block comments do not nest — the first */ below re-opens
+// code, so the assert IS live and must fire.
+#include <cassert>
+int Trap(int x) {
+  /* outer /* inner */ assert(x > 0);
+  return x;
+}

@@ -1,0 +1,9 @@
+// snb-lint-path: src/engine/rawstr.cc
+// Fixture: raw strings and escaped quotes are content, not code. Every
+// forbidden spelling below lives inside a literal.
+const char* Sql() {
+  return R"sql(
+    assert(x > 0); std::mutex guard; rand(); std::time(nullptr);
+  )sql";
+}
+const char* Quoted() { return "she wrote \"assert(1)\" and \\"; }

@@ -1,0 +1,6 @@
+// snb-lint-path: src/storage/blocky.cc
+// Fixture: assert( in a comment and "abort()" in a string are not calls.
+int Check(int x) {
+  const char* doc = "never call abort() from storage code";
+  return doc[0] + x;  // assert(x > 0) used to live here
+}

@@ -1,0 +1,7 @@
+// snb-lint-path: src/storage/blocky.cc
+// Fixture: raw assert loses the SNB_CHECK diagnostics and NDEBUG policy.
+#include <cassert>
+int Check(int x) {
+  assert(x > 0);
+  return x;
+}

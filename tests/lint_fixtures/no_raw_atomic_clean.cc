@@ -1,0 +1,4 @@
+// snb-lint-path: src/bi/cancel.h
+// Fixture: cancel.h owns the one sanctioned std::atomic in src/bi/.
+#include <atomic>
+std::atomic<bool> g_cancelled{false};

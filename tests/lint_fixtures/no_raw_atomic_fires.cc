@@ -1,0 +1,5 @@
+// snb-lint-path: src/bi/bi05.cc
+// Fixture: cross-slot state in a kernel goes through engine/ helpers whose
+// memory-order story is reviewed in one place — not a raw std::atomic.
+#include <atomic>
+std::atomic<int> g_count{0};

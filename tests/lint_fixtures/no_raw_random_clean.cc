@@ -1,0 +1,4 @@
+// snb-lint-path: src/datagen/rng_home.cc
+// Fixture: datagen owns its own seeding policy, so rand() is allowed here.
+#include <cstdlib>
+int PickDatagen() { return rand() % 7; }

@@ -1,0 +1,4 @@
+// snb-lint-path: src/bi/bi_helper.cc
+// Fixture: raw randomness in query code — Power@SF runs must be seeded.
+#include <cstdlib>
+int PickSeedless() { return rand() % 7; }

@@ -1,0 +1,8 @@
+// snb-lint-path: src/sched/safe.h
+// Fixture: util::Mutex carries the clang capability annotations.
+struct Safe {
+  // std::mutex would be wrong here — the mention in this comment and the
+  // string below must not trip the check.
+  const char* doc = "never use std::mutex directly";
+  int x = 0;
+};

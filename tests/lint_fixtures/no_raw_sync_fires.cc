@@ -1,0 +1,7 @@
+// snb-lint-path: src/sched/racy.h
+// Fixture: a raw std::mutex member is invisible to -Wthread-safety.
+#include <mutex>
+struct Racy {
+  std::mutex mu;
+  int x = 0;
+};

@@ -1,0 +1,4 @@
+// snb-lint-path: src/engine/when.cc
+// Fixture: prose may *mention* std::time — only the call is a finding.
+// The old sed|grep gate flagged the mention in this comment: std::time.
+long Now() { return 42; }

@@ -1,0 +1,4 @@
+// snb-lint-path: src/engine/when.cc
+// Fixture: wall-clock time in engine code makes results run-dependent.
+#include <ctime>
+long Now() { return std::time(nullptr); }

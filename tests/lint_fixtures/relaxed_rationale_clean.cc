@@ -1,0 +1,10 @@
+// snb-lint-path: src/engine/counterbox.cc
+// Fixture: the adjacent note explains why relaxed ordering is enough, and
+// a wrapped statement is covered by a note above its *first* line.
+#include <atomic>
+std::atomic<int> g_hits{0};
+int Load() {
+  // relaxed: diagnostic counter, no payload is published through it.
+  return g_hits.load(
+      std::memory_order_relaxed);
+}

@@ -1,0 +1,5 @@
+// snb-lint-path: src/engine/counterbox.cc
+// Fixture: memory_order_relaxed outside the reviewed homes with no note.
+#include <atomic>
+std::atomic<int> g_hits{0};
+int Load() { return g_hits.load(std::memory_order_relaxed); }

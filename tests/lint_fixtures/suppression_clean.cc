@@ -1,0 +1,6 @@
+// snb-lint-path: src/engine/proper_allow.cc
+// Fixture: a well-formed allow — known check, colon, non-empty reason —
+// suppresses the finding on the next line and produces none of its own.
+#include <cassert>
+// snb-lint-allow(no-raw-assert): fixture demonstrating the allow syntax
+int Check(int x) { assert(x > 0); return x; }

@@ -1,0 +1,6 @@
+// snb-lint-path: src/engine/sloppy_allows.cc
+// Fixture: a malformed allow is never silent — unknown check names and
+// missing reasons are findings themselves.
+// snb-lint-allow(no-such-check): reason for a check that does not exist
+// snb-lint-allow(no-raw-assert)
+int Nothing() { return 0; }

@@ -1,0 +1,3 @@
+// snb-lint-path: src/storage/no_peeker.cc
+// Fixture: mentioning test_access.h in prose or a string is fine.
+const char* Doc() { return "see storage/test_access.h for the test hooks"; }

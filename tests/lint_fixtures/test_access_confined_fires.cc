@@ -1,0 +1,5 @@
+// snb-lint-path: src/storage/peeker.cc
+// Fixture: TestAccess pierces every encapsulation boundary by design; an
+// include from shipping code mutates guarded internals without locks.
+#include "storage/test_access.h"
+int Peek() { return 0; }

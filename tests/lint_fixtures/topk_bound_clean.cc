@@ -1,0 +1,13 @@
+// snb-lint-path: src/bi/bi06.cc
+// Fixture: prunes through the shared BoundRef before placing candidates.
+struct CancelPoller { bool Tick(); };
+struct BoundRef { bool CannotPlace(long score); };
+int RunBi6(int n, CancelPoller& poll, BoundRef& bound) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    if (poll.Tick()) break;
+    if (bound.CannotPlace(i)) continue;
+    acc += i;
+  }
+  return acc;
+}

@@ -1,0 +1,12 @@
+// snb-lint-path: src/bi/bi06.cc
+// Fixture: a top-k kernel that sorts first and prunes never regressed to
+// the sort-everything plan — it must consult the shared bound.
+struct CancelPoller { bool Tick(); };
+int RunBi6(int n, CancelPoller& poll) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    if (poll.Tick()) break;
+    acc += i;
+  }
+  return acc;
+}

@@ -1,0 +1,9 @@
+// snb-lint-path: src/storage/dropsy.cc
+// Fixture: both a silently discarded Status call and a bare (void) discard
+// (the cast silences the compiler; the analyzer still wants the reason).
+struct Status { bool ok(); };
+Status FlushIndex();
+void Tick() {
+  FlushIndex();
+  (void)FlushIndex();
+}

@@ -1,0 +1,3 @@
+// snb-lint-path: src/storage/wal.cc
+// Fixture: the one file allowed to spell the redo log's name.
+const char* WalPath() { return "state/wal.log"; }

@@ -1,0 +1,4 @@
+// snb-lint-path: src/storage/sidedoor.cc
+// Fixture: a second code path that opens wal.log by name could break the
+// framing or the torn-tail truncation invariant unnoticed.
+const char* SideDoor() { return "state/wal.log"; }

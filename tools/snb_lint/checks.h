@@ -1,0 +1,47 @@
+// The snb_lint check families. Every check consumes lexed tokens (never
+// raw text), emits structured `file:line: [check-name] message` findings,
+// and honors `// snb-lint-allow(check): reason` suppressions on the same
+// or the following line. DESIGN.md "Static analysis v2" carries the
+// catalog; tests/lint_fixtures/ carries a fires/clean pair per check.
+
+#ifndef SNB_TOOLS_SNB_LINT_CHECKS_H_
+#define SNB_TOOLS_SNB_LINT_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace snb_lint {
+
+struct Finding {
+  std::string file;   // the physical file the finding points into
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// Renders a finding in the one stable diagnostic format every consumer
+/// (check.sh, the fixture test, a human grepping CI logs) parses.
+std::string FormatFinding(const Finding& f);
+
+struct Options {
+  /// Empty = run everything; otherwise only the named checks (suppression
+  /// syntax diagnostics always run — a malformed allow is never silent).
+  std::vector<std::string> only_checks;
+};
+
+/// All check names, in catalog order.
+std::vector<std::string> CheckNames();
+
+/// Runs the checks over the corpus. `files` must carry *virtual* repo-
+/// relative paths (src/..., tools/..., bench/..., fuzz/..., tests/...) —
+/// path prefixes are what scope each check family. Cross-file checks
+/// (failpoint-site-unique, the unchecked-status registry) see the whole
+/// corpus at once. Findings come back sorted by (file, line, check).
+std::vector<Finding> RunChecks(const std::vector<LexedFile>& files,
+                               const Options& opts);
+
+}  // namespace snb_lint
+
+#endif  // SNB_TOOLS_SNB_LINT_CHECKS_H_

@@ -1,0 +1,235 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <utility>
+
+namespace snb_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when the identifier spelling is a raw-string prefix (R", uR", u8R",
+/// UR", LR") — the one place where ordinary identifier lexing must yield to
+/// literal lexing, because everything up to the matching )delim" is content.
+bool IsRawStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "uR" || ident == "u8R" || ident == "UR" ||
+         ident == "LR";
+}
+
+}  // namespace
+
+LexedFile Lex(std::string path, std::string_view content) {
+  LexedFile out;
+  out.path = std::move(path);
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool line_start = true;  // only whitespace seen since the last newline
+
+  auto peek = [&](size_t k) -> char {
+    return i + k < n ? content[i + k] : '\0';
+  };
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    char c = content[i];
+    if (c == '\n') {
+      ++line;
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor: '#' as the first non-whitespace character of a logical
+    // line owns everything up to an uncontinued newline.
+    if (c == '#' && line_start) {
+      PPLine pp;
+      pp.line_begin = line;
+      size_t begin = i;
+      while (i < n) {
+        if (content[i] == '\n') {
+          if (i > begin && content[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;  // newline stays for the main loop to count
+        }
+        ++i;
+      }
+      pp.line_end = line;
+      pp.text = std::string(content.substr(begin, i - begin));
+      out.pp_lines.push_back(std::move(pp));
+      continue;
+    }
+    const bool at_line_start = line_start;
+    line_start = false;
+
+    // Line comment; a backslash immediately before the newline splices the
+    // next physical line into the comment (the classic lexer trap).
+    if (c == '/' && peek(1) == '/') {
+      Comment cm;
+      cm.line_begin = line;
+      cm.block = false;
+      size_t begin = i + 2;
+      i += 2;
+      while (i < n) {
+        if (content[i] == '\n') {
+          if (i > begin && content[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      cm.line_end = line;
+      cm.text = std::string(content.substr(begin, i - begin));
+      // A stack of full-line comments is one comment run: a multi-line
+      // rationale or allow directive covers the statement under the run.
+      // Only a comment that *starts* its line extends the run — a trailing
+      // `code; // note` begins a new one.
+      if (at_line_start && !out.comments.empty() &&
+          !out.comments.back().block &&
+          out.comments.back().line_end == cm.line_begin - 1) {
+        out.comments.back().text += "\n" + cm.text;
+        out.comments.back().line_end = cm.line_end;
+      } else {
+        out.comments.push_back(std::move(cm));
+      }
+      continue;
+    }
+
+    // Block comment: runs to the first */ regardless of line breaks; C++
+    // block comments do not nest, so an inner /* is plain content and the
+    // first */ re-opens code (fixture lexer_nonnesting_comment proves it).
+    if (c == '/' && peek(1) == '*') {
+      Comment cm;
+      cm.line_begin = line;
+      cm.block = true;
+      size_t begin = i + 2;
+      i += 2;
+      while (i < n && !(content[i] == '*' && peek(1) == '/')) {
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      cm.line_end = line;
+      cm.text = std::string(content.substr(begin, i >= begin ? i - begin : 0));
+      if (i < n) i += 2;  // consume the terminator when present
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+
+    // String literal (non-raw). Unterminated at end-of-line is closed there:
+    // the lexer must be total over arbitrary bytes.
+    if (c == '"') {
+      size_t begin = ++i;
+      while (i < n && content[i] != '"' && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n) ++i;  // skip escaped char
+        ++i;
+      }
+      push(TokKind::kString, std::string(content.substr(begin, i - begin)));
+      if (i < n && content[i] == '"') ++i;
+      continue;
+    }
+
+    // Character literal. The number lexer below consumes digit separators
+    // (1'000'000) itself, so a bare ' here really starts a literal.
+    if (c == '\'') {
+      size_t begin = ++i;
+      while (i < n && content[i] != '\'' && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      push(TokKind::kChar, std::string(content.substr(begin, i - begin)));
+      if (i < n && content[i] == '\'') ++i;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t begin = i;
+      while (i < n && IsIdentChar(content[i])) ++i;
+      std::string ident(content.substr(begin, i - begin));
+      // R"delim(...)delim" — everything to the matching close is content.
+      if (i < n && content[i] == '"' && IsRawStringPrefix(ident)) {
+        ++i;  // consume the opening quote
+        size_t d_begin = i;
+        while (i < n && content[i] != '(' && content[i] != '\n') ++i;
+        std::string delim(content.substr(d_begin, i - d_begin));
+        if (i < n && content[i] == '(') ++i;
+        size_t c_begin = i;
+        std::string closer = ")" + delim + "\"";
+        size_t end = content.find(closer, i);
+        size_t c_end = (end == std::string_view::npos) ? n : end;
+        int start_line = line;
+        for (size_t k = c_begin; k < c_end; ++k) {
+          if (content[k] == '\n') ++line;
+        }
+        out.tokens.push_back(Token{TokKind::kString,
+                                   std::string(content.substr(
+                                       c_begin, c_end - c_begin)),
+                                   start_line});
+        i = (end == std::string_view::npos) ? n : end + closer.size();
+        continue;
+      }
+      push(TokKind::kIdent, std::move(ident));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t begin = i;
+      ++i;
+      while (i < n) {
+        char d = content[i];
+        if (IsIdentChar(d) || d == '.') {
+          // Exponent sign: 1e+5, 0x1p-3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              (peek(1) == '+' || peek(1) == '-')) {
+            i += 2;
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        if (d == '\'' && IsIdentChar(peek(1))) {  // digit separator
+          i += 2;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, std::string(content.substr(begin, i - begin)));
+      continue;
+    }
+
+    // Punctuation. "::" and "->" matter to the checks (qualified names,
+    // member calls), so they come out as single tokens.
+    if (c == ':' && peek(1) == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      push(TokKind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace snb_lint

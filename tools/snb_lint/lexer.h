@@ -1,0 +1,25 @@
+// A real C++ lexer for snb_lint: unlike the grep gates it replaces, it
+// knows where comments end (including /* */ spanning lines), what is inside
+// a string/char/raw-string literal, and which lines belong to the
+// preprocessor — so a convention documented in prose can never trip the
+// check that enforces it, and a violation hidden in column 80 after real
+// code can never hide.
+
+#ifndef SNB_TOOLS_SNB_LINT_LEXER_H_
+#define SNB_TOOLS_SNB_LINT_LEXER_H_
+
+#include <string_view>
+
+#include "token.h"
+
+namespace snb_lint {
+
+/// Lexes `content` into tokens + comment/preprocessor side channels.
+/// Total: any byte sequence lexes (unterminated literals are closed at
+/// end-of-file); the analyzer must never crash on weird input because the
+/// fuzz corpus and golden fixtures are fed straight through it.
+LexedFile Lex(std::string path, std::string_view content);
+
+}  // namespace snb_lint
+
+#endif  // SNB_TOOLS_SNB_LINT_LEXER_H_

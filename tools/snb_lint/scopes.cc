@@ -1,0 +1,290 @@
+#include "scopes.h"
+
+#include <algorithm>
+
+namespace snb_lint {
+namespace {
+
+bool IsPunct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+bool IsIdent(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+}  // namespace
+
+ScopeModel::ScopeModel(const std::vector<Token>& tokens) : t_(tokens) {
+  const size_t n = t_.size();
+  match_.assign(n, kNoMatch);
+  loopish_.assign(n, 0);
+
+  // Bracket matching for ( ) [ ] { }. Tolerant: a closer with no opener of
+  // its kind on the stack stays unmatched (the input may be a fixture
+  // deliberately torn mid-scope), and everything above a matched opener is
+  // abandoned rather than mis-paired.
+  {
+    std::vector<std::pair<char, size_t>> stack;
+    for (size_t i = 0; i < n; ++i) {
+      if (t_[i].kind != TokKind::kPunct || t_[i].text.size() != 1) continue;
+      char c = t_[i].text[0];
+      if (c == '(' || c == '[' || c == '{') {
+        stack.emplace_back(c, i);
+      } else if (c == ')' || c == ']' || c == '}') {
+        char open = (c == ')') ? '(' : (c == ']') ? '[' : '{';
+        for (size_t k = stack.size(); k-- > 0;) {
+          if (stack[k].first == open) {
+            match_[i] = stack[k].second;
+            match_[stack[k].second] = i;
+            stack.resize(k);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Classify every '{' by lookback, then compute loop/lambda reachability
+  // with a scope stack in the same forward walk.
+  std::vector<BraceKind> open_stack;
+  size_t loop_or_lambda_depth = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Token& tok = t_[i];
+    if (loop_or_lambda_depth > 0) loopish_[i] = 1;
+    if (tok.kind != TokKind::kPunct) continue;
+    if (tok.text == "}") {
+      if (!open_stack.empty()) {
+        BraceKind k = open_stack.back();
+        open_stack.pop_back();
+        if (k == BraceKind::kLoop || k == BraceKind::kLambda) {
+          --loop_or_lambda_depth;
+        }
+      }
+      continue;
+    }
+    if (tok.text != "{") continue;
+
+    BraceKind kind = BraceKind::kBlock;
+    if (i == 0) {
+      kind = BraceKind::kBlock;
+    } else {
+      const Token& prev = t_[i - 1];
+      if (IsPunct(prev, ")") && match_[i - 1] != kNoMatch) {
+        size_t open_paren = match_[i - 1];
+        // `) {` — control statement, lambda with params, or function body.
+        if (open_paren > 0) {
+          const Token& before = t_[open_paren - 1];
+          if (IsIdent(before, "for") || IsIdent(before, "while")) {
+            kind = BraceKind::kLoop;
+          } else if (IsIdent(before, "if") || IsIdent(before, "switch") ||
+                     IsIdent(before, "catch")) {
+            kind = BraceKind::kBlock;
+          } else if (IsPunct(before, "]")) {
+            kind = BraceKind::kLambda;
+          } else {
+            kind = BraceKind::kFunction;
+          }
+        } else {
+          kind = BraceKind::kFunction;
+        }
+      } else if (IsPunct(prev, "]")) {
+        kind = BraceKind::kLambda;  // capture list with no parameter list
+      } else if (IsIdent(prev, "do")) {
+        kind = BraceKind::kLoop;
+      } else if (IsIdent(prev, "else") || IsIdent(prev, "try")) {
+        kind = BraceKind::kBlock;
+      } else if (prev.kind == TokKind::kPunct &&
+                 (prev.text == "=" || prev.text == "," || prev.text == "(" ||
+                  prev.text == "{" || prev.text == ";")) {
+        kind = BraceKind::kBlock;  // brace-init or statement block
+      } else if (IsIdent(prev, "return")) {
+        kind = BraceKind::kBlock;
+      } else {
+        // Lookback over the declaration head: walk to the nearest ; { } at
+        // this nesting level, jumping over matched groups, and classify on
+        // the keywords seen. "()" markers record jumped paren groups so a
+        // trailing-return function head is recognizable.
+        std::vector<std::string> rev;   // head tokens, reverse order
+        bool paren_group = false;       // saw a (...) group in the head
+        bool paren_after_bracket = false;  // that group followed a ']'
+        size_t j = i;
+        while (j-- > 0) {
+          const Token& bt = t_[j];
+          if (bt.kind == TokKind::kPunct &&
+              (bt.text == ")" || bt.text == "]" || bt.text == "}")) {
+            if (match_[j] == kNoMatch) break;
+            if (bt.text == ")") {
+              paren_group = true;
+              size_t open_paren = match_[j];
+              if (open_paren > 0 && IsPunct(t_[open_paren - 1], "]")) {
+                paren_after_bracket = true;
+              }
+              rev.push_back("()");
+            } else if (bt.text == "}") {
+              rev.push_back("{}");
+            } else {
+              rev.push_back("[]");
+            }
+            j = match_[j];
+            continue;
+          }
+          if (bt.kind == TokKind::kPunct &&
+              (bt.text == ";" || bt.text == "{" || bt.text == "}")) {
+            break;
+          }
+          rev.push_back(bt.text);
+        }
+        auto contains = [&](const char* s) {
+          return std::find(rev.begin(), rev.end(), s) != rev.end();
+        };
+        if (contains("namespace")) {
+          kind = BraceKind::kNamespace;
+        } else if (contains("enum")) {
+          kind = BraceKind::kEnum;
+        } else if (contains("class") || contains("struct") ||
+                   contains("union")) {
+          // `template <class T> void f()` also mentions "class"; the
+          // keyword only names a type definition when it is not a template
+          // parameter introducer (directly preceded by '<' or ',').
+          bool is_class = false;
+          for (size_t k = 0; k < rev.size(); ++k) {
+            const std::string& w = rev[k];
+            if (w != "class" && w != "struct" && w != "union") continue;
+            bool param_intro =
+                k + 1 < rev.size() && (rev[k + 1] == "<" || rev[k + 1] == ",");
+            if (!param_intro) {
+              is_class = true;
+              break;
+            }
+          }
+          kind = is_class ? BraceKind::kClass : BraceKind::kBlock;
+        } else if (contains("->") && paren_group) {
+          kind = paren_after_bracket ? BraceKind::kLambda
+                                     : BraceKind::kFunction;
+        } else {
+          kind = BraceKind::kBlock;  // brace-init: `Mutex mu_{...}` etc.
+        }
+
+        if (kind == BraceKind::kClass) {
+          // Name: the identifier before the base-clause ':' when present,
+          // else the last identifier of the head (forward order).
+          std::string name;
+          std::vector<std::string> fwd(rev.rbegin(), rev.rend());
+          for (size_t k = 0; k < fwd.size(); ++k) {
+            if (fwd[k] == ":" && k > 0) {
+              name = fwd[k - 1];
+              break;
+            }
+          }
+          if (name.empty()) {
+            for (size_t k = fwd.size(); k-- > 0;) {
+              if (fwd[k] != "()" && fwd[k] != "{}" && fwd[k] != "[]" &&
+                  fwd[k] != "final" && !fwd[k].empty() &&
+                  (std::isalpha(static_cast<unsigned char>(fwd[k][0])) ||
+                   fwd[k][0] == '_')) {
+                name = fwd[k];
+                break;
+              }
+            }
+          }
+          classes_.push_back(
+              ClassScope{name, i, match_[i] == kNoMatch ? n - 1 : match_[i]});
+        }
+      }
+    }
+    if (IsPunct(t_[i], "{")) {
+      // Classes found through the `) {` path cannot exist; record classes
+      // only via the head path above. Push scope state.
+      brace_kinds_.emplace_back(i, kind);
+      open_stack.push_back(kind);
+      if (kind == BraceKind::kLoop || kind == BraceKind::kLambda) {
+        ++loop_or_lambda_depth;
+        loopish_[i] = 1;
+      }
+    }
+  }
+
+  // Braceless loop bodies: `for (...) stmt;` / `while (...) stmt;` — mark
+  // the single statement through its terminating ';' (groups jumped).
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (!(IsIdent(t_[i], "for") || IsIdent(t_[i], "while"))) continue;
+    if (!IsPunct(t_[i + 1], "(") || match_[i + 1] == kNoMatch) continue;
+    size_t close = match_[i + 1];
+    if (close + 1 >= n || IsPunct(t_[close + 1], "{")) continue;
+    for (size_t j = close + 1; j < n; ++j) {
+      loopish_[j] = 1;
+      if (t_[j].kind == TokKind::kPunct &&
+          (t_[j].text == "(" || t_[j].text == "[" || t_[j].text == "{") &&
+          match_[j] != kNoMatch) {
+        for (size_t k = j; k <= match_[j]; ++k) loopish_[k] = 1;
+        j = match_[j];
+        continue;
+      }
+      if (IsPunct(t_[j], ";")) break;
+    }
+  }
+}
+
+BraceKind ScopeModel::KindOf(size_t open_brace) const {
+  auto it = std::lower_bound(
+      brace_kinds_.begin(), brace_kinds_.end(),
+      std::make_pair(open_brace, BraceKind::kNamespace),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it != brace_kinds_.end() && it->first == open_brace) return it->second;
+  return BraceKind::kBlock;
+}
+
+std::vector<MemberStatement> SplitMembers(const std::vector<Token>& tokens,
+                                          const ScopeModel& scopes,
+                                          const ScopeModel::ClassScope& cls) {
+  std::vector<MemberStatement> out;
+  MemberStatement cur;
+  size_t i = cls.open + 1;
+  while (i < cls.close && i < tokens.size()) {
+    const Token& tok = tokens[i];
+    if (tok.kind == TokKind::kPunct && tok.text == "{" &&
+        scopes.Match(i) != kNoMatch) {
+      size_t close = scopes.Match(i);
+      bool followed_by_semi = close + 1 < tokens.size() &&
+                              tokens[close + 1].kind == TokKind::kPunct &&
+                              tokens[close + 1].text == ";";
+      if (followed_by_semi) {
+        // Brace initializer: `Mutex mu_{...};` — part of a field decl.
+        i = close + 1;  // leave the ';' for the loop to terminate on
+        continue;
+      }
+      // Body of a method / nested class defined inline: ends the statement.
+      cur.had_body = true;
+      if (!cur.tokens.empty()) out.push_back(std::move(cur));
+      cur = MemberStatement{};
+      i = close + 1;
+      continue;
+    }
+    if (tok.kind == TokKind::kPunct && tok.text == ";") {
+      if (!cur.tokens.empty()) out.push_back(std::move(cur));
+      cur = MemberStatement{};
+      ++i;
+      continue;
+    }
+    // Access-specifier labels end nothing with ';' — `private: Mutex mu_;`
+    // must not fold the label into the field statement (a lead "private"
+    // keyword would make the classifier skip the field entirely).
+    if (tok.kind == TokKind::kPunct && tok.text == ":" &&
+        cur.tokens.size() == 1) {
+      const Token& lead = tokens[cur.tokens[0]];
+      if (lead.kind == TokKind::kIdent &&
+          (lead.text == "public" || lead.text == "private" ||
+           lead.text == "protected")) {
+        cur = MemberStatement{};
+        ++i;
+        continue;
+      }
+    }
+    cur.tokens.push_back(i);
+    ++i;
+  }
+  if (!cur.tokens.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace snb_lint

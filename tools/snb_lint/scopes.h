@@ -1,0 +1,80 @@
+// Lightweight scope tracker over the token stream: matches brackets,
+// classifies every brace (function body, loop body, lambda body, class
+// body, namespace, brace-init), and answers the two questions the checks
+// ask — "is this token inside a loop or lambda body?" (cancel-poll
+// reachability) and "which token ranges are class bodies, and what members
+// do they declare?" (GUARDED_BY coverage).
+//
+// This is a heuristic model, not a parser: it errs toward *not* claiming
+// scope knowledge when the lookback is ambiguous. The golden fixtures and
+// the zero-findings gate over the shipped tree are what keep it honest.
+
+#ifndef SNB_TOOLS_SNB_LINT_SCOPES_H_
+#define SNB_TOOLS_SNB_LINT_SCOPES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace snb_lint {
+
+inline constexpr size_t kNoMatch = static_cast<size_t>(-1);
+
+enum class BraceKind {
+  kNamespace,
+  kClass,     // class / struct / union body
+  kEnum,
+  kFunction,  // function, method or constructor body
+  kLoop,      // for / while / do body
+  kLambda,    // lambda body
+  kBlock,     // plain block, if/else/switch/try body, brace-init, unknown
+};
+
+class ScopeModel {
+ public:
+  explicit ScopeModel(const std::vector<Token>& tokens);
+
+  /// Matching bracket index for ( ) [ ] { } tokens, kNoMatch otherwise.
+  size_t Match(size_t i) const { return match_[i]; }
+
+  /// True when token i sits inside at least one loop body (braced or the
+  /// single-statement body of a for/while) or lambda body. Lambdas count
+  /// because every BI kernel drives its hot iteration through ForEach-style
+  /// callbacks — the lambda body *is* the loop body.
+  bool InLoopOrLambda(size_t i) const { return loopish_[i] != 0; }
+
+  struct ClassScope {
+    std::string name;  // "" for anonymous
+    size_t open;       // index of '{'
+    size_t close;      // index of matching '}' (or last token)
+  };
+  const std::vector<ClassScope>& classes() const { return classes_; }
+
+  BraceKind KindOf(size_t open_brace) const;
+
+ private:
+  const std::vector<Token>& t_;
+  std::vector<size_t> match_;
+  std::vector<char> loopish_;
+  std::vector<ClassScope> classes_;
+  std::vector<std::pair<size_t, BraceKind>> brace_kinds_;  // sorted by index
+};
+
+/// One member declaration of a class body: the token indices that make it
+/// up, with nested brace groups (method bodies, brace-inits) elided, plus
+/// whether an elided group was a body (no trailing ';' — a definition).
+struct MemberStatement {
+  std::vector<size_t> tokens;  // indices into the file token stream
+  bool had_body = false;       // ended with a brace group and no ';'
+};
+
+/// Splits a class body into member statements at class-body depth.
+std::vector<MemberStatement> SplitMembers(const std::vector<Token>& tokens,
+                                          const ScopeModel& scopes,
+                                          const ScopeModel::ClassScope& cls);
+
+}  // namespace snb_lint
+
+#endif  // SNB_TOOLS_SNB_LINT_SCOPES_H_

@@ -1,0 +1,57 @@
+// Token model for snb_lint (tools/snb_lint/README in DESIGN.md "Static
+// analysis v2").
+//
+// The analyzer is deliberately self-contained: it includes nothing from
+// src/ so scripts/lint.sh can bootstrap it with a single compiler
+// invocation before any CMake configure has happened.
+
+#ifndef SNB_TOOLS_SNB_LINT_TOKEN_H_
+#define SNB_TOOLS_SNB_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace snb_lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (the checks match on text)
+  kNumber,  // numeric literals, digit separators included
+  kString,  // string literal; text is the content without quotes/prefix
+  kChar,    // character literal; text is the content without quotes
+  kPunct,   // punctuation; "::" and "->" are single tokens, rest one char
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 1;
+};
+
+/// A comment, line or block; block comments record the full line span so
+/// adjacency checks (e.g. relaxed-rationale) and snb-lint-allow suppression
+/// can reason about multi-line prose.
+struct Comment {
+  int line_begin = 1;
+  int line_end = 1;
+  bool block = false;
+  std::string text;  // without the // or /* */ delimiters
+};
+
+/// One logical preprocessor line (backslash continuations joined), kept
+/// verbatim so include-confinement checks can substring it.
+struct PPLine {
+  int line_begin = 1;
+  int line_end = 1;
+  std::string text;  // includes the leading '#'
+};
+
+struct LexedFile {
+  std::string path;  // virtual repo-relative path; decides check policy
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<PPLine> pp_lines;
+};
+
+}  // namespace snb_lint
+
+#endif  // SNB_TOOLS_SNB_LINT_TOKEN_H_
