@@ -7,6 +7,7 @@
 #include "bench_common.h"
 #include "interactive/interactive.h"
 #include "interactive/updates.h"
+#include "util/check.h"
 
 namespace snb::bench {
 namespace {
@@ -111,7 +112,7 @@ void BM_UpdateReplay(benchmark::State& state) {
     storage::Graph graph(std::move(copy));
     state.ResumeTiming();
     for (const datagen::UpdateEvent& e : generated.updates) {
-      interactive::ApplyUpdate(graph, e);
+      SNB_CHECK(interactive::ApplyUpdate(graph, e).ok());
     }
     benchmark::DoNotOptimize(graph.NumPersons());
   }

@@ -146,6 +146,26 @@ std::string ReadFile(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
+/// One sample event per DEL opcode (deep deletes, Interactive v2 dialect).
+std::vector<UpdateEvent> DeleteEvents() {
+  std::vector<UpdateEvent> events;
+  auto del = [&](UpdateKind kind, snb::core::Id a, snb::core::Id b) {
+    snb::datagen::Delete d;
+    d.a = a;
+    d.b = b;
+    events.push_back(Event(kind, d));
+  };
+  del(UpdateKind::kDelPerson, 1234, 0);
+  del(UpdateKind::kDelLikePost, 1234, 777000);
+  del(UpdateKind::kDelLikeComment, 1234, 777001);
+  del(UpdateKind::kDelForum, 8800, 0);
+  del(UpdateKind::kDelMembership, 1234, 8800);
+  del(UpdateKind::kDelPost, 777002, 0);
+  del(UpdateKind::kDelComment, 777003, 0);
+  del(UpdateKind::kDelKnows, 1234, 5678);
+  return events;
+}
+
 void WriteUpdateEventCorpus(const std::filesystem::path& dir) {
   std::filesystem::create_directories(dir);
   const std::vector<UpdateEvent> events = SampleEvents();
@@ -153,8 +173,17 @@ void WriteUpdateEventCorpus(const std::filesystem::path& dir) {
     WriteFile(dir / ("iu" + std::to_string(i + 1) + ".txt"),
               snb::datagen::FormatUpdateEventLine(events[i]));
   }
+  const std::vector<UpdateEvent> deletes = DeleteEvents();
+  for (size_t i = 0; i < deletes.size(); ++i) {
+    WriteFile(dir / ("del" + std::to_string(i + 1) + ".txt"),
+              snb::datagen::FormatUpdateEventLine(deletes[i]));
+  }
   WriteFile(dir / "short.txt", "123|456");
   WriteFile(dir / "unknown_op.txt", "123|456|99|x|y");
+  // Malformed cascade lines: the parser must reject, never crash.
+  WriteFile(dir / "del_missing_field.txt", "123|456|9");
+  WriteFile(dir / "del_extra_field.txt", "123|456|10|1|2|3");
+  WriteFile(dir / "del_bad_id.txt", "123|456|12|abc");
 }
 
 void WriteCsvCorpus(const std::filesystem::path& dir) {
@@ -184,7 +213,14 @@ void WriteWalCorpus(const std::filesystem::path& dir) {
       SNB_CHECK(wal.Append(events[i]).ok());
     }
     SNB_CHECK(wal.BatchCommit(day).ok());
+    const std::vector<UpdateEvent> deletes = DeleteEvents();
     SNB_CHECK(wal.BatchBegin(day + 1).ok());
+    SNB_CHECK(wal.NoteDeleteBatch(
+                     day + 1, static_cast<uint32_t>(deletes.size()))
+                  .ok());
+    for (const UpdateEvent& event : deletes) {
+      SNB_CHECK(wal.Append(event).ok());
+    }
     for (size_t i = half; i < events.size(); ++i) {
       SNB_CHECK(wal.Append(events[i]).ok());
     }

@@ -8,7 +8,9 @@
 #   4. UBSan          — full ctest under -fsanitize=undefined, no recover
 #   5. TSan           — scheduler + morsel tests under -fsanitize=thread
 #   6. ASan           — fail-point + crash-recovery tests under
-#                       -fsanitize=address
+#                       -fsanitize=address, then the delete-cascade crash
+#                       loop (torn cascades at every graph.delete.* stage)
+#                       via ctest so its 600 s TIMEOUT governs the forks
 #   7. deadlock       — full ctest with SNB_DEADLOCK_DETECT=ON: any
 #                       lock-order cycle or blocking-while-locked report
 #                       aborts its test — the no-false-positive gate
@@ -64,6 +66,17 @@ cmake -B "$repo/build-asan" -S "$repo" -DSNB_SANITIZE=address
 cmake --build "$repo/build-asan" -j --target failpoint_test wal_recovery_test
 "$repo/build-asan/tests/failpoint_test"
 "$repo/build-asan/tests/wal_recovery_test"
+
+echo "== ASan: delete-cascade crash loop =="
+# Torn cascades at every graph.delete.* stage: the tests arm each cascade
+# fail-point, kill the delete mid-flight, and assert the tombstone
+# invariants catch the torn state, refresh retries it as kTransient, and
+# recovery replays the WAL delete batch to the identical graph. Runs
+# through ctest so the suite's registered 600 s TIMEOUT bounds the forked
+# crash children; ASan keeps instrumentation across the forks.
+cmake --build "$repo/build-asan" -j --target delete_cascade_test
+ctest --test-dir "$repo/build-asan" -R '^delete_cascade_test$' \
+  --output-on-failure
 
 echo "== deadlock: full ctest with the lock-order analyzer armed =="
 # Every acquisition feeds the lock-order graph and any report _Exit()s the

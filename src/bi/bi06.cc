@@ -23,13 +23,11 @@ std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params) {
   CancelPoller poll;
   auto handle = [&](uint32_t msg) {
     poll.Tick();
+    if (!graph.MessageAlive(msg)) return;  // tag adjacency keeps dead rows
     Agg& a = by_person[graph.MessageCreator(msg)];
     ++a.messages;
     a.likes += internal::MessageLikeCount(graph, msg);
-    a.replies += Graph::IsPost(msg)
-                     ? static_cast<int64_t>(graph.PostReplies().Degree(msg))
-                     : static_cast<int64_t>(graph.CommentReplies().Degree(
-                           Graph::AsComment(msg)));
+    a.replies += graph.LiveReplyCount(msg);
   };
   graph.TagPosts().ForEach(
       tag, [&](uint32_t post) { handle(Graph::MessageOfPost(post)); });

@@ -62,12 +62,10 @@ inline uint32_t ContinentOfCountry(const Graph& graph, uint32_t country) {
   return country == kNoIdx ? kNoIdx : graph.PlacePartOf(country);
 }
 
-/// Total likes a message has received.
+/// Likes a message has received over live like edges (equal to the raw
+/// liker degree on graphs without tombstones).
 inline int64_t MessageLikeCount(const Graph& graph, uint32_t msg) {
-  return Graph::IsPost(msg)
-             ? static_cast<int64_t>(graph.PostLikers().Degree(msg))
-             : static_cast<int64_t>(
-                   graph.CommentLikers().Degree(Graph::AsComment(msg)));
+  return graph.LiveLikeCount(msg);
 }
 
 /// Forum of a message: a post's container, a comment's thread-root's

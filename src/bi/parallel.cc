@@ -321,13 +321,16 @@ std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params,
   const uint32_t tag = graph.TagByName(params.tag);
   if (tag == storage::kNoIdx) return rows;
 
-  // Materialize the tag's message list so the morsel loop has a flat domain.
+  // Materialize the tag's live message list so the morsel loop has a flat
+  // domain (tag adjacency keeps tombstoned rows until compaction).
   std::vector<uint32_t> domain;
   graph.TagPosts().ForEach(tag, [&](uint32_t post) {
-    domain.push_back(Graph::MessageOfPost(post));
+    if (graph.PostAlive(post)) domain.push_back(Graph::MessageOfPost(post));
   });
   graph.TagComments().ForEach(tag, [&](uint32_t comment) {
-    domain.push_back(Graph::MessageOfComment(comment));
+    if (graph.CommentAlive(comment)) {
+      domain.push_back(Graph::MessageOfComment(comment));
+    }
   });
 
   struct Agg {
@@ -345,11 +348,7 @@ std::vector<Bi6Row> RunBi6(const Graph& graph, const Bi6Params& params,
           Agg& a = local[graph.MessageCreator(msg)];
           ++a.messages;
           a.likes += internal::MessageLikeCount(graph, msg);
-          a.replies +=
-              Graph::IsPost(msg)
-                  ? static_cast<int64_t>(graph.PostReplies().Degree(msg))
-                  : static_cast<int64_t>(graph.CommentReplies().Degree(
-                        Graph::AsComment(msg)));
+          a.replies += graph.LiveReplyCount(msg);
         }
       },
       [&](AggMap& local) {

@@ -20,6 +20,13 @@ namespace snb::datagen {
 /// IU 1 add person, IU 2 add like to post, IU 3 add like to comment,
 /// IU 4 add forum, IU 5 add forum membership, IU 6 add post,
 /// IU 7 add comment, IU 8 add friendship.
+///
+/// Delete operations mirror the Interactive v2 deep deletes (DEL 1–8,
+/// arXiv 2307.04820) in the same opId order: DEL 1 remove person,
+/// DEL 2/3 remove like, DEL 4 remove forum, DEL 5 remove membership,
+/// DEL 6 remove post, DEL 7 remove comment, DEL 8 remove friendship.
+/// Their stream opIds continue the insert numbering (9–16) so one dialect
+/// carries both families.
 enum class UpdateKind : uint8_t {
   kAddPerson = 1,
   kAddLikePost = 2,
@@ -29,6 +36,28 @@ enum class UpdateKind : uint8_t {
   kAddPost = 6,
   kAddComment = 7,
   kAddKnows = 8,
+  kDelPerson = 9,
+  kDelLikePost = 10,
+  kDelLikeComment = 11,
+  kDelForum = 12,
+  kDelMembership = 13,
+  kDelPost = 14,
+  kDelComment = 15,
+  kDelKnows = 16,
+};
+
+/// True for the DEL 1–8 family (stream opIds 9–16).
+inline bool IsDeleteKind(UpdateKind kind) {
+  return static_cast<uint8_t>(kind) >= static_cast<uint8_t>(
+                                           UpdateKind::kDelPerson);
+}
+
+/// Payload of a delete operation: the target's external id(s). Vertex
+/// deletes (DEL 1/4/6/7) use `a` alone; edge deletes name both endpoints —
+/// DEL 2/3 (person, message), DEL 5 (person, forum), DEL 8 (person, person).
+struct Delete {
+  core::Id a = core::kNoId;
+  core::Id b = core::kNoId;
 };
 
 struct UpdateEvent {
@@ -36,7 +65,7 @@ struct UpdateEvent {
   core::DateTime timestamp;    // when the event happened in the simulation
   core::DateTime dependency;   // latest creation among referenced entities
   std::variant<core::Person, core::Like, core::Forum, core::ForumMembership,
-               core::Post, core::Comment, core::Knows>
+               core::Post, core::Comment, core::Knows, Delete>
       payload;
 };
 

@@ -1,0 +1,119 @@
+#include "datagen/delete_stream.h"
+
+#include <algorithm>
+
+#include "core/date_time.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+namespace {
+
+// Stream tags keeping each sampling decision independent of every other.
+enum DeleteStream : uint64_t {
+  kDelPersonStream = 601,
+  kDelForumStream = 602,
+  kDelPostStream = 603,
+  kDelCommentStream = 604,
+  kDelLikeStream = 605,
+  kDelMembershipStream = 606,
+  kDelKnowsStream = 607,
+};
+
+core::DateTime MaxCreationDate(const core::SocialNetwork& net) {
+  core::DateTime max = 0;
+  for (const auto& p : net.persons) max = std::max(max, p.creation_date);
+  for (const auto& k : net.knows) max = std::max(max, k.creation_date);
+  for (const auto& f : net.forums) max = std::max(max, f.creation_date);
+  for (const auto& m : net.memberships) max = std::max(max, m.join_date);
+  for (const auto& p : net.posts) max = std::max(max, p.creation_date);
+  for (const auto& c : net.comments) max = std::max(max, c.creation_date);
+  for (const auto& l : net.likes) max = std::max(max, l.creation_date);
+  return max;
+}
+
+}  // namespace
+
+std::vector<UpdateEvent> DeriveDeleteStream(
+    const core::SocialNetwork& net, const DeleteStreamOptions& options) {
+  std::vector<UpdateEvent> events;
+  const core::DateTime window_start = MaxCreationDate(net) + 1;
+  const int64_t window_millis =
+      std::max<int64_t>(1, options.days) * core::kMillisPerDay;
+
+  // Sampling is keyed on the entity's external id (or endpoint pair), so the
+  // stream is invariant to the container order of `net`.
+  auto emit = [&](UpdateKind kind, core::Id a, core::Id b,
+                  core::DateTime dependency, util::Rng& rng) {
+    UpdateEvent e;
+    e.kind = kind;
+    e.timestamp = window_start + static_cast<core::DateTime>(
+                                     rng.NextU64() %
+                                     static_cast<uint64_t>(window_millis));
+    e.dependency = dependency;
+    Delete d;
+    d.a = a;
+    d.b = b;
+    e.payload = d;
+    events.push_back(e);
+  };
+
+  for (const auto& p : net.persons) {
+    util::Rng rng(options.seed, kDelPersonStream, p.id);
+    if (rng.NextDouble() < options.person_fraction) {
+      emit(UpdateKind::kDelPerson, p.id, core::kNoId, p.creation_date, rng);
+    }
+  }
+  for (const auto& f : net.forums) {
+    util::Rng rng(options.seed, kDelForumStream, f.id);
+    if (rng.NextDouble() < options.forum_fraction) {
+      emit(UpdateKind::kDelForum, f.id, core::kNoId, f.creation_date, rng);
+    }
+  }
+  for (const auto& p : net.posts) {
+    util::Rng rng(options.seed, kDelPostStream, p.id);
+    if (rng.NextDouble() < options.post_fraction) {
+      emit(UpdateKind::kDelPost, p.id, core::kNoId, p.creation_date, rng);
+    }
+  }
+  for (const auto& c : net.comments) {
+    util::Rng rng(options.seed, kDelCommentStream, c.id);
+    if (rng.NextDouble() < options.comment_fraction) {
+      emit(UpdateKind::kDelComment, c.id, core::kNoId, c.creation_date, rng);
+    }
+  }
+  for (const auto& l : net.likes) {
+    util::Rng rng(options.seed, kDelLikeStream, l.person, l.message,
+                  static_cast<uint64_t>(l.is_post));
+    if (rng.NextDouble() < options.like_fraction) {
+      emit(l.is_post ? UpdateKind::kDelLikePost : UpdateKind::kDelLikeComment,
+           l.person, l.message, l.creation_date, rng);
+    }
+  }
+  for (const auto& m : net.memberships) {
+    util::Rng rng(options.seed, kDelMembershipStream, m.person, m.forum);
+    if (rng.NextDouble() < options.membership_fraction) {
+      emit(UpdateKind::kDelMembership, m.person, m.forum, m.join_date, rng);
+    }
+  }
+  for (const auto& k : net.knows) {
+    // Key on the unordered endpoint pair so either orientation samples alike.
+    const core::Id lo = std::min(k.person1, k.person2);
+    const core::Id hi = std::max(k.person1, k.person2);
+    util::Rng rng(options.seed, kDelKnowsStream, lo, hi);
+    if (rng.NextDouble() < options.knows_fraction) {
+      emit(UpdateKind::kDelKnows, k.person1, k.person2, k.creation_date, rng);
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const UpdateEvent& a, const UpdateEvent& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return static_cast<uint8_t>(a.kind) <
+                            static_cast<uint8_t>(b.kind);
+                   });
+  return events;
+}
+
+}  // namespace snb::datagen

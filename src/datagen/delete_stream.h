@@ -1,0 +1,45 @@
+// Delete-stream derivation (DEL 1–8, arXiv 2307.04820).
+//
+// The classic generator is insert-only; deep deletes are derived *from* a
+// generated network after the fact: a deterministic sample of its persons,
+// forums, messages, and edges becomes a timestamp-ordered DEL event stream.
+// Cascade closure is the storage layer's job — the stream only names the
+// roots (deleting a person implies its forums/messages/likes downstream).
+
+#ifndef SNB_DATAGEN_DELETE_STREAM_H_
+#define SNB_DATAGEN_DELETE_STREAM_H_
+
+#include <vector>
+
+#include "core/schema.h"
+#include "datagen/datagen.h"
+
+namespace snb::datagen {
+
+/// Knobs for DeriveDeleteStream. Fractions are per-entity sampling
+/// probabilities; `days` spreads the delete timestamps over that many
+/// simulated days after the network's newest creation date, so every delete
+/// lands strictly after the insert it targets.
+struct DeleteStreamOptions {
+  uint64_t seed = 42;
+  int32_t days = 7;
+  double person_fraction = 0.02;      // DEL 1 (full cascade roots)
+  double forum_fraction = 0.02;       // DEL 4
+  double post_fraction = 0.01;        // DEL 6
+  double comment_fraction = 0.01;     // DEL 7
+  double like_fraction = 0.01;        // DEL 2 / DEL 3
+  double membership_fraction = 0.01;  // DEL 5
+  double knows_fraction = 0.01;       // DEL 8
+};
+
+/// Derives a deterministic DEL 1–8 event stream from `net`. Pure function of
+/// (net, options); events come back sorted by (timestamp, kind) like
+/// ReadUpdateStreams output. May name the same entity twice through
+/// different ops (e.g. a sampled post whose creator is also sampled) —
+/// cascades are idempotent, so overlap is legal.
+std::vector<UpdateEvent> DeriveDeleteStream(const core::SocialNetwork& net,
+                                            const DeleteStreamOptions& options);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_DELETE_STREAM_H_

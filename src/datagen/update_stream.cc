@@ -14,6 +14,10 @@ namespace {
 
 constexpr char kPersonStreamFile[] = "/updateStream_0_0_person.csv";
 constexpr char kForumStreamFile[] = "/updateStream_0_0_forum.csv";
+// DEL 1–8 ride in their own stream file so insert-only consumers (and the
+// streaming-datagen byte-identity oracle) never see a layout change: the
+// file exists only when the generator actually emitted deletes.
+constexpr char kDeleteStreamFile[] = "/updateStream_0_0_delete.csv";
 
 std::string I(core::Id id) { return std::to_string(id); }
 
@@ -104,6 +108,20 @@ std::vector<std::string> UpdateEventFields(const UpdateEvent& event) {
       return {I(k.person1), I(k.person2),
               core::FormatDateTime(k.creation_date)};
     }
+    case UpdateKind::kDelPerson:
+    case UpdateKind::kDelForum:
+    case UpdateKind::kDelPost:
+    case UpdateKind::kDelComment: {
+      const auto& d = std::get<Delete>(event.payload);
+      return {I(d.a)};
+    }
+    case UpdateKind::kDelLikePost:
+    case UpdateKind::kDelLikeComment:
+    case UpdateKind::kDelMembership:
+    case UpdateKind::kDelKnows: {
+      const auto& d = std::get<Delete>(event.payload);
+      return {I(d.a), I(d.b)};
+    }
   }
   SNB_UNREACHABLE();
 }
@@ -136,18 +154,35 @@ util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,
     std::fclose(person_stream);
     return util::Status::IoError("cannot open forum update stream");
   }
+  // Opened lazily: a delete-free stream set produces exactly the two
+  // classic files, byte-identical to the pre-delete dialect.
+  std::FILE* delete_stream = nullptr;
 
   for (const UpdateEvent& e : updates) {
     std::string line = FormatUpdateEventLine(e);
     line.push_back('\n');
-    std::FILE* target =
-        e.kind == UpdateKind::kAddPerson ? person_stream : forum_stream;
+    std::FILE* target;
+    if (IsDeleteKind(e.kind)) {
+      if (delete_stream == nullptr) {
+        delete_stream = std::fopen((dir + kDeleteStreamFile).c_str(), "w");
+        if (delete_stream == nullptr) {
+          std::fclose(person_stream);
+          std::fclose(forum_stream);
+          return util::Status::IoError("cannot open delete update stream");
+        }
+      }
+      target = delete_stream;
+    } else {
+      target =
+          e.kind == UpdateKind::kAddPerson ? person_stream : forum_stream;
+    }
     std::fwrite(line.data(), 1, line.size(), target);
   }
 
   int rc1 = std::fclose(person_stream);
   int rc2 = std::fclose(forum_stream);
-  if (rc1 != 0 || rc2 != 0) {
+  int rc3 = delete_stream != nullptr ? std::fclose(delete_stream) : 0;
+  if (rc1 != 0 || rc2 != 0 || rc3 != 0) {
     return util::Status::IoError("fclose failed for update streams");
   }
   return util::Status::Ok();
@@ -317,6 +352,33 @@ util::Status ParseUpdateEventLine(const std::string& line, UpdateEvent* out) {
       out->payload = k;
       return util::Status::Ok();
     }
+    case 9:   // DEL 1 remove person
+    case 12:  // DEL 4 remove forum
+    case 14:  // DEL 6 remove post
+    case 15: {  // DEL 7 remove comment
+      if (f.size() != 3 + 1) {
+        return util::Status::Corruption("DEL vertex width");
+      }
+      Delete d;
+      d.a = ParseId(field(0));
+      out->kind = static_cast<UpdateKind>(op);
+      out->payload = d;
+      return util::Status::Ok();
+    }
+    case 10:  // DEL 2 remove like-post
+    case 11:  // DEL 3 remove like-comment
+    case 13:  // DEL 5 remove membership
+    case 16: {  // DEL 8 remove friendship
+      if (f.size() != 3 + 2) {
+        return util::Status::Corruption("DEL edge width");
+      }
+      Delete d;
+      d.a = ParseId(field(0));
+      d.b = ParseId(field(1));
+      out->kind = static_cast<UpdateKind>(op);
+      out->payload = d;
+      return util::Status::Ok();
+    }
     default:
       return util::Status::Corruption("unknown opId " + f[2]);
   }
@@ -354,7 +416,13 @@ util::StatusOr<std::vector<UpdateEvent>> ReadUpdateStreams(
   std::vector<UpdateEvent> events;
   SNB_RETURN_IF_ERROR(ReadStreamFile(dir + kPersonStreamFile, &events));
   SNB_RETURN_IF_ERROR(ReadStreamFile(dir + kForumStreamFile, &events));
-  // Stable merge: in-file order is generation order for equal keys.
+  // The delete stream is optional: insert-only datasets never write it.
+  if (std::filesystem::exists(dir + kDeleteStreamFile)) {
+    SNB_RETURN_IF_ERROR(ReadStreamFile(dir + kDeleteStreamFile, &events));
+  }
+  // Stable merge: in-file order is generation order for equal keys. Kind is
+  // the tie-break, so same-timestamp inserts (opIds 1–8) sort before the
+  // deletes (9–16) that may reference them.
   std::stable_sort(events.begin(), events.end(),
                    [](const UpdateEvent& a, const UpdateEvent& b) {
                      if (a.timestamp != b.timestamp) {

@@ -4,6 +4,11 @@
 // updateStream_0_0_forum.csv carries IU 2–8. Each line is
 // `t|t_d|opId|<operation fields…>` where t is the simulation timestamp and
 // t_d the dependency timestamp (latest creation among referenced entities).
+//
+// Deep deletes (DEL 1–8, arXiv 2307.04820) travel in a third, optional file
+// updateStream_0_0_delete.csv with opIds 9–16 in the same line dialect.
+// The file exists only when the generator emitted deletes, so insert-only
+// runs stay byte-identical to the classic two-file layout.
 
 #ifndef SNB_DATAGEN_UPDATE_STREAM_H_
 #define SNB_DATAGEN_UPDATE_STREAM_H_
@@ -29,14 +34,16 @@ std::string FormatUpdateEventLine(const UpdateEvent& event);
 /// generated data, which is millisecond-precise).
 util::Status ParseUpdateEventLine(const std::string& line, UpdateEvent* out);
 
-/// Writes both stream files under `dir`.
+/// Writes the stream files under `dir` (the delete file only when `updates`
+/// contains delete events).
 util::Status WriteUpdateStreams(const std::vector<UpdateEvent>& updates,
                                 const std::string& dir);
 
-/// Reads both stream files back into a single timestamp-ordered event list —
+/// Reads the stream files back into a single timestamp-ordered event list —
 /// the driver-side consumer of the Datagen artefacts. Inverse of
 /// WriteUpdateStreams up to sub-millisecond text truncation (exact for
-/// generated data, which is millisecond-precise).
+/// generated data, which is millisecond-precise). Same-timestamp inserts
+/// sort before deletes that may reference them.
 util::StatusOr<std::vector<UpdateEvent>> ReadUpdateStreams(
     const std::string& dir);
 

@@ -333,7 +333,7 @@ DriverReport RunInteractiveWorkload(
     maybe_pace(scheduled_ms);
     const std::string op = "IU " + std::to_string(static_cast<int>(event.kind));
     recorder.Run(op, scheduled_ms, t0, [&] {
-      interactive::ApplyUpdate(graph, event);
+      SNB_CHECK(interactive::ApplyUpdate(graph, event).ok());
       return size_t{1};
     });
     ++report.update_operations;
@@ -632,7 +632,7 @@ DriverReport RunBiReadWriteWorkload(
     const std::string op =
         "IU " + std::to_string(static_cast<int>(event.kind));
     recorder.Run(op, 0.0, t0, [&] {
-      interactive::ApplyUpdate(graph, event);
+      SNB_CHECK(interactive::ApplyUpdate(graph, event).ok());
       return size_t{1};
     });
     ++report.update_operations;

@@ -41,6 +41,8 @@ struct Batch {
   /// Last day the batch covers — the commit marker day.
   core::Date day = std::numeric_limits<core::Date>::min();
   std::vector<const datagen::UpdateEvent*> events;
+  /// DEL 1–8 events in the batch (drives the WAL delete-batch marker).
+  uint32_t delete_count = 0;
 };
 
 /// Groups the (timestamp-ordered) update stream into batches of
@@ -60,6 +62,7 @@ std::vector<Batch> GroupIntoBatches(
     }
     batches.back().events.push_back(&event);
     batches.back().day = std::max(batches.back().day, day);
+    if (datagen::IsDeleteKind(event.kind)) ++batches.back().delete_count;
   }
   return batches;
 }
@@ -98,6 +101,10 @@ util::StatusOr<RefreshReport> RunBatchedRefresh(
         RetryTransient(config.retry, rng, &report.retries, [&] {
           util::Status st = [&] {
             SNB_RETURN_IF_ERROR(wal.BatchBegin(batch.day));
+            if (batch.delete_count > 0) {
+              SNB_RETURN_IF_ERROR(
+                  wal.NoteDeleteBatch(batch.day, batch.delete_count));
+            }
             for (const datagen::UpdateEvent* event : batch.events) {
               SNB_RETURN_IF_ERROR(wal.Append(*event));
             }
@@ -120,10 +127,25 @@ util::StatusOr<RefreshReport> RunBatchedRefresh(
           SNB_FAILPOINT_STATUS("refresh.apply");
           std::shared_ptr<const storage::Graph> base = handle.Current();
           auto shadow = std::make_shared<storage::Graph>(
-              storage::ExportNetwork(*base));
+              storage::ExportNetwork(*base), base->CompactionEpoch());
           for (const datagen::UpdateEvent* event : batch.events) {
             SNB_FAILPOINT("refresh.apply.event");
-            interactive::ApplyUpdate(*shadow, *event);
+            util::Status st = interactive::ApplyUpdate(*shadow, *event);
+            if (!st.ok()) {
+              // A torn cascade only exists in this private shadow; dropping
+              // the shadow and rebuilding from the still-published base is
+              // a complete rollback, so the interruption is retryable.
+              return util::Status::Transient("cascade interrupted: " +
+                                             st.ToString());
+            }
+          }
+          // Compact before publishing: readers only ever see cascades as
+          // completed wholes, and (by default) never see tombstones at all.
+          if (config.compact_deletes && shadow->HasTombstones()) {
+            SNB_FAILPOINT_STATUS("refresh.compact");
+            shadow = std::make_shared<storage::Graph>(
+                storage::ExportNetwork(*shadow),
+                shadow->CompactionEpoch() + 1);
           }
           SNB_FAILPOINT_STATUS("refresh.swap");
           handle.Replace(std::move(shadow));

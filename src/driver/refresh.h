@@ -107,6 +107,13 @@ struct RefreshConfig {
 
   /// Seed for retry jitter (deterministic runs stay deterministic).
   uint64_t seed = 42;
+
+  /// Compact the shadow before publishing when a batch left tombstones
+  /// (export the live subgraph and rebuild, bumping the compaction epoch).
+  /// Published snapshots are then always tombstone-free; readers never pay
+  /// the filtered scan paths. Tests that exercise tombstoned reads set
+  /// this to false to publish the bitmaps as-is.
+  bool compact_deletes = true;
 };
 
 struct RefreshReport {

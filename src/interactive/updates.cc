@@ -7,42 +7,66 @@ namespace snb::interactive {
 using datagen::UpdateEvent;
 using datagen::UpdateKind;
 
-void ApplyUpdate(storage::Graph& graph, const UpdateEvent& event) {
+util::Status ApplyUpdate(storage::Graph& graph, const UpdateEvent& event) {
   switch (event.kind) {
     case UpdateKind::kAddPerson:
       graph.AddPerson(std::get<core::Person>(event.payload));
-      return;
+      return util::Status::Ok();
     case UpdateKind::kAddLikePost: {
       const core::Like& like = std::get<core::Like>(event.payload);
       SNB_CHECK(like.is_post);
       graph.AddLikePost(like.person, like.message, like.creation_date);
-      return;
+      return util::Status::Ok();
     }
     case UpdateKind::kAddLikeComment: {
       const core::Like& like = std::get<core::Like>(event.payload);
       SNB_CHECK(!like.is_post);
       graph.AddLikeComment(like.person, like.message, like.creation_date);
-      return;
+      return util::Status::Ok();
     }
     case UpdateKind::kAddForum:
       graph.AddForum(std::get<core::Forum>(event.payload));
-      return;
+      return util::Status::Ok();
     case UpdateKind::kAddMembership: {
       const core::ForumMembership& m =
           std::get<core::ForumMembership>(event.payload);
       graph.AddMembership(m.person, m.forum, m.join_date);
-      return;
+      return util::Status::Ok();
     }
     case UpdateKind::kAddPost:
       graph.AddPost(std::get<core::Post>(event.payload));
-      return;
+      return util::Status::Ok();
     case UpdateKind::kAddComment:
       graph.AddComment(std::get<core::Comment>(event.payload));
-      return;
+      return util::Status::Ok();
     case UpdateKind::kAddKnows: {
       const core::Knows& k = std::get<core::Knows>(event.payload);
       graph.AddKnows(k.person1, k.person2, k.creation_date);
-      return;
+      return util::Status::Ok();
+    }
+    case UpdateKind::kDelPerson:
+      return graph.DeletePerson(std::get<datagen::Delete>(event.payload).a);
+    case UpdateKind::kDelLikePost: {
+      const datagen::Delete& d = std::get<datagen::Delete>(event.payload);
+      return graph.DeleteLikePost(d.a, d.b);
+    }
+    case UpdateKind::kDelLikeComment: {
+      const datagen::Delete& d = std::get<datagen::Delete>(event.payload);
+      return graph.DeleteLikeComment(d.a, d.b);
+    }
+    case UpdateKind::kDelForum:
+      return graph.DeleteForum(std::get<datagen::Delete>(event.payload).a);
+    case UpdateKind::kDelMembership: {
+      const datagen::Delete& d = std::get<datagen::Delete>(event.payload);
+      return graph.DeleteMembership(d.a, d.b);
+    }
+    case UpdateKind::kDelPost:
+      return graph.DeletePost(std::get<datagen::Delete>(event.payload).a);
+    case UpdateKind::kDelComment:
+      return graph.DeleteComment(std::get<datagen::Delete>(event.payload).a);
+    case UpdateKind::kDelKnows: {
+      const datagen::Delete& d = std::get<datagen::Delete>(event.payload);
+      return graph.DeleteKnows(d.a, d.b);
     }
   }
   SNB_UNREACHABLE();

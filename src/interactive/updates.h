@@ -1,18 +1,23 @@
-// Interactive update operations IU 1–8 (spec §4.3): application of
-// Datagen-produced update events to a live graph store.
+// Interactive update operations IU 1–8 and deep deletes DEL 1–8: application
+// of Datagen-produced update events to a live graph store.
 
 #ifndef SNB_INTERACTIVE_UPDATES_H_
 #define SNB_INTERACTIVE_UPDATES_H_
 
 #include "datagen/datagen.h"
 #include "storage/graph.h"
+#include "util/status.h"
 
 namespace snb::interactive {
 
-/// Applies one update event (IU 1–8) to the graph. Referenced entities must
-/// already exist — the driver enforces dependency ordering via the events'
-/// dependency timestamps.
-void ApplyUpdate(storage::Graph& graph, const datagen::UpdateEvent& event);
+/// Applies one update event to the graph. For inserts (IU 1–8) referenced
+/// entities must already exist — the driver enforces dependency ordering via
+/// the events' dependency timestamps — and the return is always Ok. For
+/// deletes (DEL 1–8) missing targets are Ok no-ops (idempotent replay); a
+/// non-Ok return means a cascade was torn mid-flight (injected fault) and
+/// the graph must be discarded, not retried in place.
+util::Status ApplyUpdate(storage::Graph& graph,
+                         const datagen::UpdateEvent& event);
 
 }  // namespace snb::interactive
 

@@ -22,42 +22,52 @@ core::SocialNetwork ExportNetwork(const Graph& graph) {
   for (uint32_t i = 0; i < graph.NumTags(); ++i) {
     net.tags.push_back(graph.TagAt(i));
   }
-  net.persons.reserve(graph.NumPersons());
+
+  // Dynamic entities: tombstoned rows are dropped here — export followed by
+  // a rebuild *is* compaction, the only point where deletes become physical.
+  net.persons.reserve(graph.NumLivePersons());
   for (uint32_t i = 0; i < graph.NumPersons(); ++i) {
-    net.persons.push_back(graph.PersonAt(i));
+    if (graph.PersonAlive(i)) net.persons.push_back(graph.PersonAt(i));
   }
-  net.forums.reserve(graph.NumForums());
+  net.forums.reserve(graph.NumLiveForums());
   for (uint32_t i = 0; i < graph.NumForums(); ++i) {
-    net.forums.push_back(graph.ForumAt(i));
+    if (graph.ForumAlive(i)) net.forums.push_back(graph.ForumAt(i));
   }
-  net.posts.reserve(graph.NumPosts());
+  net.posts.reserve(graph.NumLivePosts());
   for (uint32_t i = 0; i < graph.NumPosts(); ++i) {
-    net.posts.push_back(graph.PostAt(i));
+    if (graph.PostAlive(i)) net.posts.push_back(graph.PostAt(i));
   }
-  net.comments.reserve(graph.NumComments());
+  net.comments.reserve(graph.NumLiveComments());
   for (uint32_t i = 0; i < graph.NumComments(); ++i) {
-    net.comments.push_back(graph.CommentAt(i));
+    if (graph.CommentAlive(i)) net.comments.push_back(graph.CommentAt(i));
   }
 
-  // Pure-edge relations are only held in adjacency; rebuild their rows.
+  // Pure-edge relations are only held in adjacency; rebuild their rows,
+  // filtering edges whose endpoints died or that were tombstoned directly.
   for (uint32_t p = 0; p < graph.NumPersons(); ++p) {
+    if (!graph.PersonAlive(p)) continue;
     core::Id p_id = graph.PersonAt(p).id;
     graph.Knows().ForEachDated(p, [&](uint32_t q, core::DateTime when) {
-      if (q > p) {  // one row per undirected edge
+      if (q > p && graph.KnowsAlive(p, q)) {  // one row per undirected edge
         net.knows.push_back({p_id, graph.PersonAt(q).id, when});
       }
     });
     graph.PersonLikes().ForEachDated(p, [&](uint32_t msg,
                                             core::DateTime when) {
-      net.likes.push_back(
-          {p_id, graph.MessageId(msg), Graph::IsPost(msg), when});
+      if (graph.LikeAlive(p, msg)) {
+        net.likes.push_back(
+            {p_id, graph.MessageId(msg), Graph::IsPost(msg), when});
+      }
     });
   }
   for (uint32_t f = 0; f < graph.NumForums(); ++f) {
+    if (!graph.ForumAlive(f)) continue;
     core::Id f_id = graph.ForumAt(f).id;
     graph.ForumMembers().ForEachDated(
         f, [&](uint32_t member, core::DateTime join) {
-          net.memberships.push_back({f_id, graph.PersonAt(member).id, join});
+          if (graph.MembershipAlive(member, f)) {
+            net.memberships.push_back({f_id, graph.PersonAt(member).id, join});
+          }
         });
   }
 

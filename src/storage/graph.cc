@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace snb::storage {
 
@@ -23,7 +24,7 @@ std::unordered_map<core::Id, uint32_t> IndexById(const std::vector<T>& rows) {
 
 }  // namespace
 
-Graph::Graph(core::SocialNetwork net)
+Graph::Graph(core::SocialNetwork net, uint32_t compaction_epoch)
     : persons_(std::move(net.persons)),
       forums_(std::move(net.forums)),
       posts_(std::move(net.posts)),
@@ -31,7 +32,12 @@ Graph::Graph(core::SocialNetwork net)
       tags_(std::move(net.tags)),
       tag_classes_(std::move(net.tag_classes)),
       places_(std::move(net.places)),
-      organisations_(std::move(net.organisations)) {
+      organisations_(std::move(net.organisations)),
+      compaction_epoch_(compaction_epoch) {
+  person_dead_.Resize(persons_.size());
+  forum_dead_.Resize(forums_.size());
+  post_dead_.Resize(posts_.size());
+  comment_dead_.Resize(comments_.size());
   person_idx_ = IndexById(persons_);
   forum_idx_ = IndexById(forums_);
   post_idx_ = IndexById(posts_);
@@ -466,6 +472,7 @@ uint32_t Graph::AddPerson(const core::Person& person) {
   SNB_CHECK_EQ(PersonIdx(person.id), kNoIdx);
   uint32_t idx = static_cast<uint32_t>(persons_.size());
   persons_.push_back(person);
+  person_dead_.Append();
   person_idx_[person.id] = idx;
   person_creation_.push_back(person.creation_date);
   person_is_female_.push_back(person.gender == "female" ? 1 : 0);
@@ -525,6 +532,7 @@ uint32_t Graph::AddForum(const core::Forum& forum) {
   SNB_CHECK_EQ(ForumIdx(forum.id), kNoIdx);
   uint32_t idx = static_cast<uint32_t>(forums_.size());
   forums_.push_back(forum);
+  forum_dead_.Append();
   forum_idx_[forum.id] = idx;
   forum_members_.AddNodes(1);
   forum_posts_.AddNodes(1);
@@ -554,6 +562,7 @@ uint32_t Graph::AddPost(const core::Post& post) {
   SNB_CHECK_EQ(PostIdx(post.id), kNoIdx);
   uint32_t idx = static_cast<uint32_t>(posts_.size());
   posts_.push_back(post);
+  post_dead_.Append();
   post_idx_[post.id] = idx;
   post_creation_.push_back(post.creation_date);
   post_browser_code_.push_back(dict_.GetOrAdd(post.browser_used));
@@ -590,6 +599,7 @@ uint32_t Graph::AddComment(const core::Comment& comment) {
   SNB_CHECK_EQ(CommentIdx(comment.id), kNoIdx);
   uint32_t idx = static_cast<uint32_t>(comments_.size());
   comments_.push_back(comment);
+  comment_dead_.Append();
   comment_idx_[comment.id] = idx;
   comment_creation_.push_back(comment.creation_date);
   comment_browser_code_.push_back(dict_.GetOrAdd(comment.browser_used));
@@ -640,6 +650,204 @@ void Graph::AddKnows(core::Id person1, core::Id person2, core::DateTime date) {
   SNB_CHECK(a != kNoIdx && b != kNoIdx);
   knows_.Append(a, b, date);
   knows_.Append(b, a, date);
+}
+
+// ---------------------------------------------------------------------------
+// Mutators (DEL 1–8) — the five-stage cascade
+// ---------------------------------------------------------------------------
+
+void Graph::MarkMessageDead(uint32_t msg, std::vector<uint32_t>* work) {
+  TombstoneBitmap& bitmap = IsPost(msg) ? post_dead_ : comment_dead_;
+  const uint32_t row = IsPost(msg) ? msg : AsComment(msg);
+  if (!bitmap.Set(row)) return;  // already dead: cascades are idempotent
+  work->push_back(msg);
+  if (!IsPost(msg)) {
+    // The parent's live-reply delta only matters while the parent itself is
+    // alive; a dead parent's counters are frozen and never read.
+    const uint32_t parent = comment_reply_of_[AsComment(msg)];
+    if (MessageAlive(parent)) ++dead_replies_per_msg_[parent];
+  }
+}
+
+util::Status Graph::RunCascade(CascadeTargets targets) {
+  // Stage 1: person tombstones.
+  SNB_FAILPOINT_STATUS("graph.delete.person");
+  std::vector<uint32_t> new_dead_persons;
+  for (uint32_t p : targets.persons) {
+    if (person_dead_.Set(p)) new_dead_persons.push_back(p);
+  }
+
+  // Stage 2: forum tombstones — explicit targets plus every forum moderated
+  // by a newly dead person (the person's walls/albums/groups go with them).
+  SNB_FAILPOINT_STATUS("graph.delete.forums");
+  std::vector<uint32_t> new_dead_forums;
+  for (uint32_t f : targets.forums) {
+    if (forum_dead_.Set(f)) new_dead_forums.push_back(f);
+  }
+  for (uint32_t p : new_dead_persons) {
+    person_moderates_.ForEach(p, [&](uint32_t f) {
+      if (forum_dead_.Set(f)) new_dead_forums.push_back(f);
+    });
+  }
+
+  // Stage 3: message tombstones — explicit roots, dead persons' authored
+  // messages, dead forums' posts; then BFS through the reply subtrees
+  // (deleting a message deletes every transitive reply).
+  SNB_FAILPOINT_STATUS("graph.delete.messages");
+  std::vector<uint32_t> work;
+  for (uint32_t m : targets.message_roots) MarkMessageDead(m, &work);
+  for (uint32_t p : new_dead_persons) {
+    person_posts_.ForEach(
+        p, [&](uint32_t post) { MarkMessageDead(MessageOfPost(post), &work); });
+    person_comments_.ForEach(p, [&](uint32_t c) {
+      MarkMessageDead(MessageOfComment(c), &work);
+    });
+  }
+  for (uint32_t f : new_dead_forums) {
+    forum_posts_.ForEach(
+        f, [&](uint32_t post) { MarkMessageDead(MessageOfPost(post), &work); });
+  }
+  for (size_t i = 0; i < work.size(); ++i) {
+    const uint32_t msg = work[i];
+    const AdjacencyList& replies =
+        IsPost(msg) ? post_replies_ : comment_replies_;
+    replies.ForEach(IsPost(msg) ? msg : AsComment(msg), [&](uint32_t c) {
+      MarkMessageDead(MessageOfComment(c), &work);
+    });
+  }
+
+  // Stage 4: edge tombstones — explicit DEL 2/3/5/8 targets plus the dead
+  // persons' outgoing likes (their like no longer counts toward any live
+  // message). Explicitly-deleted likes are excluded to avoid double counting.
+  SNB_FAILPOINT_STATUS("graph.delete.likes");
+  for (uint64_t key : targets.like_keys) {
+    if (deleted_likes_.insert(key).second) {
+      ++dead_likes_per_msg_[static_cast<uint32_t>(key)];
+    }
+  }
+  for (uint64_t key : targets.membership_keys) {
+    deleted_memberships_.insert(key);
+  }
+  for (uint64_t key : targets.knows_keys) deleted_knows_.insert(key);
+  for (uint32_t p : new_dead_persons) {
+    person_likes_.ForEach(p, [&](uint32_t msg) {
+      if (MessageAlive(msg) &&
+          deleted_likes_.find(EdgeKey(p, msg)) == deleted_likes_.end()) {
+        ++dead_likes_per_msg_[msg];
+      }
+    });
+  }
+
+  // Stage 5: index maintenance — dead persons' message-date zones collapse
+  // to the empty sentinel so person-granular pruning skips them, then the
+  // epoch bump publishes cascade completion.
+  SNB_FAILPOINT_STATUS("graph.delete.index");
+  for (uint32_t p : new_dead_persons) {
+    person_msg_date_min_[p] = kMaxMessageDate;
+    person_msg_date_max_[p] = kMinMessageDate;
+  }
+  ++tombstone_epoch_;
+  return util::Status::Ok();
+}
+
+util::Status Graph::DeletePerson(core::Id person) {
+  const uint32_t p = PersonIdx(person);
+  if (p == kNoIdx || !PersonAlive(p)) return util::Status::Ok();
+  CascadeTargets targets;
+  targets.persons.push_back(p);
+  return RunCascade(std::move(targets));
+}
+
+util::Status Graph::DeleteLikePost(core::Id person, core::Id post) {
+  const uint32_t p = PersonIdx(person);
+  const uint32_t m = PostIdx(post);
+  if (p == kNoIdx || m == kNoIdx) return util::Status::Ok();
+  if (!PersonAlive(p) || !PostAlive(m)) return util::Status::Ok();
+  const uint32_t msg = MessageOfPost(m);
+  if (deleted_likes_.find(EdgeKey(p, msg)) != deleted_likes_.end()) {
+    return util::Status::Ok();
+  }
+  bool found = false;
+  person_likes_.ForEach(p, [&](uint32_t ref) { found |= ref == msg; });
+  if (!found) return util::Status::Ok();  // replayed after compaction
+  CascadeTargets targets;
+  targets.like_keys.push_back(EdgeKey(p, msg));
+  return RunCascade(std::move(targets));
+}
+
+util::Status Graph::DeleteLikeComment(core::Id person, core::Id comment) {
+  const uint32_t p = PersonIdx(person);
+  const uint32_t m = CommentIdx(comment);
+  if (p == kNoIdx || m == kNoIdx) return util::Status::Ok();
+  if (!PersonAlive(p) || !CommentAlive(m)) return util::Status::Ok();
+  const uint32_t msg = MessageOfComment(m);
+  if (deleted_likes_.find(EdgeKey(p, msg)) != deleted_likes_.end()) {
+    return util::Status::Ok();
+  }
+  bool found = false;
+  person_likes_.ForEach(p, [&](uint32_t ref) { found |= ref == msg; });
+  if (!found) return util::Status::Ok();
+  CascadeTargets targets;
+  targets.like_keys.push_back(EdgeKey(p, msg));
+  return RunCascade(std::move(targets));
+}
+
+util::Status Graph::DeleteForum(core::Id forum) {
+  const uint32_t f = ForumIdx(forum);
+  if (f == kNoIdx || !ForumAlive(f)) return util::Status::Ok();
+  CascadeTargets targets;
+  targets.forums.push_back(f);
+  return RunCascade(std::move(targets));
+}
+
+util::Status Graph::DeleteMembership(core::Id person, core::Id forum) {
+  const uint32_t p = PersonIdx(person);
+  const uint32_t f = ForumIdx(forum);
+  if (p == kNoIdx || f == kNoIdx) return util::Status::Ok();
+  if (!PersonAlive(p) || !ForumAlive(f)) return util::Status::Ok();
+  const uint64_t key = EdgeKey(p, f);
+  if (deleted_memberships_.find(key) != deleted_memberships_.end()) {
+    return util::Status::Ok();
+  }
+  bool found = false;
+  person_forums_.ForEach(p, [&](uint32_t ref) { found |= ref == f; });
+  if (!found) return util::Status::Ok();
+  CascadeTargets targets;
+  targets.membership_keys.push_back(key);
+  return RunCascade(std::move(targets));
+}
+
+util::Status Graph::DeletePost(core::Id post) {
+  const uint32_t m = PostIdx(post);
+  if (m == kNoIdx || !PostAlive(m)) return util::Status::Ok();
+  CascadeTargets targets;
+  targets.message_roots.push_back(MessageOfPost(m));
+  return RunCascade(std::move(targets));
+}
+
+util::Status Graph::DeleteComment(core::Id comment) {
+  const uint32_t m = CommentIdx(comment);
+  if (m == kNoIdx || !CommentAlive(m)) return util::Status::Ok();
+  CascadeTargets targets;
+  targets.message_roots.push_back(MessageOfComment(m));
+  return RunCascade(std::move(targets));
+}
+
+util::Status Graph::DeleteKnows(core::Id person1, core::Id person2) {
+  const uint32_t a = PersonIdx(person1);
+  const uint32_t b = PersonIdx(person2);
+  if (a == kNoIdx || b == kNoIdx) return util::Status::Ok();
+  if (!PersonAlive(a) || !PersonAlive(b)) return util::Status::Ok();
+  const uint64_t key = UnorderedEdgeKey(a, b);
+  if (deleted_knows_.find(key) != deleted_knows_.end()) {
+    return util::Status::Ok();
+  }
+  bool found = false;
+  knows_.ForEach(a, [&](uint32_t ref) { found |= ref == b; });
+  if (!found) return util::Status::Ok();
+  CascadeTargets targets;
+  targets.knows_keys.push_back(key);
+  return RunCascade(std::move(targets));
 }
 
 }  // namespace snb::storage

@@ -15,6 +15,14 @@
 // The store is single-writer / multi-reader: Add* mutators (the Interactive
 // update operations IU 1–8) append to overflow regions without invalidating
 // base CSR spans.
+//
+// Deep deletes (DEL 1–8) are logical: Delete* mutators run a five-stage
+// cascade (persons → forums → messages → likes → index) that marks rows dead
+// in tombstone bitmaps (tombstone.h) without touching the physical layout.
+// Scans filter through the bitmaps only when tombstones exist, so
+// insert-only graphs keep their unfiltered fast paths. Physical reclamation
+// is compaction: ExportNetwork skips dead rows and the re-built Graph
+// carries a bumped compaction epoch.
 
 #ifndef SNB_STORAGE_GRAPH_H_
 #define SNB_STORAGE_GRAPH_H_
@@ -23,6 +31,7 @@
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/schema.h"
@@ -31,6 +40,8 @@
 #include "storage/columnar/memory.h"
 #include "storage/columnar/packed_column.h"
 #include "storage/message_index.h"
+#include "storage/tombstone.h"
+#include "util/status.h"
 
 namespace snb::storage {
 
@@ -38,8 +49,10 @@ constexpr uint32_t kNoIdx = UINT32_MAX;
 
 class Graph {
  public:
-  /// Builds all indexes from a raw network (consumed).
-  explicit Graph(core::SocialNetwork net);
+  /// Builds all indexes from a raw network (consumed). `compaction_epoch`
+  /// stamps the generation this graph belongs to: 0 for a bulk load,
+  /// previous epoch + 1 when rebuilding from a tombstoned graph's export.
+  explicit Graph(core::SocialNetwork net, uint32_t compaction_epoch = 0);
 
   // Non-copyable and non-movable: the message index carries a mutex, and
   // queries hold references into the tables.
@@ -104,11 +117,94 @@ class Graph {
     return comment | kCommentBit;
   }
 
-  /// Visits every message reference: first all posts, then all comments.
+  // ---- Tombstones (deep deletes DEL 1–8) -----------------------------------
+
+  bool PersonAlive(uint32_t p) const { return !person_dead_.Test(p); }
+  bool ForumAlive(uint32_t f) const { return !forum_dead_.Test(f); }
+  bool PostAlive(uint32_t i) const { return !post_dead_.Test(i); }
+  bool CommentAlive(uint32_t i) const { return !comment_dead_.Test(i); }
+  bool MessageAlive(uint32_t msg) const {
+    return IsPost(msg) ? PostAlive(msg) : CommentAlive(AsComment(msg));
+  }
+
+  /// Edge liveness: an edge is live when both endpoints are alive and it was
+  /// not explicitly tombstoned (DEL 2/3/5/8).
+  bool KnowsAlive(uint32_t p, uint32_t q) const {
+    return PersonAlive(p) && PersonAlive(q) &&
+           deleted_knows_.find(UnorderedEdgeKey(p, q)) == deleted_knows_.end();
+  }
+  bool LikeAlive(uint32_t person, uint32_t msg) const {
+    return PersonAlive(person) && MessageAlive(msg) &&
+           deleted_likes_.find(EdgeKey(person, msg)) == deleted_likes_.end();
+  }
+  bool MembershipAlive(uint32_t person, uint32_t forum) const {
+    return PersonAlive(person) && ForumAlive(forum) &&
+           deleted_memberships_.find(EdgeKey(person, forum)) ==
+               deleted_memberships_.end();
+  }
+
+  size_t NumLivePersons() const { return persons_.size() - person_dead_.count(); }
+  size_t NumLiveForums() const { return forums_.size() - forum_dead_.count(); }
+  size_t NumLivePosts() const { return posts_.size() - post_dead_.count(); }
+  size_t NumLiveComments() const {
+    return comments_.size() - comment_dead_.count();
+  }
+
+  /// True when any logical deletion exists (vertex or edge) — the signal for
+  /// refresh/recovery to compact before publishing.
+  bool HasTombstones() const {
+    return HasDeadMessages() || person_dead_.count() > 0 ||
+           forum_dead_.count() > 0 || !deleted_likes_.empty() ||
+           !deleted_memberships_.empty() || !deleted_knows_.empty();
+  }
+
+  /// Completed-cascade counter: bumped once per finished Delete* cascade.
+  /// A torn cascade (crash or injected fault mid-stage) leaves it unbumped.
+  uint32_t TombstoneEpoch() const { return tombstone_epoch_; }
+  /// Rebuild generation (0 for a bulk load; +1 per compaction).
+  uint32_t CompactionEpoch() const { return compaction_epoch_; }
+
+  /// Number of likes whose target is `msg` and whose edge is still live —
+  /// the delete-aware replacement for PostLikers()/CommentLikers() Degree.
+  int64_t LiveLikeCount(uint32_t msg) const {
+    int64_t n = static_cast<int64_t>(
+        IsPost(msg) ? post_likers_.Degree(msg)
+                    : comment_likers_.Degree(AsComment(msg)));
+    if (!dead_likes_per_msg_.empty()) {
+      auto it = dead_likes_per_msg_.find(msg);
+      if (it != dead_likes_per_msg_.end()) n -= it->second;
+    }
+    return n;
+  }
+
+  /// Live direct replies of `msg` (only meaningful for live messages: a dead
+  /// parent's counter is not maintained past its own death).
+  int64_t LiveReplyCount(uint32_t msg) const {
+    int64_t n = static_cast<int64_t>(
+        IsPost(msg) ? post_replies_.Degree(msg)
+                    : comment_replies_.Degree(AsComment(msg)));
+    if (!dead_replies_per_msg_.empty()) {
+      auto it = dead_replies_per_msg_.find(msg);
+      if (it != dead_replies_per_msg_.end()) n -= it->second;
+    }
+    return n;
+  }
+
+  /// Visits every live message reference: first posts, then comments.
+  /// Insert-only graphs take the unfiltered fast path.
   template <typename F>
   void ForEachMessage(F&& f) const {
-    for (uint32_t i = 0; i < posts_.size(); ++i) f(MessageOfPost(i));
-    for (uint32_t i = 0; i < comments_.size(); ++i) f(MessageOfComment(i));
+    if (!HasDeadMessages()) {
+      for (uint32_t i = 0; i < posts_.size(); ++i) f(MessageOfPost(i));
+      for (uint32_t i = 0; i < comments_.size(); ++i) f(MessageOfComment(i));
+      return;
+    }
+    for (uint32_t i = 0; i < posts_.size(); ++i) {
+      if (PostAlive(i)) f(MessageOfPost(i));
+    }
+    for (uint32_t i = 0; i < comments_.size(); ++i) {
+      if (CommentAlive(i)) f(MessageOfComment(i));
+    }
   }
 
   /// Visits exactly the messages with creationDate in [start, end), pruned
@@ -119,8 +215,16 @@ class Graph {
   template <typename F>
   void ForEachMessageInRange(core::DateTime start, core::DateTime end,
                              F&& f) const {
-    message_index_.ForEachBaseInRange(start, end, f);
-    message_index_.ForEachTailInRange(start, end, f);
+    if (!HasDeadMessages()) {
+      message_index_.ForEachBaseInRange(start, end, f);
+      message_index_.ForEachTailInRange(start, end, f);
+      return;
+    }
+    auto live = [this, &f](uint32_t msg) {
+      if (MessageAlive(msg)) f(msg);
+    };
+    message_index_.ForEachBaseInRange(start, end, live);
+    message_index_.ForEachTailInRange(start, end, live);
   }
 
   /// Bound-pushdown range scan (CP-1.3): before a zone-mapped block is
@@ -128,12 +232,22 @@ class Graph {
   /// prunes the whole block unseen. `skip(max)` must be monotone: true for
   /// a block max implies every member message (whose like count is ≤ max)
   /// would also be rejected, which is what keeps the pushdown engines
-  /// bit-identical to the sort-everything oracle.
+  /// bit-identical to the sort-everything oracle. Zone maxima are computed
+  /// over all rows, so they still upper-bound live like counts after
+  /// deletes: the skip stays safe (merely less selective) under tombstones.
   template <typename SkipFn, typename F>
   void ForEachMessageInRangeBounded(core::DateTime start, core::DateTime end,
                                     SkipFn&& skip, F&& f) const {
-    message_index_.ForEachBaseInRangeBounded(start, end, skip, f);
-    message_index_.ForEachTailInRangeBounded(start, end, skip, f);
+    if (!HasDeadMessages()) {
+      message_index_.ForEachBaseInRangeBounded(start, end, skip, f);
+      message_index_.ForEachTailInRangeBounded(start, end, skip, f);
+      return;
+    }
+    auto live = [this, &f](uint32_t msg) {
+      if (MessageAlive(msg)) f(msg);
+    };
+    message_index_.ForEachBaseInRangeBounded(start, end, skip, live);
+    message_index_.ForEachTailInRangeBounded(start, end, skip, live);
   }
 
   /// Random-access view over exactly the messages with creationDate in
@@ -185,10 +299,24 @@ class Graph {
     MessageRangeView view;
     view.index_ = &message_index_;
     auto [lo, hi] = message_index_.BaseRange(start, end);
-    view.base_begin_ = lo;
-    view.base_count_ = hi - lo;
-    message_index_.ForEachTailInRange(
-        start, end, [&view](uint32_t msg) { view.tail_.push_back(msg); });
+    if (!HasDeadMessages()) {
+      view.base_begin_ = lo;
+      view.base_count_ = hi - lo;
+      message_index_.ForEachTailInRange(
+          start, end, [&view](uint32_t msg) { view.tail_.push_back(msg); });
+      return view;
+    }
+    // Tombstoned graph: materialize the live subset into the tail so view
+    // positions stay dense. Bound pruning degrades (tail zones answer
+    // INT64_MAX) but the skip predicate never fires on a stale maximum,
+    // which keeps pushdown engines bit-identical to the oracle.
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t msg = message_index_.BaseAt(i);
+      if (MessageAlive(msg)) view.tail_.push_back(msg);
+    }
+    message_index_.ForEachTailInRange(start, end, [this, &view](uint32_t msg) {
+      if (MessageAlive(msg)) view.tail_.push_back(msg);
+    });
     return view;
   }
 
@@ -393,6 +521,31 @@ class Graph {
   void AddKnows(core::Id person1, core::Id person2,
                 core::DateTime date);                          // IU 8
 
+  // ---- Mutators (deep deletes DEL 1–8) --------------------------------------
+  //
+  // Each runs the shared five-stage cascade (see RunCascade). Deleting a
+  // person also removes every forum they moderate, every message they
+  // authored, those messages' reply subtrees, and all their incident
+  // likes/memberships/knows edges. Missing or already-dead targets are Ok
+  // no-ops — that is what makes WAL replay and resume-after-crash
+  // idempotent (a delete re-applied after compaction finds nothing).
+  // A returned error (only from injected faults / failpoints) means the
+  // cascade is torn: tombstones from completed stages are in place but the
+  // epoch was not bumped, and like/reply deltas of later stages are
+  // missing. A torn graph must be discarded — the refresh path throws away
+  // its shadow copy and rebuilds from the published base; recovery restarts
+  // replay from the WAL. (Re-calling the same Delete* is NOT a repair: the
+  // root is already tombstoned, so it would no-op.)
+
+  util::Status DeletePerson(core::Id person);                  // DEL 1
+  util::Status DeleteLikePost(core::Id person, core::Id post);     // DEL 2
+  util::Status DeleteLikeComment(core::Id person, core::Id comment);  // DEL 3
+  util::Status DeleteForum(core::Id forum);                    // DEL 4
+  util::Status DeleteMembership(core::Id person, core::Id forum);  // DEL 5
+  util::Status DeletePost(core::Id post);                      // DEL 6
+  util::Status DeleteComment(core::Id comment);                // DEL 7
+  util::Status DeleteKnows(core::Id person1, core::Id person2);    // DEL 8
+
  private:
   friend struct TestAccess;  // corruption seeding in tests (test_access.h)
 
@@ -403,6 +556,40 @@ class Graph {
   }
 
   uint32_t CountryOfPlace(uint32_t place) const;
+
+  // ---- Cascade machinery ----------------------------------------------------
+
+  static uint64_t EdgeKey(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  static uint64_t UnorderedEdgeKey(uint32_t a, uint32_t b) {
+    return a < b ? EdgeKey(a, b) : EdgeKey(b, a);
+  }
+
+  bool HasDeadMessages() const {
+    return post_dead_.count() + comment_dead_.count() > 0;
+  }
+
+  /// Root sets collected by the Delete* mutators before the cascade runs.
+  struct CascadeTargets {
+    std::vector<uint32_t> persons;        // person indices
+    std::vector<uint32_t> forums;         // forum indices
+    std::vector<uint32_t> message_roots;  // message references
+    std::vector<uint64_t> like_keys;      // EdgeKey(person, message ref)
+    std::vector<uint64_t> membership_keys;  // EdgeKey(person, forum)
+    std::vector<uint64_t> knows_keys;       // UnorderedEdgeKey(person, person)
+  };
+
+  /// The five-stage cascade driver shared by all Delete* mutators:
+  /// persons → forums → messages (reply-subtree BFS) → likes/edges → index.
+  /// Each stage opens with one fail-point site (graph.delete.*); an injected
+  /// fault returns mid-cascade, leaving a torn cascade for recovery to
+  /// re-run or discard.
+  util::Status RunCascade(CascadeTargets targets);
+
+  /// Marks one message dead; appends it to `work` (the BFS frontier) when
+  /// newly dead and maintains the parent's live-reply delta.
+  void MarkMessageDead(uint32_t msg, std::vector<uint32_t>* work);
 
   // Raw entity tables.
   std::vector<core::Person> persons_;
@@ -459,6 +646,21 @@ class Graph {
 
   // Creation-date message index: sorted base + zone-mapped update tail.
   MessageDateIndex message_index_;
+
+  // Tombstone state (deep deletes). Vertex bitmaps are sized with the
+  // tables; edge tombstones are explicit key sets; the per-message delta
+  // maps turn raw adjacency degrees into live counts without rewriting CSR
+  // spans. dead_likes_per_msg_ / dead_replies_per_msg_ only track deltas
+  // for *live* target messages — a dead target's counters are frozen at
+  // death and never read.
+  TombstoneBitmap person_dead_, forum_dead_, post_dead_, comment_dead_;
+  std::unordered_set<uint64_t> deleted_likes_;        // EdgeKey(person, msg)
+  std::unordered_set<uint64_t> deleted_memberships_;  // EdgeKey(person, forum)
+  std::unordered_set<uint64_t> deleted_knows_;        // UnorderedEdgeKey
+  std::unordered_map<uint32_t, uint32_t> dead_likes_per_msg_;
+  std::unordered_map<uint32_t, uint32_t> dead_replies_per_msg_;
+  uint32_t tombstone_epoch_ = 0;
+  uint32_t compaction_epoch_ = 0;
 };
 
 }  // namespace snb::storage

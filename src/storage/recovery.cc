@@ -14,6 +14,7 @@
 
 #include "datagen/serializer.h"
 #include "interactive/updates.h"
+#include "storage/export.h"
 #include "storage/loader.h"
 #include "storage/wal.h"
 #include "util/failpoint.h"
@@ -200,17 +201,33 @@ util::StatusOr<RecoveryResult> RecoveryManager::Recover(
   }
 
   // 4. Load the checkpoint and replay every committed batch newer than it.
+  //    Replayed delete batches re-run their cascades from the start — the
+  //    cascade torn by the crash never reached a published snapshot, so
+  //    re-running it on the checkpoint graph is the roll-forward repair
+  //    (Delete* no-ops on already-gone targets keep this idempotent).
   auto loaded = LoadCsvBasic(paths.checkpoint);
   if (!loaded.ok()) return loaded.status();
   result.graph = std::make_unique<Graph>(std::move(loaded).value());
   for (const WalBatch& batch : scan.batches) {
     if (batch.day <= result.checkpoint_day) continue;  // in the checkpoint
     for (const datagen::UpdateEvent& event : batch.events) {
-      interactive::ApplyUpdate(*result.graph, event);
+      util::Status st = interactive::ApplyUpdate(*result.graph, event);
+      if (!st.ok()) {
+        return util::Status::Corruption("replay of day " +
+                                        std::to_string(batch.day) +
+                                        " failed: " + st.ToString());
+      }
       ++result.replayed_events;
     }
     ++result.replayed_batches;
     result.last_committed_day = batch.day;
+  }
+
+  // 4b. Compact replayed deletes: the recovered store hands out a
+  //     tombstone-free graph, same as the refresh path publishes.
+  if (result.graph->HasTombstones()) {
+    result.graph = std::make_unique<Graph>(
+        ExportNetwork(*result.graph), result.graph->CompactionEpoch() + 1);
   }
 
   // 5. Never serve unvalidated data off a crash path.

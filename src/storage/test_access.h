@@ -12,11 +12,13 @@
 #define SNB_STORAGE_TEST_ACCESS_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/adjacency.h"
 #include "storage/graph.h"
 #include "storage/message_index.h"
+#include "storage/tombstone.h"
 #include "util/thread_annotations.h"
 
 namespace snb::storage {
@@ -59,6 +61,24 @@ struct TestAccess {
   static AdjacencyList& PersonPosts(Graph& g) { return g.person_posts_; }
   static AdjacencyList& ForumMembers(Graph& g) { return g.forum_members_; }
   static MessageDateIndex& MessageIndex(Graph& g) { return g.message_index_; }
+
+  // ---- Tombstone state ------------------------------------------------------
+  // Tests seed torn-cascade states (a dead person whose messages stayed
+  // alive, a stale live-count delta, an uncollapsed zone) that the public
+  // Delete* cascade can never produce, then assert the tombstone-* validator
+  // invariants catch each one.
+
+  static TombstoneBitmap& PersonDead(Graph& g) { return g.person_dead_; }
+  static TombstoneBitmap& ForumDead(Graph& g) { return g.forum_dead_; }
+  static TombstoneBitmap& PostDead(Graph& g) { return g.post_dead_; }
+  static TombstoneBitmap& CommentDead(Graph& g) { return g.comment_dead_; }
+  static std::unordered_map<uint32_t, uint32_t>& DeadLikesPerMsg(Graph& g) {
+    return g.dead_likes_per_msg_;
+  }
+  static std::unordered_map<uint32_t, uint32_t>& DeadRepliesPerMsg(Graph& g) {
+    return g.dead_replies_per_msg_;
+  }
+  static uint32_t& TombstoneEpoch(Graph& g) { return g.tombstone_epoch_; }
 
   // ---- Adjacency representation --------------------------------------------
 

@@ -22,6 +22,7 @@ enum RecordType : uint8_t {
   kBatchBegin = 1,
   kEvent = 2,
   kBatchCommit = 3,
+  kDeleteBatch = 4,
 };
 
 void PutU32(uint8_t* out, uint32_t v) {
@@ -166,6 +167,16 @@ util::Status Wal::BatchBegin(core::Date day) {
   return util::Status::Ok();
 }
 
+util::Status Wal::NoteDeleteBatch(core::Date day, uint32_t delete_count) {
+  SNB_CHECK(in_batch_);
+  uint8_t payload[8];
+  PutU32(payload, static_cast<uint32_t>(day));
+  PutU32(payload + 4, delete_count);
+  SNB_RETURN_IF_ERROR(WriteRecord(kDeleteBatch, payload, sizeof(payload)));
+  SNB_FAILPOINT_STATUS("wal.delete_batch");
+  return util::Status::Ok();
+}
+
 util::Status Wal::Append(const datagen::UpdateEvent& event) {
   SNB_CHECK(in_batch_);
   std::string line = datagen::FormatUpdateEventLine(event);
@@ -304,6 +315,13 @@ util::StatusOr<WalScan> ScanWal(const std::string& path) {
         break;
       }
       open_batch.events.push_back(std::move(event));
+    } else if (type == kDeleteBatch) {
+      if (!in_batch || body_len != 8 ||
+          static_cast<core::Date>(GetU32(body)) != open_batch.day) {
+        tail("delete-batch marker does not match open batch");
+        break;
+      }
+      open_batch.delete_count = GetU32(body + 4);
     } else if (type == kBatchCommit) {
       if (!in_batch || body_len != 4 ||
           static_cast<core::Date>(GetU32(body)) != open_batch.day) {

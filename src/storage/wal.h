@@ -16,6 +16,12 @@
 //   kBatchBegin  (1)  i32 LE day    — first record of a daily batch
 //   kEvent       (2)  update-stream text line (datagen::FormatUpdateEventLine)
 //   kBatchCommit (3)  i32 LE day    — the batch's durability point
+//   kDeleteBatch (4)  i32 LE day, u32 LE count — declares the batch carries
+//                     `count` delete (DEL 1–8) events; written right after
+//                     BatchBegin so recovery knows, before replaying a
+//                     single event, that the batch will run cascades. Logs
+//                     written before this record type existed parse
+//                     unchanged (insert-only batches never carry it).
 //
 // Torn-tail truncation rule (applied by Scan/Recover): the valid prefix of
 // a WAL ends after the last complete, CRC-clean BatchCommit record. A short
@@ -72,6 +78,12 @@ class Wal {
   /// Starts a new batch covering `day`. Batches must not nest.
   SNB_NODISCARD util::Status BatchBegin(core::Date day);
 
+  /// Declares that the open batch carries `delete_count` DEL events. Must
+  /// be called (if at all) between BatchBegin and the first Append, so the
+  /// declaration precedes every cascade in the log.
+  SNB_NODISCARD util::Status NoteDeleteBatch(core::Date day,
+                                             uint32_t delete_count);
+
   /// Appends one event of the open batch.
   SNB_NODISCARD util::Status Append(const datagen::UpdateEvent& event);
 
@@ -111,6 +123,9 @@ class Wal {
 struct WalBatch {
   core::Date day = 0;
   std::vector<datagen::UpdateEvent> events;
+  /// Declared DEL-event count from the kDeleteBatch marker (0 when the
+  /// batch is insert-only / the marker is absent).
+  uint32_t delete_count = 0;
 };
 
 /// Result of scanning a WAL file.

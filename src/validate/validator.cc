@@ -413,8 +413,12 @@ void CheckLikeZoneBounds(const Graph& g, Recorder& rec) {
   };
   auto check_person_zone = [&](const char* where, size_t i, uint32_t msg,
                                core::DateTime date) {
+    // Dead rows are exempt: the cascade collapses a dead person's zone on
+    // purpose so scans skip them (tombstone-zone-bounds covers live rows).
+    if (!g.MessageAlive(msg)) return;
     const uint32_t p = creator_of(msg);
     if (p >= g.NumPersons()) return;  // message-author reports this
+    if (!g.PersonAlive(p)) return;
     if (!g.PersonHasMessagesIn(p, date, date + 1)) {
       rec.Addf(where, "[", i, "]: creation date ", date,
                " outside creator ", p,
@@ -447,6 +451,175 @@ void CheckLikeZoneBounds(const Graph& g, Recorder& rec) {
                  " — bound pruning would skip a top-k candidate");
       }
       check_person_zone("tail", i, msg, idx.TailDateAt(i));
+    }
+  }
+}
+
+// ---- tombstone-dangling -----------------------------------------------------
+
+// Cascade completeness: nothing live may reference a tombstoned vertex. The
+// cascade (graph.cc RunCascade) kills a dead person's forums, messages and
+// the whole reply subtree of every dead message, so a live entity whose
+// creator / container / reply target is dead means a cascade stopped partway
+// through — exactly the torn state recovery must never publish. Checked by
+// walking *from* each dead vertex: everything downstream must be dead too.
+void CheckTombstoneDangling(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("tombstone-dangling");
+  if (!g.HasTombstones()) return;  // trivially holds on insert-only graphs
+  for (uint32_t p = 0; p < g.NumPersons(); ++p) {
+    if (g.PersonAlive(p)) continue;
+    g.PersonModerates().ForEach(p, [&](uint32_t f) {
+      if (g.ForumAlive(f)) {
+        rec.Addf("forum ", f, " alive but its moderator person ", p,
+                 " is tombstoned");
+      }
+    });
+    g.PersonPosts().ForEach(p, [&](uint32_t post) {
+      if (g.PostAlive(post)) {
+        rec.Addf("post ", post, " alive but its creator person ", p,
+                 " is tombstoned");
+      }
+    });
+    g.PersonComments().ForEach(p, [&](uint32_t c) {
+      if (g.CommentAlive(c)) {
+        rec.Addf("comment ", c, " alive but its creator person ", p,
+                 " is tombstoned");
+      }
+    });
+  }
+  for (uint32_t f = 0; f < g.NumForums(); ++f) {
+    if (g.ForumAlive(f)) continue;
+    g.ForumPosts().ForEach(f, [&](uint32_t post) {
+      if (g.PostAlive(post)) {
+        rec.Addf("post ", post, " alive but its forum ", f, " is tombstoned");
+      }
+    });
+  }
+  for (uint32_t post = 0; post < g.NumPosts(); ++post) {
+    if (g.PostAlive(post)) continue;
+    g.PostReplies().ForEach(post, [&](uint32_t c) {
+      if (g.CommentAlive(c)) {
+        rec.Addf("comment ", c, " alive but replies to tombstoned post ",
+                 post);
+      }
+    });
+  }
+  for (uint32_t c = 0; c < g.NumComments(); ++c) {
+    if (g.CommentAlive(c)) continue;
+    g.CommentReplies().ForEach(c, [&](uint32_t reply) {
+      if (g.CommentAlive(reply)) {
+        rec.Addf("comment ", reply, " alive but replies to tombstoned "
+                 "comment ", c);
+      }
+    });
+  }
+}
+
+// ---- tombstone-index-agreement ----------------------------------------------
+
+// The bitmaps, the live-count bookkeeping and the dead-delta maps must tell
+// one story: NumLive* equals a from-scratch census, LiveLikeCount /
+// LiveReplyCount of every live message equals a recount over its actual
+// live edges, and a dead person's message-date zone is collapsed to the
+// sentinel so person-granular pruning skips them.
+void CheckTombstoneIndexAgreement(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("tombstone-index-agreement");
+  size_t live_p = 0, live_f = 0, live_po = 0, live_c = 0;
+  for (uint32_t i = 0; i < g.NumPersons(); ++i) live_p += g.PersonAlive(i);
+  for (uint32_t i = 0; i < g.NumForums(); ++i) live_f += g.ForumAlive(i);
+  for (uint32_t i = 0; i < g.NumPosts(); ++i) live_po += g.PostAlive(i);
+  for (uint32_t i = 0; i < g.NumComments(); ++i) live_c += g.CommentAlive(i);
+  if (live_p != g.NumLivePersons()) {
+    rec.Addf("NumLivePersons() = ", g.NumLivePersons(), " but ", live_p,
+             " persons test alive");
+  }
+  if (live_f != g.NumLiveForums()) {
+    rec.Addf("NumLiveForums() = ", g.NumLiveForums(), " but ", live_f,
+             " forums test alive");
+  }
+  if (live_po != g.NumLivePosts()) {
+    rec.Addf("NumLivePosts() = ", g.NumLivePosts(), " but ", live_po,
+             " posts test alive");
+  }
+  if (live_c != g.NumLiveComments()) {
+    rec.Addf("NumLiveComments() = ", g.NumLiveComments(), " but ", live_c,
+             " comments test alive");
+  }
+  g.ForEachMessage([&](uint32_t msg) {  // visits live messages only
+    int64_t likes = 0;
+    if (Graph::IsPost(msg)) {
+      g.PostLikers().ForEach(msg, [&](uint32_t p) {
+        likes += g.LikeAlive(p, msg);
+      });
+    } else {
+      g.CommentLikers().ForEach(Graph::AsComment(msg), [&](uint32_t p) {
+        likes += g.LikeAlive(p, msg);
+      });
+    }
+    if (likes != g.LiveLikeCount(msg)) {
+      rec.Addf("message ", msg, ": LiveLikeCount = ", g.LiveLikeCount(msg),
+               " but ", likes, " live like edges exist");
+    }
+    int64_t replies = 0;
+    if (Graph::IsPost(msg)) {
+      g.PostReplies().ForEach(msg, [&](uint32_t c) {
+        replies += g.CommentAlive(c);
+      });
+    } else {
+      g.CommentReplies().ForEach(Graph::AsComment(msg), [&](uint32_t c) {
+        replies += g.CommentAlive(c);
+      });
+    }
+    if (replies != g.LiveReplyCount(msg)) {
+      rec.Addf("message ", msg, ": LiveReplyCount = ", g.LiveReplyCount(msg),
+               " but ", replies, " live replies exist");
+    }
+  });
+  for (uint32_t p = 0; p < g.NumPersons(); ++p) {
+    if (g.PersonAlive(p)) continue;
+    if (g.PersonHasMessagesIn(p, storage::kMinMessageDate,
+                              storage::kMaxMessageDate)) {
+      rec.Addf("dead person ", p, ": message-date zone not collapsed — "
+               "person pruning would still visit them");
+    }
+  }
+}
+
+// ---- tombstone-zone-bounds --------------------------------------------------
+
+// After deletes, zone maxima are computed over *all* rows (dead included),
+// so they must still upper-bound every live row — live likes can only be
+// fewer than raw likes, and a live message's date zone is untouched. If a
+// compaction rebuilt the zones and got this wrong, bound pushdown would
+// skip live top-k candidates. Only live rows are held to the bound; dead
+// rows are unreachable through the pruned scans.
+void CheckTombstoneZoneBounds(const Graph& g, Recorder& rec) {
+  rec.BeginInvariant("tombstone-zone-bounds");
+  const MessageDateIndex& idx = g.MessageIndex();
+  const size_t block_values = snb::storage::columnar::ColumnBlock::kMaxValues;
+  idx.ForEachBase([&](size_t i, uint32_t msg, core::DateTime date) {
+    (void)date;
+    if (!ValidMessageRef(g, msg) || !g.MessageAlive(msg)) return;
+    const size_t block = i / block_values;
+    const int64_t live = g.LiveLikeCount(msg);
+    if (live > static_cast<int64_t>(idx.BaseBlockMaxLikes(block))) {
+      rec.Addf("base block ", block, ": live message ", msg, " has ", live,
+               " live likes > zone max ", idx.BaseBlockMaxLikes(block));
+    }
+  });
+  for (size_t b = 0; b < idx.NumTailBlocks(); ++b) {
+    const MessageDateIndex::Zone z = idx.TailZoneAt(b);
+    const size_t lo = b * MessageDateIndex::kTailBlock;
+    const size_t hi = std::min(lo + MessageDateIndex::kTailBlock,
+                               idx.tail_size());
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t msg = idx.TailAt(i);
+      if (!ValidMessageRef(g, msg) || !g.MessageAlive(msg)) continue;
+      const int64_t live = g.LiveLikeCount(msg);
+      if (live > static_cast<int64_t>(z.max_likes)) {
+        rec.Addf("tail block ", b, ": live message ", msg, " has ", live,
+                 " live likes > zone max ", z.max_likes);
+      }
     }
   }
 }
@@ -545,6 +718,9 @@ ValidationReport ValidateGraph(const storage::Graph& graph,
   CheckBlockZones(graph, rec);
   CheckHotColumnEndpoints(graph, rec);
   CheckLikeZoneBounds(graph, rec);
+  CheckTombstoneDangling(graph, rec);
+  CheckTombstoneIndexAgreement(graph, rec);
+  CheckTombstoneZoneBounds(graph, rec);
   CheckHotColumnGender(graph, rec);
   CheckUniqueId(graph, rec);
   if (options.expect_sf.has_value()) {

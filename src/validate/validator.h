@@ -21,6 +21,18 @@
 //   block-zone-covers-contents
 //                        every columnar block's min/max zone metadata
 //                        exactly bounds its decoded contents
+//   tombstone-dangling   no live entity references a tombstoned vertex
+//                        (dead person → their forums/messages dead, dead
+//                        forum → its posts dead, dead message → its reply
+//                        subtree dead) — a violation is a torn cascade
+//   tombstone-index-agreement
+//                        NumLive* counters, LiveLikeCount/LiveReplyCount
+//                        deltas and the collapsed zones of dead persons all
+//                        agree with a from-scratch census of the bitmaps
+//   tombstone-zone-bounds
+//                        like-count zone maxima still upper-bound every
+//                        *live* row after deletes/compaction, so bound
+//                        pushdown never skips a live top-k candidate
 //   hot-column-gender    PersonIsFemale agrees with the gender string
 //   unique-id            external ids are unique per entity table
 //   cardinality          entity counts match the claimed scale factor

@@ -38,7 +38,7 @@ TEST(ConsistencyTest, GraphStaysConsistentAfterUpdateReplay) {
   datagen::GeneratedData data = MakeData();
   storage::Graph graph(std::move(data.network));
   for (const datagen::UpdateEvent& e : data.updates) {
-    interactive::ApplyUpdate(graph, e);
+    ASSERT_TRUE(interactive::ApplyUpdate(graph, e).ok());
   }
   auto issues = storage::CheckGraphConsistency(graph);
   EXPECT_TRUE(issues.empty()) << Join(issues);

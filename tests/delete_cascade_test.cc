@@ -1,0 +1,390 @@
+// Deep-delete cascade semantics (DEL 1–8, Interactive v2 dialect):
+//
+//   - a cascade kills the whole downstream subtree (forums moderated by the
+//     person, their messages, every reply under a dead message, incident
+//     edges) and nothing else, and the tombstoned graph passes the
+//     tombstone-* validator invariants;
+//   - a delete-heavy refresh publishes a graph whose BI 1/6/12 results are
+//     bit-identical to loading the post-delete dataset from scratch, under
+//     1/2/4/8-thread pools, and identical whether the published snapshot is
+//     compacted or still carries tombstones (scan-path bit-identity);
+//   - a torn cascade (fail-point mid-stage) returns non-OK, leaves the
+//     tombstone epoch unbumped, and the torn graph is *detectable* — the
+//     new validator invariants name the damage;
+//   - the refresh driver treats a torn cascade as transient: it discards
+//     the shadow, retries, and converges to the reference result;
+//   - readers holding a pre-cascade snapshot observe zero cascade effects
+//     while the refresh runs; the post-swap snapshot shows the complete
+//     cascade (run under TSan in CI);
+//   - deletes are idempotent: re-applying an already-applied delete (the
+//     recovery-replay and resume_after_day case) is a no-op before and
+//     after compaction.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bi/bi.h"
+#include "bi/parallel.h"
+#include "core/date_time.h"
+#include "datagen/datagen.h"
+#include "datagen/delete_stream.h"
+#include "datagen/serializer.h"
+#include "driver/refresh.h"
+#include "interactive/updates.h"
+#include "storage/export.h"
+#include "storage/graph.h"
+#include "storage/loader.h"
+#include "storage/recovery.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+#include "validate/validator.h"
+
+namespace snb {
+namespace {
+
+using driver::GraphHandle;
+using driver::RefreshConfig;
+using driver::RunBatchedRefresh;
+using storage::Graph;
+
+struct SharedData {
+  core::SocialNetwork network;
+  std::vector<datagen::UpdateEvent> deletes;  // the delete-only stream
+  core::Date first_day = 0;
+};
+
+const SharedData& Fixture() {
+  static SharedData* data = [] {
+    datagen::DatagenConfig cfg;
+    cfg.num_persons = 120;
+    cfg.activity_scale = 0.3;
+    auto* d = new SharedData();
+    d->network = datagen::Generate(cfg).network;
+    datagen::DeleteStreamOptions options;
+    options.seed = 11;
+    options.days = 6;
+    // Heavier than the tool defaults: this suite is *about* deletes.
+    options.person_fraction = 0.05;
+    options.forum_fraction = 0.05;
+    options.post_fraction = 0.03;
+    options.comment_fraction = 0.03;
+    options.like_fraction = 0.03;
+    options.membership_fraction = 0.03;
+    options.knows_fraction = 0.03;
+    d->deletes = datagen::DeriveDeleteStream(d->network, options);
+    SNB_CHECK(!d->deletes.empty());
+    d->first_day = core::DateFromDateTime(d->deletes.front().timestamp);
+    return d;
+  }();
+  return *data;
+}
+
+core::SocialNetwork CopyNetwork(const core::SocialNetwork& net) {
+  return net;
+}
+
+struct BiProbeResults {
+  std::vector<bi::Bi1Row> bi1;
+  std::vector<bi::Bi6Row> bi6;
+  std::vector<bi::Bi12Row> bi12;
+
+  bool operator==(const BiProbeResults&) const = default;
+};
+
+bi::Bi1Params Probe1() { return {core::DateFromCivil(2030, 1, 1)}; }
+
+bi::Bi6Params Probe6() {
+  bi::Bi6Params p;
+  p.tag = Fixture().network.tags.front().name;
+  return p;
+}
+
+bi::Bi12Params Probe12() {
+  bi::Bi12Params p;
+  p.date = core::DateFromCivil(2000, 1, 1);
+  p.like_threshold = 0;
+  return p;
+}
+
+BiProbeResults RunProbes(const Graph& graph) {
+  return {bi::RunBi1(graph, Probe1()), bi::RunBi6(graph, Probe6()),
+          bi::RunBi12(graph, Probe12())};
+}
+
+BiProbeResults RunProbes(const Graph& graph, util::ThreadPool& pool) {
+  return {bi::parallel::RunBi1(graph, Probe1(), pool),
+          bi::parallel::RunBi6(graph, Probe6(), pool),
+          bi::parallel::RunBi12(graph, Probe12(), pool)};
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/snb_delcas_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Applies every fixture delete to a private copy of the fixture network.
+std::unique_ptr<Graph> TombstonedGraph() {
+  auto graph = std::make_unique<Graph>(CopyNetwork(Fixture().network));
+  for (const datagen::UpdateEvent& event : Fixture().deletes) {
+    SNB_CHECK(interactive::ApplyUpdate(*graph, event).ok());
+  }
+  return graph;
+}
+
+class DeleteCascadeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::failpoint::DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Cascade semantics on the graph itself.
+// ---------------------------------------------------------------------------
+
+TEST_F(DeleteCascadeTest, CascadeKillsWholeSubtreeAndValidatorHolds) {
+  std::unique_ptr<Graph> owned = TombstonedGraph();
+  Graph& graph = *owned;
+  EXPECT_TRUE(graph.HasTombstones());
+  EXPECT_GT(graph.TombstoneEpoch(), 0u);
+  EXPECT_LT(graph.NumLivePersons(), graph.NumPersons());
+  EXPECT_LT(graph.NumLivePosts(), graph.NumPosts());
+
+  // The cascade left no half-dead subtree: every tombstone-* invariant
+  // (and every pre-existing one) holds on the *uncompacted* graph.
+  validate::ValidationReport report = validate::ValidateGraph(graph);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(DeleteCascadeTest, DeletesAreIdempotentBeforeAndAfterCompaction) {
+  std::unique_ptr<Graph> owned = TombstonedGraph();
+  Graph& graph = *owned;
+  const uint32_t epoch = graph.TombstoneEpoch();
+  const size_t live_posts = graph.NumLivePosts();
+  const BiProbeResults before = RunProbes(graph);
+
+  // Recovery replay re-runs delete batches against state that may already
+  // contain them: every re-applied delete must be a complete no-op.
+  for (const datagen::UpdateEvent& event : Fixture().deletes) {
+    ASSERT_TRUE(interactive::ApplyUpdate(graph, event).ok());
+  }
+  EXPECT_EQ(graph.TombstoneEpoch(), epoch);
+  EXPECT_EQ(graph.NumLivePosts(), live_posts);
+  EXPECT_EQ(RunProbes(graph), before);
+
+  // After compaction the targets are *gone*, not tombstoned — replaying
+  // the same deletes must still no-op (the resume_after_day case where a
+  // checkpoint already contains the batch).
+  Graph compacted(ExportNetwork(graph), graph.CompactionEpoch() + 1);
+  EXPECT_FALSE(compacted.HasTombstones());
+  const BiProbeResults compact_before = RunProbes(compacted);
+  for (const datagen::UpdateEvent& event : Fixture().deletes) {
+    ASSERT_TRUE(interactive::ApplyUpdate(compacted, event).ok());
+  }
+  EXPECT_FALSE(compacted.HasTombstones());
+  EXPECT_EQ(RunProbes(compacted), compact_before);
+}
+
+// ---------------------------------------------------------------------------
+// Recompute oracle: tombstoned reads == compacted reads == from-scratch
+// load of the post-delete dataset, across thread-pool widths.
+// ---------------------------------------------------------------------------
+
+TEST_F(DeleteCascadeTest, BiResultsMatchFromScratchLoadAcrossPools) {
+  std::unique_ptr<Graph> owned = TombstonedGraph();
+  Graph& tombstoned = *owned;
+
+  // Oracle: serialize the live subgraph and load it back from scratch —
+  // the post-delete dataset as a bulk load that never saw a delete.
+  std::string dir = FreshDir("oracle");
+  ASSERT_TRUE(
+      datagen::WriteCsvBasic(ExportNetwork(tombstoned), dir).ok());
+  auto loaded = storage::LoadCsvBasic(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Graph oracle(std::move(loaded).value());
+  ASSERT_FALSE(oracle.HasTombstones());
+
+  const BiProbeResults expected = RunProbes(oracle);
+  EXPECT_EQ(RunProbes(tombstoned), expected)
+      << "tombstone-filtered scans diverge from a clean load";
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(RunProbes(tombstoned, pool), expected)
+        << "tombstoned graph, " << threads << " threads";
+    EXPECT_EQ(RunProbes(oracle, pool), expected)
+        << "oracle graph, " << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Torn cascades: detectable, unbumped epoch, retried as transient.
+// ---------------------------------------------------------------------------
+
+TEST_F(DeleteCascadeTest, TornCascadeLeavesDetectableDanglingState) {
+  const SharedData& data = Fixture();
+  Graph graph(CopyNetwork(data.network));
+  // The moderator of forum 0 — guaranteed to dangle that forum when the
+  // cascade dies between the person stage and the forum stage.
+  const core::Id moderator = data.network.forums.front().moderator;
+
+  util::failpoint::Spec spec;  // error mode
+  util::failpoint::Arm("graph.delete.forums", spec);
+  util::Status st = graph.DeletePerson(moderator);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(graph.TombstoneEpoch(), 0u) << "torn cascade published an epoch";
+  util::failpoint::DisarmAll();
+
+  validate::ValidationReport report = validate::ValidateGraph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has("tombstone-dangling")) << report.ToString();
+}
+
+TEST_F(DeleteCascadeTest, TornCascadeLeavesDetectableIndexState) {
+  const SharedData& data = Fixture();
+  Graph graph(CopyNetwork(data.network));
+  // The creator of post 0 has a non-sentinel message-date zone, so dying
+  // right before the index stage leaves it uncollapsed.
+  const core::Id creator =
+      data.network.persons[graph.PostCreator(0)].id;
+
+  util::failpoint::Spec spec;
+  util::failpoint::Arm("graph.delete.index", spec);
+  util::Status st = graph.DeletePerson(creator);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(graph.TombstoneEpoch(), 0u);
+  util::failpoint::DisarmAll();
+
+  validate::ValidationReport report = validate::ValidateGraph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has("tombstone-index-agreement")) << report.ToString();
+}
+
+TEST_F(DeleteCascadeTest, RefreshRetriesTornCascadeAsTransient) {
+  const SharedData& data = Fixture();
+  RefreshConfig config;
+  config.batch_days = 2;
+  config.retry.initial_backoff_ms = 0.1;
+
+  // Reference: same stream, no fault.
+  std::string ref_dir = FreshDir("torn_ref");
+  ASSERT_TRUE(
+      storage::InitStore(ref_dir, data.network, data.first_day - 1).ok());
+  GraphHandle ref_handle(
+      std::make_shared<Graph>(CopyNetwork(data.network)));
+  auto ref_or = RunBatchedRefresh(ref_dir, ref_handle, data.deletes, config);
+  ASSERT_TRUE(ref_or.ok()) << ref_or.status().ToString();
+  const BiProbeResults reference = RunProbes(*ref_handle.Current());
+
+  // Fault run: the first cascade to reach the likes stage dies there once.
+  // The driver must discard the torn shadow, retry, and converge.
+  std::string dir = FreshDir("torn_retry");
+  ASSERT_TRUE(
+      storage::InitStore(dir, data.network, data.first_day - 1).ok());
+  GraphHandle handle(std::make_shared<Graph>(CopyNetwork(data.network)));
+  util::failpoint::Spec spec;
+  spec.max_fires = 1;
+  util::failpoint::Arm("graph.delete.likes", spec);
+  auto report_or = RunBatchedRefresh(dir, handle, data.deletes, config);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  EXPECT_GE(report_or.value().retries, 1u);
+  EXPECT_EQ(RunProbes(*handle.Current()), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot stability: pre-cascade readers see zero cascade effects; the
+// post-swap snapshot shows the complete cascade.
+// ---------------------------------------------------------------------------
+
+TEST_F(DeleteCascadeTest, PreCascadeSnapshotIsStableUnderConcurrentRefresh) {
+  const SharedData& data = Fixture();
+  RefreshConfig config;
+  config.batch_days = 2;
+
+  std::string dir = FreshDir("snapshot");
+  ASSERT_TRUE(
+      storage::InitStore(dir, data.network, data.first_day - 1).ok());
+  GraphHandle handle(std::make_shared<Graph>(CopyNetwork(data.network)));
+
+  std::shared_ptr<const Graph> pre = handle.Current();
+  const std::vector<bi::Bi1Row> pre_rows = bi::RunBi1(*pre, Probe1());
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> stable{true};
+  std::atomic<size_t> reads{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (bi::RunBi1(*pre, Probe1()) != pre_rows) {
+        stable.store(false, std::memory_order_release);
+      }
+      ++reads;
+    }
+  });
+
+  auto report_or = RunBatchedRefresh(dir, handle, data.deletes, config);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_TRUE(stable.load())
+      << "a pre-cascade snapshot changed while cascades ran";
+  EXPECT_FALSE(pre->HasTombstones());
+  EXPECT_EQ(pre->TombstoneEpoch(), 0u);
+  EXPECT_EQ(bi::RunBi1(*pre, Probe1()), pre_rows);
+
+  // Post-swap: the published snapshot carries the *complete* cascade —
+  // compacted, physically smaller, equal to the from-scratch oracle.
+  std::shared_ptr<const Graph> post = handle.Current();
+  EXPECT_FALSE(post->HasTombstones());
+  EXPECT_GE(post->CompactionEpoch(), 1u);
+  EXPECT_LT(post->NumPersons(), pre->NumPersons());
+  EXPECT_EQ(RunProbes(*post), RunProbes(*TombstonedGraph()));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-interrupted cascade: recover, resume, nothing double-applied.
+// ---------------------------------------------------------------------------
+
+TEST_F(DeleteCascadeTest, ResumeAfterRecoveryIsIdempotentAcrossDeletes) {
+  const SharedData& data = Fixture();
+  RefreshConfig config;
+  config.batch_days = 2;
+  config.checkpoint_every_batches = 1;
+
+  std::string dir = FreshDir("resume");
+  ASSERT_TRUE(
+      storage::InitStore(dir, data.network, data.first_day - 1).ok());
+  GraphHandle handle(std::make_shared<Graph>(CopyNetwork(data.network)));
+  auto first_or = RunBatchedRefresh(dir, handle, data.deletes, config);
+  ASSERT_TRUE(first_or.ok()) << first_or.status().ToString();
+  ASSERT_GT(first_or.value().batches_applied, 1u);
+  const BiProbeResults reference = RunProbes(*handle.Current());
+
+  // Recovery replays any delete batches newer than the last checkpoint and
+  // must land on the same state (validated behind its own gate).
+  auto recovered_or = storage::RecoveryManager(dir).Recover();
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  EXPECT_EQ(RunProbes(*recovered_or.value().graph), reference);
+
+  // Resuming past the last committed day applies nothing.
+  GraphHandle resumed(std::shared_ptr<const Graph>(
+      std::move(recovered_or.value().graph)));
+  RefreshConfig resume = config;
+  resume.resume_after_day = recovered_or.value().last_committed_day;
+  auto second_or = RunBatchedRefresh(dir, resumed, data.deletes, resume);
+  ASSERT_TRUE(second_or.ok()) << second_or.status().ToString();
+  EXPECT_EQ(second_or.value().batches_applied, 0u);
+  EXPECT_EQ(second_or.value().events_skipped, data.deletes.size());
+  EXPECT_EQ(RunProbes(*resumed.Current()), reference);
+}
+
+}  // namespace
+}  // namespace snb

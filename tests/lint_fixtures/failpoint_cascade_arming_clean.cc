@@ -1,0 +1,9 @@
+// snb-lint-path: tests/cascade_crash_test.cc
+// Fixture: the torn-cascade tests arm each stage site and disarm on exit —
+// that is the sanctioned path for failure injection.
+namespace failpoint {
+void Arm(const char* name, int spec);
+void DisarmAll();
+}  // namespace failpoint
+void SetUp() { failpoint::Arm("graph.cascade.likes", 1); }
+void TearDown() { failpoint::DisarmAll(); }

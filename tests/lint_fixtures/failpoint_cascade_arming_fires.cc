@@ -1,0 +1,6 @@
+// snb-lint-path: src/driver/refresh_boot.cc
+// Fixture: shipping refresh code that arms a cascade stage injects torn
+// cascades into production — arming is reserved for tests and the
+// SNB_FAILPOINTS env hook.
+namespace failpoint { void Arm(const char* name, int spec); }
+void Boot() { failpoint::Arm("graph.cascade.forums", 1); }

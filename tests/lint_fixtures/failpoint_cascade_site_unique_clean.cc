@@ -1,0 +1,10 @@
+// snb-lint-path: src/storage/cascade_stages.cc
+// Fixture: every cascade stage owns a distinct fail-point site, so the
+// crash-at-every-site fork loop kills the cascade at each stage exactly
+// once and recovery is exercised against every torn prefix.
+#define SNB_FAILPOINT_STATUS(name) (void)(name)
+int StagePersons() { SNB_FAILPOINT_STATUS("graph.cascade.persons"); return 0; }
+int StageForums() { SNB_FAILPOINT_STATUS("graph.cascade.forums"); return 0; }
+int StageMessages() { SNB_FAILPOINT_STATUS("graph.cascade.messages"); return 0; }
+int StageLikes() { SNB_FAILPOINT_STATUS("graph.cascade.likes"); return 0; }
+int StageIndex() { SNB_FAILPOINT_STATUS("graph.cascade.index"); return 0; }

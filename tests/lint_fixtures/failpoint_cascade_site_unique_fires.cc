@@ -1,0 +1,7 @@
+// snb-lint-path: src/storage/cascade_dup.cc
+// Fixture: a copy-pasted cascade stage reuses another stage's site name.
+// The crash-at-every-site loop enumerates the registry by name, so the
+// duplicate silently halves torn-cascade coverage — two stages, one crash.
+#define SNB_FAILPOINT_STATUS(name) (void)(name)
+int StageForums() { SNB_FAILPOINT_STATUS("graph.cascade.forums"); return 0; }
+int StageMessages() { SNB_FAILPOINT_STATUS("graph.cascade.forums"); return 0; }

@@ -59,7 +59,7 @@ TEST(RecoveryTest, CheckpointAfterUpdatesSurvivesCrash) {
   size_t half = data.updates.size() / 2;
   ASSERT_GT(half, 10u);
   for (size_t i = 0; i < half; ++i) {
-    interactive::ApplyUpdate(live, data.updates[i]);
+    ASSERT_TRUE(interactive::ApplyUpdate(live, data.updates[i]).ok());
   }
   const datagen::UpdateEvent& last = data.updates[half - 1];
 
@@ -131,13 +131,23 @@ TEST(RecoveryTest, CheckpointAfterUpdatesSurvivesCrash) {
       EXPECT_TRUE(recovered.ForumMembers().Contains(forum, person));
       break;
     }
+    case datagen::UpdateKind::kDelPerson:
+    case datagen::UpdateKind::kDelLikePost:
+    case datagen::UpdateKind::kDelLikeComment:
+    case datagen::UpdateKind::kDelForum:
+    case datagen::UpdateKind::kDelMembership:
+    case datagen::UpdateKind::kDelPost:
+    case datagen::UpdateKind::kDelComment:
+    case datagen::UpdateKind::kDelKnows:
+      FAIL() << "generator updates are insert-only";
+      break;
   }
 
   // Resume the workload on the recovered graph; results must match the
   // never-crashed path.
   for (size_t i = half; i < data.updates.size(); ++i) {
-    interactive::ApplyUpdate(live, data.updates[i]);
-    interactive::ApplyUpdate(recovered, data.updates[i]);
+    ASSERT_TRUE(interactive::ApplyUpdate(live, data.updates[i]).ok());
+    ASSERT_TRUE(interactive::ApplyUpdate(recovered, data.updates[i]).ok());
   }
   {
     // Update replay on a recovered store must also preserve the invariants.

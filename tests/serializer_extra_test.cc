@@ -165,7 +165,7 @@ TEST_F(ExtraSerializerFixture, ReplayedStreamEventsApplyCleanly) {
   core::SocialNetwork copy = data().network;
   storage::Graph graph(std::move(copy));
   for (const UpdateEvent& e : read_or.value()) {
-    interactive::ApplyUpdate(graph, e);
+    ASSERT_TRUE(interactive::ApplyUpdate(graph, e).ok());
   }
   EXPECT_EQ(graph.NumPersons(), data().total_persons);
   EXPECT_EQ(graph.NumPosts(), data().total_posts);

@@ -212,6 +212,18 @@ TEST_F(SerializerFixture, UpdateEventFieldCountsMatchTable218) {
       case UpdateKind::kAddComment:
         EXPECT_EQ(fields, 11u);
         break;
+      case UpdateKind::kDelPerson:
+      case UpdateKind::kDelForum:
+      case UpdateKind::kDelPost:
+      case UpdateKind::kDelComment:
+        EXPECT_EQ(fields, 1u);
+        break;
+      case UpdateKind::kDelLikePost:
+      case UpdateKind::kDelLikeComment:
+      case UpdateKind::kDelMembership:
+      case UpdateKind::kDelKnows:
+        EXPECT_EQ(fields, 2u);
+        break;
     }
   }
 }

@@ -97,6 +97,16 @@ TEST(SnbLintFixtures, GoldenPairsPerCheck) {
   ExpectFires("failpoint-site-unique", "failpoint_site_unique_fires.cc");
   ExpectClean("failpoint_site_unique_clean.cc");
 
+  // Cascade-stage golden pairs: the delete cascade's stages each own a
+  // distinct fail-point site, and only tests may arm them.
+  ExpectFires("failpoint-site-unique",
+              "failpoint_cascade_site_unique_fires.cc");
+  ExpectClean("failpoint_cascade_site_unique_clean.cc");
+
+  ExpectFires("failpoint-arming-confined",
+              "failpoint_cascade_arming_fires.cc");
+  ExpectClean("failpoint_cascade_arming_clean.cc");
+
   ExpectFires("wal-confined", "wal_confined_fires.cc");
   ExpectClean("wal_confined_clean.cc");
 

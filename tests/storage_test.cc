@@ -267,7 +267,7 @@ TEST(GraphUpdateTest, IncrementalUpdatesConvergeToFullGraph) {
 
   Graph incremental(std::move(split.network));
   for (const datagen::UpdateEvent& e : split.updates) {
-    interactive::ApplyUpdate(incremental, e);
+    ASSERT_TRUE(interactive::ApplyUpdate(incremental, e).ok());
   }
   Graph reference(std::move(full.network));
 

@@ -42,7 +42,7 @@ TEST(ValidateTest, CleanGraphPassesAllInvariants) {
   options.expect_sf = core::ScaleFactorInfo{"test", 0.0, 50, 0, 0};
   ValidationReport report = ValidateGraph(*graph, options);
   EXPECT_TRUE(report.ok()) << report.ToString();
-  EXPECT_EQ(report.invariants_checked, 14u);
+  EXPECT_EQ(report.invariants_checked, 17u);
 }
 
 TEST(ValidateTest, DanglingEdgeCaughtByEdgeEndpoints) {
@@ -253,6 +253,60 @@ TEST(ValidateTest, DanglingCreatorCaughtByMessageAuthor) {
   creators[0] = 999999;
   ValidationReport report = ValidateGraph(*graph, Lenient());
   EXPECT_TRUE(report.Has("message-author")) << report.ToString();
+}
+
+TEST(ValidateTest, OrphanedTombstoneCaughtByTombstoneDangling) {
+  auto graph = MakeGraph();
+  // Mark the creator of post 0 dead *without* running the cascade — the
+  // torn state a crash mid-cascade would leave if recovery never repaired
+  // it: their posts are still alive, dangling off a tombstoned vertex.
+  TestAccess::PersonDead(*graph).Set(graph->PostCreator(0));
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("tombstone-dangling")) << report.ToString();
+}
+
+TEST(ValidateTest, StaleLiveCountCaughtByTombstoneIndexAgreement) {
+  auto graph = MakeGraph();
+  // A dead-like delta with no matching dead edge: LiveLikeCount would
+  // undercount the message by one.
+  TestAccess::DeadLikesPerMsg(*graph)[Graph::MessageOfPost(0)] = 1;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("tombstone-index-agreement")) << report.ToString();
+}
+
+TEST(ValidateTest, UncollapsedZoneCaughtByTombstoneIndexAgreement) {
+  auto graph = MakeGraph();
+  const uint32_t p = graph->PostCreator(0);
+  const core::DateTime saved_min = TestAccess::PersonMsgDateMin(*graph)[p];
+  const core::DateTime saved_max = TestAccess::PersonMsgDateMax(*graph)[p];
+  // Complete cascade, then resurrect the person's message-date zone: every
+  // downstream entity is correctly dead (no dangling), but person-granular
+  // pruning would still visit the corpse.
+  ASSERT_TRUE(graph->DeletePerson(graph->PersonAt(p).id).ok());
+  TestAccess::PersonMsgDateMin(*graph)[p] = saved_min;
+  TestAccess::PersonMsgDateMax(*graph)[p] = saved_max;
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("tombstone-index-agreement")) << report.ToString();
+  EXPECT_FALSE(report.Has("tombstone-dangling")) << report.ToString();
+}
+
+TEST(ValidateTest, LoweredZoneCaughtByTombstoneZoneBoundsToo) {
+  auto graph = MakeGraph();
+  // Understate a base block's like-count zone max: both the raw-degree
+  // check and the live-count variant must flag the block, since live rows
+  // could be skipped by bound pushdown either way.
+  auto& zones = TestAccess::BaseLikeMax(TestAccess::MessageIndex(*graph));
+  ASSERT_FALSE(zones.empty());
+  bool lowered = false;
+  for (auto& z : zones) {
+    if (z > 0) {
+      z = 0;
+      lowered = true;
+    }
+  }
+  ASSERT_TRUE(lowered) << "fixture graph has no liked messages";
+  ValidationReport report = ValidateGraph(*graph, Lenient());
+  EXPECT_TRUE(report.Has("tombstone-zone-bounds")) << report.ToString();
 }
 
 TEST(ValidateTest, ViolationCapCountsSuppressed) {

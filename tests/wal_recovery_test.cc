@@ -26,12 +26,14 @@
 #include "bi/bi.h"
 #include "core/date_time.h"
 #include "datagen/datagen.h"
+#include "datagen/delete_stream.h"
 #include "driver/refresh.h"
 #include "interactive/updates.h"
 #include "storage/export.h"
 #include "storage/graph.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
+#include "util/check.h"
 #include "util/failpoint.h"
 #include "validate/validator.h"
 
@@ -66,6 +68,23 @@ const SharedData& Fixture() {
     size_t n = std::min<size_t>(gen.updates.size(), 400);
     d->updates.assign(gen.updates.begin(), gen.updates.begin() + n);
     d->first_day = core::DateFromDateTime(d->updates.front().timestamp);
+    // Derived deep deletes ride at the tail of the stream so the refresh
+    // path runs real cascades (registering the graph.delete.* fail-point
+    // sites). Every DEL targets a bulk-loaded entity; shifting their
+    // timestamps past the last insert keeps them in their own trailing
+    // batches, so no insert ever references an entity a cascade removed.
+    datagen::DeleteStreamOptions del_options;
+    del_options.seed = 7;
+    std::vector<datagen::UpdateEvent> deletes =
+        datagen::DeriveDeleteStream(d->network, del_options);
+    SNB_CHECK(!deletes.empty());
+    core::DateTime offset =
+        d->updates.back().timestamp + core::kMillisPerDay -
+        deletes.front().timestamp;
+    if (offset > 0) {
+      for (datagen::UpdateEvent& event : deletes) event.timestamp += offset;
+    }
+    d->updates.insert(d->updates.end(), deletes.begin(), deletes.end());
     return d;
   }();
   return *data;
@@ -121,7 +140,7 @@ std::vector<std::vector<bi::Bi1Row>> ReferenceSnapshots(
       snapshots.push_back(bi::RunBi1(graph, probe));
     }
     current_group = group;
-    interactive::ApplyUpdate(graph, event);
+    SNB_CHECK(interactive::ApplyUpdate(graph, event).ok());
   }
   snapshots.push_back(bi::RunBi1(graph, probe));
   return snapshots;
@@ -146,6 +165,7 @@ TEST_F(WalRecoveryTest, WalRoundTripPreservesBatches) {
   storage::Wal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   ASSERT_TRUE(wal.BatchBegin(100).ok());
+  ASSERT_TRUE(wal.NoteDeleteBatch(100, 3).ok());
   for (size_t i = 0; i < 3; ++i) {
     ASSERT_TRUE(wal.Append(data.updates[i]).ok());
   }
@@ -167,6 +187,8 @@ TEST_F(WalRecoveryTest, WalRoundTripPreservesBatches) {
   EXPECT_EQ(scan.batches[1].day, 101);
   ASSERT_EQ(scan.batches[0].events.size(), 3u);
   ASSERT_EQ(scan.batches[1].events.size(), 3u);
+  EXPECT_EQ(scan.batches[0].delete_count, 3u);
+  EXPECT_EQ(scan.batches[1].delete_count, 0u);
   for (size_t i = 0; i < 6; ++i) {
     const datagen::UpdateEvent& got =
         scan.batches[i / 3].events[i % 3];
@@ -290,12 +312,23 @@ TEST_F(WalRecoveryTest, CrashAtEverySiteRecoversToReferenceResults) {
   std::vector<std::string> sites;
   for (const std::string& site : util::failpoint::RegisteredSites()) {
     if (site.rfind("wal.", 0) == 0 || site.rfind("refresh.", 0) == 0 ||
-        site.rfind("checkpoint.", 0) == 0 || site.rfind("csv.", 0) == 0) {
+        site.rfind("checkpoint.", 0) == 0 || site.rfind("csv.", 0) == 0 ||
+        site.rfind("graph.", 0) == 0) {
       sites.push_back(site);
     }
   }
   ASSERT_GE(sites.size(), 8u)
       << "refresh path should expose >= 8 crash sites";
+  // The rehearsal ran real cascades, so every cascade stage must be here.
+  for (const char* required :
+       {"graph.delete.person", "graph.delete.forums",
+        "graph.delete.messages", "graph.delete.likes",
+        "graph.delete.index"}) {
+    ASSERT_NE(std::find(sites.begin(), sites.end(), std::string(required)),
+              sites.end())
+        << required << " never registered — the fixture stream ran no "
+        << "cascade through that stage";
+  }
 
   // Crash on the site's 1st hit (cold state) and 3rd hit (mid-stream, some
   // batches already durable). Single-hit sites simply complete on the 3rd-

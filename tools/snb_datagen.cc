@@ -10,6 +10,10 @@
 //               [--verify-load]               load + build graph afterwards
 //               [--max-bytes-per-edge <b>]    with --verify-load: fail when
 //                                             the compressed store exceeds b
+//               [--derive-deletes]            derive a DEL 1–8 stream from
+//                                             the bulk dataset (opt-in; the
+//                                             classic output is insert-only)
+//               [--delete-days <n>]           spread deletes over n days
 //
 // Exit status: 0 on success, 1 on generation/load failure or a violated
 // --max-bytes-per-edge budget, 2 on usage errors.
@@ -19,7 +23,9 @@
 #include <cstring>
 #include <string>
 
+#include "datagen/delete_stream.h"
 #include "datagen/streaming.h"
+#include "datagen/update_stream.h"
 #include "storage/graph.h"
 #include "storage/loader.h"
 
@@ -29,9 +35,35 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <out_dir> [--persons <n>] [--seed <s>] "
                "[--budget-mb <mb>] [--spill-dir <dir>] [--verify-load] "
-               "[--max-bytes-per-edge <b>]\n",
+               "[--max-bytes-per-edge <b>] [--derive-deletes] "
+               "[--delete-days <n>]\n",
                argv0);
   return 2;
+}
+
+// Appends the derived DEL stream as the optional third update-stream file.
+// Writes only that file: the person/forum streams already on disk stay
+// byte-identical to an insert-only run.
+int WriteDeleteStream(const std::string& out_dir,
+                      const std::vector<snb::datagen::UpdateEvent>& events) {
+  const std::string path = out_dir + "/updateStream_0_0_delete.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  for (const auto& e : events) {
+    std::string line = snb::datagen::FormatUpdateEventLine(e);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), f);
+  }
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "fclose failed for %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("derived %zu delete events -> %s\n", events.size(),
+              path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -45,6 +77,8 @@ int main(int argc, char** argv) {
   options.spill_dir = options.out_dir + "/.spill";
   bool verify_load = false;
   double max_bytes_per_edge = 0;
+  bool derive_deletes = false;
+  int32_t delete_days = 7;
 
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
@@ -62,6 +96,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--max-bytes-per-edge") == 0 && i + 1 < argc) {
       max_bytes_per_edge = std::strtod(argv[++i], nullptr);
       verify_load = true;
+    } else if (std::strcmp(arg, "--derive-deletes") == 0) {
+      derive_deletes = true;
+    } else if (std::strcmp(arg, "--delete-days") == 0 && i + 1 < argc) {
+      delete_days = static_cast<int32_t>(std::strtol(argv[++i], nullptr, 10));
+      derive_deletes = true;
     } else {
       return Usage(argv[0]);
     }
@@ -85,6 +124,22 @@ int main(int argc, char** argv) {
       stats.persons, stats.knows, stats.forums, stats.memberships,
       stats.posts, stats.comments, stats.likes, stats.update_events,
       stats.spill_runs, stats.orphans_reclaimed);
+
+  if (derive_deletes) {
+    auto bulk = storage::LoadCsvBasic(options.out_dir);
+    if (!bulk.ok()) {
+      std::fprintf(stderr, "load for delete derivation failed: %s\n",
+                   bulk.status().ToString().c_str());
+      return 1;
+    }
+    datagen::DeleteStreamOptions del;
+    del.seed = options.datagen.seed;
+    del.days = delete_days;
+    std::vector<datagen::UpdateEvent> deletes =
+        datagen::DeriveDeleteStream(bulk.value(), del);
+    int rc = WriteDeleteStream(options.out_dir, deletes);
+    if (rc != 0) return rc;
+  }
 
   if (!verify_load) return 0;
 

@@ -6,13 +6,20 @@
 //                                         (default 0.003), build, validate
 //   snb_validate --load <dir>             load a CsvBasic directory, build,
 //                                         validate
+//   snb_validate ... --deletes <dir>      also read the update streams under
+//                                         <dir> and apply their DEL 1–8
+//                                         events (cascading), then validate
+//                                         the tombstoned graph and print the
+//                                         tombstone report
 //   snb_validate ... --expect-sf <sf>     additionally check cardinalities
 //                                         against the SF's Table 2.12 row
 //   snb_validate ... --no-store-check     skip the O(V+E) forward/reverse
 //                                         cross-check
 //
 // Exit status: 0 when every invariant holds, 1 on violations (printed,
-// grouped by invariant name), 2 on usage or load errors.
+// grouped by invariant name — the tombstone-* classes cover delete
+// invariants, so a torn cascade exits non-zero like any corruption), 2 on
+// usage or load/apply errors.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +29,8 @@
 
 #include "core/scale_factors.h"
 #include "datagen/datagen.h"
+#include "datagen/update_stream.h"
+#include "interactive/updates.h"
 #include "storage/graph.h"
 #include "storage/loader.h"
 #include "validate/validator.h"
@@ -30,10 +39,27 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--generate <sf> | --load <dir>] [--expect-sf <sf>]"
-               " [--no-store-check]\n",
+               "usage: %s [--generate <sf> | --load <dir>] [--deletes <dir>]"
+               " [--expect-sf <sf>] [--no-store-check]\n",
                argv0);
   return 2;
+}
+
+/// Live-vs-tombstoned census of the graph, printed whenever the run applied
+/// deletes (and on demand after any load that left tombstones behind).
+void PrintTombstoneReport(const snb::storage::Graph& graph) {
+  auto row = [](const char* name, size_t live, size_t total) {
+    std::printf("  %-10s %zu live / %zu tombstoned\n", name, live,
+                total - live);
+  };
+  std::printf("tombstones:\n");
+  row("persons", graph.NumLivePersons(), graph.NumPersons());
+  row("forums", graph.NumLiveForums(), graph.NumForums());
+  row("posts", graph.NumLivePosts(), graph.NumPosts());
+  row("comments", graph.NumLiveComments(), graph.NumComments());
+  std::printf("  completed cascades (tombstone epoch): %u\n",
+              graph.TombstoneEpoch());
+  std::printf("  compaction epoch: %u\n", graph.CompactionEpoch());
 }
 
 }  // namespace
@@ -43,6 +69,7 @@ int main(int argc, char** argv) {
 
   std::string generate_sf = "0.003";
   std::string load_dir;
+  std::string deletes_dir;
   std::string expect_sf;
   bool store_check = true;
 
@@ -52,6 +79,8 @@ int main(int argc, char** argv) {
       generate_sf = argv[++i];
     } else if (std::strcmp(arg, "--load") == 0 && i + 1 < argc) {
       load_dir = argv[++i];
+    } else if (std::strcmp(arg, "--deletes") == 0 && i + 1 < argc) {
+      deletes_dir = argv[++i];
     } else if (std::strcmp(arg, "--expect-sf") == 0 && i + 1 < argc) {
       expect_sf = argv[++i];
     } else if (std::strcmp(arg, "--no-store-check") == 0) {
@@ -100,6 +129,31 @@ int main(int argc, char** argv) {
   storage::Graph graph(std::move(network));
   std::printf("snb_validate: %zu persons, %zu forums, %zu messages\n",
               graph.NumPersons(), graph.NumForums(), graph.NumMessages());
+
+  if (!deletes_dir.empty()) {
+    auto updates = datagen::ReadUpdateStreams(deletes_dir);
+    if (!updates.ok()) {
+      std::fprintf(stderr, "snb_validate: cannot read update streams: %s\n",
+                   updates.status().ToString().c_str());
+      return 2;
+    }
+    size_t applied = 0;
+    for (const datagen::UpdateEvent& event : updates.value()) {
+      if (!datagen::IsDeleteKind(event.kind)) continue;
+      util::Status st = interactive::ApplyUpdate(graph, event);
+      if (!st.ok()) {
+        std::fprintf(stderr,
+                     "snb_validate: cascade failed (graph is torn): %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+      ++applied;
+    }
+    std::printf("applied %zu delete events\n", applied);
+  }
+  if (!deletes_dir.empty() || graph.HasTombstones()) {
+    PrintTombstoneReport(graph);
+  }
 
   validate::ValidationReport report = validate::ValidateGraph(graph, options);
   if (!report.ok()) {
