@@ -4,6 +4,12 @@
 // the result as bench/out/BENCH_parallel.json (gitignored — compare against
 // the committed baseline bench/BENCH_parallel.json) and echoed to stdout.
 //
+// Each query row also records what the adaptive dispatch model would do
+// with the measured workload ("adaptive_choice" / "predicted_speedup",
+// same field names as BENCH_kernels.json), taken from the scheduler's own
+// dispatch point — so the raw speedup table and the model's verdict on it
+// sit side by side in one report.
+//
 // Speedups are a property of the host: on a single-core container every
 // ratio degenerates to ~1× (the report still records the measured values);
 // on a multi-core machine the scan-dominated queries (BI 1, 13, 20, ...)
@@ -29,7 +35,9 @@
 #include "bi/parallel.h"
 #include "core/date_time.h"
 #include "datagen/datagen.h"
+#include "engine/dispatch.h"
 #include "params/parameter_curation.h"
+#include "sched/stream.h"
 #include "storage/graph.h"
 #include "storage/message_index.h"
 #include "util/thread_pool.h"
@@ -100,6 +108,9 @@ struct QueryReport {
   std::string name;
   double seq_ms = 0;
   std::vector<std::pair<size_t, double>> parallel_ms;  // (threads, ms)
+  bool dispatch_considered = false;
+  bool adaptive_chose_morsel = false;
+  double predicted_speedup = 0;
 };
 
 }  // namespace
@@ -124,9 +135,20 @@ int main(int argc, char** argv) {
   const size_t kThreadCounts[] = {2, 4, 8};
   std::vector<QueryReport> reports;
 
+  // The dispatch model the scheduler would consult for these queries,
+  // calibrated on this exact graph; decisions below come through
+  // sched::ExecuteStreamOp so they are the scheduler's, not a re-derivation.
+  const size_t kDispatchWorkers = 8;
+  util::ThreadPool dispatch_pool(kDispatchWorkers);
+  engine::DispatchModel model(kDispatchWorkers,
+                              std::thread::hardware_concurrency());
+  model.Calibrate(graph);
+  std::fprintf(stderr, "calibrated %.2f ns/element\n",
+               model.ns_per_element());
+
   // One entry per morsel-parallel query: run every curated binding once per
   // timed repetition so skewed bindings do not dominate the comparison.
-  auto bench = [&](const char* name, auto&& bindings, auto&& seq,
+  auto bench = [&](const char* name, int qnum, auto&& bindings, auto&& seq,
                    auto&& par) {
     if (bindings.empty()) return;
     QueryReport r;
@@ -143,20 +165,33 @@ int main(int argc, char** argv) {
                                    }
                                  }));
     }
+    // Untimed adaptive pass: what would the scheduler's dispatch point do
+    // with these bindings? Records the last binding's decision, matching
+    // BENCH_kernels.json.
+    for (size_t b = 0; b < bindings.size(); ++b) {
+      sched::OpOutcome out = sched::ExecuteStreamOp(
+          graph, params, {qnum, b}, nullptr, &dispatch_pool, &model);
+      if (out.dispatch_considered) {
+        r.dispatch_considered = true;
+        r.predicted_speedup = out.dispatch.predicted_speedup;
+        r.adaptive_chose_morsel =
+            out.dispatch.choice == engine::DispatchChoice::kMorsel;
+      }
+    }
     reports.push_back(std::move(r));
   };
 
-  bench("BI 1", params.bi1, bi::RunBi1, bi::parallel::RunBi1);
-  bench("BI 2", params.bi2, bi::RunBi2, bi::parallel::RunBi2);
-  bench("BI 3", params.bi3, bi::RunBi3, bi::parallel::RunBi3);
-  bench("BI 6", params.bi6, bi::RunBi6, bi::parallel::RunBi6);
-  bench("BI 12", params.bi12, bi::RunBi12, bi::parallel::RunBi12);
-  bench("BI 13", params.bi13, bi::RunBi13, bi::parallel::RunBi13);
-  bench("BI 14", params.bi14, bi::RunBi14, bi::parallel::RunBi14);
-  bench("BI 17", params.bi17, bi::RunBi17, bi::parallel::RunBi17);
-  bench("BI 20", params.bi20, bi::RunBi20, bi::parallel::RunBi20);
-  bench("BI 23", params.bi23, bi::RunBi23, bi::parallel::RunBi23);
-  bench("BI 24", params.bi24, bi::RunBi24, bi::parallel::RunBi24);
+  bench("BI 1", 1, params.bi1, bi::RunBi1, bi::parallel::RunBi1);
+  bench("BI 2", 2, params.bi2, bi::RunBi2, bi::parallel::RunBi2);
+  bench("BI 3", 3, params.bi3, bi::RunBi3, bi::parallel::RunBi3);
+  bench("BI 6", 6, params.bi6, bi::RunBi6, bi::parallel::RunBi6);
+  bench("BI 12", 12, params.bi12, bi::RunBi12, bi::parallel::RunBi12);
+  bench("BI 13", 13, params.bi13, bi::RunBi13, bi::parallel::RunBi13);
+  bench("BI 14", 14, params.bi14, bi::RunBi14, bi::parallel::RunBi14);
+  bench("BI 17", 17, params.bi17, bi::RunBi17, bi::parallel::RunBi17);
+  bench("BI 20", 20, params.bi20, bi::RunBi20, bi::parallel::RunBi20);
+  bench("BI 23", 23, params.bi23, bi::RunBi23, bi::parallel::RunBi23);
+  bench("BI 24", 24, params.bi24, bi::RunBi24, bi::parallel::RunBi24);
 
   // Zone-map pruning: how many index entries a one-month window examines
   // vs the full message count. The window is the median base month, so it
@@ -186,6 +221,9 @@ int main(int argc, char** argv) {
   emit("  \"reps\": %zu,\n", opt.reps);
   emit("  \"hardware_threads\": %u,\n",
        std::thread::hardware_concurrency());
+  emit("  \"dispatch_model\": {\"workers\": %zu, "
+       "\"ns_per_element\": %.3f},\n",
+       model.workers(), model.ns_per_element());
   emit("  \"zone_map\": {\n");
   emit("    \"window_year\": %d,\n", wy);
   emit("    \"window_month\": %d,\n", wm);
@@ -200,8 +238,14 @@ int main(int argc, char** argv) {
   emit("  \"queries\": [\n");
   for (size_t i = 0; i < reports.size(); ++i) {
     const QueryReport& r = reports[i];
-    emit("    {\"query\": \"%s\", \"sequential_ms\": %.3f, \"parallel\": [",
-         r.name.c_str(), r.seq_ms);
+    emit("    {\"query\": \"%s\", \"sequential_ms\": %.3f, "
+         "\"adaptive_choice\": \"%s\", \"predicted_speedup\": %.3f, "
+         "\"parallel\": [",
+         r.name.c_str(), r.seq_ms,
+         !r.dispatch_considered ? "unconsidered"
+         : r.adaptive_chose_morsel ? "morsel"
+                                   : "sequential",
+         r.predicted_speedup);
     for (size_t j = 0; j < r.parallel_ms.size(); ++j) {
       const auto& [threads, ms] = r.parallel_ms[j];
       emit("%s{\"threads\": %zu, \"ms\": %.3f, \"speedup\": %.3f}",

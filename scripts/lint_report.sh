@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CI-facing lint report. Where scripts/lint.sh is the pass/fail *gate*,
+# this script is the *annotator*: it runs snb_lint in --format=json mode
+# and renders each finding on one line in a machine-greppable form that CI
+# systems can turn into inline annotations:
+#
+#   ::error file=src/x.cc,line=12::[check] message      (unsuppressed)
+#   ::notice file=src/y.cc,line=7::[check] suppressed: message
+#
+# Suppressed findings (well-formed snb-lint-allow comments) are reported
+# as notices so the allow inventory stays visible in CI without failing
+# the build — the JSON keeps them precisely so this script can count them.
+# A trailing summary line gives the totals.
+#
+# Flags are passed through to snb_lint, so `lint_report.sh --changed-only`
+# annotates only files touched relative to HEAD.
+#
+# Exit code mirrors snb_lint: 0 clean (suppressed-only is clean), 1 when
+# any unsuppressed finding exists, 2 on usage/IO errors.
+set -uo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+lint_src="$repo/tools/snb_lint"
+lint_bin="$repo/build/snb_lint-cache/snb_lint"
+
+rebuild=0
+if [[ ! -x "$lint_bin" ]]; then
+  rebuild=1
+else
+  for f in "$lint_src"/*.cc "$lint_src"/*.h; do
+    if [[ "$f" -nt "$lint_bin" ]]; then rebuild=1; break; fi
+  done
+fi
+if [[ "$rebuild" -eq 1 ]]; then
+  mkdir -p "$(dirname "$lint_bin")"
+  cxx="${CXX:-c++}"
+  if ! "$cxx" -std=c++20 -O1 -o "$lint_bin" "$lint_src"/*.cc; then
+    echo "lint_report: snb_lint failed to build (compiler: $cxx)" >&2
+    exit 2
+  fi
+fi
+
+json=$("$lint_bin" --root "$repo" --format=json "$@")
+status=$?
+if [[ "$status" -gt 1 ]]; then
+  echo "lint_report: snb_lint did not run cleanly (exit $status)" >&2
+  printf '%s\n' "$json" >&2
+  exit "$status"
+fi
+
+# The JSON is one object per line (pretty-printed array, one finding per
+# element line), so a line-oriented parse is exact, not a heuristic. Pull
+# the four fields we render; the message is everything the analyzer said.
+errors=0
+notices=0
+while IFS= read -r line; do
+  case "$line" in
+    *'"check"'*) ;;
+    *) continue ;;
+  esac
+  check=$(printf '%s' "$line" | sed -n 's/.*"check": "\([^"]*\)".*/\1/p')
+  file=$(printf '%s' "$line" | sed -n 's/.*"file": "\([^"]*\)".*/\1/p')
+  lineno=$(printf '%s' "$line" | sed -n 's/.*"line": \([0-9]*\).*/\1/p')
+  msg=$(printf '%s' "$line" |
+    sed -n 's/.*"message": "\(.*\)", "suppressed".*/\1/p')
+  if printf '%s' "$line" | grep -q '"suppressed": true'; then
+    notices=$((notices + 1))
+    echo "::notice file=${file},line=${lineno}::[${check}] suppressed: ${msg}"
+  else
+    errors=$((errors + 1))
+    echo "::error file=${file},line=${lineno}::[${check}] ${msg}"
+  fi
+done <<<"$json"
+
+echo "lint_report: ${errors} finding(s), ${notices} suppressed allow(s)"
+if [[ "$errors" -gt 0 ]]; then exit 1; fi
+exit 0

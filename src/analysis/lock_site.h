@@ -34,6 +34,24 @@ struct LockSiteInfo {
   int level;
 };
 
+/// The declared level assignments, in one place. SNB_LOCK_LEVEL call sites
+/// must agree with this table: the dynamic lock graph reads the level from
+/// the macro argument, the static analyzer (snb_lint --dump-lock-sites)
+/// re-derives it from the same tokens, and the cross-check test in
+/// tests/lock_site_crosscheck_test.cc fails on any divergence between this
+/// registry and what the tree actually declares. Add a row when you add a
+/// level, and keep levels strictly increasing along every sanctioned
+/// nesting (see the `level` comment above).
+struct DeclaredLockLevel {
+  const char* name;
+  int level;
+};
+
+inline constexpr DeclaredLockLevel kDeclaredLockLevels[] = {
+    {"sched.stream_mu", 10},    // held across ThreadPool::Submit by design
+    {"util.thread_pool.mu", 20},  // the pool's queue mutex
+};
+
 }  // namespace snb::analysis
 
 #endif  // SNB_ANALYSIS_LOCK_SITE_H_

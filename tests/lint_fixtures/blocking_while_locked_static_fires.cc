@@ -1,0 +1,41 @@
+// snb-lint-path: src/util/blocking_demo.cc
+// Fixture: blocking operations reachable while a lock is held and the
+// (held, blocking) pair is not sanctioned by declared levels — a CondVar
+// wait on a *different* mutex, and file I/O (never sanctioned), one of
+// them hidden behind a helper so only the summary sees it.
+#define SNB_LOCK_SITE(name) name
+#define SNB_GUARDED_BY(x)
+
+namespace util {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+struct CondVar {
+  void Wait(Mutex& m);
+};
+}  // namespace util
+
+class Cache {
+ public:
+  void Publish();
+  void Flush();
+
+ private:
+  void SyncToDisk();
+  util::Mutex mu_{SNB_LOCK_SITE("demo.cache.mu")};
+  util::Mutex io_mu_{SNB_LOCK_SITE("demo.io.mu")};
+  util::CondVar ready_;
+};
+
+void Cache::SyncToDisk() { fsync(0); }
+
+void Cache::Publish() {
+  util::MutexLock l(mu_);
+  ready_.Wait(io_mu_);  // waits on demo.io.mu while demo.cache.mu is held
+}
+
+void Cache::Flush() {
+  util::MutexLock l(mu_);
+  SyncToDisk();  // file I/O while demo.cache.mu is held, via the helper
+}

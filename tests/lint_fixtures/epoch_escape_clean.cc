@@ -1,0 +1,40 @@
+// snb-lint-path: src/driver/snapshot_demo.cc
+// Fixture: the sanctioned snapshot idioms — a named shared_ptr snapshot
+// with raw views confined to its scope, inline full-expression use of
+// *handle.Current() as a call argument, returning the shared_ptr itself,
+// and capturing the shared_ptr (not a raw view) into a deferred task.
+#include <memory>
+
+namespace storage {
+struct Graph {
+  int n = 0;
+};
+}  // namespace storage
+
+struct GraphHandle {
+  std::shared_ptr<const storage::Graph> Current() const;
+};
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F f);
+};
+
+void Consume(const storage::Graph& g);
+int Export(const storage::Graph& g);
+
+void Report(GraphHandle& handle) {
+  auto snap = handle.Current();       // named, refcounted snapshot
+  const storage::Graph& g = *snap;    // view scoped to the snapshot
+  Consume(g);
+  (void)Export(*handle.Current());    // lives for the full expression
+}
+
+std::shared_ptr<const storage::Graph> Acquire(GraphHandle& handle) {
+  return handle.Current();  // returning the shared_ptr keeps the epoch
+}
+
+void Defer(GraphHandle& handle, ThreadPool& pool) {
+  auto snap = handle.Current();
+  pool.Submit([snap] { Consume(*snap); });  // by-value capture pins it
+}

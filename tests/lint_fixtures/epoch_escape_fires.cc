@@ -1,0 +1,47 @@
+// snb-lint-path: src/driver/epoch_demo.cc
+// Fixture: raw Graph views escaping their GraphHandle snapshot — stored
+// into a field, bound to the temporary shared_ptr, returned past the
+// handle's scope, and captured by a deferred task lambda. Each is the
+// use-after-snapshot-swap shape a serving-tier plan/result cache invites.
+#include <memory>
+
+namespace storage {
+struct Graph {
+  int n = 0;
+};
+}  // namespace storage
+
+struct GraphHandle {
+  std::shared_ptr<const storage::Graph> Current() const;
+};
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F f);
+};
+
+class PlanCache {
+ public:
+  void Warm(GraphHandle& handle);
+  const storage::Graph& Leak(GraphHandle& handle);
+  void Defer(GraphHandle& handle, ThreadPool& pool);
+
+ private:
+  const storage::Graph* graph_ = nullptr;
+};
+
+void PlanCache::Warm(GraphHandle& handle) {
+  graph_ = handle.Current().get();  // field outlives the snapshot
+  const storage::Graph& g = *handle.Current();  // binds to a temporary
+  (void)g;
+}
+
+const storage::Graph& PlanCache::Leak(GraphHandle& handle) {
+  return *handle.Current();  // the shared_ptr dies with the return
+}
+
+void PlanCache::Defer(GraphHandle& handle, ThreadPool& pool) {
+  auto snap = handle.Current();
+  const storage::Graph& g = *snap;
+  pool.Submit([&g] { (void)g.n; });  // raw view outlives this frame
+}

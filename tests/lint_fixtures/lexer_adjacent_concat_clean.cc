@@ -1,0 +1,13 @@
+// snb-lint-path: src/util/concat_demo.cc
+// Fixture: adjacent string-literal concatenation. Each piece lexes as its
+// own string token; the forbidden spellings that appear when a reader (or
+// a regex) glues the pieces together must not surface as identifiers.
+inline const char* Banner() {
+  return "assert("
+         "x) && std::mutex "
+         "and rand()";
+}
+
+inline const char* Mixed() {
+  return R"(time()" "(nullptr)) and " R"(std::condition_variable)";
+}

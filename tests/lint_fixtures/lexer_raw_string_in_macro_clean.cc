@@ -1,0 +1,12 @@
+// snb-lint-path: src/util/raw_macro_demo.cc
+// Fixture: raw strings inside #define bodies. The preprocessor line
+// (including its backslash continuation) absorbs the whole macro body, so
+// the forbidden spellings inside these raw strings must never surface as
+// live tokens — the old sed|grep gate tripped on exactly this.
+#define DEMO_PATTERN R"(assert(x) && rand() && std::mutex)"
+#define DEMO_MULTI                                  \
+  R"(time(nullptr) inside a continued macro body    \
+     with a second line of std::condition_variable)"
+
+inline const char* DemoPattern() { return DEMO_PATTERN; }
+inline const char* DemoMulti() { return DEMO_MULTI; }

@@ -1,0 +1,36 @@
+// snb-lint-path: src/sched/order_demo.cc
+// Fixture: every path takes the locks in the same declared order — a
+// consistent A->B edge (direct and through a helper) is not a cycle, and
+// acquiring upward through declared levels is not an inversion.
+#define SNB_LOCK_LEVEL(name, level) name
+#define SNB_GUARDED_BY(x)
+
+namespace util {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+}  // namespace util
+
+class Ordered {
+ public:
+  void Direct();
+  void ViaHelper();
+
+ private:
+  void HelpLockHigh();
+  util::Mutex low_{SNB_LOCK_LEVEL("demo.low", 10)};
+  util::Mutex high_{SNB_LOCK_LEVEL("demo.high", 20)};
+};
+
+void Ordered::HelpLockHigh() { util::MutexLock l(high_); }
+
+void Ordered::Direct() {
+  util::MutexLock l(low_);
+  util::MutexLock l2(high_);
+}
+
+void Ordered::ViaHelper() {
+  util::MutexLock l(low_);
+  HelpLockHigh();
+}

@@ -1,0 +1,38 @@
+// snb-lint-path: src/sched/cycle_demo.cc
+// Fixture: a deliberate A->B / B->A lock-order inversion, each side hidden
+// behind a helper function — only the interprocedural summary sees both
+// edges, and the finding must carry the full static call chain for each.
+#define SNB_LOCK_SITE(name) name
+#define SNB_GUARDED_BY(x)
+
+namespace util {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+}  // namespace util
+
+class Pair {
+ public:
+  void AThenB();
+  void BThenA();
+
+ private:
+  void HelpLockA();
+  void HelpLockB();
+  util::Mutex a_{SNB_LOCK_SITE("demo.a")};
+  util::Mutex b_{SNB_LOCK_SITE("demo.b")};
+};
+
+void Pair::HelpLockA() { util::MutexLock l(a_); }
+void Pair::HelpLockB() { util::MutexLock l(b_); }
+
+void Pair::AThenB() {
+  util::MutexLock l(a_);
+  HelpLockB();  // demo.a -> demo.b
+}
+
+void Pair::BThenA() {
+  util::MutexLock l(b_);
+  HelpLockA();  // demo.b -> demo.a: closes the cycle
+}

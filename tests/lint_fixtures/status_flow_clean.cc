@@ -1,0 +1,33 @@
+// snb-lint-path: src/driver/status_flow_demo.cc
+// Fixture: the sanctioned Status flows — a helper that examines its
+// parameter, accumulator locals whose last write is always followed by a
+// read, and branch-assigned Status returned afterwards (the check is
+// branch-insensitive on purpose: only a *final* unread write fires).
+namespace util {
+class Status {
+ public:
+  bool ok() const;
+};
+}  // namespace util
+
+util::Status Step();
+void Record(bool ok);
+
+void LogOutcome(util::Status st) { Record(st.ok()); }
+
+util::Status Forward() {
+  util::Status st = Step();
+  if (!st.ok()) return st;
+  st = Step();
+  return st;
+}
+
+util::Status Choose(bool a) {
+  util::Status st;
+  if (a) {
+    st = Step();
+  } else {
+    st = Step();
+  }
+  return st;
+}

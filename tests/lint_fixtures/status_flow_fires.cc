@@ -1,0 +1,24 @@
+// snb-lint-path: src/driver/status_demo.cc
+// Fixture: interprocedural Status drops. LogOutcome never reads its
+// Status parameter, Note cannot (unnamed) — and handing a Status to such
+// a helper silently swallows the caller's error, which the per-file
+// unchecked-status check can never see.
+namespace util {
+class Status {
+ public:
+  bool ok() const;
+};
+}  // namespace util
+
+util::Status Step();
+
+void LogOutcome(util::Status st) {}  // never examines st
+
+void Note(util::Status) {}  // cannot examine an unnamed parameter
+
+util::Status Run() {
+  util::Status st = Step();
+  LogOutcome(st);  // the error is dropped across the call boundary
+  util::Status last = Step();  // assigned, never consulted
+  return Step();
+}

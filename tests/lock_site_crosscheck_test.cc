@@ -1,0 +1,87 @@
+// Cross-checks the two lock-level sources of truth against each other:
+// the kDeclaredLockLevels registry in src/analysis/lock_site.h (what the
+// dynamic lock graph documents) and the SNB_LOCK_LEVEL tokens snb_lint
+// re-derives from the tree (`--dump-lock-sites`). A level declared in the
+// code but missing from the registry — or the reverse, or a level
+// disagreement — is a test failure, never a silent divergence.
+//
+// SNB_LINT_BIN and SNB_LINT_ROOT arrive as compile definitions from
+// tests/CMakeLists.txt.
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "analysis/lock_site.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+/// name -> level for every *levelled* site snb_lint sees in the tree.
+/// Sites registered with SNB_LOCK_SITE (no level) dump level -1 and are
+/// exempt from level ordering, so they are not part of this contract.
+std::map<std::string, int> DumpedLevels(std::string* error) {
+  std::string cmd = std::string(SNB_LINT_BIN) + " --root " + SNB_LINT_ROOT +
+                    " --dump-lock-sites 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    *error = "popen failed for: " + cmd;
+    return {};
+  }
+  std::string output;
+  char buf[512];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
+  int status = pclose(pipe);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    *error = "snb_lint --dump-lock-sites failed:\n" + output;
+    return {};
+  }
+  std::map<std::string, int> levels;
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string name, level_str;
+    if (!std::getline(fields, name, '\t') ||
+        !std::getline(fields, level_str, '\t')) {
+      continue;
+    }
+    int level = std::stoi(level_str);
+    if (level != snb::analysis::kNoLevel) levels[name] = level;
+  }
+  return levels;
+}
+
+TEST(LockSiteCrossCheck, RegistryMatchesDeclaredLevels) {
+  std::string error;
+  std::map<std::string, int> dumped = DumpedLevels(&error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_FALSE(dumped.empty())
+      << "no levelled lock sites found — extraction regressed";
+
+  std::map<std::string, int> registry;
+  for (const auto& row : snb::analysis::kDeclaredLockLevels) {
+    registry[row.name] = row.level;
+  }
+
+  for (const auto& [name, level] : registry) {
+    auto it = dumped.find(name);
+    EXPECT_TRUE(it != dumped.end())
+        << "registry lists '" << name
+        << "' but no SNB_LOCK_LEVEL in the tree declares it";
+    if (it != dumped.end()) {
+      EXPECT_EQ(it->second, level)
+          << "level mismatch for '" << name << "': registry says " << level
+          << ", the tree declares " << it->second;
+    }
+  }
+  for (const auto& [name, level] : dumped) {
+    EXPECT_TRUE(registry.count(name))
+        << "SNB_LOCK_LEVEL(\"" << name << "\", " << level
+        << ") in the tree is missing from kDeclaredLockLevels in "
+           "src/analysis/lock_site.h";
+  }
+}
+
+}  // namespace

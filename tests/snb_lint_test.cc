@@ -121,6 +121,63 @@ TEST(SnbLintFixtures, GoldenPairsPerCheck) {
 
   ExpectFires("guarded-by", "guarded_by_fires.cc");
   ExpectClean("guarded_by_clean.cc");
+
+  // The interprocedural (v3) families.
+  ExpectFires("static-lock-cycle", "static_lock_cycle_fires.cc");
+  ExpectClean("static_lock_cycle_clean.cc");
+
+  ExpectFires("blocking-while-locked-static",
+              "blocking_while_locked_static_fires.cc");
+  ExpectClean("blocking_while_locked_static_clean.cc");
+
+  ExpectFires("epoch-escape", "epoch_escape_fires.cc");
+  ExpectClean("epoch_escape_clean.cc");
+
+  ExpectFires("status-flow", "status_flow_fires.cc");
+  ExpectClean("status_flow_clean.cc");
+}
+
+TEST(SnbLintIpa, LockCycleReportsBothCallChains) {
+  // The A->B / B->A inversion hides each edge behind a helper; the single
+  // cycle finding must carry the static call chain for *both* sides.
+  RunResult r = RunLint("--check static-lock-cycle --fixture " +
+                        Fixture("static_lock_cycle_fires.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("'demo.a' -> 'demo.b' -> 'demo.a'"),
+            std::string::npos)
+      << r.output;
+  for (const char* chain_part :
+       {"Pair::AThenB", "Pair::HelpLockB", "Pair::BThenA",
+        "Pair::HelpLockA"}) {
+    EXPECT_NE(r.output.find(chain_part), std::string::npos)
+        << "missing chain element " << chain_part << " in:\n"
+        << r.output;
+  }
+  EXPECT_NE(r.output.find("acquires 'demo.b'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("acquires 'demo.a'"), std::string::npos)
+      << r.output;
+}
+
+TEST(SnbLintIpa, BlockingFindingCarriesInterproceduralChain) {
+  // The fsync hides behind SyncToDisk: the finding must name the helper
+  // hop, proving the hazard came through a summary, not a same-function
+  // scan.
+  RunResult r = RunLint("--check blocking-while-locked-static --fixture " +
+                        Fixture("blocking_while_locked_static_fires.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("calls Cache::SyncToDisk"), std::string::npos)
+      << r.output;
+}
+
+TEST(SnbLintIpa, StatusFlowCrossesCallBoundary) {
+  RunResult r = RunLint("--check status-flow --fixture " +
+                        Fixture("status_flow_fires.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("handed to 'LogOutcome'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unnamed Status parameter"), std::string::npos)
+      << r.output;
 }
 
 TEST(SnbLintFixtures, UncheckedStatusFlagsBothDiscardForms) {
@@ -176,6 +233,42 @@ TEST(SnbLintLexer, RawStringsAndEscapedQuotesAreContent) {
   ExpectClean("lexer_raw_string_clean.cc");
 }
 
+TEST(SnbLintLexer, RawStringsInsideMacroBodiesAreNotCode) {
+  // #define bodies (including backslash continuations) are preprocessor
+  // text, not tokens — a raw string full of forbidden spellings inside one
+  // must not leak into the checks.
+  ExpectClean("lexer_raw_string_in_macro_clean.cc");
+}
+
+TEST(SnbLintLexer, AdjacentStringConcatenationStaysStringContent) {
+  // "assert(" "x)" lexes as two string tokens; neither half may be
+  // mistaken for an identifier or call.
+  ExpectClean("lexer_adjacent_concat_clean.cc");
+}
+
+TEST(SnbLintCli, JsonFormatReportsSuppressedFindings) {
+  // Text mode hides allow-suppressed findings entirely; JSON keeps them
+  // with "suppressed": true so reporting tools can count them — and they
+  // still don't affect the exit code.
+  RunResult r = RunLint("--format=json --fixture " +
+                        Fixture("suppression_clean.cc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"suppressed\": true"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"check\": \"no-raw-assert\""), std::string::npos)
+      << r.output;
+}
+
+TEST(SnbLintCli, JsonFormatEmitsUnsuppressedWithExitOne) {
+  RunResult r = RunLint("--format=json --check no-raw-random --fixture " +
+                        Fixture("no_raw_random_fires.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"check\": \"no-raw-random\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"suppressed\": false"), std::string::npos)
+      << r.output;
+}
+
 TEST(SnbLintCli, ListChecksNamesEveryFamily) {
   RunResult r = RunLint("--list-checks");
   EXPECT_EQ(r.exit_code, 0);
@@ -185,7 +278,8 @@ TEST(SnbLintCli, ListChecksNamesEveryFamily) {
         "no-raw-assert", "failpoint-site-confined",
         "failpoint-arming-confined", "failpoint-site-unique", "wal-confined",
         "test-access-confined", "unchecked-status", "relaxed-rationale",
-        "guarded-by", "suppression"}) {
+        "guarded-by", "static-lock-cycle", "blocking-while-locked-static",
+        "epoch-escape", "status-flow", "suppression"}) {
     EXPECT_NE(r.output.find(name), std::string::npos) << name;
   }
 }

@@ -1,0 +1,64 @@
+#include "callgraph.h"
+
+#include <algorithm>
+
+namespace snb_lint {
+namespace {
+
+/// Is `candidate` a lambda visible from `caller`? Local lambda names only
+/// bind inside the function that defined them (same file, nested range).
+bool LambdaVisible(const Corpus& corpus, size_t caller, size_t candidate) {
+  const FunctionDef& lam = corpus.funcs[candidate];
+  const FunctionDef& from = corpus.funcs[caller];
+  return lam.file_index == from.file_index && lam.open > from.open &&
+         lam.close < from.close;
+}
+
+}  // namespace
+
+CallGraph BuildCallGraph(const Corpus& corpus) {
+  CallGraph cg;
+  cg.targets.resize(corpus.funcs.size());
+  for (size_t id = 0; id < corpus.funcs.size(); ++id) {
+    const std::vector<Event>& events = corpus.events[id];
+    cg.targets[id].resize(events.size());
+    for (size_t e = 0; e < events.size(); ++e) {
+      const Event& ev = events[e];
+      if (ev.kind != EvKind::kCall) continue;
+      auto it = corpus.by_name.find(ev.callee);
+      if (it == corpus.by_name.end()) continue;
+      std::vector<size_t> arity_ok;
+      for (size_t cand : it->second) {
+        const FunctionDef& def = corpus.funcs[cand];
+        if (ev.arity < def.min_arity || ev.arity > def.max_arity) continue;
+        if (def.is_lambda && !LambdaVisible(corpus, id, cand)) continue;
+        arity_ok.push_back(cand);
+      }
+      if (arity_ok.empty()) continue;
+      // Receiver-typed preference: `pool.Submit(...)` with `ThreadPool&
+      // pool` in scope binds to ThreadPool::Submit and nothing else. The
+      // symbol layer stores receiver *names*; the owning-type mapping
+      // lives in the events themselves via `receiver_type` below — here we
+      // prefer candidates whose owner matches the recorded receiver type.
+      if (!ev.receiver_type.empty()) {
+        std::vector<size_t> typed;
+        for (size_t cand : arity_ok) {
+          if (corpus.funcs[cand].owner == ev.receiver_type) {
+            typed.push_back(cand);
+          }
+        }
+        if (!typed.empty()) {
+          cg.targets[id][e] = std::move(typed);
+          continue;
+        }
+        // A known receiver type with no matching member: the call targets
+        // a class the corpus doesn't model — drop rather than fabricate.
+        continue;
+      }
+      cg.targets[id][e] = std::move(arity_ok);
+    }
+  }
+  return cg;
+}
+
+}  // namespace snb_lint

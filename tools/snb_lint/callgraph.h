@@ -1,0 +1,36 @@
+// Heuristic whole-repo call graph over the symbol corpus.
+//
+// A call site resolves by callee name + arity against every definition the
+// corpus knows: candidates whose [min_arity, max_arity] admits the call's
+// argument count survive; when the receiver's type was inferred from a
+// local/parameter declaration, candidates owned by that type win outright.
+// Ambiguity resolves to the *union* of candidates — the effect layer takes
+// the union of their summaries, which over-approximates soundly for the
+// deadlock checks (an edge that might exist is analyzed as existing).
+// Lambdas only join the graph through a direct local invocation of the
+// variable they were bound to (`auto f = [..]{..}; f(x);`) — a lambda
+// passed to another function is deferred work, not a call (DESIGN.md
+// documents the inline-callback blind spot this accepts).
+
+#ifndef SNB_TOOLS_SNB_LINT_CALLGRAPH_H_
+#define SNB_TOOLS_SNB_LINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "symbols.h"
+
+namespace snb_lint {
+
+struct CallGraph {
+  /// targets[func][event] — resolved callee ids for the corresponding
+  /// Event in Corpus::events[func]; empty for non-call events and for
+  /// calls that resolve to nothing in the corpus (std:: and the like).
+  std::vector<std::vector<std::vector<size_t>>> targets;
+};
+
+CallGraph BuildCallGraph(const Corpus& corpus);
+
+}  // namespace snb_lint
+
+#endif  // SNB_TOOLS_SNB_LINT_CALLGRAPH_H_

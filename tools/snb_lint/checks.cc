@@ -7,6 +7,7 @@
 #include <set>
 #include <string_view>
 
+#include "ipa_checks.h"
 #include "scopes.h"
 
 namespace snb_lint {
@@ -87,14 +88,16 @@ class Ctx {
   }
 
   void Emit(const Unit& u, int line, std::string check, std::string msg) {
+    bool suppressed = false;
     for (const Suppression& s : u.allows) {
       if ((s.check == "*" || s.check == check) && line >= s.line_begin &&
           line <= s.line_end + 1) {
-        return;
+        suppressed = true;
+        break;
       }
     }
     findings_.push_back(Finding{u.lex->path, line, std::move(check),
-                                std::move(msg)});
+                                std::move(msg), suppressed});
   }
 
   std::vector<Finding> Take() {
@@ -857,6 +860,10 @@ std::vector<std::string> CheckNames() {
       "unchecked-status",
       "relaxed-rationale",
       "guarded-by",
+      "static-lock-cycle",
+      "blocking-while-locked-static",
+      "epoch-escape",
+      "status-flow",
       "suppression",
   };
 }
@@ -890,6 +897,22 @@ std::vector<Finding> RunChecks(const std::vector<LexedFile>& files,
   for (const Entry& e : kChecks) {
     if (ctx.Enabled(e.name)) e.fn(ctx);
   }
+
+  // The interprocedural families (v3) run over the same units; findings
+  // route back through Ctx::Emit so the suppression ledger applies
+  // uniformly. The unit order matches `files`, so file indices line up.
+  std::vector<IpaFile> ipa;
+  for (const Unit& u : ctx.units()) {
+    ipa.push_back(IpaFile{u.lex, u.scopes.get()});
+  }
+  RunIpaChecks(
+      ipa,
+      [&ctx](size_t file_index, int line, const std::string& check,
+             const std::string& msg) {
+        ctx.Emit(ctx.units()[file_index], line, check, msg);
+      },
+      [&ctx](const std::string& check) { return ctx.Enabled(check); });
+
   return ctx.Take();
 }
 

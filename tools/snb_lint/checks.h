@@ -19,6 +19,10 @@ struct Finding {
   int line = 0;
   std::string check;
   std::string message;
+  /// True when an snb-lint-allow covers the finding. Suppressed findings
+  /// are recorded (so --format=json can report the suppression state) but
+  /// never printed in text mode and never affect the exit code.
+  bool suppressed = false;
 };
 
 /// Renders a finding in the one stable diagnostic format every consumer

@@ -1,0 +1,192 @@
+#include "lock_effects.h"
+
+#include <algorithm>
+
+namespace snb_lint {
+namespace {
+
+constexpr size_t kMaxPath = 8;
+
+bool IsPoolSubmit(const Corpus& corpus, size_t func) {
+  const FunctionDef& f = corpus.funcs[func];
+  return f.name == "Submit" && f.owner == "ThreadPool";
+}
+
+std::vector<PathStep> Prefixed(size_t caller, int line, size_t callee,
+                               const std::vector<PathStep>& tail) {
+  std::vector<PathStep> path;
+  path.push_back(PathStep{caller, line, callee});
+  for (const PathStep& s : tail) {
+    if (path.size() >= kMaxPath) break;
+    path.push_back(s);
+  }
+  return path;
+}
+
+std::vector<Summary> Fixpoint(const Corpus& corpus, const CallGraph& cg) {
+  const size_t n = corpus.funcs.size();
+  std::vector<Summary> sums(n);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t f = 0; f < n; ++f) {
+      const std::vector<Event>& events = corpus.events[f];
+      for (size_t e = 0; e < events.size(); ++e) {
+        const Event& ev = events[e];
+        switch (ev.kind) {
+          case EvKind::kAcquire:
+            if (ev.site != kNoSite && !sums[f].acquires.count(ev.site)) {
+              sums[f].acquires[ev.site] = AcqEffect{ev.site, f, ev.line, {}};
+              changed = true;
+            }
+            break;
+          case EvKind::kWait: {
+            const LockSite* s = corpus.SiteOf(ev.site);
+            std::string key = "wait:" + (s ? s->name : "?");
+            if (!sums[f].blocks.count(key)) {
+              sums[f].blocks[key] = BlockEffect{
+                  BlockKind::kWaitOn, ev.site, "CondVar wait", f, ev.line,
+                  {}};
+              changed = true;
+            }
+            break;
+          }
+          case EvKind::kIo: {
+            std::string key = "io:" + ev.callee;
+            if (!sums[f].blocks.count(key)) {
+              sums[f].blocks[key] = BlockEffect{
+                  BlockKind::kIo, kNoSite, ev.callee, f, ev.line, {}};
+              changed = true;
+            }
+            break;
+          }
+          case EvKind::kCall:
+            for (size_t g : cg.targets[f][e]) {
+              // Snapshot the callee's entries: with recursion f may equal
+              // g, and we must not iterate a map we're inserting into.
+              std::vector<AcqEffect> acqs;
+              std::vector<std::pair<std::string, BlockEffect>> blks;
+              for (const auto& [site, eff] : sums[g].acquires) {
+                acqs.push_back(eff);
+              }
+              for (const auto& [key, eff] : sums[g].blocks) {
+                blks.emplace_back(key, eff);
+              }
+              for (const AcqEffect& eff : acqs) {
+                if (sums[f].acquires.count(eff.site)) continue;
+                AcqEffect lifted = eff;
+                lifted.path = Prefixed(f, ev.line, g, eff.path);
+                sums[f].acquires[eff.site] = std::move(lifted);
+                changed = true;
+              }
+              for (const auto& [key, eff] : blks) {
+                if (sums[f].blocks.count(key)) continue;
+                BlockEffect lifted = eff;
+                lifted.path = Prefixed(f, ev.line, g, eff.path);
+                sums[f].blocks[key] = std::move(lifted);
+                changed = true;
+              }
+              // Submitting to a pool can block on the pool's queue mutex:
+              // model a direct Submit call as a blocking op on every site
+              // Submit itself acquires.
+              if (IsPoolSubmit(corpus, g)) {
+                for (const AcqEffect& eff : acqs) {
+                  std::string key = "submit:" +
+                                    (corpus.SiteOf(eff.site)
+                                         ? corpus.SiteOf(eff.site)->name
+                                         : "?");
+                  if (sums[f].blocks.count(key)) continue;
+                  sums[f].blocks[key] = BlockEffect{
+                      BlockKind::kSubmit, eff.site, "ThreadPool::Submit", f,
+                      ev.line,
+                      {}};
+                  changed = true;
+                }
+              }
+            }
+            break;
+        }
+      }
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+LockEffects ComputeLockEffects(const Corpus& corpus, const CallGraph& cg) {
+  LockEffects out;
+  out.summaries = Fixpoint(corpus, cg);
+  // Enumerate hold ranges: events are in token order, so everything after
+  // an acquire with tok <= scope_end happens while the lock is held.
+  for (size_t f = 0; f < corpus.funcs.size(); ++f) {
+    const std::vector<Event>& events = corpus.events[f];
+    for (size_t a = 0; a < events.size(); ++a) {
+      const Event& held = events[a];
+      if (held.kind != EvKind::kAcquire || held.site == kNoSite) continue;
+      for (size_t e = a + 1; e < events.size(); ++e) {
+        const Event& ev = events[e];
+        if (ev.tok > held.scope_end) break;
+        switch (ev.kind) {
+          case EvKind::kAcquire:
+            if (ev.site != kNoSite) {
+              out.edges.push_back(HeldEdge{
+                  held.site, f, held.line,
+                  AcqEffect{ev.site, f, ev.line, {}}});
+            }
+            break;
+          case EvKind::kWait:
+            // Waiting on the held mutex itself releases it for the wait's
+            // duration — that is the CondVar contract, not a hazard.
+            if (ev.site != kNoSite && ev.site != held.site) {
+              out.hazards.push_back(BlockHazard{
+                  held.site, f, held.line,
+                  BlockEffect{BlockKind::kWaitOn, ev.site, "CondVar wait",
+                              f, ev.line,
+                              {}}});
+            }
+            break;
+          case EvKind::kIo:
+            out.hazards.push_back(BlockHazard{
+                held.site, f, held.line,
+                BlockEffect{BlockKind::kIo, kNoSite, ev.callee, f, ev.line,
+                            {}}});
+            break;
+          case EvKind::kCall:
+            for (size_t g : cg.targets[f][e]) {
+              for (const auto& [site, eff] : out.summaries[g].acquires) {
+                AcqEffect lifted = eff;
+                lifted.path = Prefixed(f, ev.line, g, eff.path);
+                out.edges.push_back(
+                    HeldEdge{held.site, f, held.line, std::move(lifted)});
+              }
+              for (const auto& [key, eff] : out.summaries[g].blocks) {
+                if (eff.kind == BlockKind::kWaitOn &&
+                    eff.site == held.site) {
+                  continue;  // waits on the held mutex release it
+                }
+                BlockEffect lifted = eff;
+                lifted.path = Prefixed(f, ev.line, g, eff.path);
+                out.hazards.push_back(BlockHazard{held.site, f, held.line,
+                                                  std::move(lifted)});
+              }
+              if (IsPoolSubmit(corpus, g)) {
+                for (const auto& [site, eff] :
+                     out.summaries[g].acquires) {
+                  out.hazards.push_back(BlockHazard{
+                      held.site, f, held.line,
+                      BlockEffect{BlockKind::kSubmit, site,
+                                  "ThreadPool::Submit", f, ev.line,
+                                  {}}});
+                }
+              }
+            }
+            break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace snb_lint

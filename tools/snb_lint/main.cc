@@ -5,26 +5,39 @@
 //   snb_lint --root <repo>                 # scan src/ tools/ bench/ fuzz/
 //                                          # tests/ with per-check policies
 //   snb_lint --root <repo> --check <name>  # subset (repeatable)
+//   snb_lint --root <repo> --format=json   # machine-readable findings
+//   snb_lint --root <repo> --changed-only  # report only files touched per
+//                                          # git; analysis stays whole-repo
+//   snb_lint --root <repo> --dump-lock-sites  # declared SNB_LOCK_SITE /
+//                                          # SNB_LOCK_LEVEL registrations
 //   snb_lint --fixture <file>...           # golden-fixture mode: virtual
 //                                          # path from `snb-lint-path:`
 //   snb_lint --list-checks
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Findings print as
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Text findings
+// print as
 //   file:line: [check-name] message
-// to stdout, one per line, sorted by file then line.
+// to stdout, one per line, sorted by file then line; suppressed findings
+// are omitted. --format=json emits every finding (including suppressed
+// ones, with their suppression state) as a JSON array; the exit code still
+// counts only unsuppressed findings.
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "checks.h"
+#include "ipa_checks.h"
 #include "lexer.h"
+#include "scopes.h"
 
 namespace snb_lint {
 namespace {
@@ -33,10 +46,66 @@ namespace fs = std::filesystem;
 
 int Usage() {
   std::cerr
-      << "usage: snb_lint --root <repo> [--check <name>]...\n"
-         "       snb_lint --fixture <file>... [--check <name>]...\n"
+      << "usage: snb_lint --root <repo> [--check <name>]... "
+         "[--format=text|json] [--changed-only]\n"
+         "       snb_lint --root <repo> --dump-lock-sites\n"
+         "       snb_lint --fixture <file>... [--check <name>]... "
+         "[--format=text|json]\n"
          "       snb_lint --list-checks\n";
   return 2;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Files touched per git (worktree vs HEAD, plus untracked), repo-relative.
+/// Returns false when git is unavailable or errors — callers fall back to
+/// the full report.
+bool GitChangedFiles(const std::string& root, std::set<std::string>* out) {
+  for (const char* args : {"diff --name-only HEAD",
+                           "ls-files --others --exclude-standard"}) {
+    std::string cmd =
+        "git -C '" + root + "' " + args + " 2>/dev/null";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return false;
+    char buf[4096];
+    std::string text;
+    while (fgets(buf, sizeof(buf), pipe) != nullptr) text += buf;
+    if (pclose(pipe) != 0) return false;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty()) out->insert(line);
+    }
+  }
+  return true;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -91,6 +160,9 @@ int Run(int argc, char** argv) {
   std::string root;
   std::vector<std::string> fixtures;
   Options opts;
+  bool json = false;
+  bool changed_only = false;
+  bool dump_lock_sites = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&](const char* flag) -> std::string {
@@ -106,15 +178,32 @@ int Run(int argc, char** argv) {
       opts.only_checks.push_back(value("--check"));
     } else if (arg == "--fixture") {
       fixtures.push_back(value("--fixture"));
+    } else if (arg == "--format") {
+      arg = "--format=" + value("--format");
+    } else if (arg == "--changed-only") {
+      changed_only = true;
+    } else if (arg == "--dump-lock-sites") {
+      dump_lock_sites = true;
     } else if (arg == "--list-checks") {
       for (const std::string& n : CheckNames()) std::cout << n << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
-    } else {
+    } else if (arg.rfind("--format=", 0) != 0) {
       std::cerr << "snb_lint: unknown argument '" << arg << "'\n";
       return Usage();
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      std::string fmt = arg.substr(std::strlen("--format="));
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt == "text") {
+        json = false;
+      } else {
+        std::cerr << "snb_lint: unknown format '" << fmt << "'\n";
+        return Usage();
+      }
     }
   }
   for (const std::string& c : opts.only_checks) {
@@ -177,6 +266,23 @@ int Run(int argc, char** argv) {
     return Usage();
   }
 
+  if (dump_lock_sites) {
+    // name <TAB> level <TAB> file:line — the cross-check test diffs this
+    // against the kDeclaredLockLevels registry in src/analysis/lock_site.h.
+    std::vector<ScopeModel> models;
+    models.reserve(files.size());
+    for (const LexedFile& f : files) models.emplace_back(f.tokens);
+    std::vector<IpaFile> ipa;
+    for (size_t i = 0; i < files.size(); ++i) {
+      ipa.push_back(IpaFile{&files[i], &models[i]});
+    }
+    for (const LockSite& s : CollectDeclaredLockSites(ipa)) {
+      std::cout << s.name << "\t" << s.level << "\t" << s.file << ":"
+                << s.line << "\n";
+    }
+    return 0;
+  }
+
   std::vector<Finding> findings = RunChecks(files, opts);
   // Map virtual paths back to physical ones for fixture reporting.
   for (Finding& f : findings) {
@@ -186,9 +292,58 @@ int Run(int argc, char** argv) {
         break;
       }
     }
-    std::cout << FormatFinding(f) << "\n";
   }
-  return findings.empty() ? 0 : 1;
+
+  if (changed_only && !root.empty()) {
+    // The corpus (and so the call graph behind the interprocedural
+    // checks) is always whole-repo; --changed-only narrows what gets
+    // *reported*. A changed header invalidates summaries anywhere, so any
+    // .h in the change set falls back to the full report — as does a tree
+    // that git cannot describe.
+    std::set<std::string> changed;
+    bool header_changed = false;
+    if (GitChangedFiles(root, &changed)) {
+      for (const std::string& c : changed) {
+        if (c.size() > 2 && c.compare(c.size() - 2, 2, ".h") == 0) {
+          header_changed = true;
+          break;
+        }
+      }
+      if (!header_changed) {
+        std::vector<Finding> kept;
+        for (Finding& f : findings) {
+          if (changed.count(f.file)) kept.push_back(std::move(f));
+        }
+        findings = std::move(kept);
+      }
+    }
+  }
+
+  size_t unsuppressed = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++unsuppressed;
+  }
+
+  if (json) {
+    std::cout << "[";
+    bool first = true;
+    for (const Finding& f : findings) {
+      std::cout << (first ? "\n" : ",\n")
+                << "  {\"check\": \"" << JsonEscape(f.check)
+                << "\", \"file\": \"" << JsonEscape(f.file)
+                << "\", \"line\": " << f.line << ", \"message\": \""
+                << JsonEscape(f.message)
+                << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+                << "}";
+      first = false;
+    }
+    std::cout << (first ? "]\n" : "\n]\n");
+  } else {
+    for (const Finding& f : findings) {
+      if (!f.suppressed) std::cout << FormatFinding(f) << "\n";
+    }
+  }
+  return unsuppressed == 0 ? 0 : 1;
 }
 
 }  // namespace
